@@ -1,0 +1,63 @@
+// Ablation — the dynamic balancer's two damping knobs (§3.2.5):
+//
+//   * trigger ratio ("if the difference between their processing times is
+//     bigger than a certain value"): too small and the balancer thrashes,
+//     moving particles every frame for no gain; too large and imbalance
+//     persists.
+//   * minimum transfer ("it may not be interesting to perform the
+//     transmission"): drops orders whose communication cost exceeds the
+//     rebalancing benefit.
+//
+// Run on the irregular fountain workload, 8 calculators, Myrinet.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Ablation: balance trigger / minimum-transfer sweep");
+
+  const core::Scene scene = sim::make_fountain_scene(args.scenario);
+  const auto cfg = bench::e800_row(8, 8, core::SpaceMode::kFinite,
+                                   core::LbMode::kDynamicPairwise);
+  core::SimSettings settings = args.settings();
+  const double seq = sim::measure_sequential(scene, settings, cfg);
+
+  {
+    trace::Table t({"trigger ratio", "speedup", "balance orders",
+                    "particles moved", "mean imbalance"});
+    for (const double trigger : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+      settings.dlb = lb::DynamicPairwiseConfig{};
+      settings.dlb.trigger_ratio = trigger;
+      const auto r = sim::run_speedup(scene, settings, cfg, seq);
+      const auto s = sim::summarize("", r);
+      t.add_row({trace::Table::num(trigger), trace::Table::num(r.speedup),
+                 std::to_string(s.balance_orders),
+                 std::to_string(r.parallel.telemetry.total_balance_particles()),
+                 trace::Table::num(s.mean_imbalance)});
+    }
+    bench::print_table(t);
+  }
+  {
+    trace::Table t({"min transfer", "speedup", "balance orders",
+                    "particles moved", "mean imbalance"});
+    for (const std::uint64_t min_transfer : {0ULL, 32ULL, 256ULL, 1024ULL,
+                                             4096ULL}) {
+      settings.dlb = lb::DynamicPairwiseConfig{};
+      settings.dlb.min_transfer = min_transfer;
+      settings.dlb.min_transfer_fraction = 0.0;
+      const auto r = sim::run_speedup(scene, settings, cfg, seq);
+      const auto s = sim::summarize("", r);
+      t.add_row({std::to_string(min_transfer), trace::Table::num(r.speedup),
+                 std::to_string(s.balance_orders),
+                 std::to_string(r.parallel.telemetry.total_balance_particles()),
+                 trace::Table::num(s.mean_imbalance)});
+    }
+    bench::print_table(t);
+  }
+  std::printf(
+      "expected shape: a sweet spot at moderate trigger (~0.1-0.2); "
+      "trigger 0.8 leaves imbalance unfixed, trigger 0.02 moves particles "
+      "constantly for little speedup.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — remote/distributed image generation (§6 future work, the
+// WireGL/Pomegranate direction): instead of gathering every particle to
+// one image generator, each calculator rasterizes its own particles and
+// the image generator composites partial frames (sort-last).
+//
+// Gather traffic becomes O(pixels * procs) instead of O(particles), so the
+// crossover depends on particle count vs image size: many particles on a
+// small image favor sort-last; few particles on a large image favor the
+// paper's gather design.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Ablation: particle gather vs sort-last image generation");
+
+  const core::Scene scene = sim::make_snow_scene(args.scenario);
+  core::SimSettings settings = args.settings();
+
+  trace::Table t({"image", "procs", "gather speedup", "gather MB/frame",
+                  "sort-last speedup", "sort-last MB/frame"});
+  for (const int dim : {160, 480}) {
+    for (const int procs : {4, 8, 16}) {
+      settings.image_width = dim;
+      settings.image_height = dim * 3 / 4;
+      const int nodes = std::min(procs, 8);
+      auto cfg = bench::e800_row(nodes, procs, core::SpaceMode::kFinite,
+                                 core::LbMode::kStatic);
+      const double seq = sim::measure_sequential(scene, settings, cfg);
+
+      settings.imgen = core::ImageGenMode::kGatherParticles;
+      const auto g = sim::run_speedup(scene, settings, cfg, seq);
+      double g_bytes = 0, s_bytes = 0;
+      for (const auto& f : g.parallel.telemetry.image_frames()) {
+        g_bytes += static_cast<double>(f.gather_bytes);
+      }
+      g_bytes /= std::max<std::size_t>(1, g.parallel.telemetry.frame_count());
+
+      settings.imgen = core::ImageGenMode::kSortLast;
+      const auto s = sim::run_speedup(scene, settings, cfg, seq);
+      for (const auto& f : s.parallel.telemetry.image_frames()) {
+        s_bytes += static_cast<double>(f.gather_bytes);
+      }
+      s_bytes /= std::max<std::size_t>(1, s.parallel.telemetry.frame_count());
+
+      t.add_row({std::to_string(dim) + "x" + std::to_string(dim * 3 / 4),
+                 std::to_string(procs), trace::Table::num(g.speedup),
+                 trace::Table::num(g_bytes / 1e6),
+                 trace::Table::num(s.speedup),
+                 trace::Table::num(s_bytes / 1e6)});
+    }
+  }
+  settings.imgen = core::ImageGenMode::kGatherParticles;
+  bench::print_table(t);
+  std::printf(
+      "expected shape: sort-last traffic is constant per (image, procs) "
+      "while gather traffic follows the particle count; sort-last wins "
+      "when particles x 16B exceeds procs x pixels x 12B.\n");
+  return 0;
+}

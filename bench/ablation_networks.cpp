@@ -1,0 +1,37 @@
+// Ablation — interconnect sweep. The paper evaluates Myrinet and
+// Fast-Ethernet; Gigabit Ethernet (its related-work machines used it) sits
+// between. Both workloads, 8 calculators, FS-DLB, GCC, E800 nodes.
+//
+// Expected shape: snow (little exchange) degrades mildly from Myrinet to
+// Fast-Ethernet; fountain (7x the exchange volume) degrades hard — the
+// §5.3 conclusion that DLB needs a high-speed network.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Ablation: interconnect sweep (snow vs fountain)");
+
+  const core::SimSettings settings = args.settings();
+  const core::Scene snow = sim::make_snow_scene(args.scenario);
+  const core::Scene fountain = sim::make_fountain_scene(args.scenario);
+
+  trace::Table t({"Network", "snow speedup", "fountain speedup",
+                  "fountain/snow"});
+  for (const auto net :
+       {net::Interconnect::kMyrinet, net::Interconnect::kGigabitEthernet,
+        net::Interconnect::kFastEthernet}) {
+    auto cfg = bench::e800_row(8, 8, core::SpaceMode::kFinite,
+                               core::LbMode::kDynamicPairwise);
+    cfg.network = net;
+    const auto rs = sim::run_speedup(snow, settings, cfg);
+    const auto rf = sim::run_speedup(fountain, settings, cfg);
+    t.add_row({net::to_string(net), trace::Table::num(rs.speedup),
+               trace::Table::num(rf.speedup),
+               trace::Table::num(rs.speedup > 0 ? rf.speedup / rs.speedup
+                                                : 0.0)});
+  }
+  bench::print_table(t);
+  return 0;
+}

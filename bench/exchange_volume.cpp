@@ -1,0 +1,55 @@
+// §5.1 / §5.2 exchange-volume measurements:
+//
+//   snow:     "~560 particles per process per frame belong to another
+//              calculator ... 613 Kbytes of data to be exchanged"
+//   fountain: "~4000 particles per process per frame ... 4375 Kbytes"
+//
+// The paper's point is the RATIO: the fountain's horizontal motion makes
+// its domain-crossing traffic roughly 7x the snow's, which is what sinks
+// dynamic balancing on Fast-Ethernet. This bench measures both workloads
+// under the paper's 8-process Myrinet configuration and reports the
+// crossing counts, wire volume and the ratio. Absolute counts scale with
+// --particles; run with --full for the paper's 400k/system scale.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Exchange volume: snow vs fountain (§5.1 / §5.2)");
+
+  const core::SimSettings settings = args.settings();
+  const auto cfg = bench::e800_row(8, 8, core::SpaceMode::kFinite,
+                                   core::LbMode::kDynamicPairwise);
+
+  struct Result {
+    double crossers = 0.0;
+    double kb_per_frame = 0.0;
+  };
+  auto measure = [&](const core::Scene& scene) {
+    const auto r = sim::run_speedup(scene, settings, cfg, /*cached=*/1.0);
+    const auto& tel = r.parallel.telemetry;
+    return Result{tel.avg_crossers_per_proc_per_frame(),
+                  tel.avg_exchange_bytes_per_frame() / 1024.0};
+  };
+
+  const Result snow = measure(sim::make_snow_scene(args.scenario));
+  const Result fountain = measure(sim::make_fountain_scene(args.scenario));
+
+  trace::Table t({"Workload", "crossers/proc/frame", "(paper)",
+                  "exchange KB/frame", "(paper)"});
+  t.add_row({"snow", trace::Table::num(snow.crossers, 0), "560",
+             trace::Table::num(snow.kb_per_frame, 0), "613"});
+  t.add_row({"fountain", trace::Table::num(fountain.crossers, 0), "4000",
+             trace::Table::num(fountain.kb_per_frame, 0), "4375"});
+  bench::print_table(t);
+
+  const double count_ratio =
+      snow.crossers > 0 ? fountain.crossers / snow.crossers : 0.0;
+  const double kb_ratio =
+      snow.kb_per_frame > 0 ? fountain.kb_per_frame / snow.kb_per_frame : 0.0;
+  std::printf(
+      "fountain/snow ratio: %.1fx crossers, %.1fx bytes (paper: ~7.1x both)\n",
+      count_ratio, kb_ratio);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension bench — scaling of the §6 fabric simulation (interconnected
+// particles) by column decomposition, on homogeneous and heterogeneous
+// clusters. Fixed connectivity means no load balancing: on heterogeneous
+// nodes the slowest process gates every step, which is exactly why the
+// paper's free-particle model needs its dynamic balancer — a fixed mesh
+// cannot shed load without re-partitioning.
+
+#include <cstdio>
+
+#include "cloth/distributed.hpp"
+#include "trace/table.hpp"
+
+int main() {
+  using namespace psanim;
+
+  cloth::ClothParams params;
+  params.rows = 48;
+  params.cols = 96;
+  cloth::ClothMesh mesh =
+      cloth::ClothMesh::grid(params, {0, 3, 0}, {1, 0, 0}, {0, -1, 0});
+  for (int c = 0; c < params.cols; ++c) mesh.pin(0, c);
+
+  const int steps = 120;
+  const float dt = 1.0f / 240.0f;
+
+  const auto seq = cloth::run_cloth_sequential(mesh, steps, dt, {});
+  std::printf("=== Cloth scaling (48x96 mesh, %d steps) ===\n", steps);
+  std::printf("sequential (E800): %.4f virtual s\n\n", seq.sim_seconds);
+
+  trace::Table t({"cluster", "procs", "speedup", "efficiency"});
+  for (const int n : {1, 2, 4, 8}) {
+    const auto spec = cluster::ClusterSpec::homogeneous(
+        cluster::NodeType::e800(), static_cast<std::size_t>(n),
+        net::Interconnect::kMyrinet, cluster::Compiler::kGcc);
+    const auto par = cloth::run_cloth_parallel(
+        mesh, steps, dt, {}, n, spec,
+        cluster::Placement::round_robin(spec, n));
+    const double speedup = seq.sim_seconds / par.sim_seconds;
+    t.add_row({"homogeneous E800", std::to_string(n),
+               trace::Table::num(speedup),
+               trace::Table::num(100 * speedup / n, 0) + "%"});
+  }
+  // Heterogeneous: half E800, half E60 — the static column split makes
+  // the E60s the bottleneck (no balancing possible with fixed meshes).
+  for (const int n : {4, 8}) {
+    cluster::ClusterSpec spec;
+    spec.preferred = net::Interconnect::kMyrinet;
+    spec.compiler = cluster::Compiler::kGcc;
+    spec.add(cluster::NodeType::e800(), static_cast<std::size_t>(n / 2));
+    spec.add(cluster::NodeType::e60(), static_cast<std::size_t>(n / 2));
+    const auto par = cloth::run_cloth_parallel(
+        mesh, steps, dt, {}, n, spec,
+        cluster::Placement::round_robin(spec, n));
+    const double speedup = seq.sim_seconds / par.sim_seconds;
+    t.add_row({"half E800 + half E60", std::to_string(n),
+               trace::Table::num(speedup),
+               trace::Table::num(100 * speedup / n, 0) + "%"});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf(
+      "\nshape: homogeneous scaling is near-linear (ghost exchange is "
+      "small); the heterogeneous rows are gated by the E60s' 0.55 rate.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Google-benchmark microbenches for the hot per-particle paths: action
+// application, sliced-store maintenance, spatial hashing, RNG and wire
+// packing. These measure REAL nanoseconds on the host (unlike the table
+// benches, which report virtual cluster time) — useful when tuning the
+// library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "collide/pair_collide.hpp"
+#include "collide/spatial_hash.hpp"
+#include "core/wire.hpp"
+#include "math/rng.hpp"
+#include "psys/actions.hpp"
+#include "psys/store.hpp"
+
+namespace {
+
+using namespace psanim;
+
+std::vector<psys::Particle> make_particles(std::size_t n,
+                                           std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<psys::Particle> out(n);
+  for (auto& p : out) {
+    p.pos = rng.in_box({-10, 0, -10}, {10, 10, 10});
+    p.prev_pos = p.pos;
+    p.vel = rng.in_unit_ball() * 3.0f;
+    p.color = {0.5f, 0.6f, 0.9f};
+    p.size = 0.05f;
+    p.lifetime = 5.0f;
+  }
+  return out;
+}
+
+void BM_ActionGravity(benchmark::State& state) {
+  auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  psys::Gravity g({0, -9.8f, 0});
+  Rng rng(1);
+  psys::ActionContext ctx{1.0f / 30.0f, &rng, 0};
+  for (auto _ : state) {
+    g.apply(parts, ctx);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActionGravity)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ActionRandomAccel(benchmark::State& state) {
+  auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  psys::RandomAccel a(psys::make_sphere({0, 0, 0}, 1.0f));
+  Rng rng(1);
+  psys::ActionContext ctx{1.0f / 30.0f, &rng, 0};
+  for (auto _ : state) {
+    a.apply(parts, ctx);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActionRandomAccel)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ActionBounce(benchmark::State& state) {
+  auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  psys::Bounce b(psys::make_plane({0, 0, 0}, {0, 1, 0}), 0.3f, 0.2f);
+  Rng rng(1);
+  psys::ActionContext ctx{1.0f / 30.0f, &rng, 0};
+  for (auto _ : state) {
+    b.apply(parts, ctx);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActionBounce)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ActionMove(benchmark::State& state) {
+  auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  psys::Move mv;
+  Rng rng(1);
+  psys::ActionContext ctx{1.0f / 30.0f, &rng, 0};
+  for (auto _ : state) {
+    mv.apply(parts, ctx);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActionMove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_StoreInsertExtract(benchmark::State& state) {
+  const auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    psys::SlicedStore store(0, -10, 10, 8);
+    store.insert_batch(parts);
+    auto out = store.extract_outside();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StoreInsertExtract)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_StoreDonate(benchmark::State& state) {
+  const auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  const auto slices = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    psys::SlicedStore store(0, -10, 10, slices);
+    store.insert_batch(parts);
+    state.ResumeTiming();
+    auto d = store.donate_low(parts.size() / 4);
+    benchmark::DoNotOptimize(d.particles.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 4);
+}
+BENCHMARK(BM_StoreDonate)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 8})
+    ->Args({1 << 14, 32});
+
+void BM_SpatialHashBuild(benchmark::State& state) {
+  const auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  collide::SpatialHash grid(0.25f);
+  for (auto _ : state) {
+    grid.build(parts);
+    benchmark::DoNotOptimize(grid.cell_count_used());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpatialHashBuild)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PairCollide(benchmark::State& state) {
+  auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto stats = collide::resolve_pair_collisions(parts, {}, 0.25f, 0.4f);
+    benchmark::DoNotOptimize(stats.contacts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PairCollide)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RngNextFloat(benchmark::State& state) {
+  Rng rng(7);
+  float acc = 0;
+  for (auto _ : state) {
+    acc += rng.next_float();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextFloat);
+
+void BM_PackVertices(benchmark::State& state) {
+  const auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  std::vector<core::RenderVertex> verts;
+  verts.reserve(parts.size());
+  for (const auto& p : parts) verts.push_back(core::to_render_vertex(p));
+  for (auto _ : state) {
+    auto w = core::encode_frame_vertices(0, verts);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackVertices)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ExchangeRoundTrip(benchmark::State& state) {
+  const auto parts = make_particles(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto w = core::encode_batches(3, {core::SystemBatch{0, parts}});
+    mp::Message m;
+    m.payload = w.take();
+    auto batches = core::decode_batches(m, 3);
+    benchmark::DoNotOptimize(batches.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExchangeRoundTrip)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

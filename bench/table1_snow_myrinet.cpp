@@ -1,0 +1,67 @@
+// Table 1 — Snow simulation, Myrinet + GNU/GCC, E800 nodes.
+//
+// Paper rows (speedup vs. sequential E800+GCC):
+//   Nodes/Procs   IS-SLB  FS-SLB  IS-DLB  FS-DLB
+//   4*B / 4 P.     1.74    1.74    1.73    1.75
+//   5*B / 5 P.     0.82    2.49    2.90    2.50
+//   6*B / 6 P.     1.74    3.12    2.99    3.11
+//   7*B / 7 P.     0.92    3.63    3.15    3.65
+//   8*B / 8 P.     1.74    4.14    3.37    4.14
+//   8*B / 16 P.    1.73    6.47    3.75    6.37
+//
+// Shape checks (not absolute numbers): IS-SLB plateaus near the two-domain
+// speedup for even process counts and drops below 1 for odd counts (only
+// the central domain gets snow); FS-SLB scales best (uniform load, no
+// balancing overhead); DLB recovers most of the IS pathology but trails
+// FS-SLB at high process counts (balancing communication + convergence).
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Table 1: snow, Myrinet + GCC, E800 nodes");
+
+  const core::Scene scene = sim::make_snow_scene(args.scenario);
+  const core::SimSettings settings = args.settings();
+
+  // One sequential baseline per table (all rows share E800+GCC).
+  const double seq_s = sim::measure_sequential(
+      scene, settings, bench::e800_row(4, 4, core::SpaceMode::kFinite,
+                                       core::LbMode::kStatic));
+  std::printf("sequential baseline (E800+GCC): %.3f virtual s\n\n", seq_s);
+
+  struct Row {
+    int nodes, procs;
+    double paper[4];  // IS-SLB, FS-SLB, IS-DLB, FS-DLB
+  };
+  const Row rows[] = {
+      {4, 4, {1.74, 1.74, 1.73, 1.75}},   {5, 5, {0.82, 2.49, 2.90, 2.50}},
+      {6, 6, {1.74, 3.12, 2.99, 3.11}},   {7, 7, {0.92, 3.63, 3.15, 3.65}},
+      {8, 8, {1.74, 4.14, 3.37, 4.14}},   {8, 16, {1.73, 6.47, 3.75, 6.37}},
+  };
+  const std::pair<core::SpaceMode, core::LbMode> modes[4] = {
+      {core::SpaceMode::kInfinite, core::LbMode::kStatic},
+      {core::SpaceMode::kFinite, core::LbMode::kStatic},
+      {core::SpaceMode::kInfinite, core::LbMode::kDynamicPairwise},
+      {core::SpaceMode::kFinite, core::LbMode::kDynamicPairwise},
+  };
+
+  trace::Table t({"Nodes/Procs", "IS-SLB", "(paper)", "FS-SLB", "(paper)",
+                  "IS-DLB", "(paper)", "FS-DLB", "(paper)"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(row.nodes) + "*B / " +
+                    std::to_string(row.procs) + " P.");
+    for (int m = 0; m < 4; ++m) {
+      const auto cfg =
+          bench::e800_row(row.nodes, row.procs, modes[m].first, modes[m].second);
+      const auto r = sim::run_speedup(scene, settings, cfg, seq_s);
+      cells.push_back(trace::Table::num(r.speedup));
+      cells.push_back(trace::Table::num(row.paper[m]));
+    }
+    t.add_row(std::move(cells));
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 3 — Fountain simulation, Myrinet + GNU/GCC, E800 nodes.
+//
+// Paper rows (speedup vs. sequential E800+GCC):
+//   Nodes/Procs   IS-SLB  FS-SLB  IS-DLB  FS-DLB
+//   4*B / 4 P.     0.98    1.09    1.49    1.49
+//   5*B / 5 P.     0.92    1.19    1.76    1.76
+//   6*B / 6 P.     0.98    1.31    2.02    2.05
+//   7*B / 7 P.     0.92    1.54    2.34    2.36
+//   8*B / 8 P.     0.98    1.86    2.66    2.67
+//   8*B / 16 P.    0.98    2.66    3.74    3.82
+//
+// Shape checks: the fountain load is irregular (one emitter per system at
+// scattered x), so dynamic balancing wins at EVERY process count — the
+// opposite of Table 1 — and static balancing with finite space scales
+// poorly because equal-width domains do not hold equal numbers of
+// particles.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Table 3: fountain, Myrinet + GCC, E800 nodes");
+
+  const core::Scene scene = sim::make_fountain_scene(args.scenario);
+  const core::SimSettings settings = args.settings();
+
+  const double seq_s = sim::measure_sequential(
+      scene, settings, bench::e800_row(4, 4, core::SpaceMode::kFinite,
+                                       core::LbMode::kStatic));
+  std::printf("sequential baseline (E800+GCC): %.3f virtual s\n\n", seq_s);
+
+  struct Row {
+    int nodes, procs;
+    double paper[4];  // IS-SLB, FS-SLB, IS-DLB, FS-DLB
+  };
+  const Row rows[] = {
+      {4, 4, {0.98, 1.09, 1.49, 1.49}},   {5, 5, {0.92, 1.19, 1.76, 1.76}},
+      {6, 6, {0.98, 1.31, 2.02, 2.05}},   {7, 7, {0.92, 1.54, 2.34, 2.36}},
+      {8, 8, {0.98, 1.86, 2.66, 2.67}},   {8, 16, {0.98, 2.66, 3.74, 3.82}},
+  };
+  const std::pair<core::SpaceMode, core::LbMode> modes[4] = {
+      {core::SpaceMode::kInfinite, core::LbMode::kStatic},
+      {core::SpaceMode::kFinite, core::LbMode::kStatic},
+      {core::SpaceMode::kInfinite, core::LbMode::kDynamicPairwise},
+      {core::SpaceMode::kFinite, core::LbMode::kDynamicPairwise},
+  };
+
+  trace::Table t({"Nodes/Procs", "IS-SLB", "(paper)", "FS-SLB", "(paper)",
+                  "IS-DLB", "(paper)", "FS-DLB", "(paper)"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(row.nodes) + "*B / " +
+                    std::to_string(row.procs) + " P.");
+    for (int m = 0; m < 4; ++m) {
+      const auto cfg =
+          bench::e800_row(row.nodes, row.procs, modes[m].first, modes[m].second);
+      const auto r = sim::run_speedup(scene, settings, cfg, seq_s);
+      cells.push_back(trace::Table::num(r.speedup));
+      cells.push_back(trace::Table::num(row.paper[m]));
+    }
+    t.add_row(std::move(cells));
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §5.1 prose results for the snow simulation that are not in a table:
+//
+//  * Fast-Ethernet + ICC, 8 E800 nodes (16 processes): speedup 2.56 with
+//    DLB, 2.65 with FS-SLB (baseline: sequential Itanium+ICC).
+//  * Mixed 4 E800 + 4 E60 nodes (Myrinet+GCC): speedup 2.76 with 8
+//    processes and 2.93 with 16.
+//  * "The use of eight E60 nodes was only justified when the amount of
+//    E800 nodes was lower than seven" — adding the slow nodes to a full
+//    E800 set must NOT help much.
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("§5.1 text: snow, miscellaneous configurations");
+
+  const core::Scene scene = sim::make_snow_scene(args.scenario);
+  const core::SimSettings settings = args.settings();
+
+  const auto A = cluster::NodeType::e60();
+  const auto B = cluster::NodeType::e800();
+  const auto C = cluster::NodeType::zx2000();
+
+  trace::Table t({"Configuration", "Speedup", "(paper)", "Baseline"});
+
+  // --- Fast-Ethernet + ICC on 8*B, 16 processes ---
+  {
+    sim::RunConfig cfg;
+    cfg.groups = {{B, 8, 16}};
+    cfg.network = net::Interconnect::kFastEthernet;
+    cfg.compiler = cluster::Compiler::kIcc;
+    cfg.baseline_node = C;
+    const double seq = sim::measure_sequential(scene, settings, cfg);
+
+    cfg.space = core::SpaceMode::kFinite;
+    cfg.lb = core::LbMode::kDynamicPairwise;
+    auto r = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"8*B/16P FE+ICC FS-DLB", trace::Table::num(r.speedup), "2.56",
+               "Itanium+ICC"});
+
+    cfg.lb = core::LbMode::kStatic;
+    r = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"8*B/16P FE+ICC FS-SLB", trace::Table::num(r.speedup), "2.65",
+               "Itanium+ICC"});
+  }
+
+  // --- mixed 4*B + 4*A over Myrinet+GCC ---
+  {
+    sim::RunConfig cfg;
+    cfg.groups = {{B, 4, 4}, {A, 4, 4}};
+    cfg.network = net::Interconnect::kMyrinet;
+    cfg.compiler = cluster::Compiler::kGcc;
+    cfg.baseline_node = B;
+    cfg.space = core::SpaceMode::kFinite;
+    cfg.lb = core::LbMode::kDynamicPairwise;
+    const double seq = sim::measure_sequential(scene, settings, cfg);
+    auto r = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"4*B(4P)+4*A(4P)=8P Myrinet", trace::Table::num(r.speedup),
+               "2.76", "E800+GCC"});
+
+    cfg.groups = {{B, 4, 8}, {A, 4, 8}};
+    r = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"4*B(8P)+4*A(8P)=16P Myrinet", trace::Table::num(r.speedup),
+               "2.93", "E800+GCC"});
+  }
+
+  // --- do E60s help a full E800 set? ---
+  {
+    sim::RunConfig cfg;
+    cfg.groups = {{B, 8, 8}};
+    cfg.network = net::Interconnect::kMyrinet;
+    cfg.compiler = cluster::Compiler::kGcc;
+    cfg.baseline_node = B;
+    cfg.space = core::SpaceMode::kFinite;
+    cfg.lb = core::LbMode::kDynamicPairwise;
+    const double seq = sim::measure_sequential(scene, settings, cfg);
+    auto r8 = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"8*B(8P) alone", trace::Table::num(r8.speedup), "4.14",
+               "E800+GCC"});
+
+    cfg.groups = {{B, 8, 8}, {A, 8, 8}};
+    auto r16 = sim::run_speedup(scene, settings, cfg, seq);
+    t.add_row({"8*B(8P)+8*A(8P)=16P", trace::Table::num(r16.speedup), "-",
+               "E800+GCC"});
+    bench::print_table(t);
+    std::printf(
+        "shape check: adding 8 E60 processes to 8 E800s changes speedup by "
+        "%.0f%% — the paper found the E60s only pay off when fewer than "
+        "seven E800s are available.\n",
+        100.0 * (r16.speedup / r8.speedup - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Cloth demo — the paper's §6 future-work direction realized: a fabric
+// sheet (interconnected particles) pinned at two corners, draping over a
+// sphere, simulated on 4 emulated cluster processes by column
+// decomposition and rendered to PPM frames.
+//
+//   ./build/examples/cloth_demo [output_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cloth/distributed.hpp"
+#include "render/camera.hpp"
+#include "render/image_io.hpp"
+#include "render/objects.hpp"
+#include "render/splat.hpp"
+
+namespace {
+
+/// Render the mesh as point splats plus its structural grid lines.
+void render_cloth(const psanim::cloth::ClothMesh& mesh,
+                  const psanim::render::Camera& cam,
+                  psanim::render::Framebuffer& fb) {
+  using namespace psanim;
+  for (int r = 0; r < mesh.rows(); ++r) {
+    for (int c = 0; c < mesh.cols(); ++c) {
+      const Vec3 p = mesh.node(r, c).pos;
+      if (c + 1 < mesh.cols()) {
+        render::draw_line(fb, cam, p, mesh.node(r, c + 1).pos,
+                          {0.85f, 0.3f, 0.25f});
+      }
+      if (r + 1 < mesh.rows()) {
+        render::draw_line(fb, cam, p, mesh.node(r + 1, c).pos,
+                          {0.85f, 0.3f, 0.25f});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const std::string out_dir = argc > 1 ? argv[1] : "cloth_frames";
+  std::filesystem::create_directories(out_dir);
+
+  cloth::ClothParams params;
+  params.rows = 24;
+  params.cols = 32;
+  params.spacing = 0.08f;
+  cloth::ClothMesh mesh =
+      cloth::ClothMesh::grid(params, {-1.24f, 2.2f, -0.9f}, {1, 0, 0},
+                             {0, 0, 1});
+  mesh.pin(0, 0);
+  mesh.pin(0, params.cols - 1);
+
+  const auto sphere = psys::make_sphere({0, 1.2f, 0}, 0.5f);
+
+  const int ncalc = 4;
+  const auto spec = cluster::ClusterSpec::homogeneous(
+      cluster::NodeType::e800(), ncalc, net::Interconnect::kMyrinet,
+      cluster::Compiler::kGcc);
+  const auto placement = cluster::Placement::round_robin(spec, ncalc);
+
+  const render::Camera cam({0, 2.2f, 4.2f}, {0, 1.2f, 0}, {0, 1, 0}, 50,
+                           480, 360);
+  render::Framebuffer fb(480, 360);
+
+  // Simulate in chunks of 12 substeps per rendered frame.
+  const float dt = 1.0f / 240.0f;
+  double virtual_s = 0.0;
+  for (int frame = 0; frame < 40; ++frame) {
+    const auto result = cloth::run_cloth_parallel(
+        mesh, /*steps=*/12, dt, {{sphere}}, ncalc, spec, placement);
+    mesh = result.final_state;
+    virtual_s += result.sim_seconds;
+
+    fb.clear({0.03f, 0.03f, 0.05f});
+    render::draw_ground_grid(fb, cam, 0.0f, 3.0f, 12, {0.15f, 0.17f, 0.2f});
+    render::draw_sphere(fb, cam, {0, 1.2f, 0}, 0.5f, {0.3f, 0.5f, 0.8f});
+    render_cloth(mesh, cam, fb);
+    render::write_ppm(fb, out_dir + "/cloth_" + std::to_string(frame) +
+                              ".ppm");
+  }
+
+  std::printf("simulated %d frames x 12 substeps on %d processes\n", 40,
+              ncalc);
+  std::printf("virtual cluster time: %.3f s; frames in %s/cloth_*.ppm\n",
+              virtual_s, out_dir.c_str());
+  std::printf("kinetic energy at end: %.5f J (settling)\n",
+              mesh.kinetic_energy());
+  return 0;
+}

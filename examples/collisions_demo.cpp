@@ -1,0 +1,60 @@
+// Particle-particle collision demo — the capability the model's
+// locality-preserving decomposition exists to enable (§3): a dense ball
+// pit where particles collide with each other across domain boundaries
+// via ghost bands, on 4 emulated calculators.
+//
+//   ./build/examples/collisions_demo
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "psys/effects.hpp"
+#include "sim/run_config.hpp"
+
+int main() {
+  using namespace psanim;
+
+  // One dense fountain so droplets actually hit each other.
+  core::Scene scene;
+  scene.space = Aabb({-6, 0, -6}, {6, 10, 6});
+  scene.look_center = {0, 3, 0};
+  scene.look_radius = 7.0f;
+  scene.systems.push_back(psys::fountain_system({0, 0, 0},
+                                                /*rate=*/600,
+                                                /*jet_speed=*/7.0f,
+                                                /*spread=*/0.6f,
+                                                /*lifetime=*/2.0f));
+
+  core::SimSettings settings;
+  settings.frames = 40;
+  settings.pair_collisions = true;
+  settings.collision_radius = 0.08f;
+  settings.collision_restitution = 0.4f;
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 4, 4}};
+  cfg.network = net::Interconnect::kMyrinet;
+  const auto built = sim::build_cluster(cfg);
+  settings.ncalc = built.ncalc;
+
+  // Run twice: with and without pair collisions, to show the cost and the
+  // effect on the virtual clock.
+  const auto with = core::run_parallel(scene, settings, built.spec,
+                                       built.placement);
+  settings.pair_collisions = false;
+  const auto without = core::run_parallel(scene, settings, built.spec,
+                                          built.placement);
+
+  std::printf("40 frames, 4 calculators, ~%zu particles steady:\n",
+              static_cast<std::size_t>(600 * 2.0f * 30));
+  std::printf("  without particle-particle collisions: %.3f virtual s\n",
+              without.animation_s);
+  std::printf("  with collisions (spatial hash + ghost bands): %.3f "
+              "virtual s (%.0f%% overhead)\n",
+              with.animation_s,
+              100.0 * (with.animation_s / without.animation_s - 1.0));
+  std::printf(
+      "the decomposition keeps neighbors on neighboring processes, so "
+      "collision detection only adds a ghost-band exchange (§3).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Effect showcase — smoke, fireworks, waterfall and a fountain in one
+// scene, each a separate particle system with its own domains (§3.3:
+// several systems simulated simultaneously), rendered to PPM frames.
+//
+//   ./build/examples/showcase_effects [output_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/simulation.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const std::string out_dir = argc > 1 ? argv[1] : "showcase_frames";
+  std::filesystem::create_directories(out_dir);
+
+  const core::Scene scene = sim::make_showcase_scene(/*rate_per_frame=*/900);
+
+  core::SimSettings settings;
+  settings.frames = 60;
+  settings.image_width = 480;
+  settings.image_height = 360;
+  settings.frame_dir = out_dir;
+  settings.write_every = 5;
+  settings.lb = core::LbMode::kDynamicPairwise;
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 6, 6}};
+  cfg.network = net::Interconnect::kMyrinet;
+  const auto built = sim::build_cluster(cfg);
+  settings.ncalc = built.ncalc;
+
+  const auto result =
+      core::run_parallel(scene, settings, built.spec, built.placement);
+
+  std::printf("%zu systems (", scene.systems.size());
+  for (std::size_t s = 0; s < scene.systems.size(); ++s) {
+    std::printf("%s%s", s ? ", " : "", scene.systems[s].name().c_str());
+  }
+  std::printf(") over %d calculators\n", settings.ncalc);
+  std::printf("animation finished in %.3f virtual s; frames in %s\n",
+              result.animation_s, out_dir.c_str());
+
+  // Per-system domain shapes at the end: each system balanced on its own
+  // (§3.2: the model keeps per-system domains, amounts and times).
+  for (std::size_t s = 0; s < result.final_decomps.size(); ++s) {
+    const auto shares = result.final_decomps[s].nominal_shares();
+    std::printf("  %-10s domain shares:", scene.systems[s].name().c_str());
+    for (const double v : shares) std::printf(" %4.0f%%", 100 * v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Snow animation — the paper's §5.1 workload end to end, writing actual
+// PPM frames you can open or assemble into a video:
+//
+//   ./build/examples/snow_animation [output_dir]
+//   ffmpeg -i out/frame_%d.ppm snow.mp4     # optional
+//
+// Demonstrates: building a scene from the effect presets, configuring an
+// emulated heterogeneous cluster, running with dynamic load balancing and
+// reading the per-frame telemetry.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/simulation.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const std::string out_dir = argc > 1 ? argv[1] : "snow_frames";
+  std::filesystem::create_directories(out_dir);
+
+  // 4 snow systems, ~6k steady particles each, 48 frames.
+  sim::ScenarioParams params;
+  params.systems = 4;
+  params.particles_per_system = 6'000;
+  params.frames = 48;
+  const core::Scene scene = sim::make_snow_scene(params);
+
+  core::SimSettings settings;
+  settings.frames = params.frames;
+  settings.dt = params.dt;
+  settings.image_width = 480;
+  settings.image_height = 360;
+  settings.frame_dir = out_dir;
+  settings.write_every = 4;  // every 4th frame to disk
+  settings.lb = core::LbMode::kDynamicPairwise;
+
+  // A small heterogeneous cluster: 2 fast + 2 slow nodes. The balancer
+  // shifts domain boundaries so the E60s hold fewer particles.
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 2},
+                {cluster::NodeType::e60(), 2, 2}};
+  cfg.network = net::Interconnect::kMyrinet;
+  const auto built = sim::build_cluster(cfg);
+  settings.ncalc = built.ncalc;
+
+  const auto result =
+      core::run_parallel(scene, settings, built.spec, built.placement);
+
+  std::printf("rendered %u frames in %.3f virtual s (%.1f ms/frame)\n",
+              settings.frames, result.animation_s,
+              1e3 * result.animation_s / settings.frames);
+  std::printf("frames written to %s/frame_*.ppm\n", out_dir.c_str());
+
+  // Final particle counts per calculator: the slow nodes hold less.
+  std::printf("final load per calculator (E800, E800, E60, E60):\n");
+  for (const auto& c : result.telemetry.calc_frames()) {
+    if (c.frame + 1 == settings.frames) {
+      std::printf("  rank %d: %zu particles\n", c.rank, c.particles_held);
+    }
+  }
+  std::printf("balance orders issued: %zu\n",
+              result.telemetry.total_balance_orders());
+  return 0;
+}

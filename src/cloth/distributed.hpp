@@ -1,0 +1,65 @@
+#pragma once
+
+// Distributed cloth: column-partitioned mass-spring simulation over the
+// same message-passing substrate as the particle model.
+//
+// Because connectivity is fixed, the decomposition is static (each
+// calculator owns a contiguous column range) and the per-step
+// communication is a ghost exchange: each process ships its two boundary
+// columns (the bend springs reach two columns deep) to each neighbor and
+// reads the neighbors' in return. The parallel state is BITWISE identical
+// to the sequential solver's — forces are evaluated from the same
+// start-of-step snapshot in the same stencil order.
+
+#include <vector>
+
+#include "cloth/mesh.hpp"
+#include "cloth/solver.hpp"
+#include "cluster/cost_model.hpp"
+#include "mp/runtime.hpp"
+
+namespace psanim::cloth {
+
+struct ClothCostModel {
+  /// Seconds per spring evaluation on the reference machine.
+  double spring_cost = 80e-9;
+  /// Seconds per node integration.
+  double integrate_cost = 40e-9;
+  /// Per-node serialization for ghost exchange.
+  double pack_cost = 30e-9;
+};
+
+struct ClothRunResult {
+  double sim_seconds = 0.0;  ///< virtual makespan (max rank finish)
+  ClothMesh final_state;     ///< gathered full mesh after the last step
+  std::vector<mp::ProcessResult> procs;
+};
+
+/// Run `steps` of the mesh on `ncalc` processes placed by `placement` on
+/// `spec` (plain ranks 0..ncalc-1; no manager/image generator — the cloth
+/// extension demonstrates the substrate, not the full animation model).
+ClothRunResult run_cloth_parallel(const ClothMesh& initial, int steps,
+                                  float dt,
+                                  std::vector<psys::DomainPtr> obstacles,
+                                  int ncalc,
+                                  const cluster::ClusterSpec& spec,
+                                  const cluster::Placement& placement,
+                                  const cluster::CostModel& cost = {},
+                                  const ClothCostModel& cloth_cost = {});
+
+/// Sequential twin with the same virtual-time accounting; the speedup
+/// baseline for bench/ext_cloth_scaling.
+struct ClothSeqResult {
+  double sim_seconds = 0.0;
+  ClothMesh final_state;
+};
+ClothSeqResult run_cloth_sequential(const ClothMesh& initial, int steps,
+                                    float dt,
+                                    std::vector<psys::DomainPtr> obstacles,
+                                    double rate = 1.0,
+                                    const ClothCostModel& cloth_cost = {});
+
+/// Column range [lo, hi) owned by rank r of n (balanced split).
+std::pair<int, int> column_range(int cols, int rank, int nranks);
+
+}  // namespace psanim::cloth

@@ -1,0 +1,58 @@
+#include "cloth/mesh.hpp"
+
+#include <cmath>
+
+namespace psanim::cloth {
+
+const std::vector<SpringStencil>& spring_stencil() {
+  using K = SpringStencil::Kind;
+  static const std::vector<SpringStencil> stencil = [] {
+    const float rt2 = std::sqrt(2.0f);
+    return std::vector<SpringStencil>{
+        // Structural: the four grid neighbors.
+        {0, -1, 1.0f, K::kStructural},
+        {0, 1, 1.0f, K::kStructural},
+        {-1, 0, 1.0f, K::kStructural},
+        {1, 0, 1.0f, K::kStructural},
+        // Shear: the four diagonals.
+        {-1, -1, rt2, K::kShear},
+        {-1, 1, rt2, K::kShear},
+        {1, -1, rt2, K::kShear},
+        {1, 1, rt2, K::kShear},
+        // Bend: two apart along each axis.
+        {0, -2, 2.0f, K::kBend},
+        {0, 2, 2.0f, K::kBend},
+        {-2, 0, 2.0f, K::kBend},
+        {2, 0, 2.0f, K::kBend},
+    };
+  }();
+  return stencil;
+}
+
+ClothMesh ClothMesh::grid(const ClothParams& params, Vec3 origin, Vec3 dx,
+                          Vec3 dy) {
+  std::vector<ClothNode> nodes(static_cast<std::size_t>(params.rows) *
+                               static_cast<std::size_t>(params.cols));
+  const Vec3 ux = dx.normalized() * params.spacing;
+  const Vec3 uy = dy.normalized() * params.spacing;
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      ClothNode n;
+      n.pos = origin + ux * static_cast<float>(c) + uy * static_cast<float>(r);
+      n.mass = params.mass;
+      nodes[static_cast<std::size_t>(r) * static_cast<std::size_t>(params.cols) +
+            static_cast<std::size_t>(c)] = n;
+    }
+  }
+  return ClothMesh(params, std::move(nodes));
+}
+
+double ClothMesh::kinetic_energy() const {
+  double e = 0.0;
+  for (const auto& n : nodes_) {
+    e += 0.5 * n.mass * static_cast<double>(n.vel.length2());
+  }
+  return e;
+}
+
+}  // namespace psanim::cloth

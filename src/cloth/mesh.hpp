@@ -1,0 +1,93 @@
+#pragma once
+
+// Cloth mesh — the paper's §6 future-work extension: "to include ways of
+// interconnecting particles to allow the simulation of fabric".
+//
+// A rectangular grid of particle nodes connected by structural springs
+// (grid neighbors), shear springs (diagonals) and bend springs (two
+// apart), the classic Provot (1995) mass-spring cloth. Connectivity is
+// FIXED, which changes the distribution problem compared to the free
+// particles of the main model: domains (column ranges) never move, and
+// neighbor processes exchange ghost columns instead of migrating
+// particles.
+
+#include <cstdint>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace psanim::cloth {
+
+struct ClothNode {
+  Vec3 pos;
+  Vec3 vel;
+  float mass = 0.05f;
+  std::uint8_t pinned = 0;  ///< pinned nodes never integrate
+};
+
+struct ClothParams {
+  int rows = 20;
+  int cols = 30;
+  float spacing = 0.1f;
+  float mass = 0.05f;
+  float k_structural = 400.0f;
+  float k_shear = 150.0f;
+  float k_bend = 50.0f;
+  /// Per-spring relative-velocity damping coefficient.
+  float damping = 1.0f;
+  float air_drag = 0.15f;
+  Vec3 gravity{0, -9.8f, 0};
+};
+
+/// One spring "stencil" entry: neighbor offset, stiffness class and rest
+/// length multiple of the spacing.
+struct SpringStencil {
+  int dr;
+  int dc;
+  float rest_factor;
+  enum class Kind { kStructural, kShear, kBend } kind;
+};
+
+/// The 12-neighbor stencil in a FIXED order (determinism of force sums
+/// across sequential and distributed runs depends on this order).
+const std::vector<SpringStencil>& spring_stencil();
+
+class ClothMesh {
+ public:
+  /// Grid in the plane spanned by dx (columns) and dy (rows), with node
+  /// (r, c) at origin + dx*c + dy*r. dx/dy are scaled by params.spacing.
+  static ClothMesh grid(const ClothParams& params, Vec3 origin, Vec3 dx,
+                        Vec3 dy);
+
+  const ClothParams& params() const { return params_; }
+  int rows() const { return params_.rows; }
+  int cols() const { return params_.cols; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  std::size_t index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(params_.cols) +
+           static_cast<std::size_t>(c);
+  }
+  bool in_grid(int r, int c) const {
+    return r >= 0 && r < params_.rows && c >= 0 && c < params_.cols;
+  }
+
+  ClothNode& node(int r, int c) { return nodes_[index(r, c)]; }
+  const ClothNode& node(int r, int c) const { return nodes_[index(r, c)]; }
+  std::vector<ClothNode>& nodes() { return nodes_; }
+  const std::vector<ClothNode>& nodes() const { return nodes_; }
+
+  void pin(int r, int c) { node(r, c).pinned = 1; }
+
+  /// Sum of kinetic energy over nodes (diagnostics, damping tests).
+  double kinetic_energy() const;
+
+ private:
+  ClothMesh(const ClothParams& params, std::vector<ClothNode> nodes)
+      : params_(params), nodes_(std::move(nodes)) {}
+
+  ClothParams params_;
+  std::vector<ClothNode> nodes_;
+};
+
+}  // namespace psanim::cloth

@@ -1,0 +1,73 @@
+#include "cloth/solver.hpp"
+
+namespace psanim::cloth {
+
+std::size_t stencil_size() { return spring_stencil().size(); }
+
+Vec3 node_force(const ClothParams& params, Vec3 pos, Vec3 vel, float mass,
+                int r, int c, const NodeAccessor& neighbor) {
+  Vec3 force = params.gravity * mass - vel * params.air_drag;
+  for (const auto& s : spring_stencil()) {
+    const auto other = neighbor(r + s.dr, c + s.dc);
+    if (!other) continue;
+    const auto& [opos, ovel] = *other;
+    const Vec3 d = opos - pos;
+    const float len = d.length();
+    if (len < 1e-7f) continue;
+    const Vec3 dir = d / len;
+    const float rest = params.spacing * s.rest_factor;
+    const float k = s.kind == SpringStencil::Kind::kStructural
+                        ? params.k_structural
+                        : (s.kind == SpringStencil::Kind::kShear
+                               ? params.k_shear
+                               : params.k_bend);
+    // Hooke + along-spring damping of the relative velocity.
+    const float v_rel = (ovel - vel).dot(dir);
+    force += dir * (k * (len - rest) + params.damping * v_rel);
+  }
+  return force;
+}
+
+void resolve_obstacle(const psys::Domain& obstacle, Vec3& pos, Vec3& vel) {
+  const psys::SurfaceHit hit = obstacle.surface(pos);
+  if (hit.signed_distance >= 0.0f) return;
+  pos += hit.normal * (-hit.signed_distance + 1e-4f);
+  const float vn = vel.dot(hit.normal);
+  if (vn < 0.0f) vel -= hit.normal * vn;  // kill the inward component
+}
+
+void step_sequential(ClothMesh& mesh, float dt,
+                     std::span<const psys::DomainPtr> obstacles) {
+  const ClothParams& p = mesh.params();
+  const auto& nodes = mesh.nodes();
+  const NodeAccessor read = [&](int r, int c)
+      -> std::optional<std::pair<Vec3, Vec3>> {
+    if (!mesh.in_grid(r, c)) return std::nullopt;
+    const ClothNode& n = nodes[mesh.index(r, c)];
+    return std::make_pair(n.pos, n.vel);
+  };
+
+  // Forces from the pre-step state, then integrate — matches what the
+  // distributed solver computes from its start-of-step ghost snapshot.
+  std::vector<Vec3> forces(mesh.node_count());
+  for (int r = 0; r < mesh.rows(); ++r) {
+    for (int c = 0; c < mesh.cols(); ++c) {
+      const ClothNode& n = mesh.node(r, c);
+      forces[mesh.index(r, c)] =
+          node_force(p, n.pos, n.vel, n.mass, r, c, read);
+    }
+  }
+  for (int r = 0; r < mesh.rows(); ++r) {
+    for (int c = 0; c < mesh.cols(); ++c) {
+      ClothNode& n = mesh.node(r, c);
+      if (n.pinned) continue;
+      n.vel += forces[mesh.index(r, c)] * (dt / n.mass);
+      n.pos += n.vel * dt;
+      for (const auto& obstacle : obstacles) {
+        resolve_obstacle(*obstacle, n.pos, n.vel);
+      }
+    }
+  }
+}
+
+}  // namespace psanim::cloth

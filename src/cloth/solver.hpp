@@ -1,0 +1,39 @@
+#pragma once
+
+// Cloth integration: per-node spring force evaluation (with an abstract
+// neighbor accessor so the distributed solver can substitute ghost
+// columns) and a semi-implicit Euler step with obstacle projection.
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "cloth/mesh.hpp"
+#include "psys/source_domain.hpp"
+
+namespace psanim::cloth {
+
+/// Reads node state at (r, c); returns nullopt outside the grid. The
+/// distributed solver answers from owned columns or ghost columns.
+using NodeAccessor =
+    std::function<std::optional<std::pair<Vec3, Vec3>>(int r, int c)>;
+
+/// Spring + gravity + drag force on node (r, c), evaluating the stencil
+/// in its fixed order (bitwise identical across partitions).
+Vec3 node_force(const ClothParams& params, Vec3 pos, Vec3 vel, float mass,
+                int r, int c, const NodeAccessor& neighbor);
+
+/// Number of spring evaluations node_force performs for an interior node
+/// (cost-model accounting).
+std::size_t stencil_size();
+
+/// Semi-implicit Euler step over the whole mesh (sequential reference):
+/// forces from the CURRENT state, then v += F/m dt, x += v dt, then
+/// project out of obstacles (kill the inward velocity component).
+void step_sequential(ClothMesh& mesh, float dt,
+                     std::span<const psys::DomainPtr> obstacles);
+
+/// Project a position/velocity pair out of an obstacle if penetrating.
+void resolve_obstacle(const psys::Domain& obstacle, Vec3& pos, Vec3& vel);
+
+}  // namespace psanim::cloth

@@ -1,0 +1,80 @@
+#include "cluster/cluster_spec.hpp"
+
+namespace psanim::cluster {
+
+NodeType NodeType::e60() {
+  return NodeType{
+      .name = "E60",
+      .cpu = CpuModel::pentium3(0.55),
+      .cpus = 2,
+      .ram_mb = 256,
+      .nics = {.fast_ethernet = true, .gigabit = false, .myrinet = true},
+  };
+}
+
+NodeType NodeType::e800() {
+  return NodeType{
+      .name = "E800",
+      .cpu = CpuModel::pentium3(1.0),
+      .cpus = 2,
+      .ram_mb = 256,
+      .nics = {.fast_ethernet = true, .gigabit = false, .myrinet = true},
+  };
+}
+
+NodeType NodeType::zx2000() {
+  return NodeType{
+      .name = "zx2000",
+      .cpu = CpuModel::itanium2(0.9),
+      .cpus = 1,
+      .ram_mb = 1024,
+      // The paper's Itanium workstations are only on Fast-Ethernet.
+      .nics = {.fast_ethernet = true, .gigabit = false, .myrinet = false},
+  };
+}
+
+NodeType NodeType::generic(double rate, int cpus) {
+  return NodeType{
+      .name = "generic",
+      .cpu = CpuModel::generic(rate),
+      .cpus = cpus,
+      .ram_mb = 1024,
+      .nics = {.fast_ethernet = true, .gigabit = true, .myrinet = true},
+  };
+}
+
+double ClusterSpec::aggregate_power() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    total += nodes[i].cpus * node_rate(i);
+  }
+  return total;
+}
+
+ClusterSpec& ClusterSpec::add(const NodeType& type, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) nodes.push_back(type);
+  return *this;
+}
+
+ClusterSpec ClusterSpec::homogeneous(const NodeType& type, std::size_t count,
+                                     net::Interconnect preferred,
+                                     Compiler compiler) {
+  ClusterSpec spec;
+  spec.preferred = preferred;
+  spec.compiler = compiler;
+  spec.add(type, count);
+  return spec;
+}
+
+ClusterSpec ClusterSpec::paper_cluster(net::Interconnect preferred,
+                                       Compiler compiler) {
+  ClusterSpec spec;
+  spec.preferred = preferred;
+  spec.compiler = compiler;
+  spec.add(NodeType::e60(), 8);
+  spec.add(NodeType::e800(), 8);
+  spec.add(NodeType::zx2000(), 2);
+  return spec;
+}
+
+}  // namespace psanim::cluster

@@ -1,0 +1,51 @@
+#pragma once
+
+// CPU and compiler performance model.
+//
+// The paper's heterogeneity has two axes: CPU (Pentium III at 550 MHz and
+// 1 GHz, Itanium II at 900 MHz) and compiler (GNU GCC vs Intel ICC, §5).
+// We model a node's particle-processing *rate* as a scalar relative to a
+// reference machine (E800: Pentium III 1 GHz with GCC = 1.0), with a
+// per-(architecture, compiler) multiplier reproducing the paper's
+// observations: ICC is dramatically better than GCC on Itanium (the paper
+// uses Itanium+ICC as its best sequential baseline), mildly better on
+// IA-32, and the E800 is the best GCC machine.
+
+#include <string>
+
+namespace psanim::cluster {
+
+enum class Compiler { kGcc, kIcc };
+
+enum class CpuArch { kPentium3, kItanium2, kGeneric };
+
+std::string to_string(Compiler c);
+std::string to_string(CpuArch a);
+
+/// Multiplier applied to a CPU's base rate for a given compiler.
+/// Calibrated constants (see DESIGN.md "Substitutions"): the evaluation
+/// only depends on rate *ratios*, which these reproduce.
+double compiler_multiplier(CpuArch arch, Compiler c);
+
+/// One processor model.
+struct CpuModel {
+  std::string name;
+  CpuArch arch = CpuArch::kGeneric;
+  double clock_ghz = 1.0;
+  /// Particle-processing rate with GCC relative to the reference
+  /// (Pentium III 1 GHz + GCC == 1.0).
+  double base_rate = 1.0;
+
+  /// Effective rate under a compiler. base_rate already bakes in the GCC
+  /// baseline, so the multiplier is normalized to GCC == 1 per arch.
+  double rate(Compiler c) const {
+    return base_rate * compiler_multiplier(arch, c) /
+           compiler_multiplier(arch, Compiler::kGcc);
+  }
+
+  static CpuModel pentium3(double clock_ghz);
+  static CpuModel itanium2(double clock_ghz);
+  static CpuModel generic(double rate);
+};
+
+}  // namespace psanim::cluster

@@ -1,0 +1,87 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psanim::cluster {
+
+std::vector<int> Placement::occupants(const ClusterSpec& spec) const {
+  std::vector<int> counts(spec.node_count(), 0);
+  for (const int node : node_of_rank) {
+    ++counts.at(static_cast<std::size_t>(node));
+  }
+  return counts;
+}
+
+Placement Placement::block(const ClusterSpec& spec, int nranks) {
+  if (spec.node_count() == 0) {
+    throw std::invalid_argument("Placement::block: empty cluster");
+  }
+  Placement p;
+  p.node_of_rank.reserve(static_cast<std::size_t>(nranks));
+  while (p.world_size() < nranks) {
+    for (std::size_t n = 0; n < spec.node_count() && p.world_size() < nranks;
+         ++n) {
+      for (int c = 0; c < spec.nodes[n].cpus && p.world_size() < nranks; ++c) {
+        p.node_of_rank.push_back(static_cast<int>(n));
+      }
+    }
+  }
+  return p;
+}
+
+Placement Placement::round_robin(const ClusterSpec& spec, int nranks) {
+  if (spec.node_count() == 0) {
+    throw std::invalid_argument("Placement::round_robin: empty cluster");
+  }
+  Placement p;
+  p.node_of_rank.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    p.node_of_rank.push_back(static_cast<int>(
+        static_cast<std::size_t>(r) % spec.node_count()));
+  }
+  return p;
+}
+
+Placement Placement::roles(const ClusterSpec& spec, int ncalc) {
+  if (spec.node_count() < 3) {
+    throw std::invalid_argument(
+        "Placement::roles: need at least manager node, image generator "
+        "node and one calculator node");
+  }
+  if (ncalc < 1) {
+    throw std::invalid_argument("Placement::roles: need >= 1 calculator");
+  }
+  Placement p;
+  p.node_of_rank = {0, 1};  // manager, image generator
+  const auto calc_nodes = spec.node_count() - 2;
+  // Spread one per node first, then second CPU slots, and so on; wraps
+  // into oversubscription only when calculators exceed total slots.
+  for (int i = 0; i < ncalc; ++i) {
+    p.node_of_rank.push_back(
+        static_cast<int>(2 + static_cast<std::size_t>(i) % calc_nodes));
+  }
+  return p;
+}
+
+std::vector<double> rank_rates(const ClusterSpec& spec,
+                               const Placement& placement,
+                               double smp_contention) {
+  const auto counts = placement.occupants(spec);
+  std::vector<double> rates;
+  rates.reserve(placement.node_of_rank.size());
+  for (const int node : placement.node_of_rank) {
+    const auto n = static_cast<std::size_t>(node);
+    const int occ = counts.at(n);
+    const int cpus = spec.nodes[n].cpus;
+    double rate = spec.node_rate(n);
+    if (occ > cpus) {
+      rate *= static_cast<double>(cpus) / static_cast<double>(occ);
+    }
+    if (occ > 1) rate *= smp_contention;
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+}  // namespace psanim::cluster

@@ -1,0 +1,50 @@
+#pragma once
+
+// Process placement: which node each rank runs on, and the effective
+// per-rank compute rate after CPU-slot sharing and SMP memory contention.
+//
+// Rank convention (fixed across psanim, see core/): rank 0 is the manager,
+// rank 1 the image generator, ranks 2..2+n-1 the n calculators. The
+// default builders give the manager and the image generator dedicated
+// nodes — the paper's testbed always had spare machines (18 nodes, at most
+// 16 used for calculators).
+
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+
+namespace psanim::cluster {
+
+struct Placement {
+  /// node index for each rank; size == world size.
+  std::vector<int> node_of_rank;
+
+  int world_size() const { return static_cast<int>(node_of_rank.size()); }
+  int node_of(int rank) const {
+    return node_of_rank.at(static_cast<std::size_t>(rank));
+  }
+  /// Number of ranks placed on each node (indexed by node).
+  std::vector<int> occupants(const ClusterSpec& spec) const;
+
+  /// Fill CPU slots node by node: node 0 gets its `cpus` ranks first, then
+  /// node 1, ... Wraps (oversubscribes) if ranks exceed total slots.
+  static Placement block(const ClusterSpec& spec, int nranks);
+
+  /// One rank per node in cycling order: rank i on node i % node_count.
+  static Placement round_robin(const ClusterSpec& spec, int nranks);
+
+  /// Paper-style role placement for a spec whose node 0 hosts the manager
+  /// and node 1 the image generator; calculators (ranks >= 2) fill the
+  /// remaining nodes' CPU slots spreading one-per-node first, then a
+  /// second process per node, etc. ("8*B / 16 P." = 2 per dual node).
+  static Placement roles(const ClusterSpec& spec, int ncalc);
+};
+
+/// Effective compute rate for every rank: node rate scaled by CPU-slot
+/// sharing (min(1, cpus/occupants)) and by `smp_contention` when more than
+/// one rank shares a node's memory system.
+std::vector<double> rank_rates(const ClusterSpec& spec,
+                               const Placement& placement,
+                               double smp_contention);
+
+}  // namespace psanim::cluster

@@ -1,0 +1,113 @@
+#include "collide/colliders.hpp"
+
+#include <cmath>
+
+namespace psanim::collide {
+
+using psys::Domain;
+using psys::DomainKind;
+using psys::SurfaceHit;
+
+std::optional<SweepHit> sweep_segment(const Domain& surface, Vec3 a, Vec3 b,
+                                      int iterations) {
+  const float da = surface.surface(a).signed_distance;
+  const float db = surface.surface(b).signed_distance;
+  if (da < 0.0f || db >= 0.0f) return std::nullopt;  // need outside -> inside
+  // Bisect for the zero crossing of the signed distance.
+  float t_lo = 0.0f;  // outside
+  float t_hi = 1.0f;  // inside
+  for (int i = 0; i < iterations; ++i) {
+    const float t = 0.5f * (t_lo + t_hi);
+    const float d = surface.surface(lerp(a, b, t)).signed_distance;
+    if (d >= 0.0f) t_lo = t;
+    else t_hi = t;
+  }
+  SweepHit hit;
+  hit.t = t_lo;
+  hit.point = lerp(a, b, t_lo);
+  hit.normal = surface.surface(hit.point).normal;
+  return hit;
+}
+
+namespace {
+
+class TriangleDomain final : public Domain {
+ public:
+  TriangleDomain(Vec3 a, Vec3 b, Vec3 c) : a_(a), b_(b), c_(c) {
+    n_ = (b - a).cross(c - a).normalized();
+  }
+  DomainKind kind() const override { return DomainKind::kPlane; }
+
+  Vec3 generate(Rng& rng) const override {
+    // Uniform barycentric sample (square-root trick).
+    const float r1 = std::sqrt(rng.next_float());
+    const float r2 = rng.next_float();
+    return a_ * (1 - r1) + b_ * (r1 * (1 - r2)) + c_ * (r1 * r2);
+  }
+
+  bool within(Vec3 p) const override {
+    return std::fabs(surface(p).signed_distance) <= 1e-5f;
+  }
+
+  SurfaceHit surface(Vec3 p) const override {
+    const Vec3 closest = closest_point(p);
+    const Vec3 d = p - closest;
+    const float dist = d.length();
+    const float height = (p - a_).dot(n_);
+    // If the closest feature is the interior face (distance equals the
+    // perpendicular height), report the signed height with the face
+    // normal so Bounce reflects off the plane side the particle came from.
+    if (dist <= std::fabs(height) + 1e-5f) {
+      return {height, n_};
+    }
+    // Closest feature is an edge/vertex: outside the footprint, positive.
+    return {dist, dist > 1e-7f ? d / dist : n_};
+  }
+
+  Aabb bounds() const override {
+    Aabb box = Aabb::empty();
+    box.extend(a_);
+    box.extend(b_);
+    box.extend(c_);
+    return box;
+  }
+
+ private:
+  /// Ericson, "Real-Time Collision Detection", closest point on triangle.
+  Vec3 closest_point(Vec3 p) const {
+    const Vec3 ab = b_ - a_;
+    const Vec3 ac = c_ - a_;
+    const Vec3 ap = p - a_;
+    const float d1 = ab.dot(ap);
+    const float d2 = ac.dot(ap);
+    if (d1 <= 0 && d2 <= 0) return a_;
+    const Vec3 bp = p - b_;
+    const float d3 = ab.dot(bp);
+    const float d4 = ac.dot(bp);
+    if (d3 >= 0 && d4 <= d3) return b_;
+    const float vc = d1 * d4 - d3 * d2;
+    if (vc <= 0 && d1 >= 0 && d3 <= 0) return a_ + ab * (d1 / (d1 - d3));
+    const Vec3 cp = p - c_;
+    const float d5 = ab.dot(cp);
+    const float d6 = ac.dot(cp);
+    if (d6 >= 0 && d5 <= d6) return c_;
+    const float vb = d5 * d2 - d1 * d6;
+    if (vb <= 0 && d2 >= 0 && d6 <= 0) return a_ + ac * (d2 / (d2 - d6));
+    const float va = d3 * d6 - d5 * d4;
+    if (va <= 0 && (d4 - d3) >= 0 && (d5 - d6) >= 0) {
+      return b_ + (c_ - b_) * ((d4 - d3) / ((d4 - d3) + (d5 - d6)));
+    }
+    const float denom = 1.0f / (va + vb + vc);
+    return a_ + ab * (vb * denom) + ac * (vc * denom);
+  }
+
+  Vec3 a_, b_, c_, n_;
+};
+
+}  // namespace
+
+psys::DomainPtr make_triangle(Vec3 a, Vec3 b, Vec3 c) {
+  return std::make_shared<TriangleDomain>(a, b, c);
+}
+
+}  // namespace psanim::collide

@@ -1,0 +1,35 @@
+#pragma once
+
+// Collision detection helpers on top of psys::Domain surfaces.
+//
+// The model's whole reason for preserving data locality (§3) is to let the
+// user plug in efficient particle collision detection; this module supplies
+// that plug-in: segment-vs-surface tests for fast particles, a triangle
+// collider (meshes reduce to triangles), and the spatial structures for
+// particle-particle tests.
+
+#include <optional>
+
+#include "psys/source_domain.hpp"
+
+namespace psanim::collide {
+
+/// Result of a swept test along segment a -> b.
+struct SweepHit {
+  float t = 0.0f;   ///< parameter along the segment, in [0, 1]
+  Vec3 point;       ///< contact point
+  Vec3 normal;      ///< outward surface normal at contact
+};
+
+/// Test whether the segment from `a` to `b` crosses the domain's surface
+/// (outside -> inside). Bisection on signed distance: robust for every
+/// Domain kind at the cost of a few surface() queries. Returns nullopt if
+/// both endpoints are on the outside or both inside.
+std::optional<SweepHit> sweep_segment(const psys::Domain& surface, Vec3 a,
+                                      Vec3 b, int iterations = 12);
+
+/// Triangle as a psys::Domain (samples uniformly, signed distance to the
+/// triangle's plane restricted to its footprint).
+psys::DomainPtr make_triangle(Vec3 a, Vec3 b, Vec3 c);
+
+}  // namespace psanim::collide

@@ -1,0 +1,65 @@
+#include "collide/pair_collide.hpp"
+
+#include "collide/response.hpp"
+
+namespace psanim::collide {
+
+PairCollideStats resolve_pair_collisions(std::span<psys::Particle> locals,
+                                         std::span<const psys::Particle> ghosts,
+                                         float radius, float restitution) {
+  PairCollideStats stats;
+  if (locals.empty() || radius <= 0) return stats;
+
+  SpatialHash grid(radius);
+  grid.build(std::span<const psys::Particle>(locals.data(), locals.size()));
+
+  // Local-local pairs: symmetric impulse.
+  stats.candidate_pairs += grid.for_each_pair(
+      std::span<const psys::Particle>(locals.data(), locals.size()), radius,
+      [&](std::uint32_t i, std::uint32_t j) {
+        auto& a = locals[i];
+        auto& b = locals[j];
+        if (a.dead() || b.dead()) return;
+        const Vec3 d = b.pos - a.pos;
+        const float dist2 = d.length2();
+        if (dist2 <= 0 || dist2 > radius * radius) return;
+        const Vec3 n = d.normalized();
+        sphere_impulse(a.vel, a.mass, b.vel, b.mass, n, restitution);
+        ++stats.contacts;
+      });
+
+  // Local-ghost pairs: update only the local side; the ghost's owner
+  // applies the mirror-image impulse in its own pass.
+  for (const auto& g : ghosts) {
+    if (g.dead()) continue;
+    stats.candidate_pairs += grid.for_each_near(
+        std::span<const psys::Particle>(locals.data(), locals.size()), g.pos,
+        radius, [&](std::uint32_t i) {
+          auto& a = locals[i];
+          if (a.dead()) return;
+          const Vec3 d = g.pos - a.pos;
+          const float dist2 = d.length2();
+          if (dist2 <= 0 || dist2 > radius * radius) return;
+          const Vec3 n = d.normalized();
+          Vec3 ghost_vel = g.vel;  // scratch: ghost not written back
+          sphere_impulse(a.vel, a.mass, ghost_vel, g.mass, n, restitution);
+          ++stats.contacts;
+          ++stats.ghost_contacts;
+        });
+  }
+  return stats;
+}
+
+std::vector<psys::Particle> ghost_band(std::span<const psys::Particle> locals,
+                                       int axis, float lo_edge, float hi_edge,
+                                       float band) {
+  std::vector<psys::Particle> out;
+  for (const auto& p : locals) {
+    if (p.dead()) continue;
+    const float k = p.pos.axis(axis);
+    if (k - lo_edge < band || hi_edge - k < band) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace psanim::collide

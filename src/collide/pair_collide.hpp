@@ -1,0 +1,41 @@
+#pragma once
+
+// Particle-particle collision — the user-pluggable procedure the model's
+// locality-preserving decomposition exists to make affordable (§3).
+//
+// Each calculator resolves collisions among its own particles plus a read-
+// only "ghost" band of neighbor particles that lie within one collision
+// radius of the shared domain edge. Ghosts influence local particles but
+// are never modified (their owner performs the symmetric update on its
+// side — both sides see the same pair and apply the same impulse to their
+// own particle).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "collide/spatial_hash.hpp"
+#include "psys/particle.hpp"
+
+namespace psanim::collide {
+
+struct PairCollideStats {
+  std::size_t candidate_pairs = 0;  ///< pairs examined by the broad phase
+  std::size_t contacts = 0;         ///< pairs actually colliding
+  std::size_t ghost_contacts = 0;   ///< local-vs-ghost contacts
+};
+
+/// Resolve collisions among `locals` (updated in place), considering
+/// `ghosts` as immovable-by-us partners. `radius` is the collision
+/// distance (sum of two particle radii); `restitution` the bounciness.
+PairCollideStats resolve_pair_collisions(std::span<psys::Particle> locals,
+                                         std::span<const psys::Particle> ghosts,
+                                         float radius, float restitution);
+
+/// Particles from `locals` within `band` of either domain edge along
+/// `axis` — the ghost band shipped to neighbors.
+std::vector<psys::Particle> ghost_band(std::span<const psys::Particle> locals,
+                                       int axis, float lo_edge, float hi_edge,
+                                       float band);
+
+}  // namespace psanim::collide

@@ -1,0 +1,33 @@
+#include "collide/response.hpp"
+
+namespace psanim::collide {
+
+Vec3 reflect(Vec3 vel, Vec3 normal, float restitution, float friction) {
+  const float vn = vel.dot(normal);
+  if (vn >= 0.0f) return vel;  // separating already
+  const Vec3 normal_part = normal * vn;
+  const Vec3 tangent_part = vel - normal_part;
+  return tangent_part * (1.0f - friction) - normal_part * restitution;
+}
+
+Vec3 resolve_penetration(Vec3 pos, Vec3 normal, float penetration,
+                         float epsilon) {
+  if (penetration <= 0.0f) return pos;
+  return pos + normal * (penetration + epsilon);
+}
+
+void sphere_impulse(Vec3& vel_a, float mass_a, Vec3& vel_b, float mass_b,
+                    Vec3 normal, float restitution) {
+  const Vec3 rel = vel_b - vel_a;
+  const float vn = rel.dot(normal);
+  if (vn >= 0.0f) return;  // separating
+  const float inv_a = mass_a > 0 ? 1.0f / mass_a : 0.0f;
+  const float inv_b = mass_b > 0 ? 1.0f / mass_b : 0.0f;
+  const float denom = inv_a + inv_b;
+  if (denom <= 0.0f) return;
+  const float j = -(1.0f + restitution) * vn / denom;
+  vel_a -= normal * (j * inv_a);
+  vel_b += normal * (j * inv_b);
+}
+
+}  // namespace psanim::collide

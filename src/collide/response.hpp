@@ -1,0 +1,27 @@
+#pragma once
+
+// Collision response: velocity reflection and penetration resolution,
+// shared by the Bounce action, the swept tests and the particle-particle
+// solver.
+
+#include "math/vec.hpp"
+
+namespace psanim::collide {
+
+/// Reflect `vel` off a surface with outward `normal`.
+/// The normal component is scaled by -restitution, the tangential part by
+/// (1 - friction). If the velocity already points away from the surface it
+/// is returned unchanged.
+Vec3 reflect(Vec3 vel, Vec3 normal, float restitution, float friction);
+
+/// Push a penetrating point out along the normal by `penetration` plus a
+/// small epsilon so it doesn't re-collide on the next test.
+Vec3 resolve_penetration(Vec3 pos, Vec3 normal, float penetration,
+                         float epsilon = 1e-4f);
+
+/// Impulse exchange for two equal-radius spheres (masses honored).
+/// Velocities are updated in place; `normal` points from a to b.
+void sphere_impulse(Vec3& vel_a, float mass_a, Vec3& vel_b, float mass_b,
+                    Vec3 normal, float restitution);
+
+}  // namespace psanim::collide

@@ -1,0 +1,59 @@
+#include "collide/spatial_hash.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psanim::collide {
+
+namespace {
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+SpatialHash::SpatialHash(float cell_size, std::size_t table_size)
+    : cell_size_(cell_size),
+      mask_(static_cast<std::uint32_t>(table_size - 1)) {
+  if (cell_size <= 0) {
+    throw std::invalid_argument("SpatialHash: cell_size must be positive");
+  }
+  if (!is_power_of_two(table_size)) {
+    throw std::invalid_argument("SpatialHash: table_size must be 2^k");
+  }
+  starts_.assign(table_size + 1, 0);
+}
+
+std::uint32_t SpatialHash::hash_cell(std::int32_t cx, std::int32_t cy,
+                                     std::int32_t cz) const {
+  // Teschner et al. (2003) large-prime cell hash.
+  const auto ux = static_cast<std::uint32_t>(cx);
+  const auto uy = static_cast<std::uint32_t>(cy);
+  const auto uz = static_cast<std::uint32_t>(cz);
+  return ((ux * 73856093u) ^ (uy * 19349663u) ^ (uz * 83492791u)) & mask_;
+}
+
+std::uint32_t SpatialHash::cell_of(Vec3 p) const {
+  return hash_cell(static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
+                   static_cast<std::int32_t>(std::floor(p.y / cell_size_)),
+                   static_cast<std::int32_t>(std::floor(p.z / cell_size_)));
+}
+
+void SpatialHash::build(std::span<const psys::Particle> particles) {
+  std::fill(starts_.begin(), starts_.end(), 0u);
+  // Counting sort: histogram, prefix-sum, scatter.
+  for (const auto& p : particles) ++starts_[cell_of(p.pos) + 1];
+  for (std::size_t h = 1; h < starts_.size(); ++h) starts_[h] += starts_[h - 1];
+  entries_.resize(particles.size());
+  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    entries_[cursor[cell_of(particles[i].pos)]++] = i;
+  }
+}
+
+std::size_t SpatialHash::cell_count_used() const {
+  std::size_t used = 0;
+  for (std::size_t h = 0; h + 1 < starts_.size(); ++h) {
+    if (starts_[h + 1] > starts_[h]) ++used;
+  }
+  return used;
+}
+
+}  // namespace psanim::collide

@@ -1,0 +1,92 @@
+#pragma once
+
+// Uniform-grid spatial hash over particles, used by the particle-particle
+// collision pass. Cells are cubes of side `cell_size`; neighbor queries
+// visit the 27 surrounding cells. Built fresh each frame (counting sort
+// into a flat index), which beats incremental updates for fully dynamic
+// particle sets.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/vec.hpp"
+#include "psys/particle.hpp"
+
+namespace psanim::collide {
+
+class SpatialHash {
+ public:
+  /// `cell_size` should be >= the largest collision diameter.
+  explicit SpatialHash(float cell_size, std::size_t table_size = 1 << 14);
+
+  /// Rebuild from the given particles (indices refer into this span).
+  void build(std::span<const psys::Particle> particles);
+
+  /// Invoke fn(i, j) for every unordered pair (i < j) of particle indices
+  /// whose positions are within `radius`. Returns the number of candidate
+  /// pairs examined (for cost accounting).
+  template <typename Fn>
+  std::size_t for_each_pair(std::span<const psys::Particle> particles,
+                            float radius, Fn&& fn) const;
+
+  /// Invoke fn(j) for every particle index within `radius` of `p`.
+  template <typename Fn>
+  std::size_t for_each_near(std::span<const psys::Particle> particles, Vec3 p,
+                            float radius, Fn&& fn) const;
+
+  std::size_t cell_count_used() const;
+  float cell_size() const { return cell_size_; }
+
+ private:
+  std::uint32_t hash_cell(std::int32_t cx, std::int32_t cy,
+                          std::int32_t cz) const;
+  std::uint32_t cell_of(Vec3 p) const;
+
+  float cell_size_;
+  std::uint32_t mask_;
+  // Counting-sort layout: starts_[h]..starts_[h+1] indexes into entries_.
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::uint32_t> entries_;
+};
+
+// --- template implementations ---
+
+template <typename Fn>
+std::size_t SpatialHash::for_each_near(
+    std::span<const psys::Particle> particles, Vec3 p, float radius,
+    Fn&& fn) const {
+  std::size_t examined = 0;
+  const float r2 = radius * radius;
+  const auto base_x = static_cast<std::int32_t>(std::floor(p.x / cell_size_));
+  const auto base_y = static_cast<std::int32_t>(std::floor(p.y / cell_size_));
+  const auto base_z = static_cast<std::int32_t>(std::floor(p.z / cell_size_));
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      for (std::int32_t dz = -1; dz <= 1; ++dz) {
+        const std::uint32_t h = hash_cell(base_x + dx, base_y + dy, base_z + dz);
+        for (std::uint32_t k = starts_[h]; k < starts_[h + 1]; ++k) {
+          const std::uint32_t j = entries_[k];
+          ++examined;
+          if ((particles[j].pos - p).length2() <= r2) fn(j);
+        }
+      }
+    }
+  }
+  return examined;
+}
+
+template <typename Fn>
+std::size_t SpatialHash::for_each_pair(
+    std::span<const psys::Particle> particles, float radius, Fn&& fn) const {
+  std::size_t examined = 0;
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    examined += for_each_near(particles, particles[i].pos, radius,
+                              [&](std::uint32_t j) {
+                                if (j > i) fn(i, j);
+                              });
+  }
+  return examined;
+}
+
+}  // namespace psanim::collide

@@ -1,0 +1,336 @@
+#include "core/calculator.hpp"
+
+#include <algorithm>
+
+#include "collide/pair_collide.hpp"
+#include "core/exchange.hpp"
+#include "render/splat.hpp"
+
+namespace psanim::core {
+
+Calculator::Calculator(const SimSettings& settings, const Scene& scene,
+                       RoleEnv env, int index)
+    : set_(settings),
+      scene_(scene),
+      env_(env),
+      idx_(index),
+      base_rng_(settings.seed),
+      cam_(render::Camera::framing(scene.look_center, scene.look_radius,
+                                   settings.image_width,
+                                   settings.image_height)) {
+  const auto [lo, hi] = initial_interval(set_, scene_);
+  decomps_.reserve(scene_.systems.size());
+  stores_.reserve(scene_.systems.size());
+  for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
+    decomps_.emplace_back(set_.axis, lo, hi, set_.ncalc);
+    const Decomposition& d = decomps_.back();
+    stores_.emplace_back(set_.axis, d.domain_lo(idx_), d.domain_hi(idx_),
+                         set_.store_slices);
+  }
+}
+
+void Calculator::charge_particles(mp::Endpoint& ep, double per_particle,
+                                  std::size_t n) const {
+  ep.charge(env_.cost->compute_s(per_particle, n, env_.rate));
+}
+
+void Calculator::run(mp::Endpoint& ep) {
+  std::vector<double> time_per_system(scene_.systems.size());
+  std::vector<std::size_t> count_per_system(scene_.systems.size());
+  auto note = [&](std::uint32_t frame, const char* label) {
+    if (set_.events) {
+      set_.events->record(ep.clock().now(), ep.rank(), frame, label);
+    }
+  };
+  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
+    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    trace::CalcFrameStats fs;
+    fs.frame = frame;
+    fs.rank = calc_rank(idx_);
+
+    receive_created(ep, frame, fs);
+    note(frame, "calculator: addition to local set");
+    compute_phase(ep, frame, time_per_system, count_per_system, fs);
+    note(frame, "calculator: calculus done");
+    exchange_phase(ep, frame, fs);
+    note(frame, "calculator: particle exchange done");
+    if (set_.pair_collisions) collide_phase(ep, frame, time_per_system);
+
+    // §3.2.4: the reported time must be pro-rata for the post-exchange
+    // count, "since the amount of particles of the process changed".
+    for (std::size_t s = 0; s < stores_.size(); ++s) {
+      const std::size_t now_held = stores_[s].size();
+      if (count_per_system[s] > 0) {
+        time_per_system[s] *= static_cast<double>(now_held) /
+                              static_cast<double>(count_per_system[s]);
+      }
+      count_per_system[s] = now_held;
+      fs.particles_held += now_held;
+    }
+
+    report_loads(ep, frame, time_per_system, count_per_system);
+    note(frame, "calculator: load information sent");
+    // "While the manager evaluates the load balancing, the calculators
+    // send the particles to the image generator" (§3.2.5) — the frame goes
+    // out before the orders come back.
+    send_frame(ep, frame, fs);
+    note(frame, "calculator: particles sent to image generator");
+    balance_phase(ep, frame, fs);
+    note(frame, "calculator: load balance done, local domains defined");
+
+    tel_.add_calc(fs);
+  }
+}
+
+void Calculator::receive_created(mp::Endpoint& ep, std::uint32_t frame,
+                                 trace::CalcFrameStats& fs) {
+  const mp::Message m = ep.recv(kManagerRank, kTagCreate);
+  for (auto& batch : decode_batches(m, frame)) {
+    fs.particles_created += batch.particles.size();
+    charge_particles(ep, env_.cost->pack_cost, batch.particles.size());
+    stores_.at(batch.system).insert_batch(batch.particles);
+  }
+}
+
+void Calculator::compute_phase(mp::Endpoint& ep, std::uint32_t frame,
+                               std::vector<double>& time_per_system,
+                               std::vector<std::size_t>& count_per_system,
+                               trace::CalcFrameStats& fs) {
+  const double phase_start = ep.clock().now();
+  for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
+    const double t0 = ep.clock().now();
+    auto& store = stores_[s];
+    const std::size_t held = store.size();
+    count_per_system[s] = held;
+
+    std::size_t action_index = 0;
+    for (const auto& action : scene_.systems[s].actions()) {
+      ++action_index;
+      if (action->cls() == psys::ActionClass::kCreate) continue;
+      // Stream per (system, frame, action, calculator): deterministic for
+      // a fixed configuration.
+      Rng rng = base_rng_.derive(s, frame).derive(action_index, idx_);
+      psys::ActionContext ctx{set_.dt, &rng, 0};
+      store.for_each_slice(
+          [&](std::span<psys::Particle> ps) { action->apply(ps, ctx); });
+      charge_particles(ep, env_.cost->action_cost * action->cost_weight(),
+                       held);
+      fs.particles_killed += ctx.killed;
+    }
+    const std::size_t removed = store.compact_dead();
+    charge_particles(ep, env_.cost->pack_cost, removed);
+
+    time_per_system[s] = ep.clock().now() - t0;
+  }
+  fs.calc_s = ep.clock().now() - phase_start;
+}
+
+void Calculator::exchange_phase(mp::Endpoint& ep, std::uint32_t frame,
+                                trace::CalcFrameStats& fs) {
+  const double phase_start = ep.clock().now();
+  const auto deliver = [&](psys::SystemId s,
+                           std::vector<psys::Particle>&& ps) {
+    charge_particles(ep, env_.cost->pack_cost, ps.size());
+    stores_.at(s).insert_batch(ps);
+  };
+  const auto extract = [&](std::size_t s, Outboxes& outboxes) {
+    auto crossers = stores_[s].extract_outside();
+    // The §4 sliced layout makes the crosser scan touch only edge checks;
+    // charge the scan on what actually crossed plus a per-slice sweep.
+    charge_particles(ep, env_.cost->pack_cost, crossers.size());
+    std::vector<psys::Particle> back_home;
+    route_crossers(decomps_[s], static_cast<psys::SystemId>(s), idx_,
+                   std::move(crossers), outboxes, back_home);
+    stores_[s].insert_batch(back_home);
+  };
+
+  if (set_.combine == SystemCombine::kBundled) {
+    // One message per peer per frame carrying every system's crossers.
+    Outboxes outboxes(static_cast<std::size_t>(set_.ncalc));
+    for (std::size_t s = 0; s < stores_.size(); ++s) extract(s, outboxes);
+    const ExchangeStats ex = exchange_crossers(ep, frame, set_.ncalc, idx_,
+                                               std::move(outboxes), deliver);
+    fs.crossers_out = ex.sent_particles;
+    fs.crossers_in = ex.received_particles;
+    fs.exchange_bytes = ex.sent_bytes;
+  } else {
+    // §3.3 alternative: a separate exchange round per system — simpler
+    // per-system bookkeeping, systems x (n-1) messages per calculator.
+    for (std::size_t s = 0; s < stores_.size(); ++s) {
+      Outboxes outboxes(static_cast<std::size_t>(set_.ncalc));
+      extract(s, outboxes);
+      const ExchangeStats ex = exchange_crossers(
+          ep, frame, set_.ncalc, idx_, std::move(outboxes), deliver);
+      fs.crossers_out += ex.sent_particles;
+      fs.crossers_in += ex.received_particles;
+      fs.exchange_bytes += ex.sent_bytes;
+    }
+  }
+  fs.exchange_s = ep.clock().now() - phase_start;
+}
+
+void Calculator::collide_phase(mp::Endpoint& ep, std::uint32_t frame,
+                               std::vector<double>& time_per_system) {
+  // Ghost bands go to domain neighbors only — the locality the model's
+  // decomposition preserves (§3).
+  const float band = set_.collision_radius;
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    const double t0 = ep.clock().now();
+    auto& store = stores_[s];
+    auto locals = store.take_all();
+
+    const std::vector<int> neighbors = [&] {
+      std::vector<int> out;
+      if (idx_ > 0) out.push_back(idx_ - 1);
+      if (idx_ + 1 < set_.ncalc) out.push_back(idx_ + 1);
+      return out;
+    }();
+
+    auto ghosts_out = collide::ghost_band(locals, set_.axis, store.lo(),
+                                          store.hi(), band);
+    charge_particles(ep, env_.cost->pack_cost, ghosts_out.size());
+    for (const int nb : neighbors) {
+      mp::Writer w = encode_batches(
+          frame, {SystemBatch{static_cast<psys::SystemId>(s), ghosts_out}});
+      ep.send(calc_rank(nb), kTagGhost, std::move(w));
+    }
+    std::vector<psys::Particle> ghosts_in;
+    for (const int nb : neighbors) {
+      for (auto& b :
+           decode_batches(ep.recv(calc_rank(nb), kTagGhost), frame)) {
+        ghosts_in.insert(ghosts_in.end(), b.particles.begin(),
+                         b.particles.end());
+      }
+    }
+
+    const auto stats = collide::resolve_pair_collisions(
+        locals, ghosts_in, set_.collision_radius, set_.collision_restitution);
+    charge_particles(ep, env_.cost->collide_pair_cost, stats.candidate_pairs);
+
+    store.insert_batch(locals);
+    time_per_system[s] += ep.clock().now() - t0;
+  }
+}
+
+void Calculator::report_loads(mp::Endpoint& ep, std::uint32_t frame,
+                              const std::vector<double>& time_per_system,
+                              const std::vector<std::size_t>& count_per_system) {
+  std::vector<LoadEntry> entries;
+  entries.reserve(time_per_system.size());
+  for (std::size_t s = 0; s < time_per_system.size(); ++s) {
+    entries.push_back(LoadEntry{
+        .system = static_cast<std::uint32_t>(s),
+        .particles = count_per_system[s],
+        .time_s = time_per_system[s],
+    });
+  }
+  ep.send(kManagerRank, kTagLoadReport, encode_load_report(frame, entries));
+}
+
+void Calculator::send_frame(mp::Endpoint& ep, std::uint32_t frame,
+                            trace::CalcFrameStats& fs) {
+  const double phase_start = ep.clock().now();
+  // Window-2 flow control: frame payloads are megabytes, far past any MPI
+  // eager threshold, so a send completes only against a posted receive.
+  // Double buffering at the image generator gives two credits: the send
+  // for frame f blocks until frame f-2 was consumed. Without this,
+  // calculators would run unboundedly ahead of the renderer; with a
+  // deeper window, gather wire time overlaps the next frame's compute.
+  if (frame >= 2) ep.recv(kImageGenRank, kTagFrameAck);
+  if (set_.imgen == ImageGenMode::kGatherParticles) {
+    std::vector<RenderVertex> verts;
+    for (auto& store : stores_) {
+      const auto parts = store.snapshot();
+      verts.reserve(verts.size() + parts.size());
+      for (const auto& p : parts) verts.push_back(to_render_vertex(p));
+    }
+    charge_particles(ep, env_.cost->pack_cost, verts.size());
+    ep.send(kImageGenRank, kTagFrame, encode_frame_vertices(frame, verts));
+  } else {
+    // Sort-last (§6 extension): rasterize locally, ship the partial image.
+    render::Framebuffer fb(set_.image_width, set_.image_height);
+    std::size_t rendered = 0;
+    for (auto& store : stores_) {
+      const auto parts = store.snapshot();
+      splat_points(fb, cam_, std::span<const psys::Particle>(parts),
+                   render::BlendMode::kAdditive);
+      rendered += parts.size();
+    }
+    charge_particles(ep, env_.cost->render_cost, rendered);
+    mp::Writer w;
+    w.put(frame);
+    w.put_vector(fb.colors());
+    ep.send(kImageGenRank, kTagFramePart, std::move(w));
+  }
+  fs.send_frame_s = ep.clock().now() - phase_start;
+}
+
+void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
+                               trace::CalcFrameStats& fs) {
+  const double phase_start = ep.clock().now();
+  const auto orders = decode_orders(ep.recv(kManagerRank, kTagOrders), frame);
+
+  // Donors select particles and derive the new domain edge BEFORE any
+  // transfer (§3.2.5: dimensions are negotiated first).
+  struct PendingSend {
+    std::uint32_t system;
+    int partner;
+    std::vector<psys::Particle> particles;
+  };
+  std::vector<PendingSend> pending;
+  std::vector<EdgeEntry> proposals;
+  for (const auto& o : orders) {
+    if (!o.is_send) continue;
+    auto& store = stores_.at(o.system);
+    const bool toward_left = o.partner < idx_;
+    psys::Donation d = toward_left ? store.donate_low(o.count)
+                                   : store.donate_high(o.count);
+    ep.clock().charge_compute(
+        env_.cost->sort_s(d.sorted_elements, env_.rate));
+    fs.sorted_elements += d.sorted_elements;
+    proposals.push_back(EdgeEntry{
+        .system = o.system,
+        .edge_index = std::min(idx_, o.partner),
+        .value = d.new_edge,
+    });
+    fs.balance_sent += d.particles.size();
+    pending.push_back(PendingSend{o.system, o.partner, std::move(d.particles)});
+  }
+
+  // Every calculator reports (possibly no) proposals, then receives the
+  // consolidated dimensions. "Only after receiving the new domains the
+  // calculators effectively start the donation and reception."
+  ep.send(kManagerRank, kTagEdgeProposal, encode_edges(frame, proposals));
+  const auto changed = decode_edges(ep.recv(kManagerRank, kTagDomains), frame);
+  for (const auto& e : changed) {
+    decomps_.at(e.system).set_edge(e.edge_index, e.value);
+  }
+  for (const auto& e : changed) {
+    const Decomposition& d = decomps_.at(e.system);
+    auto& store = stores_.at(e.system);
+    const float lo = d.domain_lo(idx_);
+    const float hi = d.domain_hi(idx_);
+    if (lo != store.lo() || hi != store.hi()) {
+      charge_particles(ep, env_.cost->pack_cost, store.size());
+      store.reset_bounds(lo, hi);
+    }
+  }
+
+  for (auto& p : pending) {
+    mp::Writer w = encode_batches(
+        frame, {SystemBatch{p.system, std::move(p.particles)}});
+    ep.send(calc_rank(p.partner), kTagBalance, std::move(w));
+  }
+  for (const auto& o : orders) {
+    if (o.is_send) continue;
+    const mp::Message m = ep.recv(calc_rank(o.partner), kTagBalance);
+    for (auto& b : decode_batches(m, frame)) {
+      fs.balance_recv += b.particles.size();
+      charge_particles(ep, env_.cost->pack_cost, b.particles.size());
+      stores_.at(b.system).insert_batch(b.particles);
+    }
+  }
+  fs.balance_s = ep.clock().now() - phase_start;
+}
+
+}  // namespace psanim::core

@@ -1,0 +1,71 @@
+#pragma once
+
+// A calculator process (§3.1.1): applies the actions to its particles,
+// moves them, detects collisions, exchanges crossers with the other
+// calculators, obeys the manager's balance orders and ships its particles
+// to the image generator every frame.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/frame_loop.hpp"
+#include "core/wire.hpp"
+#include "math/rng.hpp"
+#include "mp/communicator.hpp"
+#include "psys/store.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "trace/telemetry.hpp"
+
+namespace psanim::core {
+
+class Calculator {
+ public:
+  Calculator(const SimSettings& settings, const Scene& scene, RoleEnv env,
+             int index);
+
+  void run(mp::Endpoint& ep);
+
+  const trace::Telemetry& telemetry() const { return tel_; }
+  int index() const { return idx_; }
+
+  /// Particles currently held (tests inspect the final state).
+  std::vector<psys::Particle> snapshot(psys::SystemId s) const {
+    return stores_.at(s).snapshot();
+  }
+
+ private:
+  void receive_created(mp::Endpoint& ep, std::uint32_t frame,
+                       trace::CalcFrameStats& fs);
+  /// Returns per-system compute time and pre-exchange particle counts.
+  void compute_phase(mp::Endpoint& ep, std::uint32_t frame,
+                     std::vector<double>& time_per_system,
+                     std::vector<std::size_t>& count_per_system,
+                     trace::CalcFrameStats& fs);
+  void exchange_phase(mp::Endpoint& ep, std::uint32_t frame,
+                      trace::CalcFrameStats& fs);
+  void collide_phase(mp::Endpoint& ep, std::uint32_t frame,
+                     std::vector<double>& time_per_system);
+  void report_loads(mp::Endpoint& ep, std::uint32_t frame,
+                    const std::vector<double>& time_per_system,
+                    const std::vector<std::size_t>& count_per_system);
+  void send_frame(mp::Endpoint& ep, std::uint32_t frame,
+                  trace::CalcFrameStats& fs);
+  void balance_phase(mp::Endpoint& ep, std::uint32_t frame,
+                     trace::CalcFrameStats& fs);
+  void charge_particles(mp::Endpoint& ep, double per_particle,
+                        std::size_t n) const;
+
+  const SimSettings& set_;
+  const Scene& scene_;
+  RoleEnv env_;
+  int idx_;
+  std::vector<Decomposition> decomps_;
+  std::vector<psys::SlicedStore> stores_;  // one per system
+  Rng base_rng_;
+  render::Camera cam_;  // used in sort-last mode
+  trace::Telemetry tel_;
+};
+
+}  // namespace psanim::core

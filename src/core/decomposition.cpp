@@ -1,0 +1,92 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psanim::core {
+
+Decomposition::Decomposition(int axis, float lo, float hi, int n)
+    : axis_(axis), lo_(lo), hi_(hi) {
+  if (axis < 0 || axis > 2) {
+    throw std::invalid_argument("Decomposition: axis must be 0, 1 or 2");
+  }
+  if (n < 1) {
+    throw std::invalid_argument("Decomposition: need at least one domain");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Decomposition: lo must be < hi");
+  }
+  edges_.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 1; i < n; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(n);
+    edges_.push_back(lo + (hi - lo) * t);
+  }
+}
+
+Decomposition Decomposition::infinite_space(int axis, int n) {
+  return Decomposition(axis, -Aabb::kHuge, Aabb::kHuge, n);
+}
+
+void Decomposition::set_edge(int i, float value) {
+  auto& e = edges_.at(static_cast<std::size_t>(i));
+  // Edges must stay ordered: clamp between the neighbors.
+  const float lo_bound =
+      i > 0 ? edges_[static_cast<std::size_t>(i) - 1] : -Aabb::kHuge;
+  const float hi_bound = static_cast<std::size_t>(i) + 1 < edges_.size()
+                             ? edges_[static_cast<std::size_t>(i) + 1]
+                             : Aabb::kHuge;
+  e = std::clamp(value, lo_bound, hi_bound);
+}
+
+int Decomposition::owner_of(float key) const {
+  // First edge strictly greater than key -> that edge's left domain index.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), key);
+  return static_cast<int>(it - edges_.begin());
+}
+
+float Decomposition::domain_lo(int i) const {
+  if (i <= 0) return -Aabb::kHuge;
+  return edges_.at(static_cast<std::size_t>(i) - 1);
+}
+
+float Decomposition::domain_hi(int i) const {
+  if (i >= static_cast<int>(edges_.size())) return Aabb::kHuge;
+  return edges_.at(static_cast<std::size_t>(i));
+}
+
+std::vector<double> Decomposition::nominal_shares() const {
+  std::vector<double> shares;
+  const int n = domain_count();
+  shares.reserve(static_cast<std::size_t>(n));
+  const double width = static_cast<double>(hi_) - static_cast<double>(lo_);
+  for (int i = 0; i < n; ++i) {
+    const double a = std::clamp(static_cast<double>(domain_lo(i)),
+                                static_cast<double>(lo_),
+                                static_cast<double>(hi_));
+    const double b = std::clamp(static_cast<double>(domain_hi(i)),
+                                static_cast<double>(lo_),
+                                static_cast<double>(hi_));
+    shares.push_back(width > 0 ? (b - a) / width : 0.0);
+  }
+  return shares;
+}
+
+void Decomposition::encode(mp::Writer& w) const {
+  w.put<std::int32_t>(axis_);
+  w.put<float>(lo_);
+  w.put<float>(hi_);
+  w.put_vector(edges_);
+}
+
+Decomposition Decomposition::decode(mp::Reader& r) {
+  const auto axis = r.get<std::int32_t>();
+  const auto lo = r.get<float>();
+  const auto hi = r.get<float>();
+  auto edges = r.get_vector<float>();
+  // Reconstruct with the right count, then overwrite the edges.
+  Decomposition d(axis, lo, hi, static_cast<int>(edges.size()) + 1);
+  d.edges_ = std::move(edges);
+  return d;
+}
+
+}  // namespace psanim::core

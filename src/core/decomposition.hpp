@@ -1,0 +1,67 @@
+#pragma once
+
+// Per-system 1-D domain decomposition (§3.1.4, Figure 1).
+//
+// Each particle system's space is cut into n slices along one axis, one
+// slice per calculator, in calculator order. All processes know every
+// system's current edges — that is what lets a crosser be sent straight to
+// its new owner instead of broadcast, and what the balancer mutates when
+// it moves particles between neighbors.
+//
+// The outermost "edges" are conceptual: slice 0 owns everything left of
+// edge 0 and slice n-1 everything right of edge n-2, so particles that
+// wander outside the nominal space always have an owner. Infinite space
+// (IS) is the nominal interval [-kHuge, kHuge]; finite space (FS) the
+// scenario's own extent. The paper's Table 1 IS-SLB column is exactly the
+// pathology of splitting the huge interval uniformly.
+
+#include <cstdint>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "mp/message.hpp"
+
+namespace psanim::core {
+
+class Decomposition {
+ public:
+  /// Uniform split of [lo, hi] into `n` slices along `axis` (0=x,1=y,2=z).
+  Decomposition(int axis, float lo, float hi, int n);
+
+  /// IS-mode split: uniform over [-kHuge, kHuge].
+  static Decomposition infinite_space(int axis, int n);
+
+  int axis() const { return axis_; }
+  int domain_count() const { return static_cast<int>(edges_.size()) + 1; }
+  float nominal_lo() const { return lo_; }
+  float nominal_hi() const { return hi_; }
+
+  /// Internal edges, ascending; edge i separates domain i from i+1.
+  const std::vector<float>& edges() const { return edges_; }
+  void set_edge(int i, float value);
+
+  /// Which calculator owns a particle at coordinate `key`.
+  int owner_of(float key) const;
+
+  /// Owned interval of domain i. Edge domains extend to +/-kHuge so every
+  /// coordinate has exactly one owner.
+  float domain_lo(int i) const;
+  float domain_hi(int i) const;
+
+  /// Fraction of the *nominal* interval each domain covers (diagnostics).
+  std::vector<double> nominal_shares() const;
+
+  /// Wire round-trip for the manager's domain broadcasts.
+  void encode(mp::Writer& w) const;
+  static Decomposition decode(mp::Reader& r);
+
+  bool operator==(const Decomposition&) const = default;
+
+ private:
+  int axis_;
+  float lo_;
+  float hi_;
+  std::vector<float> edges_;  // n-1 internal edges, ascending
+};
+
+}  // namespace psanim::core

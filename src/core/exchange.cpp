@@ -1,0 +1,53 @@
+#include "core/exchange.hpp"
+
+namespace psanim::core {
+
+void route_crossers(const Decomposition& decomp, psys::SystemId system,
+                    int self, std::vector<psys::Particle>&& crossers,
+                    Outboxes& outboxes,
+                    std::vector<psys::Particle>& back_home) {
+  // Group per destination first so each outbox gets one batch per system.
+  std::vector<std::vector<psys::Particle>> grouped(outboxes.size());
+  for (auto& p : crossers) {
+    const int owner = decomp.owner_of(p.pos.axis(decomp.axis()));
+    if (owner == self) {
+      back_home.push_back(p);
+    } else {
+      grouped[static_cast<std::size_t>(owner)].push_back(p);
+    }
+  }
+  crossers.clear();
+  for (std::size_t c = 0; c < grouped.size(); ++c) {
+    if (grouped[c].empty()) continue;
+    outboxes[c].push_back(SystemBatch{system, std::move(grouped[c])});
+  }
+}
+
+ExchangeStats exchange_crossers(
+    mp::Endpoint& ep, std::uint32_t frame, int ncalc, int self,
+    Outboxes outboxes,
+    const std::function<void(psys::SystemId, std::vector<psys::Particle>&&)>&
+        deliver) {
+  ExchangeStats stats;
+  // Send phase: one message per peer, empty payload = end-of-transmission.
+  for (int c = 0; c < ncalc; ++c) {
+    if (c == self) continue;
+    auto& box = outboxes[static_cast<std::size_t>(c)];
+    for (const auto& b : box) stats.sent_particles += b.particles.size();
+    mp::Writer w = encode_batches(frame, box);
+    stats.sent_bytes += w.size() + mp::kEnvelopeBytes;
+    ep.send(calc_rank(c), kTagExchange, std::move(w));
+  }
+  // Receive phase: exactly one message from every peer, ascending order.
+  for (int c = 0; c < ncalc; ++c) {
+    if (c == self) continue;
+    const mp::Message m = ep.recv(calc_rank(c), kTagExchange);
+    for (auto& batch : decode_batches(m, frame)) {
+      stats.received_particles += batch.particles.size();
+      deliver(batch.system, std::move(batch.particles));
+    }
+  }
+  return stats;
+}
+
+}  // namespace psanim::core

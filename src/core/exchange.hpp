@@ -1,0 +1,48 @@
+#pragma once
+
+// Particle-exchange engine (§3.2.4, first step of the frame-generation
+// action): crossers are routed by the global domain map straight to their
+// new owner, and every calculator sends every other one exactly one
+// exchange message per frame — an empty message doubles as the
+// end-of-transmission marker the paper insists on ("otherwise they will
+// remain blocked waiting for particles").
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/wire.hpp"
+#include "mp/communicator.hpp"
+
+namespace psanim::core {
+
+/// Outboxes: for each calculator index, the system-batches headed there.
+using Outboxes = std::vector<std::vector<SystemBatch>>;
+
+/// Route extracted crossers of one system into per-calculator outboxes.
+/// Particles the decomposition assigns back to `self` are returned to the
+/// caller (can happen right after an edge moved) via `back_home`.
+void route_crossers(const Decomposition& decomp, psys::SystemId system,
+                    int self, std::vector<psys::Particle>&& crossers,
+                    Outboxes& outboxes,
+                    std::vector<psys::Particle>& back_home);
+
+struct ExchangeStats {
+  std::size_t sent_particles = 0;
+  std::size_t received_particles = 0;
+  std::uint64_t sent_bytes = 0;  ///< wire bytes of our outgoing messages
+};
+
+/// Run the symmetric exchange: send one kTagExchange message to every
+/// other calculator (ascending), then receive one from each (ascending —
+/// deterministic virtual-time merge). Received batches are handed to
+/// `deliver(system, particles)`.
+ExchangeStats exchange_crossers(
+    mp::Endpoint& ep, std::uint32_t frame, int ncalc, int self,
+    Outboxes outboxes,
+    const std::function<void(psys::SystemId, std::vector<psys::Particle>&&)>&
+        deliver);
+
+}  // namespace psanim::core

@@ -1,0 +1,46 @@
+#include "core/frame_loop.hpp"
+
+namespace psanim::core {
+
+std::string to_string(SpaceMode m) {
+  return m == SpaceMode::kInfinite ? "IS" : "FS";
+}
+
+std::string to_string(LbMode m) {
+  switch (m) {
+    case LbMode::kStatic: return "SLB";
+    case LbMode::kDynamicPairwise: return "DLB";
+    case LbMode::kDiffusion: return "DIFF";
+  }
+  return "?";
+}
+
+std::string to_string(ImageGenMode m) {
+  return m == ImageGenMode::kGatherParticles ? "gather" : "sort-last";
+}
+
+std::string to_string(SystemCombine c) {
+  return c == SystemCombine::kBundled ? "bundled" : "per-system";
+}
+
+std::unique_ptr<lb::LoadBalancer> make_lb_policy(const SimSettings& s) {
+  switch (s.lb) {
+    case LbMode::kStatic:
+      return std::make_unique<lb::StaticLB>();
+    case LbMode::kDynamicPairwise:
+      return std::make_unique<lb::DynamicPairwiseLB>(s.dlb);
+    case LbMode::kDiffusion:
+      return std::make_unique<lb::DiffusionLB>(s.diffusion);
+  }
+  return std::make_unique<lb::StaticLB>();
+}
+
+std::pair<float, float> initial_interval(const SimSettings& s,
+                                         const Scene& scene) {
+  if (s.space == SpaceMode::kInfinite) {
+    return {-Aabb::kHuge, Aabb::kHuge};
+  }
+  return {scene.space.lo.axis(s.axis), scene.space.hi.axis(s.axis)};
+}
+
+}  // namespace psanim::core

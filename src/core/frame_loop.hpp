@@ -1,0 +1,103 @@
+#pragma once
+
+// Shared configuration for the Fig. 2 frame loop: the scene being
+// animated, the knobs of the §5 experiment grid (space mode, balancing
+// mode), and the per-role environment (cost model + effective rate).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "lb/diffusion_lb.hpp"
+#include "lb/dynamic_pairwise_lb.hpp"
+#include "lb/load_balancer.hpp"
+#include "lb/static_lb.hpp"
+#include "math/aabb.hpp"
+#include "psys/system.hpp"
+#include "trace/event_log.hpp"
+
+namespace psanim::core {
+
+/// IS / FS in the paper's tables: how the initial domain split covers
+/// space. Infinite splits [-kHuge, kHuge]; finite splits the scene's box.
+enum class SpaceMode { kInfinite, kFinite };
+
+/// SLB / DLB columns, plus the decentralized future-work policy.
+enum class LbMode { kStatic, kDynamicPairwise, kDiffusion };
+
+/// How frames reach the image generator: gather every particle (the
+/// paper's design) or composite locally-rendered partial images (the §6
+/// remote-image-generation extension).
+enum class ImageGenMode { kGatherParticles, kSortLast };
+
+/// §3.3: "there are different ways to combine the processing of more than
+/// one system. Depending on the form used, the processing may be more or
+/// less efficient." kBundled ships one exchange message per peer per
+/// frame carrying every system's crossers; kPerSystem runs a separate
+/// exchange round per system (simpler bookkeeping, more messages — the
+/// penalty grows with system count and message latency).
+enum class SystemCombine { kBundled, kPerSystem };
+
+std::string to_string(SpaceMode m);
+std::string to_string(LbMode m);
+std::string to_string(ImageGenMode m);
+std::string to_string(SystemCombine c);
+
+/// The scene: the systems of Algorithm 1 plus the space they play in.
+/// Systems are identified by their index in `systems` (§3.1.3). Immutable
+/// during a run and shared by const reference across role threads.
+struct Scene {
+  std::vector<psys::ParticleSystem> systems;
+  Aabb space;          ///< finite simulated space (FS mode splits this)
+  Vec3 look_center{};  ///< camera framing
+  float look_radius = 10.0f;
+};
+
+struct SimSettings {
+  int ncalc = 4;
+  std::uint32_t frames = 60;
+  float dt = 1.0f / 30.0f;
+  int axis = 0;  ///< decomposition axis (x)
+  SpaceMode space = SpaceMode::kFinite;
+  LbMode lb = LbMode::kDynamicPairwise;
+  lb::DynamicPairwiseConfig dlb;
+  lb::DiffusionConfig diffusion;
+  ImageGenMode imgen = ImageGenMode::kGatherParticles;
+  SystemCombine combine = SystemCombine::kBundled;
+  int image_width = 320;
+  int image_height = 240;
+  /// Write frames as PPM into this directory every `write_every` frames
+  /// (0 = never write).
+  std::string frame_dir;
+  std::uint32_t write_every = 0;
+  /// Sub-domain vectors per store (§4); more slices = cheaper donations.
+  std::size_t store_slices = 8;
+  /// Particle-particle collisions (ghost exchange + spatial hash).
+  bool pair_collisions = false;
+  float collision_radius = 0.05f;
+  float collision_restitution = 0.3f;
+  std::uint64_t seed = 0x9d5c0ff5eedULL;
+  /// When set, every role records its protocol phase transitions here
+  /// (Figure 2 as an executable trace). Must outlive the run.
+  trace::EventLog* events = nullptr;
+};
+
+/// Instantiate the configured balancing policy (one instance per system —
+/// the pair-alternation state is per system, matching the paper's
+/// per-system evaluation).
+std::unique_ptr<lb::LoadBalancer> make_lb_policy(const SimSettings& s);
+
+/// Build each system's initial decomposition interval along `axis`.
+/// Returns {lo, hi} for the chosen space mode.
+std::pair<float, float> initial_interval(const SimSettings& s,
+                                         const Scene& scene);
+
+/// Per-role execution environment.
+struct RoleEnv {
+  const cluster::CostModel* cost = nullptr;
+  double rate = 1.0;  ///< this rank's effective compute rate
+};
+
+}  // namespace psanim::core

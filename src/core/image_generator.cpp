@@ -1,0 +1,95 @@
+#include "core/image_generator.hpp"
+
+#include "render/image_io.hpp"
+#include "render/objects.hpp"
+#include "render/splat.hpp"
+
+namespace psanim::core {
+
+ImageGenerator::ImageGenerator(const SimSettings& settings, const Scene& scene,
+                               RoleEnv env)
+    : set_(settings),
+      scene_(scene),
+      env_(env),
+      cam_(render::Camera::framing(scene.look_center, scene.look_radius,
+                                   settings.image_width,
+                                   settings.image_height)),
+      fb_(settings.image_width, settings.image_height) {}
+
+void ImageGenerator::render_externals(mp::Endpoint& ep) {
+  // §3.2.4: rendering external objects is the image generator's job.
+  render::draw_ground_grid(fb_, cam_, scene_.space.lo.y,
+                           scene_.look_radius * 1.2f, 16,
+                           {0.18f, 0.2f, 0.22f});
+  // Charge roughly one splat per grid-line pixel.
+  const auto px = static_cast<std::size_t>(
+      34 * std::max(set_.image_width, set_.image_height));
+  ep.charge(env_.cost->compute_s(env_.cost->render_cost, px, env_.rate));
+}
+
+void ImageGenerator::write_frame_if_due(std::uint32_t frame) const {
+  if (set_.frame_dir.empty() || set_.write_every == 0) return;
+  if (frame % set_.write_every != 0) return;
+  render::write_ppm(fb_, set_.frame_dir + "/frame_" + std::to_string(frame) +
+                             ".ppm");
+}
+
+void ImageGenerator::run(mp::Endpoint& ep) {
+  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
+    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    fb_.clear({0.02f, 0.02f, 0.03f});
+    render_externals(ep);
+
+    trace::ImageFrameStats is;
+    is.frame = frame;
+    const double t0 = ep.clock().now();
+
+    if (set_.imgen == ImageGenMode::kGatherParticles) {
+      for (int c = 0; c < set_.ncalc; ++c) {
+        const mp::Message m = ep.recv(calc_rank(c), kTagFrame);
+        is.gather_bytes += m.wire_bytes();
+        const auto verts = decode_frame_vertices(m, frame);
+        splat_points(fb_, cam_, std::span<const RenderVertex>(verts),
+                     render::BlendMode::kAdditive);
+        ep.charge(env_.cost->compute_s(env_.cost->render_cost, verts.size(),
+                                       env_.rate));
+        is.particles_rendered += verts.size();
+      }
+    } else {
+      // Sort-last: composite per-calculator partial images.
+      for (int c = 0; c < set_.ncalc; ++c) {
+        const mp::Message m = ep.recv(calc_rank(c), kTagFramePart);
+        is.gather_bytes += m.wire_bytes();
+        mp::Reader r(m);
+        check_frame(r.get<std::uint32_t>(), frame, "image part");
+        const auto colors = r.get_vector<render::Color>();
+        if (colors.size() != fb_.pixel_count()) {
+          throw ProtocolError("image part has wrong pixel count");
+        }
+        auto& out = fb_.mutable_colors();
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] += colors[i];
+        // Composite cost: one add per pixel, cheaper than a splat.
+        ep.charge(env_.cost->compute_s(env_.cost->render_cost * 0.25,
+                                       colors.size(), env_.rate));
+      }
+    }
+
+    is.render_s = ep.clock().now() - t0;
+    is.frame_complete_time = ep.clock().now();
+    if (set_.events) {
+      set_.events->record(ep.clock().now(), ep.rank(), frame,
+                          "image generator: image generation complete");
+    }
+    tel_.add_image(is);
+    write_frame_if_due(frame);
+
+    // Release the calculators' next frame sends (rendezvous completion).
+    if (frame + 1 < set_.frames) {
+      for (int c = 0; c < set_.ncalc; ++c) {
+        ep.send_empty(calc_rank(c), kTagFrameAck);
+      }
+    }
+  }
+}
+
+}  // namespace psanim::core

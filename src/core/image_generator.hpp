@@ -1,0 +1,43 @@
+#pragma once
+
+// The image generator process (§3.1.1): collects the particles sent by
+// the calculators and renders each frame, plus the external objects in the
+// scene. In sort-last mode (§6 extension) it composites partial images
+// instead.
+
+#include <cstdint>
+#include <string>
+
+#include "core/frame_loop.hpp"
+#include "core/wire.hpp"
+#include "mp/communicator.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "trace/telemetry.hpp"
+
+namespace psanim::core {
+
+class ImageGenerator {
+ public:
+  ImageGenerator(const SimSettings& settings, const Scene& scene,
+                 RoleEnv env);
+
+  void run(mp::Endpoint& ep);
+
+  const trace::Telemetry& telemetry() const { return tel_; }
+  /// The last rendered frame.
+  const render::Framebuffer& final_frame() const { return fb_; }
+
+ private:
+  void render_externals(mp::Endpoint& ep);
+  void write_frame_if_due(std::uint32_t frame) const;
+
+  const SimSettings& set_;
+  const Scene& scene_;
+  RoleEnv env_;
+  render::Camera cam_;
+  render::Framebuffer fb_;
+  trace::Telemetry tel_;
+};
+
+}  // namespace psanim::core

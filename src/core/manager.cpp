@@ -1,0 +1,176 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+
+#include "math/stats.hpp"
+
+namespace psanim::core {
+
+Manager::Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
+                 std::vector<double> calc_powers)
+    : set_(settings),
+      scene_(scene),
+      env_(env),
+      calc_powers_(std::move(calc_powers)),
+      base_rng_(settings.seed) {
+  const auto [lo, hi] = initial_interval(set_, scene_);
+  decomps_.reserve(scene_.systems.size());
+  policies_.reserve(scene_.systems.size());
+  for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
+    decomps_.emplace_back(set_.axis, lo, hi, set_.ncalc);
+    policies_.push_back(make_lb_policy(set_));
+  }
+}
+
+void Manager::run(mp::Endpoint& ep) {
+  auto note = [&](std::uint32_t frame, const char* label) {
+    if (set_.events) {
+      set_.events->record(ep.clock().now(), ep.rank(), frame, label);
+    }
+  };
+  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
+    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    note(frame, "manager: particle creation");
+    create_and_scatter(ep, frame);
+    note(frame, "manager: creation scattered");
+    balance(ep, frame);
+    note(frame, "manager: new dimensions broadcast");
+  }
+}
+
+void Manager::create_and_scatter(mp::Endpoint& ep, std::uint32_t frame) {
+  // One outbox per calculator; each system contributes at most one batch.
+  std::vector<std::vector<SystemBatch>> outboxes(
+      static_cast<std::size_t>(set_.ncalc));
+
+  for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
+    const auto& system = scene_.systems[s];
+    // The creation stream depends only on (seed, system, frame): creation
+    // is identical no matter how many calculators run (§3.1.3's "creation
+    // happens in the same order for all processes").
+    Rng rng = base_rng_.derive(0xC0FFEEu, s, frame);
+    psys::ActionContext ctx{set_.dt, &rng, 0};
+    std::vector<psys::Particle> born;
+    for (const psys::Source* src : system.actions().sources()) {
+      src->generate(born, ctx);
+    }
+    ep.clock().charge_compute(
+        env_.cost->compute_s(env_.cost->create_cost, born.size(), env_.rate));
+
+    // Partition by owner (§3.2.1: "stored in the structure corresponding
+    // to its domain" and sent there).
+    const Decomposition& d = decomps_[s];
+    std::vector<std::vector<psys::Particle>> per_calc(
+        static_cast<std::size_t>(set_.ncalc));
+    for (const auto& p : born) {
+      per_calc[static_cast<std::size_t>(d.owner_of(p.pos.axis(d.axis())))]
+          .push_back(p);
+    }
+    for (int c = 0; c < set_.ncalc; ++c) {
+      auto& mine = per_calc[static_cast<std::size_t>(c)];
+      if (mine.empty()) continue;
+      outboxes[static_cast<std::size_t>(c)].push_back(
+          SystemBatch{static_cast<psys::SystemId>(s), std::move(mine)});
+    }
+  }
+
+  // Every calculator gets exactly one creation message per frame; an empty
+  // batch list is the end-of-transmission marker (§3.2.1).
+  for (int c = 0; c < set_.ncalc; ++c) {
+    ep.send(calc_rank(c), kTagCreate,
+            encode_batches(frame, outboxes[static_cast<std::size_t>(c)]));
+  }
+}
+
+void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
+  const int n = set_.ncalc;
+  // Collect per-system reports from every calculator (ascending order).
+  std::vector<std::vector<LoadEntry>> reports;
+  reports.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    reports.push_back(
+        decode_load_report(ep.recv(calc_rank(c), kTagLoadReport), frame));
+  }
+
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), frame,
+                        "manager: load information received");
+  }
+  trace::ManagerFrameStats mstats;
+  mstats.frame = frame;
+
+  // Per-calculator outgoing orders, accumulated over systems.
+  std::vector<std::vector<OrderEntry>> orders_out(
+      static_cast<std::size_t>(n));
+  std::vector<double> frame_times(static_cast<std::size_t>(n), 0.0);
+
+  for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
+    std::vector<lb::CalcLoad> loads;
+    loads.reserve(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+      const LoadEntry& e = reports[static_cast<std::size_t>(c)].at(s);
+      loads.push_back(lb::CalcLoad{
+          .calc = c,
+          .particles = e.particles,
+          .time_s = e.time_s,
+          .power = calc_powers_.at(static_cast<std::size_t>(c)),
+      });
+      frame_times[static_cast<std::size_t>(c)] += e.time_s;
+    }
+    // Evaluation cost: a handful of comparisons per pair.
+    ep.clock().charge_compute(env_.cost->compute_s(
+        env_.cost->action_cost, static_cast<std::size_t>(n), env_.rate));
+    mstats.pairs_evaluated += static_cast<std::size_t>(std::max(0, n - 1));
+
+    const auto orders = policies_[s]->evaluate(loads);
+    for (const auto& o : orders) {
+      orders_out[static_cast<std::size_t>(o.calc)].push_back(OrderEntry{
+          .system = static_cast<std::uint32_t>(s),
+          .is_send = static_cast<std::uint8_t>(o.op == lb::BalanceOp::kSend),
+          .partner = o.partner,
+          .count = o.count,
+      });
+      if (o.op == lb::BalanceOp::kSend) {
+        ++mstats.balance_orders;
+        mstats.particles_ordered += o.count;
+      }
+    }
+  }
+
+  if (!frame_times.empty()) {
+    mstats.max_calc_time_s =
+        *std::max_element(frame_times.begin(), frame_times.end());
+    mstats.min_calc_time_s =
+        *std::min_element(frame_times.begin(), frame_times.end());
+    mstats.imbalance = load_imbalance(frame_times);
+  }
+
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), frame,
+                        "manager: load balancing evaluated");
+  }
+  // Send orders (possibly empty) to every calculator — the synchronization
+  // point §3.2 requires even when nothing moves.
+  for (int c = 0; c < n; ++c) {
+    ep.send(calc_rank(c), kTagOrders,
+            encode_orders(frame, orders_out[static_cast<std::size_t>(c)]));
+  }
+
+  // Collect edge proposals from every calculator (donors fill them in),
+  // update the authoritative decompositions, broadcast the new dimensions.
+  std::vector<EdgeEntry> changed;
+  for (int c = 0; c < n; ++c) {
+    for (const auto& e :
+         decode_edges(ep.recv(calc_rank(c), kTagEdgeProposal), frame)) {
+      decomps_.at(e.system).set_edge(e.edge_index, e.value);
+      changed.push_back(e);
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    ep.send(calc_rank(c), kTagDomains, encode_edges(frame, changed));
+  }
+
+  tel_.add_manager(mstats);
+}
+
+}  // namespace psanim::core

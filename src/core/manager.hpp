@@ -1,0 +1,47 @@
+#pragma once
+
+// The manager process (§3.1.1): creates every particle, scatters them to
+// calculators by domain, and runs the load-balancing evaluation each
+// frame. It owns the authoritative copy of every system's decomposition.
+
+#include <memory>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/frame_loop.hpp"
+#include "core/wire.hpp"
+#include "math/rng.hpp"
+#include "mp/communicator.hpp"
+#include "trace/telemetry.hpp"
+
+namespace psanim::core {
+
+class Manager {
+ public:
+  Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
+          std::vector<double> calc_powers);
+
+  /// Execute all frames; called from the manager rank's thread.
+  void run(mp::Endpoint& ep);
+
+  const trace::Telemetry& telemetry() const { return tel_; }
+  /// Decompositions after the last frame (diagnostics / tests).
+  const std::vector<Decomposition>& decompositions() const { return decomps_; }
+
+ private:
+  void create_and_scatter(mp::Endpoint& ep, std::uint32_t frame);
+  void balance(mp::Endpoint& ep, std::uint32_t frame);
+
+  const SimSettings& set_;
+  const Scene& scene_;
+  RoleEnv env_;
+  std::vector<double> calc_powers_;  ///< a-priori power weight per calculator
+  std::vector<Decomposition> decomps_;
+  /// One policy instance per system: pair-alternation state is
+  /// per-system, matching the paper's per-system evaluation.
+  std::vector<std::unique_ptr<lb::LoadBalancer>> policies_;
+  Rng base_rng_;
+  trace::Telemetry tel_;
+};
+
+}  // namespace psanim::core

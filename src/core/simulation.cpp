@@ -1,0 +1,172 @@
+#include "core/simulation.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/calculator.hpp"
+#include "core/image_generator.hpp"
+#include "core/manager.hpp"
+#include "psys/store.hpp"
+#include "render/objects.hpp"
+#include "render/splat.hpp"
+
+namespace psanim::core {
+
+ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
+                            const cluster::ClusterSpec& spec,
+                            const cluster::Placement& placement,
+                            const cluster::CostModel& cost,
+                            mp::RuntimeOptions rt_options) {
+  const int world = world_size_for(settings.ncalc);
+  if (placement.world_size() != world) {
+    throw std::invalid_argument(
+        "run_parallel: placement must cover manager, image generator and "
+        "every calculator");
+  }
+  const auto rates = cluster::rank_rates(spec, placement, cost.smp_contention);
+
+  // A-priori powers the manager uses for proportional splits — the paper
+  // calibrates processing power from sequential execution times (§4),
+  // which our rate model is the ground truth of.
+  std::vector<double> calc_powers;
+  calc_powers.reserve(static_cast<std::size_t>(settings.ncalc));
+  for (int c = 0; c < settings.ncalc; ++c) {
+    calc_powers.push_back(rates.at(static_cast<std::size_t>(calc_rank(c))));
+  }
+
+  mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
+                      rt_options);
+
+  // Per-rank output slots; each thread writes only its own index.
+  std::vector<trace::Telemetry> tele(static_cast<std::size_t>(world));
+  std::optional<render::Framebuffer> final_frame;
+  std::vector<Decomposition> final_decomps;
+  std::vector<std::vector<std::vector<psys::Particle>>> final_parts(
+      static_cast<std::size_t>(world));
+
+  const auto procs = runtime.run([&](mp::Endpoint& ep) {
+    const RoleEnv env{&cost, rates.at(static_cast<std::size_t>(ep.rank()))};
+    if (ep.rank() == kManagerRank) {
+      Manager m(settings, scene, env, calc_powers);
+      m.run(ep);
+      tele[static_cast<std::size_t>(ep.rank())] = m.telemetry();
+      final_decomps = m.decompositions();
+    } else if (ep.rank() == kImageGenRank) {
+      ImageGenerator ig(settings, scene, env);
+      ig.run(ep);
+      tele[static_cast<std::size_t>(ep.rank())] = ig.telemetry();
+      final_frame = ig.final_frame();
+    } else {
+      Calculator c(settings, scene, env, calc_index(ep.rank()));
+      c.run(ep);
+      tele[static_cast<std::size_t>(ep.rank())] = c.telemetry();
+      auto& mine = final_parts[static_cast<std::size_t>(ep.rank())];
+      for (std::size_t s = 0; s < scene.systems.size(); ++s) {
+        mine.push_back(c.snapshot(static_cast<psys::SystemId>(s)));
+      }
+    }
+  });
+
+  ParallelResult result;
+  result.procs = procs;
+  // The animation is done when its last image is: the image generator's
+  // finishing clock is the run's time-to-images.
+  result.animation_s =
+      procs.at(static_cast<std::size_t>(kImageGenRank)).finish_time;
+  for (const auto& t : tele) result.telemetry.merge(t);
+  if (final_frame) result.final_frame = std::move(*final_frame);
+  result.final_decomps = std::move(final_decomps);
+  result.final_particles.assign(scene.systems.size(), {});
+  for (const auto& per_rank : final_parts) {
+    for (std::size_t s = 0; s < per_rank.size(); ++s) {
+      result.final_particles[s].insert(result.final_particles[s].end(),
+                                       per_rank[s].begin(),
+                                       per_rank[s].end());
+    }
+  }
+  return result;
+}
+
+SequentialResult run_sequential(const Scene& scene,
+                                const SimSettings& settings, double rate,
+                                const cluster::CostModel& cost) {
+  // Mirror the single-calculator layout exactly (same SlicedStore, same
+  // RNG streams with calculator index 0) so run_parallel(ncalc=1) evolves
+  // the identical particle set.
+  const Rng base(settings.seed);
+  std::vector<psys::SlicedStore> stores;
+  stores.reserve(scene.systems.size());
+  for (std::size_t s = 0; s < scene.systems.size(); ++s) {
+    stores.emplace_back(settings.axis, -Aabb::kHuge, Aabb::kHuge,
+                        settings.store_slices);
+  }
+
+  render::Camera cam = render::Camera::framing(
+      scene.look_center, scene.look_radius, settings.image_width,
+      settings.image_height);
+  render::Framebuffer fb(settings.image_width, settings.image_height);
+
+  double clock = 0.0;
+  for (std::uint32_t frame = 0; frame < settings.frames; ++frame) {
+    clock += cost.frame_overhead_s / rate;
+    // Creation (same stream as the manager's).
+    for (std::size_t s = 0; s < scene.systems.size(); ++s) {
+      Rng rng = base.derive(0xC0FFEEu, s, frame);
+      psys::ActionContext ctx{settings.dt, &rng, 0};
+      std::vector<psys::Particle> born;
+      for (const psys::Source* src : scene.systems[s].actions().sources()) {
+        src->generate(born, ctx);
+      }
+      clock += cost.compute_s(cost.create_cost, born.size(), rate);
+      stores[s].insert_batch(born);
+    }
+    // Actions (same streams as calculator 0's).
+    for (std::size_t s = 0; s < scene.systems.size(); ++s) {
+      auto& store = stores[s];
+      const std::size_t held = store.size();
+      std::size_t action_index = 0;
+      for (const auto& action : scene.systems[s].actions()) {
+        ++action_index;
+        if (action->cls() == psys::ActionClass::kCreate) continue;
+        Rng rng = base.derive(s, frame).derive(action_index, /*calc=*/0);
+        psys::ActionContext ctx{settings.dt, &rng, 0};
+        store.for_each_slice(
+            [&](std::span<psys::Particle> ps) { action->apply(ps, ctx); });
+        clock += cost.compute_s(cost.action_cost * action->cost_weight(),
+                                held, rate);
+      }
+      const std::size_t removed = store.compact_dead();
+      clock += cost.compute_s(cost.pack_cost, removed, rate);
+      // Keep internal slices consistent, as the calculator's exchange
+      // scan does (everything stays owned — one domain spans all space).
+      store.extract_outside();
+    }
+    // Render.
+    fb.clear({0.02f, 0.02f, 0.03f});
+    render::draw_ground_grid(fb, cam, scene.space.lo.y,
+                             scene.look_radius * 1.2f, 16,
+                             {0.18f, 0.2f, 0.22f});
+    const auto px = static_cast<std::size_t>(
+        34 * std::max(settings.image_width, settings.image_height));
+    clock += cost.compute_s(cost.render_cost, px, rate);
+    std::size_t rendered = 0;
+    for (auto& store : stores) {
+      const auto parts = store.snapshot();
+      render::splat_particles(fb, cam, parts, render::BlendMode::kAdditive);
+      rendered += parts.size();
+    }
+    clock += cost.compute_s(cost.render_cost, rendered, rate);
+  }
+
+  SequentialResult result;
+  result.total_s = clock;
+  result.per_frame_s = settings.frames > 0
+                           ? clock / static_cast<double>(settings.frames)
+                           : 0.0;
+  for (const auto& store : stores) result.final_particles += store.size();
+  result.final_frame = std::move(fb);
+  for (auto& store : stores) result.populations.push_back(store.snapshot());
+  return result;
+}
+
+}  // namespace psanim::core

@@ -1,0 +1,59 @@
+#pragma once
+
+// Top-level drivers: run the full parallel animation on an emulated
+// cluster, or the sequential baseline the paper's speedups divide by.
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "core/decomposition.hpp"
+#include "core/frame_loop.hpp"
+#include "mp/runtime.hpp"
+#include "render/framebuffer.hpp"
+#include "trace/telemetry.hpp"
+
+namespace psanim::core {
+
+struct ParallelResult {
+  /// Virtual time until the image generator finished the last frame — the
+  /// paper's "time taken to obtain the images".
+  double animation_s = 0.0;
+  std::vector<mp::ProcessResult> procs;  ///< per-rank clocks and traffic
+  trace::Telemetry telemetry;            ///< merged role telemetry
+  render::Framebuffer final_frame{1, 1};
+  std::vector<Decomposition> final_decomps;  ///< manager's view, per system
+  /// Union of all calculators' particles after the last frame, per system
+  /// (tests use this for conservation properties).
+  std::vector<std::vector<psys::Particle>> final_particles;
+};
+
+/// Run `settings.frames` frames of `scene` on the emulated cluster.
+/// `placement` must map world_size_for(settings.ncalc) ranks (manager,
+/// image generator, calculators) onto `spec`'s nodes.
+ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
+                            const cluster::ClusterSpec& spec,
+                            const cluster::Placement& placement,
+                            const cluster::CostModel& cost = {},
+                            mp::RuntimeOptions rt_options = {});
+
+struct SequentialResult {
+  double total_s = 0.0;
+  double per_frame_s = 0.0;
+  std::size_t final_particles = 0;
+  render::Framebuffer final_frame{1, 1};
+  /// Final population per system (conservation tests compare against the
+  /// parallel union).
+  std::vector<std::vector<psys::Particle>> populations;
+};
+
+/// Sequential baseline: one process creates, simulates and renders
+/// everything at compute rate `rate` (a node's effective rate under the
+/// experiment's compiler). Uses the same deterministic streams as the
+/// parallel run, so with one calculator the particle evolution matches
+/// exactly.
+SequentialResult run_sequential(const Scene& scene,
+                                const SimSettings& settings, double rate,
+                                const cluster::CostModel& cost = {});
+
+}  // namespace psanim::core

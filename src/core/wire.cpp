@@ -1,0 +1,141 @@
+#include "core/wire.hpp"
+
+#include <string>
+
+namespace psanim::core {
+
+RenderVertex to_render_vertex(const psys::Particle& p) {
+  return {p.pos, p.color, p.alpha, p.size};
+}
+
+namespace {
+std::uint8_t quantize01(float v) {
+  const float c = v < 0 ? 0.0f : (v > 1 ? 1.0f : v);
+  return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+}
+}  // namespace
+
+PackedVertex pack_vertex(const RenderVertex& v) {
+  PackedVertex p;
+  p.x = v.pos.x;
+  p.y = v.pos.y;
+  p.z = v.pos.z;
+  p.r = quantize01(v.color.x * v.alpha);
+  p.g = quantize01(v.color.y * v.alpha);
+  p.b = quantize01(v.color.z * v.alpha);
+  p.size_q = quantize01(v.size / kMaxSplatSize);
+  return p;
+}
+
+RenderVertex unpack_vertex(const PackedVertex& p) {
+  RenderVertex v;
+  v.pos = {p.x, p.y, p.z};
+  v.color = {static_cast<float>(p.r) / 255.0f,
+             static_cast<float>(p.g) / 255.0f,
+             static_cast<float>(p.b) / 255.0f};
+  v.alpha = 1.0f;  // premultiplied into color
+  v.size = static_cast<float>(p.size_q) / 255.0f * kMaxSplatSize;
+  return v;
+}
+
+void check_frame(std::uint32_t got, std::uint32_t expect, const char* where) {
+  if (got != expect) {
+    throw ProtocolError(std::string(where) + ": payload for frame " +
+                        std::to_string(got) + " arrived in frame " +
+                        std::to_string(expect));
+  }
+}
+
+mp::Writer encode_batches(std::uint32_t frame,
+                          const std::vector<SystemBatch>& batches) {
+  mp::Writer w;
+  w.put(frame);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(batches.size()));
+  for (const auto& b : batches) {
+    w.put<std::uint32_t>(b.system);
+    w.put_vector(b.particles);
+  }
+  return w;
+}
+
+std::vector<SystemBatch> decode_batches(const mp::Message& m,
+                                        std::uint32_t expect_frame) {
+  mp::Reader r(m);
+  check_frame(r.get<std::uint32_t>(), expect_frame, "decode_batches");
+  const auto n = r.get<std::uint32_t>();
+  std::vector<SystemBatch> out(n);
+  for (auto& b : out) {
+    b.system = r.get<std::uint32_t>();
+    b.particles = r.get_vector<psys::Particle>();
+  }
+  return out;
+}
+
+mp::Writer encode_load_report(std::uint32_t frame,
+                              const std::vector<LoadEntry>& entries) {
+  mp::Writer w;
+  w.put(frame);
+  w.put_vector(entries);
+  return w;
+}
+
+std::vector<LoadEntry> decode_load_report(const mp::Message& m,
+                                          std::uint32_t expect_frame) {
+  mp::Reader r(m);
+  check_frame(r.get<std::uint32_t>(), expect_frame, "decode_load_report");
+  return r.get_vector<LoadEntry>();
+}
+
+mp::Writer encode_orders(std::uint32_t frame,
+                         const std::vector<OrderEntry>& orders) {
+  mp::Writer w;
+  w.put(frame);
+  w.put_vector(orders);
+  return w;
+}
+
+std::vector<OrderEntry> decode_orders(const mp::Message& m,
+                                      std::uint32_t expect_frame) {
+  mp::Reader r(m);
+  check_frame(r.get<std::uint32_t>(), expect_frame, "decode_orders");
+  return r.get_vector<OrderEntry>();
+}
+
+mp::Writer encode_edges(std::uint32_t frame,
+                        const std::vector<EdgeEntry>& edges) {
+  mp::Writer w;
+  w.put(frame);
+  w.put_vector(edges);
+  return w;
+}
+
+std::vector<EdgeEntry> decode_edges(const mp::Message& m,
+                                    std::uint32_t expect_frame) {
+  mp::Reader r(m);
+  check_frame(r.get<std::uint32_t>(), expect_frame, "decode_edges");
+  return r.get_vector<EdgeEntry>();
+}
+
+mp::Writer encode_frame_vertices(std::uint32_t frame,
+                                 const std::vector<RenderVertex>& verts) {
+  mp::Writer w;
+  w.put(frame);
+  std::vector<PackedVertex> packed;
+  packed.reserve(verts.size());
+  for (const auto& v : verts) packed.push_back(pack_vertex(v));
+  w.put_vector(packed);
+  return w;
+}
+
+std::vector<RenderVertex> decode_frame_vertices(const mp::Message& m,
+                                                std::uint32_t expect_frame) {
+  mp::Reader r(m);
+  check_frame(r.get<std::uint32_t>(), expect_frame, "decode_frame_vertices");
+  const auto packed = r.get_vector<PackedVertex>();
+  std::vector<RenderVertex> verts;
+  verts.reserve(packed.size());
+  for (const auto& p : packed) verts.push_back(unpack_vertex(p));
+  return verts;
+}
+
+}  // namespace psanim::core

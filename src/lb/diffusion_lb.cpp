@@ -1,0 +1,50 @@
+#include "lb/diffusion_lb.hpp"
+
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace psanim::lb {
+
+DiffusionLB::DiffusionLB(DiffusionConfig cfg) : cfg_(cfg) {}
+
+std::vector<BalanceOrder> DiffusionLB::evaluate(
+    std::span<const CalcLoad> loads) {
+  std::vector<BalanceOrder> orders;
+  const int n = static_cast<int>(loads.size());
+  // Net flow per process, positive = sends to the right neighbor. All
+  // pairs relax at once; per-process orders are netted afterwards so a
+  // process sends each neighbor at most once.
+  for (int i = 0; i + 1 < n; ++i) {
+    const CalcLoad& a = loads[static_cast<std::size_t>(i)];
+    const CalcLoad& b = loads[static_cast<std::size_t>(i) + 1];
+    if (rel_diff(a.time_s, b.time_s) <= cfg_.trigger_ratio) continue;
+
+    // Observed rates only when both sides have them (unit consistency —
+    // see DynamicPairwiseLB).
+    const bool observed = a.time_s > 0 && a.particles >= 64 &&
+                          b.time_s > 0 && b.particles >= 64;
+    const double pa = std::max(
+        observed ? static_cast<double>(a.particles) / a.time_s : a.power,
+        1e-12);
+    const double pb = std::max(
+        observed ? static_cast<double>(b.particles) / b.time_s : b.power,
+        1e-12);
+    const auto total = a.particles + b.particles;
+    if (total == 0) continue;
+    const double target_a =
+        static_cast<double>(total) * pa / (pa + pb);
+    const double excess_a = static_cast<double>(a.particles) - target_a;
+    const auto moving = static_cast<std::uint64_t>(
+        std::llround(std::fabs(excess_a) * cfg_.diffusion));
+    if (moving < cfg_.min_transfer) continue;
+
+    const int sender = excess_a > 0 ? a.calc : b.calc;
+    const int receiver = excess_a > 0 ? b.calc : a.calc;
+    orders.push_back({sender, receiver, BalanceOp::kSend, moving});
+    orders.push_back({receiver, sender, BalanceOp::kReceive, moving});
+  }
+  return orders;
+}
+
+}  // namespace psanim::lb

@@ -1,0 +1,37 @@
+#pragma once
+
+// Decentralized diffusion balancing — the paper's future-work direction
+// ("to decentralize the load balancing management", §6), implemented here
+// as an ablation partner for the centralized pairwise policy.
+//
+// Every adjacent pair relaxes toward its power-proportional split
+// simultaneously, moving only a `diffusion` fraction of the excess per
+// round (first-order diffusion, cf. Cybenko 1989). A process may send left
+// and receive right in the same round — exactly the "alignment" the
+// centralized policy forbids; the ablation bench measures what that buys
+// and costs. The evaluate() interface is unchanged so the manager can run
+// it drop-in; in a truly decentralized deployment the same arithmetic runs in
+// each calculator with neighbor-only information.
+
+#include "lb/load_balancer.hpp"
+
+namespace psanim::lb {
+
+struct DiffusionConfig {
+  double diffusion = 0.5;        ///< fraction of the pair excess moved
+  double trigger_ratio = 0.10;   ///< per-pair activation threshold
+  std::uint64_t min_transfer = 32;
+};
+
+class DiffusionLB final : public LoadBalancer {
+ public:
+  explicit DiffusionLB(DiffusionConfig cfg = {});
+
+  std::string name() const override { return "diffusion"; }
+  std::vector<BalanceOrder> evaluate(std::span<const CalcLoad> loads) override;
+
+ private:
+  DiffusionConfig cfg_;
+};
+
+}  // namespace psanim::lb

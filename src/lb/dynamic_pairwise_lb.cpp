@@ -1,0 +1,84 @@
+#include "lb/dynamic_pairwise_lb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace psanim::lb {
+
+DynamicPairwiseLB::DynamicPairwiseLB(DynamicPairwiseConfig cfg) : cfg_(cfg) {}
+
+bool DynamicPairwiseLB::has_rate_sample(const CalcLoad& load) {
+  // Tiny samples are noise; below this the prior is more trustworthy.
+  constexpr std::size_t kMinSample = 64;
+  return load.time_s > 0 && load.particles >= kMinSample;
+}
+
+std::pair<double, double> DynamicPairwiseLB::pair_powers(
+    const CalcLoad& a, const CalcLoad& b) const {
+  if (cfg_.use_observed_rate && has_rate_sample(a) && has_rate_sample(b)) {
+    return {static_cast<double>(a.particles) / a.time_s,
+            static_cast<double>(b.particles) / b.time_s};
+  }
+  return {std::max(a.power, 1e-12), std::max(b.power, 1e-12)};
+}
+
+std::vector<BalanceOrder> DynamicPairwiseLB::evaluate(
+    std::span<const CalcLoad> loads) {
+  std::vector<BalanceOrder> orders;
+  const int n = static_cast<int>(loads.size());
+  if (n < 2) return orders;
+
+  // Alternate which pair leads each round (§3.2.5) — unless there is only
+  // one pair, where alternation would just idle every other round.
+  const int start = n > 2 ? first_pair_ % 2 : 0;
+  first_pair_ ^= 1;
+
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int i = start; i + 1 < n; ++i) {
+    const auto ia = static_cast<std::size_t>(i);
+    const auto ib = ia + 1;
+    if (used[ia] || used[ib]) continue;
+    const CalcLoad& a = loads[ia];
+    const CalcLoad& b = loads[ib];
+
+    if (rel_diff(a.time_s, b.time_s) <= cfg_.trigger_ratio) continue;
+
+    const auto [pa, pb] = pair_powers(a, b);
+    const auto total = a.particles + b.particles;
+    if (total == 0) continue;
+    const auto target_a = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(total) * pa / (pa + pb)));
+
+    std::uint64_t moving = 0;
+    int sender = 0;
+    int receiver = 0;
+    if (a.particles > target_a) {
+      moving = a.particles - target_a;
+      sender = a.calc;
+      receiver = b.calc;
+    } else {
+      moving = target_a - a.particles;
+      sender = b.calc;
+      receiver = a.calc;
+    }
+
+    // "Depending on the amount of particles to be moved ... it may not be
+    // interesting to perform the transmission."
+    if (moving < cfg_.min_transfer ||
+        static_cast<double>(moving) <
+            cfg_.min_transfer_fraction * static_cast<double>(total)) {
+      continue;
+    }
+
+    orders.push_back({sender, receiver, BalanceOp::kSend, moving});
+    orders.push_back({receiver, sender, BalanceOp::kReceive, moving});
+    used[ia] = true;
+    used[ib] = true;
+    ++i;  // pair (x+1, x+2) is not evaluated; next candidate is (x+2, x+3)
+  }
+  return orders;
+}
+
+}  // namespace psanim::lb

@@ -1,0 +1,62 @@
+#pragma once
+
+// The paper's dynamic load balancer (§3.2.5): centralized at the manager,
+// local in effect. Rules, verbatim from the paper:
+//
+//   * balancing only happens between domain neighbors;
+//   * each process either sends or receives in one round, never both
+//     ("to avoid alignment of processes");
+//   * balancing is pairwise — process x cannot receive from both x-1 and
+//     x+1 in the same round;
+//   * when pair (x, x+1) balances, pair (x+1, x+2) is skipped and the next
+//     candidate is (x+2, x+3);
+//   * the index of the first pair evaluated alternates every round so the
+//     same pair is not always favored;
+//   * a pair balances only if the relative difference of their processing
+//     times exceeds a trigger threshold;
+//   * the new split is proportional to the processing powers;
+//   * transfers below a minimum are not worth the communication and are
+//     dropped.
+
+#include "lb/load_balancer.hpp"
+
+namespace psanim::lb {
+
+struct DynamicPairwiseConfig {
+  /// Trigger: |t_a - t_b| / max(t_a, t_b) must exceed this.
+  double trigger_ratio = 0.20;
+  /// Orders moving fewer particles than this are dropped...
+  std::uint64_t min_transfer = 32;
+  /// ...as are orders moving less than this fraction of the pair's total.
+  double min_transfer_fraction = 0.01;
+  /// Use the observed particles/time rates as the power estimates when
+  /// BOTH members of a pair have processed a meaningful sample; otherwise
+  /// the pair falls back to the configured a-priori powers. (Observed
+  /// rates are particles/second, priors are relative rates — the two are
+  /// only comparable within one unit system, never mixed.)
+  bool use_observed_rate = true;
+};
+
+class DynamicPairwiseLB final : public LoadBalancer {
+ public:
+  explicit DynamicPairwiseLB(DynamicPairwiseConfig cfg = {});
+
+  std::string name() const override { return "dynamic-pairwise"; }
+  std::vector<BalanceOrder> evaluate(std::span<const CalcLoad> loads) override;
+
+  const DynamicPairwiseConfig& config() const { return cfg_; }
+
+  /// True when the report's sample is large enough to trust its
+  /// particles/time rate.
+  static bool has_rate_sample(const CalcLoad& load);
+  /// Power estimates for a pair, in consistent units (see
+  /// use_observed_rate). Returns {power_a, power_b}.
+  std::pair<double, double> pair_powers(const CalcLoad& a,
+                                        const CalcLoad& b) const;
+
+ private:
+  DynamicPairwiseConfig cfg_;
+  int first_pair_ = 0;  ///< alternates 0/1 each evaluation round
+};
+
+}  // namespace psanim::lb

@@ -1,0 +1,5 @@
+#include "lb/load_balancer.hpp"
+
+// Interface is header-only; this TU anchors the library target.
+
+namespace psanim::lb {}

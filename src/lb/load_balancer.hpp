@@ -1,0 +1,53 @@
+#pragma once
+
+// Load-balancing policy interface.
+//
+// After each frame's particle exchange, every calculator reports its load
+// (particle count) and the time it took to process its particles —
+// recomputed pro-rata for the post-exchange count, exactly as §3.2.4
+// prescribes. The manager feeds those reports, per particle system, into a
+// policy that may emit orders: "calculator x sends k particles of system s
+// to calculator y".
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psanim::lb {
+
+/// One calculator's report for one particle system.
+struct CalcLoad {
+  int calc = 0;               ///< calculator index, 0..n-1
+  std::size_t particles = 0;  ///< particles held after the exchange
+  double time_s = 0.0;        ///< pro-rata processing time for this count
+  /// A-priori processing-power weight (the paper calibrates it from
+  /// sequential execution times, §4). Policies may refine it with the
+  /// observed particles/time rate.
+  double power = 1.0;
+};
+
+enum class BalanceOp : std::uint8_t { kSend, kReceive };
+
+/// One order addressed to one calculator.
+struct BalanceOrder {
+  int calc = 0;     ///< addressee
+  int partner = 0;  ///< neighbor it exchanges with
+  BalanceOp op = BalanceOp::kSend;
+  std::uint64_t count = 0;  ///< particles to move
+};
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Evaluate one system's reports (indexed by calculator, ascending) and
+  /// return orders. Called once per system per frame. Implementations may
+  /// keep state across calls (the paper's pair alternation does).
+  virtual std::vector<BalanceOrder> evaluate(
+      std::span<const CalcLoad> loads) = 0;
+};
+
+}  // namespace psanim::lb

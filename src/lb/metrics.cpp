@@ -1,0 +1,98 @@
+#include "lb/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "math/stats.hpp"
+
+namespace psanim::lb {
+
+double time_imbalance(std::span<const CalcLoad> loads) {
+  std::vector<double> times;
+  times.reserve(loads.size());
+  for (const auto& l : loads) times.push_back(l.time_s);
+  return load_imbalance(times);
+}
+
+double frame_parallel_efficiency(std::span<const CalcLoad> loads) {
+  double work = 0.0;
+  double makespan = 0.0;
+  for (const auto& l : loads) {
+    work += l.time_s * l.power;  // normalize work to the reference machine
+    makespan = std::max(makespan, l.time_s);
+  }
+  return makespan > 0 ? work / makespan : 0.0;
+}
+
+std::vector<CalcLoad> apply_orders(std::span<const CalcLoad> loads,
+                                   std::span<const BalanceOrder> orders) {
+  std::vector<CalcLoad> out(loads.begin(), loads.end());
+  for (const auto& o : orders) {
+    if (o.op != BalanceOp::kSend) continue;  // each move appears as one send
+    for (auto& l : out) {
+      if (l.calc == o.calc) {
+        const auto moved = std::min<std::uint64_t>(o.count, l.particles);
+        l.particles -= moved;
+        // Pro-rata time adjustment, as the calculators themselves do.
+        if (l.particles + moved > 0) {
+          l.time_s *= static_cast<double>(l.particles) /
+                      static_cast<double>(l.particles + moved);
+        }
+      } else if (l.calc == o.partner) {
+        l.particles += o.count;
+      }
+    }
+  }
+  return out;
+}
+
+std::string validate_orders(std::span<const CalcLoad> loads,
+                            std::span<const BalanceOrder> orders,
+                            bool allow_send_and_receive) {
+  std::map<int, int> sends;     // calc -> partner
+  std::map<int, int> receives;  // calc -> partner
+  for (const auto& o : orders) {
+    if (std::abs(o.calc - o.partner) != 1) {
+      return "order between non-neighbors " + std::to_string(o.calc) +
+             " and " + std::to_string(o.partner);
+    }
+    auto& dir = o.op == BalanceOp::kSend ? sends : receives;
+    if (dir.contains(o.calc)) {
+      return "calculator " + std::to_string(o.calc) +
+             " ordered to move particles twice in one round";
+    }
+    dir[o.calc] = o.partner;
+  }
+  for (const auto& [calc, partner] : sends) {
+    const auto it = receives.find(partner);
+    if (it == receives.end() || it->second != calc) {
+      return "send from " + std::to_string(calc) + " to " +
+             std::to_string(partner) + " has no matching receive";
+    }
+    if (!allow_send_and_receive && receives.contains(calc)) {
+      return "calculator " + std::to_string(calc) +
+             " both sends and receives (alignment rule violated)";
+    }
+  }
+  for (const auto& [calc, partner] : receives) {
+    const auto it = sends.find(partner);
+    if (it == sends.end() || it->second != calc) {
+      return "receive at " + std::to_string(calc) + " from " +
+             std::to_string(partner) + " has no matching send";
+    }
+  }
+  // Every order must reference a known calculator.
+  for (const auto& o : orders) {
+    const bool known =
+        std::any_of(loads.begin(), loads.end(),
+                    [&](const CalcLoad& l) { return l.calc == o.calc; });
+    if (!known) {
+      return "order addressed to unknown calculator " +
+             std::to_string(o.calc);
+    }
+  }
+  return {};
+}
+
+}  // namespace psanim::lb

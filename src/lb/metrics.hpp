@@ -1,0 +1,31 @@
+#pragma once
+
+// Balance-quality metrics used by tests and the ablation benches.
+
+#include <span>
+#include <vector>
+
+#include "lb/load_balancer.hpp"
+
+namespace psanim::lb {
+
+/// max(time) / mean(time) over the reports; 1.0 is perfect balance.
+double time_imbalance(std::span<const CalcLoad> loads);
+
+/// The speedup this frame would achieve over a sequential run on a
+/// rate-1.0 machine, given the reports: sum(work) / max(time).
+double frame_parallel_efficiency(std::span<const CalcLoad> loads);
+
+/// Apply orders to particle counts (pure bookkeeping — lets tests check a
+/// policy's fixed point without running the full protocol).
+std::vector<CalcLoad> apply_orders(std::span<const CalcLoad> loads,
+                                   std::span<const BalanceOrder> orders);
+
+/// Sanity-check a policy's output against the paper's rules: orders pair
+/// up (send matches receive), partners are domain neighbors, and no
+/// process both sends and receives. Returns an explanation or empty.
+std::string validate_orders(std::span<const CalcLoad> loads,
+                            std::span<const BalanceOrder> orders,
+                            bool allow_send_and_receive = false);
+
+}  // namespace psanim::lb

@@ -1,0 +1,5 @@
+#include "lb/static_lb.hpp"
+
+// StaticLB is header-only; this TU anchors the library target.
+
+namespace psanim::lb {}

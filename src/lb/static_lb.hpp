@@ -1,0 +1,19 @@
+#pragma once
+
+// Static load balancing (SLB in the tables): the initial equal-width
+// domain split is never revisited. The policy simply issues no orders —
+// the §5 experiments run it to quantify what the dynamic mechanism buys.
+
+#include "lb/load_balancer.hpp"
+
+namespace psanim::lb {
+
+class StaticLB final : public LoadBalancer {
+ public:
+  std::string name() const override { return "static"; }
+  std::vector<BalanceOrder> evaluate(std::span<const CalcLoad>) override {
+    return {};
+  }
+};
+
+}  // namespace psanim::lb

@@ -1,0 +1,70 @@
+#pragma once
+
+// Axis-aligned bounding box used for source domains, finite simulation
+// spaces and collision objects.
+
+#include <algorithm>
+#include <limits>
+
+#include "math/vec.hpp"
+
+namespace psanim {
+
+/// Axis-aligned box `[lo, hi]` in 3-space. An "infinite" box (the paper's
+/// IS mode) is represented by +/- kHuge extents along the split axis.
+struct Aabb {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{0, 0, 0};
+
+  /// Finite stand-in for an unbounded coordinate. Large enough that no
+  /// particle ever reaches it, small enough that float arithmetic on
+  /// domain boundaries stays exact.
+  static constexpr float kHuge = 1.0e6f;
+
+  constexpr Aabb() = default;
+  constexpr Aabb(Vec3 lo_, Vec3 hi_) : lo(lo_), hi(hi_) {}
+
+  /// Box spanning kHuge in every direction (infinite simulated space).
+  static constexpr Aabb infinite() {
+    return {{-kHuge, -kHuge, -kHuge}, {kHuge, kHuge, kHuge}};
+  }
+
+  /// Empty box suitable as identity for `extend`.
+  static constexpr Aabb empty() {
+    constexpr float inf = std::numeric_limits<float>::infinity();
+    return {{inf, inf, inf}, {-inf, -inf, -inf}};
+  }
+
+  constexpr bool operator==(const Aabb&) const = default;
+
+  constexpr bool valid() const {
+    return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+  }
+
+  constexpr bool contains(Vec3 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  constexpr Vec3 size() const { return hi - lo; }
+  constexpr Vec3 center() const { return (lo + hi) * 0.5f; }
+
+  /// Grow to include point p.
+  void extend(Vec3 p) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+
+  /// Nearest point inside the box.
+  constexpr Vec3 clamp(Vec3 p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+            std::clamp(p.z, lo.z, hi.z)};
+  }
+
+  /// Extent along axis index (0 = x, 1 = y, 2 = z).
+  constexpr float extent(int axis) const {
+    return hi.axis(axis) - lo.axis(axis);
+  }
+};
+
+}  // namespace psanim

@@ -1,0 +1,68 @@
+#pragma once
+
+// Running statistics and histograms used by telemetry and benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace psanim {
+
+/// Welford-style online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+  void reset() { *this = RunningStats{}; }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (n in the denominator); 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range linear histogram. Out-of-range samples clamp to the edge
+/// bins so counts are never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Render as a compact ASCII bar chart (one line per bin).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Imbalance of a load vector: max(load) / mean(load). 1.0 is perfectly
+/// balanced; the paper's dynamic balancer tries to drive this toward 1.
+double load_imbalance(const std::vector<double>& loads);
+
+/// Relative difference |a-b| / max(a,b); 0 when both are 0.
+double rel_diff(double a, double b);
+
+}  // namespace psanim

@@ -1,0 +1,15 @@
+#include "math/vec.hpp"
+
+#include <ostream>
+
+namespace psanim {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace psanim

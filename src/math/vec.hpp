@@ -1,0 +1,87 @@
+#pragma once
+
+// Small fixed-size vector types used throughout psanim.
+//
+// Particle state is stored in single precision (`float`): the paper's
+// workloads move millions of particles per frame and wire size matters for
+// the network model, so we match the precision a 2005-era animation library
+// would use. Virtual time and accumulated statistics use `double`.
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace psanim {
+
+/// 2-component float vector (image-plane coordinates, 2-D scenes).
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(float s) { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr float length2() const { return dot(*this); }
+  float length() const { return std::sqrt(length2()); }
+};
+
+/// 3-component float vector: particle positions, velocities, orientations.
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(float s) { x /= s; y /= s; z /= s; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr float length2() const { return dot(*this); }
+  float length() const { return std::sqrt(length2()); }
+
+  /// Unit vector in the same direction; returns +X for a zero vector so
+  /// orientation fields stay well defined.
+  Vec3 normalized() const {
+    const float l2 = length2();
+    if (l2 <= 0.0f) return {1.0f, 0.0f, 0.0f};
+    return *this / std::sqrt(l2);
+  }
+
+  /// Component along axis index (0 = x, 1 = y, 2 = z).
+  constexpr float axis(int a) const { return a == 0 ? x : (a == 1 ? y : z); }
+  constexpr float& axis_ref(int a) { return a == 0 ? x : (a == 1 ? y : z); }
+};
+
+constexpr Vec3 operator*(float s, Vec3 v) { return v * s; }
+constexpr Vec2 operator*(float s, Vec2 v) { return v * s; }
+
+/// Linear interpolation between two vectors; t in [0, 1].
+constexpr Vec3 lerp(Vec3 a, Vec3 b, float t) { return a + (b - a) * t; }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+}  // namespace psanim

@@ -1,0 +1,108 @@
+#include "mp/collectives.hpp"
+
+#include <algorithm>
+
+namespace psanim::mp {
+
+namespace {
+/// Ranks other than `root`, ascending.
+std::vector<int> others(const Endpoint& ep, int root) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(ep.world_size()) - 1);
+  for (int r = 0; r < ep.world_size(); ++r) {
+    if (r != root) out.push_back(r);
+  }
+  return out;
+}
+}  // namespace
+
+void barrier(Endpoint& ep) {
+  const int tag = ep.next_collective_tag();
+  constexpr int root = 0;
+  if (ep.rank() == root) {
+    const auto srcs = others(ep, root);
+    ep.recv_each(srcs, tag);
+    for (const int r : srcs) ep.send_empty(r, tag);
+  } else {
+    ep.send_empty(root, tag);
+    ep.recv(root, tag);
+  }
+}
+
+std::vector<std::byte> bcast(Endpoint& ep, int root,
+                             std::vector<std::byte> payload) {
+  const int tag = ep.next_collective_tag();
+  if (ep.rank() == root) {
+    for (int r = 0; r < ep.world_size(); ++r) {
+      if (r == root) continue;
+      ep.send(r, tag, payload);  // copy per destination
+    }
+    return payload;
+  }
+  return ep.recv(root, tag).payload;
+}
+
+std::vector<std::vector<std::byte>> gather(Endpoint& ep, int root,
+                                           std::vector<std::byte> payload) {
+  const int tag = ep.next_collective_tag();
+  if (ep.rank() != root) {
+    ep.send(root, tag, std::move(payload));
+    return {};
+  }
+  std::vector<std::vector<std::byte>> out(
+      static_cast<std::size_t>(ep.world_size()));
+  out[static_cast<std::size_t>(root)] = std::move(payload);
+  for (const int r : others(ep, root)) {
+    out[static_cast<std::size_t>(r)] = ep.recv(r, tag).payload;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> allgather(Endpoint& ep,
+                                              std::vector<std::byte> payload) {
+  constexpr int root = 0;
+  auto all = gather(ep, root, std::move(payload));
+  // Root re-broadcasts the concatenation with per-part length prefixes.
+  Writer w;
+  if (ep.rank() == root) {
+    w.put<std::uint64_t>(all.size());
+    for (const auto& part : all) {
+      w.put_vector(part);
+    }
+  }
+  auto bytes = bcast(ep, root, w.take());
+  if (ep.rank() == root) return all;
+  Reader r(bytes);
+  const auto n = r.get<std::uint64_t>();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(n));
+  for (auto& part : out) part = r.get_vector<std::byte>();
+  return out;
+}
+
+namespace {
+double allreduce(Endpoint& ep, double value, double (*op)(double, double)) {
+  Writer w;
+  w.put(value);
+  const auto parts = allgather(ep, w.take());
+  double acc = value;
+  bool first = true;
+  for (const auto& part : parts) {
+    Reader r{std::span<const std::byte>(part)};
+    const double v = r.get<double>();
+    acc = first ? v : op(acc, v);
+    first = false;
+  }
+  return acc;
+}
+}  // namespace
+
+double allreduce_max(Endpoint& ep, double value) {
+  return allreduce(ep, value,
+                   +[](double a, double b) { return std::max(a, b); });
+}
+
+double allreduce_sum(Endpoint& ep, double value) {
+  return allreduce(ep, value, +[](double a, double b) { return a + b; });
+}
+
+}  // namespace psanim::mp

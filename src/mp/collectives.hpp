@@ -1,0 +1,43 @@
+#pragma once
+
+// Collective operations over Endpoints.
+//
+// Linear (root-loops) algorithms: with the paper's process counts (at most
+// 34 including manager and image generator) linear collectives match what
+// a 2005 MPICH over Ethernet/Myrinet would do for small messages, and they
+// keep virtual-time behaviour easy to reason about. Every rank must call
+// the same collectives in the same order.
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace psanim::mp {
+
+/// Synchronize all ranks: on return every clock sits at the barrier
+/// release time (max of arrivals at root plus release latency per rank).
+void barrier(Endpoint& ep);
+
+/// Root's payload is delivered to every rank (root included). Returns the
+/// payload on all ranks.
+std::vector<std::byte> bcast(Endpoint& ep, int root,
+                             std::vector<std::byte> payload = {});
+
+/// Every rank contributes a payload; root receives them ordered by rank
+/// (root's own contribution included at its index). Non-root ranks get an
+/// empty vector.
+std::vector<std::vector<std::byte>> gather(Endpoint& ep, int root,
+                                           std::vector<std::byte> payload);
+
+/// Gather + rebroadcast: every rank ends with all contributions by rank.
+std::vector<std::vector<std::byte>> allgather(Endpoint& ep,
+                                              std::vector<std::byte> payload);
+
+/// Maximum of one double across ranks, known to all ranks on return.
+double allreduce_max(Endpoint& ep, double value);
+
+/// Sum of one double across ranks, known to all ranks on return.
+double allreduce_sum(Endpoint& ep, double value);
+
+}  // namespace psanim::mp

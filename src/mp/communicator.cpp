@@ -1,0 +1,67 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+
+#include "mp/runtime.hpp"
+
+namespace psanim::mp {
+
+LinkCostFn zero_cost_fn() {
+  return [](int, int, std::size_t) { return MsgCost{}; };
+}
+
+Endpoint::Endpoint(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+
+int Endpoint::world_size() const { return rt_.world_size(); }
+
+void Endpoint::send(int dst, int tag, std::vector<std::byte> payload) {
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.seq = rt_.next_seq();
+  m.payload = std::move(payload);
+
+  const MsgCost cost = rt_.message_cost(rank_, dst, m.wire_bytes());
+  clock_.charge_comm(cost.send_cpu_s);
+  m.depart_time = clock_.now();
+  m.arrive_time = m.depart_time + cost.wire_s + cost.recv_cpu_s;
+  // Non-overtaking per ordered (src, dst) pair, as MPI guarantees.
+  double& last = rt_.last_arrival(rank_, dst);
+  if (m.arrive_time < last) m.arrive_time = last;
+  last = m.arrive_time;
+
+  traffic_.msgs_sent += 1;
+  traffic_.bytes_sent += m.wire_bytes();
+
+  rt_.mailbox(dst).push(std::move(m));
+}
+
+Message Endpoint::recv(int src, int tag) {
+  Message m =
+      rt_.mailbox(rank_).pop_match(src, tag, rt_.options().recv_timeout_s);
+  clock_.advance_to(m.arrive_time);
+  traffic_.msgs_recv += 1;
+  traffic_.bytes_recv += m.wire_bytes();
+  return m;
+}
+
+std::vector<Message> Endpoint::recv_each(std::span<const int> sources,
+                                         int tag) {
+  std::vector<Message> out;
+  out.reserve(sources.size());
+  for (const int src : sources) out.push_back(recv(src, tag));
+  return out;
+}
+
+bool Endpoint::probe(int src, int tag) const {
+  return rt_.mailbox(rank_).probe(src, tag);
+}
+
+int Endpoint::next_collective_tag() {
+  // Collective tags live in a reserved high range so they never collide
+  // with protocol tags.
+  constexpr int kCollectiveBase = 1 << 24;
+  return kCollectiveBase + (collective_seq_++ & 0xffff);
+}
+
+}  // namespace psanim::mp

@@ -1,0 +1,79 @@
+#include "mp/mailbox.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace psanim::mp {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAny || m.src == src) && (tag == kAny || m.tag == tag);
+}
+
+/// Ordering used to pick among multiple queued matches.
+bool earlier(const Message& a, const Message& b) {
+  if (a.arrive_time != b.arrive_time) return a.arrive_time < b.arrive_time;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+}  // namespace
+
+void Mailbox::push(Message m) {
+  {
+    const std::scoped_lock lock(mu_);
+    q_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_match(int src, int tag) const {
+  std::size_t best = kNpos;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (!matches(q_[i], src, tag)) continue;
+    if (best == kNpos || earlier(q_[i], q_[best])) best = i;
+  }
+  return best;
+}
+
+Message Mailbox::pop_match(int src, int tag, double timeout_s) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_s));
+  std::size_t idx = kNpos;
+  const bool ok = cv_.wait_until(lock, deadline, [&] {
+    idx = find_match(src, tag);
+    return idx != kNpos;
+  });
+  if (!ok) {
+    throw RecvTimeout("psanim::mp: receive timed out (src=" +
+                      std::to_string(src) + ", tag=" + std::to_string(tag) +
+                      ") — likely a missing end-of-transmission marker");
+  }
+  Message m = std::move(q_[idx]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return m;
+}
+
+std::optional<Message> Mailbox::try_pop_match(int src, int tag) {
+  const std::scoped_lock lock(mu_);
+  const std::size_t idx = find_match(src, tag);
+  if (idx == kNpos) return std::nullopt;
+  Message m = std::move(q_[idx]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return m;
+}
+
+bool Mailbox::probe(int src, int tag) const {
+  const std::scoped_lock lock(mu_);
+  return find_match(src, tag) != kNpos;
+}
+
+std::size_t Mailbox::size() const {
+  const std::scoped_lock lock(mu_);
+  return q_.size();
+}
+
+}  // namespace psanim::mp

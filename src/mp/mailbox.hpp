@@ -1,0 +1,58 @@
+#pragma once
+
+// Per-rank inbox with blocking, filtered receives.
+//
+// Matching is deterministic in *virtual* time: among the queued messages
+// that match a (src, tag) filter, `pop_match` returns the one with the
+// smallest (arrive_time, src, seq) triple, not the one that happened to be
+// pushed first in wall-clock order. Combined with the protocol's
+// known-sender receive loops this makes simulated makespans reproducible
+// run-to-run even under arbitrary thread scheduling.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mp/message.hpp"
+
+namespace psanim::mp {
+
+/// Thrown when a blocking receive exceeds its deadline — a protocol
+/// deadlock (e.g. a missing end-of-transmission marker, which the paper
+/// calls out as a failure mode) surfaces as this error instead of a hang.
+class RecvTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Mailbox {
+ public:
+  /// Enqueue a message (called from the sender's thread).
+  void push(Message m);
+
+  /// Block until a message matching (src, tag) is present, then remove and
+  /// return the match with the smallest (arrive_time, src, seq).
+  /// `src`/`tag` may be kAny. Throws RecvTimeout after `timeout_s` of
+  /// wall-clock waiting.
+  Message pop_match(int src, int tag, double timeout_s);
+
+  /// Non-blocking variant; nullopt when no match is queued.
+  std::optional<Message> try_pop_match(int src, int tag);
+
+  /// True when a matching message is queued (MPI_Iprobe analogue).
+  bool probe(int src, int tag) const;
+
+  /// Number of queued messages (any filter).
+  std::size_t size() const;
+
+ private:
+  // Index of best match in q_, or npos. Caller holds mu_.
+  std::size_t find_match(int src, int tag) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace psanim::mp

@@ -1,0 +1,6 @@
+#include "mp/message.hpp"
+
+// Message and the serialization helpers are header-only; this TU anchors
+// the library target.
+
+namespace psanim::mp {}

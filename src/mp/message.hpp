@@ -1,0 +1,122 @@
+#pragma once
+
+// Messages and POD serialization for the psanim message-passing runtime.
+//
+// A message is a tagged byte payload plus virtual-time stamps. Payloads
+// are built with `Writer` and decoded with `Reader`; both operate on
+// trivially-copyable types only, mirroring what an MPI derived datatype
+// for the paper's particle records would carry.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace psanim::mp {
+
+/// Wildcard rank/tag for receives, analogous to MPI_ANY_SOURCE/MPI_ANY_TAG.
+inline constexpr int kAny = -1;
+
+/// Fixed per-message envelope charged to the wire in addition to the
+/// payload (source, tag, length — what an MPI header would carry).
+inline constexpr std::size_t kEnvelopeBytes = 32;
+
+/// One in-flight message.
+struct Message {
+  int src = -1;               ///< sender rank
+  int tag = 0;                ///< user tag
+  std::uint64_t seq = 0;      ///< per-runtime sequence number (tiebreak)
+  double depart_time = 0.0;   ///< sender virtual time at send
+  double arrive_time = 0.0;   ///< receiver-side virtual availability time
+  std::vector<std::byte> payload;
+
+  std::size_t wire_bytes() const { return payload.size() + kEnvelopeBytes; }
+};
+
+/// Thrown when a Reader runs past the end of a payload or a decoded size
+/// is implausible — indicates a protocol bug, never silently truncates.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only payload builder.
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "only trivially copyable types go on the wire");
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Length-prefixed span of PODs.
+  template <typename T>
+  void put_span(std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(items.size());
+    const auto* p = reinterpret_cast<const std::byte*>(items.data());
+    buf_.insert(buf_.end(), p, p + items.size_bytes());
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& items) {
+    put_span(std::span<const T>(items));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  const std::vector<std::byte>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential payload decoder with bounds checking.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+  explicit Reader(const Message& m) : bytes_(m.payload) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    if (n > (bytes_.size() - pos_) / sizeof(T)) {
+      throw DecodeError("psanim::mp::Reader: vector length exceeds payload");
+    }
+    std::vector<T> out(static_cast<std::size_t>(n));
+    std::memcpy(out.data(), bytes_.data() + pos_, out.size() * sizeof(T));
+    pos_ += out.size() * sizeof(T);
+    return out;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw DecodeError("psanim::mp::Reader: read past end of payload");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace psanim::mp

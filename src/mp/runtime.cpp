@@ -1,0 +1,65 @@
+#include "mp/runtime.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace psanim::mp {
+
+Runtime::Runtime(int world_size, LinkCostFn cost_fn, RuntimeOptions options)
+    : world_size_(world_size),
+      cost_fn_(std::move(cost_fn)),
+      options_(options) {
+  if (world_size <= 0) {
+    throw std::invalid_argument("Runtime: world_size must be positive");
+  }
+  if (!cost_fn_) {
+    throw std::invalid_argument("Runtime: cost function must be callable");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  last_arrival_.assign(static_cast<std::size_t>(world_size) *
+                           static_cast<std::size_t>(world_size),
+                       0.0);
+}
+
+std::vector<ProcessResult> Runtime::run(
+    const std::function<void(Endpoint&)>& body) {
+  const auto n = static_cast<std::size_t>(world_size_);
+  std::vector<ProcessResult> results(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (int r = 0; r < world_size_; ++r) {
+      threads.emplace_back([this, r, &body, &results, &errors] {
+        const auto i = static_cast<std::size_t>(r);
+        Endpoint ep(*this, r);
+        try {
+          body(ep);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        results[i] = ProcessResult{
+            .rank = r,
+            .finish_time = ep.clock().now(),
+            .compute_s = ep.clock().compute_seconds(),
+            .comm_s = ep.clock().comm_seconds(),
+            .wait_s = ep.clock().wait_seconds(),
+            .traffic = ep.traffic(),
+        };
+      });
+    }
+    // jthread joins on scope exit; all process threads are done past here.
+  }
+
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace psanim::mp

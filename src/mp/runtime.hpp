@@ -1,0 +1,75 @@
+#pragma once
+
+// Runtime: spawns one thread per model process and joins them all
+// (CP.25-style scoped joining — run() does not return while any process
+// thread lives). Exceptions thrown by process bodies are captured and the
+// first one (by rank) is rethrown to the caller.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "mp/mailbox.hpp"
+
+namespace psanim::mp {
+
+/// Final state of one process after a run.
+struct ProcessResult {
+  int rank = 0;
+  double finish_time = 0.0;  ///< virtual clock at body return
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double wait_s = 0.0;
+  TrafficStats traffic;
+};
+
+struct RuntimeOptions {
+  /// Wall-clock receive timeout; protocol deadlocks fail loudly instead of
+  /// hanging forever. Tests lower this.
+  double recv_timeout_s = 60.0;
+};
+
+class Runtime {
+ public:
+  Runtime(int world_size, LinkCostFn cost_fn,
+          RuntimeOptions options = RuntimeOptions{});
+
+  int world_size() const { return world_size_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  /// Execute `body(endpoint)` on every rank concurrently; blocks until all
+  /// ranks return, then rethrows the lowest-rank exception if any.
+  /// Returns per-rank results ordered by rank.
+  std::vector<ProcessResult> run(
+      const std::function<void(Endpoint&)>& body);
+
+  // --- used by Endpoint ---
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  MsgCost message_cost(int src, int dst, std::size_t wire_bytes) const {
+    return cost_fn_(src, dst, wire_bytes);
+  }
+  std::uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Per-(src, dst) last virtual arrival, enforcing MPI's non-overtaking
+  /// guarantee: a later message on the same ordered pair never arrives
+  /// before an earlier one, even if it is much smaller. Only the src
+  /// rank's thread touches row src.
+  double& last_arrival(int src, int dst) {
+    return last_arrival_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(world_size_) +
+                         static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  int world_size_;
+  LinkCostFn cost_fn_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<double> last_arrival_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace psanim::mp

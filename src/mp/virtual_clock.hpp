@@ -1,0 +1,55 @@
+#pragma once
+
+// Per-process virtual clock.
+//
+// psanim executes the paper's protocol with real threads but measures it
+// in *virtual* time: compute work and message costs advance each process's
+// clock deterministically, so the simulated makespan of a run is identical
+// on any host — including the single-core container this reproduction was
+// developed in — and across thread schedules.
+
+namespace psanim::mp {
+
+/// Accumulates a process's virtual "now" plus a breakdown of where the
+/// time went (compute, communication CPU overhead, blocked waiting).
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advance by `s` seconds of modeled computation.
+  void charge_compute(double s) {
+    now_ += s;
+    compute_s_ += s;
+  }
+
+  /// Advance by `s` seconds of communication CPU overhead (serialization,
+  /// protocol stack).
+  void charge_comm(double s) {
+    now_ += s;
+    comm_s_ += s;
+  }
+
+  /// Jump forward to absolute time `t` (message arrival, barrier release).
+  /// The gap is accounted as blocked/wait time. No-op if `t` is in the
+  /// past — virtual clocks never run backwards.
+  void advance_to(double t) {
+    if (t > now_) {
+      wait_s_ += t - now_;
+      now_ = t;
+    }
+  }
+
+  double compute_seconds() const { return compute_s_; }
+  double comm_seconds() const { return comm_s_; }
+  double wait_seconds() const { return wait_s_; }
+
+  void reset() { *this = VirtualClock{}; }
+
+ private:
+  double now_ = 0.0;
+  double compute_s_ = 0.0;
+  double comm_s_ = 0.0;
+  double wait_s_ = 0.0;
+};
+
+}  // namespace psanim::mp

@@ -1,0 +1,75 @@
+#include "net/network_model.hpp"
+
+namespace psanim::net {
+
+std::string to_string(Interconnect ic) {
+  switch (ic) {
+    case Interconnect::kLoopback: return "loopback";
+    case Interconnect::kFastEthernet: return "fast-ethernet";
+    case Interconnect::kGigabitEthernet: return "gigabit-ethernet";
+    case Interconnect::kMyrinet: return "myrinet";
+    case Interconnect::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+bool NicSet::has(Interconnect ic) const {
+  switch (ic) {
+    case Interconnect::kFastEthernet: return fast_ethernet;
+    case Interconnect::kGigabitEthernet: return gigabit;
+    case Interconnect::kMyrinet: return myrinet;
+    case Interconnect::kLoopback:
+    case Interconnect::kCustom:
+      return false;
+  }
+  return false;
+}
+
+LinkModel LinkModel::loopback() {
+  // Shared-memory copy on a 2005-era SMP: ~1 us wakeup, ~800 MB/s memcpy.
+  return {Interconnect::kLoopback, 1e-6, 800e6};
+}
+
+LinkModel LinkModel::fast_ethernet() {
+  // 100 Mb/s switched Ethernet with TCP: ~70 us latency, ~11 MB/s payload.
+  return {Interconnect::kFastEthernet, 70e-6, 11e6};
+}
+
+LinkModel LinkModel::gigabit_ethernet() {
+  return {Interconnect::kGigabitEthernet, 30e-6, 110e6};
+}
+
+LinkModel LinkModel::myrinet() {
+  // Myrinet 2000 with GM: ~7 us latency, ~240 MB/s payload.
+  return {Interconnect::kMyrinet, 7e-6, 240e6};
+}
+
+LinkModel LinkModel::custom(double latency_s, double bandwidth_bps) {
+  return {Interconnect::kCustom, latency_s, bandwidth_bps};
+}
+
+LinkModel LinkModel::preset(Interconnect ic) {
+  switch (ic) {
+    case Interconnect::kLoopback: return loopback();
+    case Interconnect::kFastEthernet: return fast_ethernet();
+    case Interconnect::kGigabitEthernet: return gigabit_ethernet();
+    case Interconnect::kMyrinet: return myrinet();
+    case Interconnect::kCustom: return custom(0.0, 1e12);
+  }
+  return custom(0.0, 1e12);
+}
+
+LinkModel resolve_link(const NicSet& a, const NicSet& b, bool same_node,
+                       Interconnect preferred) {
+  if (same_node) return LinkModel::loopback();
+  if (preferred != Interconnect::kLoopback && a.has(preferred) &&
+      b.has(preferred)) {
+    return LinkModel::preset(preferred);
+  }
+  // Fastest common interconnect.
+  if (a.myrinet && b.myrinet) return LinkModel::myrinet();
+  if (a.gigabit && b.gigabit) return LinkModel::gigabit_ethernet();
+  return LinkModel::fast_ethernet();
+}
+
+}  // namespace psanim::net

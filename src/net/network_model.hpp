@@ -1,0 +1,70 @@
+#pragma once
+
+// Network performance models.
+//
+// The paper evaluates the same library over Myrinet and Fast-Ethernet and
+// attributes several results (notably the failure of dynamic load balancing
+// for the fountain workload on Fast-Ethernet) to interconnect speed. We
+// model a link with the classic latency/bandwidth (alpha-beta) cost:
+//
+//     time(message) = latency + bytes / bandwidth
+//
+// which is the level of fidelity the paper's analysis uses. Messages
+// between processes on the same node travel over a shared-memory loopback
+// link instead of the network.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace psanim::net {
+
+/// Interconnect technologies present in the paper's cluster, plus a
+/// loopback link for colocated processes and Gigabit for ablations.
+enum class Interconnect : std::uint8_t {
+  kLoopback,      ///< same-node shared memory transfer
+  kFastEthernet,  ///< 100 Mb/s switched Ethernet (all paper nodes)
+  kGigabitEthernet,
+  kMyrinet,       ///< ~2 Gb/s Myrinet (paper's PIII nodes only)
+  kCustom,
+};
+
+std::string to_string(Interconnect ic);
+
+/// Bitmask of NICs a node owns. The paper's PIII nodes (E60/E800) carry
+/// Myrinet + Fast-Ethernet; the Itanium workstations only Fast-Ethernet.
+struct NicSet {
+  bool fast_ethernet = true;
+  bool gigabit = false;
+  bool myrinet = false;
+
+  bool has(Interconnect ic) const;
+};
+
+/// Alpha-beta cost model for one link.
+struct LinkModel {
+  Interconnect kind = Interconnect::kCustom;
+  double latency_s = 0.0;        ///< per-message one-way latency (seconds)
+  double bandwidth_bps = 1e9;    ///< payload bandwidth (bytes per second)
+
+  /// One-way transfer time for a message of `bytes` payload bytes.
+  double cost_s(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+
+  static LinkModel loopback();
+  static LinkModel fast_ethernet();
+  static LinkModel gigabit_ethernet();
+  static LinkModel myrinet();
+  static LinkModel custom(double latency_s, double bandwidth_bps);
+  static LinkModel preset(Interconnect ic);
+};
+
+/// Picks the link two nodes will use: loopback when colocated, else the
+/// fastest interconnect both NIC sets share, preferring `preferred` when
+/// both ends have it. Falls back to Fast-Ethernet (every paper node has
+/// it).
+LinkModel resolve_link(const NicSet& a, const NicSet& b, bool same_node,
+                       Interconnect preferred);
+
+}  // namespace psanim::net

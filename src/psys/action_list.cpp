@@ -1,0 +1,29 @@
+#include "psys/action_list.hpp"
+
+namespace psanim::psys {
+
+std::vector<const Source*> ActionList::sources() const {
+  std::vector<const Source*> out;
+  for (const auto& a : actions_) {
+    if (const auto* s = dynamic_cast<const Source*>(a.get())) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::size_t ActionList::creation_rate() const {
+  std::size_t total = 0;
+  for (const Source* s : sources()) total += s->rate();
+  return total;
+}
+
+double ActionList::modify_move_weight() const {
+  double w = 0.0;
+  for (const auto& a : actions_) {
+    if (a->cls() != ActionClass::kCreate) w += a->cost_weight();
+  }
+  return w;
+}
+
+}  // namespace psanim::psys

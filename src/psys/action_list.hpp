@@ -1,0 +1,48 @@
+#pragma once
+
+// Ordered list of actions — Algorithm 1's loop body for one system.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "psys/actions.hpp"
+
+namespace psanim::psys {
+
+class ActionList {
+ public:
+  /// Construct and append an action; returns *this for chaining.
+  template <typename T, typename... Args>
+  ActionList& add(Args&&... args) {
+    actions_.push_back(std::make_unique<const T>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  ActionList& append(ActionPtr a) {
+    actions_.push_back(std::move(a));
+    return *this;
+  }
+
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& operator[](std::size_t i) const { return *actions_.at(i); }
+
+  auto begin() const { return actions_.begin(); }
+  auto end() const { return actions_.end(); }
+
+  /// All kCreate actions, in order (the manager runs these).
+  std::vector<const Source*> sources() const;
+
+  /// Total creation rate per frame across sources.
+  std::size_t creation_rate() const;
+
+  /// Sum of cost weights of non-create actions (used to estimate a frame's
+  /// per-particle compute weight).
+  double modify_move_weight() const;
+
+ private:
+  std::vector<ActionPtr> actions_;
+};
+
+}  // namespace psanim::psys

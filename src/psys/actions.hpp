@@ -1,0 +1,288 @@
+#pragma once
+
+// Actions over particles — the verbs of the particle-system API.
+//
+// §3.1.5 classifies actions by how they interact with the distribution
+// model:
+//   * kCreate  — generate particles (run by the manager, which scatters
+//                the new particles to calculators by domain);
+//   * kModify  — change properties but not position (run locally by each
+//                calculator with no communication);
+//   * kMove    — change positions (after these, calculators must check
+//                whether particles left their domain).
+//
+// Every action is pure local computation over a span of particles; the
+// distribution machinery lives in core/.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "psys/particle.hpp"
+#include "psys/source_domain.hpp"
+
+namespace psanim::psys {
+
+enum class ActionClass { kCreate, kModify, kMove };
+
+/// Mutable state threaded through one action application.
+struct ActionContext {
+  float dt = 1.0f / 30.0f;  ///< animation timestep (seconds of scene time)
+  Rng* rng = nullptr;       ///< deterministic stream for this application
+  std::size_t killed = 0;   ///< particles marked dead by this action
+};
+
+class Action {
+ public:
+  virtual ~Action() = default;
+
+  virtual const char* name() const = 0;
+  virtual ActionClass cls() const { return ActionClass::kModify; }
+
+  /// Apply to every (live) particle in `ps`.
+  virtual void apply(std::span<Particle> ps, ActionContext& ctx) const = 0;
+
+  /// Relative compute weight: virtual cost = weight * CostModel.action_cost
+  /// per particle. Calibrated per action (RNG-heavy actions cost more).
+  virtual double cost_weight() const { return 1.0; }
+};
+
+using ActionPtr = std::unique_ptr<const Action>;
+
+// ---------------------------------------------------------------------------
+// Creation
+
+/// Emits `rate` particles per frame, positions sampled from
+/// `position_domain`, velocities from `velocity_domain`.
+class Source final : public Action {
+ public:
+  struct Params {
+    std::size_t rate = 0;
+    DomainPtr position_domain;
+    DomainPtr velocity_domain;
+    Vec3 color{1, 1, 1};
+    Vec3 color_jitter{0, 0, 0};  ///< uniform +/- per channel
+    float size = 1.0f;
+    float lifetime = 0.0f;       ///< 0 = immortal
+    float lifetime_jitter = 0.0f;
+    float mass = 1.0f;
+    Vec3 up{0, 1, 0};
+  };
+
+  explicit Source(Params p);
+
+  const char* name() const override { return "source"; }
+  ActionClass cls() const override { return ActionClass::kCreate; }
+  /// kCreate actions are no-ops on existing particles.
+  void apply(std::span<Particle>, ActionContext&) const override {}
+  double cost_weight() const override { return 2.5; }
+
+  /// Generate this frame's particles into `out` (manager-side).
+  void generate(std::vector<Particle>& out, ActionContext& ctx) const;
+
+  std::size_t rate() const { return params_.rate; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+// ---------------------------------------------------------------------------
+// Property modifiers (no repositioning, §3.2.2)
+
+/// vel += g * dt.
+class Gravity final : public Action {
+ public:
+  explicit Gravity(Vec3 g) : g_(g) {}
+  const char* name() const override { return "gravity"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.5; }
+
+ private:
+  Vec3 g_;
+};
+
+/// vel += sample(accel_domain) * dt — McAllister-style random acceleration
+/// (the snow experiment's flutter).
+class RandomAccel final : public Action {
+ public:
+  explicit RandomAccel(DomainPtr accel_domain)
+      : domain_(std::move(accel_domain)) {}
+  const char* name() const override { return "random-accel"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 2.0; }
+
+ private:
+  DomainPtr domain_;
+};
+
+/// vel *= damping^dt (air drag).
+class Damping final : public Action {
+ public:
+  explicit Damping(float per_second) : per_second_(per_second) {}
+  const char* name() const override { return "damping"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.5; }
+
+ private:
+  float per_second_;
+};
+
+/// Clamp speed into [min, max].
+class SpeedLimit final : public Action {
+ public:
+  SpeedLimit(float min_speed, float max_speed)
+      : min_(min_speed), max_(max_speed) {}
+  const char* name() const override { return "speed-limit"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.6; }
+
+ private:
+  float min_;
+  float max_;
+};
+
+/// Reflect particles off a domain surface with restitution and tangential
+/// friction ("simulate collision with object obj" in Algorithm 1).
+class Bounce final : public Action {
+ public:
+  Bounce(DomainPtr obstacle, float restitution, float friction = 0.0f)
+      : obstacle_(std::move(obstacle)),
+        restitution_(restitution),
+        friction_(friction) {}
+  const char* name() const override { return "bounce"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 1.5; }
+
+ private:
+  DomainPtr obstacle_;
+  float restitution_;
+  float friction_;
+};
+
+/// Kill particles inside (or, with kill_inside=false, outside) a domain —
+/// "remove particles under the position (x, y, z)" in Algorithm 1 is a
+/// Sink on a half-space.
+class Sink final : public Action {
+ public:
+  Sink(DomainPtr region, bool kill_inside = true)
+      : region_(std::move(region)), kill_inside_(kill_inside) {}
+  const char* name() const override { return "sink"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.8; }
+
+ private:
+  DomainPtr region_;
+  bool kill_inside_;
+};
+
+/// Kill particles older than their lifetime (or a fixed cutoff).
+class KillOld final : public Action {
+ public:
+  /// age_limit <= 0 means "use each particle's own lifetime".
+  explicit KillOld(float age_limit = 0.0f) : age_limit_(age_limit) {}
+  const char* name() const override { return "kill-old"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.3; }
+
+ private:
+  float age_limit_;
+};
+
+/// Pull particles toward a point with magnitude/epsilon like McAllister's
+/// OrbitPoint (gravity well).
+class OrbitPoint final : public Action {
+ public:
+  OrbitPoint(Vec3 center, float magnitude, float epsilon = 0.1f)
+      : center_(center), magnitude_(magnitude), epsilon_(epsilon) {}
+  const char* name() const override { return "orbit-point"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 1.2; }
+
+ private:
+  Vec3 center_;
+  float magnitude_;
+  float epsilon_;
+};
+
+/// Swirl around an axis (smoke columns).
+class Vortex final : public Action {
+ public:
+  Vortex(Vec3 center, Vec3 axis, float magnitude)
+      : center_(center), axis_(axis.normalized()), magnitude_(magnitude) {}
+  const char* name() const override { return "vortex"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 1.6; }
+
+ private:
+  Vec3 center_;
+  Vec3 axis_;
+  float magnitude_;
+};
+
+/// Constant acceleration applied only inside a region (a jet of wind).
+class Jet final : public Action {
+ public:
+  Jet(DomainPtr region, Vec3 accel)
+      : region_(std::move(region)), accel_(accel) {}
+  const char* name() const override { return "jet"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 1.0; }
+
+ private:
+  DomainPtr region_;
+  Vec3 accel_;
+};
+
+/// Exponential alpha fade (smoke dissipation).
+class Fade final : public Action {
+ public:
+  explicit Fade(float per_second) : per_second_(per_second) {}
+  const char* name() const override { return "fade"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.4; }
+
+ private:
+  float per_second_;
+};
+
+/// Grow (or shrink) size at a constant rate, clamped at >= 0.
+class Grow final : public Action {
+ public:
+  explicit Grow(float per_second) : per_second_(per_second) {}
+  const char* name() const override { return "grow"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.4; }
+
+ private:
+  float per_second_;
+};
+
+/// Blend color toward a target.
+class TargetColor final : public Action {
+ public:
+  TargetColor(Vec3 target, float blend_per_second)
+      : target_(target), blend_(blend_per_second) {}
+  const char* name() const override { return "target-color"; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.6; }
+
+ private:
+  Vec3 target_;
+  float blend_;
+};
+
+// ---------------------------------------------------------------------------
+// Movement (§3.2.3)
+
+/// Integrate positions: prev_pos = pos; pos += vel * dt; age += dt.
+class Move final : public Action {
+ public:
+  const char* name() const override { return "move"; }
+  ActionClass cls() const override { return ActionClass::kMove; }
+  void apply(std::span<Particle> ps, ActionContext& ctx) const override;
+  double cost_weight() const override { return 0.7; }
+};
+
+}  // namespace psanim::psys

@@ -1,0 +1,123 @@
+#include "psys/effects.hpp"
+
+namespace psanim::psys {
+
+ParticleSystem snow_system(const Aabb& area, std::size_t rate_per_frame,
+                           float lifetime_s) {
+  ActionList al;
+  // Emission sheet just below the top of the area, full horizontal extent.
+  const float top = area.hi.y;
+  Source::Params src;
+  src.rate = rate_per_frame;
+  src.position_domain =
+      make_box({area.lo.x, top - 0.5f, area.lo.z}, {area.hi.x, top, area.hi.z});
+  // Mainly vertical fall with sideways drift (wind + flutter).
+  src.velocity_domain = make_box({-0.5f, -2.2f, -0.5f}, {0.5f, -1.6f, 0.5f});
+  src.color = {0.95f, 0.95f, 1.0f};
+  src.size = 0.05f;
+  src.lifetime = lifetime_s;
+  src.lifetime_jitter = 0.2f * lifetime_s;
+  al.add<Source>(src);
+  // Flutter: small random acceleration sampled from a ball.
+  al.add<RandomAccel>(make_sphere({0, 0, 0}, 1.2f));
+  // Collide with the ground plane: snow settles, doesn't bounce much.
+  al.add<Bounce>(make_plane({0, area.lo.y, 0}, {0, 1, 0}),
+                 /*restitution=*/0.05f, /*friction=*/0.9f);
+  al.add<KillOld>();
+  al.add<Move>();
+  return ParticleSystem("snow", std::move(al));
+}
+
+ParticleSystem fountain_system(Vec3 base, std::size_t rate_per_frame,
+                               float jet_speed, float spread,
+                               float lifetime_s) {
+  ActionList al;
+  Source::Params src;
+  src.rate = rate_per_frame;
+  src.position_domain = make_sphere(base, 0.08f);
+  // Upward jet with horizontal spread: velocities in a squat cylinder
+  // around +y, so trajectories arc outward in x and z.
+  src.velocity_domain = make_cylinder({0, jet_speed * 0.85f, 0},
+                                      {0, jet_speed * 1.15f, 0}, spread);
+  src.color = {0.55f, 0.7f, 1.0f};
+  src.color_jitter = {0.06f, 0.06f, 0.06f};
+  src.size = 0.04f;
+  src.lifetime = lifetime_s;
+  src.lifetime_jitter = 0.25f * lifetime_s;
+  al.add<Source>(src);
+  al.add<Gravity>(Vec3{0, -9.8f, 0});
+  // Slight drag so droplets don't accumulate unbounded speed.
+  al.add<Damping>(0.98f);
+  // Splash on the basin plane at the fountain's base height.
+  al.add<Bounce>(make_plane({0, base.y, 0}, {0, 1, 0}),
+                 /*restitution=*/0.35f, /*friction=*/0.4f);
+  al.add<KillOld>();
+  al.add<Move>();
+  return ParticleSystem("fountain", std::move(al));
+}
+
+ParticleSystem smoke_system(Vec3 base, std::size_t rate_per_frame) {
+  ActionList al;
+  Source::Params src;
+  src.rate = rate_per_frame;
+  src.position_domain = make_disc(base, {0, 1, 0}, 0.3f);
+  src.velocity_domain = make_box({-0.1f, 0.8f, -0.1f}, {0.1f, 1.4f, 0.1f});
+  src.color = {0.4f, 0.4f, 0.42f};
+  src.size = 0.15f;
+  src.lifetime = 6.0f;
+  src.lifetime_jitter = 1.5f;
+  al.add<Source>(src);
+  al.add<Vortex>(base, Vec3{0, 1, 0}, 2.0f);
+  al.add<RandomAccel>(make_sphere({0, 0, 0}, 0.4f));
+  al.add<Fade>(0.7f);
+  al.add<Grow>(0.12f);
+  al.add<KillOld>();
+  al.add<Move>();
+  return ParticleSystem("smoke", std::move(al));
+}
+
+ParticleSystem fireworks_system(Vec3 burst_center,
+                                std::size_t rate_per_frame) {
+  ActionList al;
+  Source::Params src;
+  src.rate = rate_per_frame;
+  src.position_domain = make_point(burst_center);
+  src.velocity_domain = make_sphere({0, 0, 0}, 12.0f);
+  src.color = {1.0f, 0.85f, 0.3f};
+  src.color_jitter = {0.0f, 0.15f, 0.2f};
+  src.size = 0.06f;
+  src.lifetime = 2.2f;
+  src.lifetime_jitter = 0.6f;
+  al.add<Source>(src);
+  al.add<Gravity>(Vec3{0, -9.8f, 0});
+  al.add<Damping>(0.92f);
+  al.add<TargetColor>(Vec3{0.9f, 0.25f, 0.05f}, 0.8f);
+  al.add<Fade>(0.45f);
+  al.add<KillOld>();
+  al.add<Move>();
+  return ParticleSystem("fireworks", std::move(al));
+}
+
+ParticleSystem waterfall_system(Vec3 ledge_a, Vec3 ledge_b,
+                                std::size_t rate_per_frame) {
+  ActionList al;
+  Source::Params src;
+  src.rate = rate_per_frame;
+  src.position_domain = make_line(ledge_a, ledge_b);
+  src.velocity_domain = make_box({0.6f, -0.4f, -0.1f}, {1.2f, 0.1f, 0.1f});
+  src.color = {0.6f, 0.75f, 0.95f};
+  src.size = 0.05f;
+  src.lifetime = 4.0f;
+  src.lifetime_jitter = 0.8f;
+  al.add<Source>(src);
+  al.add<Gravity>(Vec3{0, -9.8f, 0});
+  al.add<SpeedLimit>(0.0f, 18.0f);
+  // Basin floor 6 units below the ledge.
+  al.add<Bounce>(make_plane({0, ledge_a.y - 6.0f, 0}, {0, 1, 0}),
+                 /*restitution=*/0.2f, /*friction=*/0.5f);
+  al.add<KillOld>();
+  al.add<Move>();
+  return ParticleSystem("waterfall", std::move(al));
+}
+
+}  // namespace psanim::psys

@@ -1,0 +1,40 @@
+#pragma once
+
+// Effect presets: ready-made particle systems for the paper's experiments
+// and the examples. Snow and fountain follow the §5.1/§5.2 action recipes
+// verbatim; the others showcase the wider API.
+
+#include <cstddef>
+
+#include "math/aabb.hpp"
+#include "psys/system.hpp"
+
+namespace psanim::psys {
+
+/// §5.1 snow: per frame — create, random acceleration, collide with the
+/// ground, eliminate old particles, move. Motion is mainly vertical, so
+/// particles tend to stay in their original x-domain.
+/// `area`: horizontal extent (x,z) the snow falls over; emission happens
+/// near the top (y = area.hi.y).
+ParticleSystem snow_system(const Aabb& area, std::size_t rate_per_frame,
+                           float lifetime_s = 10.0f);
+
+/// §5.2 fountain: per frame — create, gravity + acceleration, collide,
+/// eliminate old, move. Emission is a point jet with horizontal spread, so
+/// particles cross x-domains constantly.
+ParticleSystem fountain_system(Vec3 base, std::size_t rate_per_frame,
+                               float jet_speed = 9.0f,
+                               float spread = 0.9f,
+                               float lifetime_s = 3.0f);
+
+/// Rising, swirling, fading smoke column (vortex + fade + grow).
+ParticleSystem smoke_system(Vec3 base, std::size_t rate_per_frame);
+
+/// Radial burst with gravity and color blend toward embers.
+ParticleSystem fireworks_system(Vec3 burst_center, std::size_t rate_per_frame);
+
+/// Sheet of water falling off a ledge into a basin (line source + bounce).
+ParticleSystem waterfall_system(Vec3 ledge_a, Vec3 ledge_b,
+                                std::size_t rate_per_frame);
+
+}  // namespace psanim::psys

@@ -1,0 +1,5 @@
+#include "psys/particle.hpp"
+
+// Particle is header-only; this TU anchors the library target.
+
+namespace psanim::psys {}

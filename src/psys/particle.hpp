@@ -1,0 +1,47 @@
+#pragma once
+
+// The particle record.
+//
+// §3.1.2 of the paper fixes four mandatory properties — position,
+// orientation, age, velocity — and explicitly does NOT require unique
+// particle identifiers. The remaining fields mirror McAllister's Particle
+// System API (the library the paper's implementation rewrites): previous
+// position (needed for segment collision tests), color/alpha/size for
+// rendering, lifetime and mass for kill/physics actions. The record is
+// trivially copyable: it is exactly what goes on the wire when particles
+// change domains.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "math/vec.hpp"
+
+namespace psanim::psys {
+
+struct Particle {
+  Vec3 pos;       ///< position (mandatory, §3.1.2)
+  Vec3 prev_pos;  ///< position at the previous frame (collision segments)
+  Vec3 vel;       ///< velocity (mandatory)
+  Vec3 up;        ///< orientation (mandatory)
+  Vec3 color;     ///< RGB in [0,1]
+  float alpha = 1.0f;
+  float size = 1.0f;
+  float age = 0.0f;       ///< mandatory; seconds since creation
+  float lifetime = 0.0f;  ///< kill threshold used by KillOld (0 = immortal)
+  float mass = 1.0f;
+  std::uint32_t flags = 0;
+
+  static constexpr std::uint32_t kDead = 1u << 0;
+
+  bool dead() const { return (flags & kDead) != 0; }
+  void kill() { flags |= kDead; }
+};
+
+static_assert(std::is_trivially_copyable_v<Particle>,
+              "particles are exchanged between processes as raw bytes");
+
+/// Wire size of one particle; the §5.1/§5.2 exchange-volume numbers are
+/// multiples of this.
+inline constexpr std::size_t kParticleBytes = sizeof(Particle);
+
+}  // namespace psanim::psys

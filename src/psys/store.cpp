@@ -1,0 +1,201 @@
+#include "psys/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psanim::psys {
+
+SlicedStore::SlicedStore(int axis, float lo, float hi, std::size_t slices)
+    : axis_(axis), lo_(lo), hi_(hi), slices_(slices == 0 ? 1 : slices) {
+  if (axis < 0 || axis > 2) {
+    throw std::invalid_argument("SlicedStore: axis must be 0, 1 or 2");
+  }
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("SlicedStore: lo must be <= hi");
+  }
+}
+
+std::size_t SlicedStore::size() const {
+  std::size_t n = 0;
+  for (const auto& s : slices_) n += s.size();
+  return n;
+}
+
+std::size_t SlicedStore::slice_of(float k) const {
+  const float width = hi_ - lo_;
+  if (width <= 0.0f) return 0;
+  const auto m = static_cast<float>(slices_.size());
+  auto i = static_cast<std::ptrdiff_t>((k - lo_) / width * m);
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(slices_.size()) - 1);
+  return static_cast<std::size_t>(i);
+}
+
+void SlicedStore::insert(const Particle& p) {
+  slices_[slice_of(key(p))].push_back(p);
+}
+
+void SlicedStore::insert_batch(std::span<const Particle> ps) {
+  for (const auto& p : ps) insert(p);
+}
+
+void SlicedStore::reset_bounds(float lo, float hi) {
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("SlicedStore::reset_bounds: lo must be <= hi");
+  }
+  std::vector<Particle> all = take_all();
+  lo_ = lo;
+  hi_ = hi;
+  insert_batch(all);
+}
+
+void SlicedStore::for_each_slice(
+    const std::function<void(std::span<Particle>)>& fn) {
+  for (auto& s : slices_) {
+    if (!s.empty()) fn(std::span<Particle>(s));
+  }
+}
+
+std::vector<Particle> SlicedStore::extract_outside() {
+  std::vector<Particle> out;
+  // Particles that stayed in [lo, hi) but crossed an internal cut; re-filed
+  // after the main pass so we never scan a particle twice.
+  std::vector<std::pair<std::size_t, Particle>> moved;
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    auto& s = slices_[i];
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < s.size(); ++r) {
+      const float k = key(s[r]);
+      if (k < lo_ || k >= hi_) {
+        out.push_back(s[r]);
+        continue;
+      }
+      const std::size_t j = slice_of(k);
+      if (j != i) {
+        moved.emplace_back(j, s[r]);
+        continue;
+      }
+      s[keep++] = s[r];
+    }
+    s.resize(keep);
+  }
+  for (const auto& [j, p] : moved) slices_[j].push_back(p);
+  return out;
+}
+
+std::size_t SlicedStore::compact_dead() {
+  std::size_t removed = 0;
+  for (auto& s : slices_) {
+    const auto it = std::remove_if(s.begin(), s.end(),
+                                   [](const Particle& p) { return p.dead(); });
+    removed += static_cast<std::size_t>(s.end() - it);
+    s.erase(it, s.end());
+  }
+  return removed;
+}
+
+Donation SlicedStore::donate_low(std::size_t count) {
+  return donate(count, /*low=*/true);
+}
+
+Donation SlicedStore::donate_high(std::size_t count) {
+  return donate(count, /*low=*/false);
+}
+
+Donation SlicedStore::donate(std::size_t count, bool low) {
+  Donation d;
+  d.new_edge = low ? lo_ : hi_;
+  if (count == 0 || size() == 0) return d;
+
+  const std::size_t total = size();
+  std::size_t needed = std::min(count, total);
+  d.particles.reserve(needed);
+
+  float extreme_donated = low ? -1e30f : 1e30f;  // max donated / min donated
+  auto note_donated = [&](const Particle& p) {
+    const float k = key(p);
+    extreme_donated = low ? std::max(extreme_donated, k)
+                          : std::min(extreme_donated, k);
+    d.particles.push_back(p);
+  };
+
+  // Visit slices from the donating edge inward.
+  const auto m = static_cast<std::ptrdiff_t>(slices_.size());
+  for (std::ptrdiff_t step = 0; step < m && needed > 0; ++step) {
+    auto& s = slices_[static_cast<std::size_t>(low ? step : m - 1 - step)];
+    if (s.empty()) continue;
+    if (s.size() <= needed) {
+      // Whole sub-slice donated — no sorting required (§4).
+      for (const auto& p : s) note_donated(p);
+      needed -= s.size();
+      s.clear();
+      continue;
+    }
+    // Boundary sub-slice: order by key, take from the donating end.
+    std::sort(s.begin(), s.end(), [this](const Particle& a, const Particle& b) {
+      return key(a) < key(b);
+    });
+    d.sorted_elements += s.size();
+    if (low) {
+      for (std::size_t i = 0; i < needed; ++i) note_donated(s[i]);
+      s.erase(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(needed));
+    } else {
+      const std::size_t start = s.size() - needed;
+      for (std::size_t i = start; i < s.size(); ++i) note_donated(s[i]);
+      s.resize(start);
+    }
+    needed = 0;
+  }
+
+  // New edge between donated and kept particles. Slices are ordered along
+  // the axis, so the first non-empty slice from the donating edge holds
+  // the kept extreme.
+  if (size() == 0) {
+    d.new_edge = low ? hi_ : lo_;
+    return d;
+  }
+  float extreme_kept = low ? 1e30f : -1e30f;
+  for (std::ptrdiff_t step = 0; step < m; ++step) {
+    const auto& s = slices_[static_cast<std::size_t>(low ? step : m - 1 - step)];
+    if (s.empty()) continue;
+    for (const auto& p : s) {
+      const float k = key(p);
+      extreme_kept = low ? std::min(extreme_kept, k) : std::max(extreme_kept, k);
+    }
+    break;
+  }
+  // With duplicate keys at the split the two sets cannot be separated
+  // exactly; keep the KEPT side's ownership invariant (kept keys stay in
+  // the donor's interval) and let tied donated particles bounce back on
+  // the next exchange — a one-frame, self-correcting cost.
+  if (low) {
+    d.new_edge = extreme_donated < extreme_kept
+                     ? 0.5f * (extreme_donated + extreme_kept)
+                     : extreme_kept;
+  } else {
+    d.new_edge = extreme_kept < extreme_donated
+                     ? 0.5f * (extreme_kept + extreme_donated)
+                     : std::nextafter(extreme_kept, 1e30f);
+  }
+  return d;
+}
+
+std::vector<Particle> SlicedStore::snapshot() const {
+  std::vector<Particle> out;
+  out.reserve(size());
+  for (const auto& s : slices_) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+std::vector<Particle> SlicedStore::take_all() {
+  std::vector<Particle> out;
+  out.reserve(size());
+  for (auto& s : slices_) {
+    out.insert(out.end(), s.begin(), s.end());
+    s.clear();
+  }
+  return out;
+}
+
+}  // namespace psanim::psys

@@ -1,0 +1,97 @@
+#pragma once
+
+// Sliced particle storage — the §4 storage optimization.
+//
+// The paper's rewrite replaces "one vector per domain" with "the domain
+// broken into sub-domains, one vector each", for two reasons it states
+// explicitly: discovering which particles must be shipped to other
+// processes no longer requires comparing every particle against the domain
+// edges, and load-balancing donations only need to sort the boundary
+// sub-vector instead of the whole domain.
+//
+// SlicedStore holds one calculator's particles of ONE system, partitioned
+// into `m` equal sub-slices of the owned interval [lo, hi) along the
+// decomposition axis.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "psys/particle.hpp"
+
+namespace psanim::psys {
+
+/// Result of a donation: the particles removed, the new domain edge
+/// between donor and receiver, and how many elements had to be sorted
+/// (charged to the virtual clock by the caller).
+struct Donation {
+  std::vector<Particle> particles;
+  float new_edge = 0.0f;
+  std::size_t sorted_elements = 0;
+};
+
+class SlicedStore {
+ public:
+  /// `axis`: 0/1/2 for x/y/z; `slices`: number of sub-domain vectors.
+  SlicedStore(int axis, float lo, float hi, std::size_t slices = 8);
+
+  int axis() const { return axis_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  std::size_t slice_count() const { return slices_.size(); }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Particle's coordinate along the decomposition axis.
+  float key(const Particle& p) const { return p.pos.axis(axis_); }
+
+  /// Insert one particle (must have key in [lo, hi); out-of-range keys
+  /// clamp into the edge slices — the caller routes true crossers away
+  /// before inserting).
+  void insert(const Particle& p);
+  void insert_batch(std::span<const Particle> ps);
+
+  /// Change the owned interval (after a load-balance boundary move or an
+  /// initial decomposition) and redistribute current particles into the
+  /// new uniform sub-slices. Particles now outside [lo, hi) stay, clamped
+  /// to edge slices; use extract_outside first.
+  void reset_bounds(float lo, float hi);
+
+  /// Apply `fn` to every sub-slice (mutable spans).
+  void for_each_slice(const std::function<void(std::span<Particle>)>& fn);
+
+  /// Remove and return all particles whose key is outside [lo, hi); also
+  /// re-files particles that moved across internal sub-slice cuts. Only
+  /// edge membership tests touch every particle once — this is the cheap
+  /// post-Move pass the sliced layout exists for.
+  std::vector<Particle> extract_outside();
+
+  /// Remove dead particles; returns how many were removed.
+  std::size_t compact_dead();
+
+  /// Remove and return the `count` particles with the LOWEST keys (donate
+  /// toward the left neighbor, §3.2.5: "the particles with lower x values
+  /// are the ones to be donated"). Whole sub-slices are taken unsorted;
+  /// only the final partial sub-slice is sorted.
+  Donation donate_low(std::size_t count);
+  /// Mirror image: highest keys, toward the right neighbor.
+  Donation donate_high(std::size_t count);
+
+  /// Gather a copy of every particle (rendering, tests).
+  std::vector<Particle> snapshot() const;
+
+  /// Move all particles out, leaving the store empty.
+  std::vector<Particle> take_all();
+
+ private:
+  std::size_t slice_of(float k) const;
+  Donation donate(std::size_t count, bool low);
+
+  int axis_;
+  float lo_;
+  float hi_;
+  std::vector<std::vector<Particle>> slices_;
+};
+
+}  // namespace psanim::psys

@@ -1,0 +1,36 @@
+#pragma once
+
+// A particle system: a named action list (Algorithm 1's loop body).
+//
+// §3.1.3: systems are identified by their position in the creation-order
+// vector — creation happens in the same order in every process, so the
+// index is a consistent cross-process identifier and particles carry no
+// IDs of their own. SystemId is that index.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "psys/action_list.hpp"
+
+namespace psanim::psys {
+
+using SystemId = std::uint32_t;
+
+class ParticleSystem {
+ public:
+  ParticleSystem(std::string name, ActionList actions)
+      : name_(std::move(name)), actions_(std::move(actions)) {}
+
+  const std::string& name() const { return name_; }
+  const ActionList& actions() const { return actions_; }
+
+  /// Particles created per frame across the system's sources.
+  std::size_t creation_rate() const { return actions_.creation_rate(); }
+
+ private:
+  std::string name_;
+  ActionList actions_;
+};
+
+}  // namespace psanim::psys

@@ -1,0 +1,40 @@
+#include "render/compare.hpp"
+
+#include <cmath>
+
+namespace psanim::render {
+
+ImageDiff compare(const Framebuffer& a, const Framebuffer& b) {
+  ImageDiff d;
+  if (a.width() != b.width() || a.height() != b.height()) {
+    d.same_dims = false;
+    d.max_abs = 1.0;
+    return d;
+  }
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  const auto& ca = a.colors();
+  const auto& cb = b.colors();
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    const float dc[3] = {ca[i].x - cb[i].x, ca[i].y - cb[i].y,
+                         ca[i].z - cb[i].z};
+    for (const float v : dc) {
+      const double av = std::fabs(static_cast<double>(v));
+      d.max_abs = std::max(d.max_abs, av);
+      sum_abs += av;
+      sum_sq += av * av;
+    }
+  }
+  const double n = static_cast<double>(ca.size()) * 3.0;
+  d.mean_abs = n > 0 ? sum_abs / n : 0.0;
+  const double mse = n > 0 ? sum_sq / n : 0.0;
+  d.psnr_db = mse > 0 ? 10.0 * std::log10(1.0 / mse) : 999.0;
+  return d;
+}
+
+bool images_match(const Framebuffer& a, const Framebuffer& b, double tol) {
+  const ImageDiff d = compare(a, b);
+  return d.same_dims && d.max_abs <= tol;
+}
+
+}  // namespace psanim::render

@@ -1,0 +1,48 @@
+#include "render/compositor.hpp"
+
+#include <stdexcept>
+
+namespace psanim::render {
+
+namespace {
+void require_same_dims(const Framebuffer& dst,
+                       std::span<const Framebuffer> parts) {
+  for (const auto& p : parts) {
+    if (p.width() != dst.width() || p.height() != dst.height()) {
+      throw std::invalid_argument("compositor: frame dimensions differ");
+    }
+  }
+}
+}  // namespace
+
+void composite_additive(Framebuffer& dst, std::span<const Framebuffer> parts) {
+  require_same_dims(dst, parts);
+  auto& out = dst.mutable_colors();
+  for (const auto& part : parts) {
+    const auto& in = part.colors();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += in[i];
+  }
+}
+
+void composite_depth(Framebuffer& dst, std::span<const Framebuffer> parts) {
+  require_same_dims(dst, parts);
+  auto& out_c = dst.mutable_colors();
+  auto& out_z = dst.mutable_depths();
+  for (const auto& part : parts) {
+    const auto& in_c = part.colors();
+    const auto& in_z = part.depths();
+    for (std::size_t i = 0; i < out_c.size(); ++i) {
+      if (in_z[i] < out_z[i]) {
+        out_z[i] = in_z[i];
+        out_c[i] = in_c[i];
+      }
+    }
+  }
+}
+
+std::size_t frame_wire_bytes(const Framebuffer& fb, bool with_depth) {
+  const std::size_t px = fb.pixel_count();
+  return px * sizeof(Color) + (with_depth ? px * sizeof(float) : 0);
+}
+
+}  // namespace psanim::render

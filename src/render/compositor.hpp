@@ -1,0 +1,28 @@
+#pragma once
+
+// Sort-last compositing — the "remote image generation" extension the
+// paper lists as future work (WireGL / Pomegranate, §6). Each calculator
+// rasterizes its own particles into a private framebuffer; the compositor
+// merges the partial images instead of the image generator receiving every
+// particle. Gather traffic becomes O(pixels) instead of O(particles).
+
+#include <span>
+
+#include "render/framebuffer.hpp"
+
+namespace psanim::render {
+
+/// Merge additive partial frames: colors sum (the additive blend is
+/// commutative and associative, so the composite equals the single-pass
+/// render bit-for-bit in exact arithmetic).
+void composite_additive(Framebuffer& dst, std::span<const Framebuffer> parts);
+
+/// Merge opaque depth-tested partial frames: per pixel, keep the closest
+/// sample across parts.
+void composite_depth(Framebuffer& dst, std::span<const Framebuffer> parts);
+
+/// Wire size of one partial frame (color + depth channels), used by the
+/// cost model for the distributed-imgen ablation.
+std::size_t frame_wire_bytes(const Framebuffer& fb, bool with_depth);
+
+}  // namespace psanim::render

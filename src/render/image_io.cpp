@@ -1,0 +1,48 @@
+#include "render/image_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psanim::render {
+
+std::string to_ppm(const Framebuffer& fb) {
+  std::ostringstream os;
+  os << "P6\n" << fb.width() << " " << fb.height() << "\n255\n";
+  for (const Color& c : fb.colors()) {
+    const Rgb8 px = to_rgb8(c);
+    os.put(static_cast<char>(px.r));
+    os.put(static_cast<char>(px.g));
+    os.put(static_cast<char>(px.b));
+  }
+  return os.str();
+}
+
+void write_ppm(const Framebuffer& fb, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_ppm: cannot open " + path);
+  const std::string doc = to_ppm(fb);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  if (!f) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+std::string to_pgm(const Framebuffer& fb) {
+  std::ostringstream os;
+  os << "P5\n" << fb.width() << " " << fb.height() << "\n255\n";
+  for (const Color& c : fb.colors()) {
+    const float y = std::pow(std::min(1.0f, luminance(clamp01(c))), 1.0f / 2.2f);
+    os.put(static_cast<char>(std::lround(y * 255.0f)));
+  }
+  return os.str();
+}
+
+void write_pgm(const Framebuffer& fb, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pgm: cannot open " + path);
+  const std::string doc = to_pgm(fb);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  if (!f) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace psanim::render

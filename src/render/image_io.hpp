@@ -1,0 +1,22 @@
+#pragma once
+
+// Image output: binary PPM (P6) and grayscale PGM (P5). No external image
+// libraries — frames are inspectable with any viewer.
+
+#include <string>
+
+#include "render/framebuffer.hpp"
+
+namespace psanim::render {
+
+/// Encode the framebuffer as a binary PPM document.
+std::string to_ppm(const Framebuffer& fb);
+
+/// Write PPM to `path`; throws std::runtime_error on I/O failure.
+void write_ppm(const Framebuffer& fb, const std::string& path);
+
+/// Encode the luminance channel as binary PGM.
+std::string to_pgm(const Framebuffer& fb);
+void write_pgm(const Framebuffer& fb, const std::string& path);
+
+}  // namespace psanim::render

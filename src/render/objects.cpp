@@ -1,0 +1,65 @@
+#include "render/objects.hpp"
+
+#include <cmath>
+
+namespace psanim::render {
+
+void draw_line(Framebuffer& fb, const Camera& cam, Vec3 a, Vec3 b, Color c) {
+  const auto pa = cam.project(a);
+  const auto pb = cam.project(b);
+  if (!pa || !pb) return;  // segment clipping at the near plane is skipped
+  const float dx = pb->x - pa->x;
+  const float dy = pb->y - pa->y;
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(std::max(std::fabs(dx), std::fabs(dy)))));
+  for (int i = 0; i <= steps; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(steps);
+    const float z = pa->depth + (pb->depth - pa->depth) * t;
+    fb.put(static_cast<int>(std::lround(pa->x + dx * t)),
+           static_cast<int>(std::lround(pa->y + dy * t)), c, z);
+  }
+}
+
+void draw_ground_grid(Framebuffer& fb, const Camera& cam, float height,
+                      float extent, int lines, Color c) {
+  for (int i = 0; i <= lines; ++i) {
+    const float t = -extent + 2.0f * extent * static_cast<float>(i) /
+                                  static_cast<float>(lines);
+    draw_line(fb, cam, {t, height, -extent}, {t, height, extent}, c);
+    draw_line(fb, cam, {-extent, height, t}, {extent, height, t}, c);
+  }
+}
+
+void draw_box(Framebuffer& fb, const Camera& cam, const Aabb& box, Color c) {
+  const Vec3 lo = box.lo;
+  const Vec3 hi = box.hi;
+  const Vec3 corners[8] = {
+      {lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z}, {hi.x, hi.y, lo.z},
+      {lo.x, hi.y, lo.z}, {lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z},
+      {hi.x, hi.y, hi.z}, {lo.x, hi.y, hi.z}};
+  constexpr int edges[12][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                {4, 5}, {5, 6}, {6, 7}, {7, 4},
+                                {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+  for (const auto& e : edges) {
+    draw_line(fb, cam, corners[e[0]], corners[e[1]], c);
+  }
+}
+
+void draw_sphere(Framebuffer& fb, const Camera& cam, Vec3 center, float radius,
+                 Color c, int segments) {
+  auto circle = [&](Vec3 u, Vec3 v) {
+    Vec3 prev = center + u * radius;
+    for (int i = 1; i <= segments; ++i) {
+      const float a = 2.0f * 3.14159265f * static_cast<float>(i) /
+                      static_cast<float>(segments);
+      const Vec3 p = center + (u * std::cos(a) + v * std::sin(a)) * radius;
+      draw_line(fb, cam, prev, p, c);
+      prev = p;
+    }
+  };
+  circle({1, 0, 0}, {0, 1, 0});
+  circle({1, 0, 0}, {0, 0, 1});
+  circle({0, 1, 0}, {0, 0, 1});
+}
+
+}  // namespace psanim::render

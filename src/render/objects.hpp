@@ -1,0 +1,28 @@
+#pragma once
+
+// External-object rendering. §3.2.4: "It is also [the image generator's]
+// responsibility to render external objects that exist in the simulation"
+// — ground planes, collision spheres, domain boxes. Drawn as depth-tested
+// line work so particles occlude correctly.
+
+#include "math/aabb.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+
+namespace psanim::render {
+
+/// Depth-tested 3-D line segment (DDA in screen space, depth interpolated).
+void draw_line(Framebuffer& fb, const Camera& cam, Vec3 a, Vec3 b, Color c);
+
+/// Grid on the y = `height` plane covering [-extent, extent] in x and z.
+void draw_ground_grid(Framebuffer& fb, const Camera& cam, float height,
+                      float extent, int lines, Color c);
+
+/// Wireframe box.
+void draw_box(Framebuffer& fb, const Camera& cam, const Aabb& box, Color c);
+
+/// Three great circles approximating a sphere.
+void draw_sphere(Framebuffer& fb, const Camera& cam, Vec3 center, float radius,
+                 Color c, int segments = 48);
+
+}  // namespace psanim::render

@@ -1,0 +1,11 @@
+#include "render/splat.hpp"
+
+namespace psanim::render {
+
+SplatStats splat_particles(Framebuffer& fb, const Camera& cam,
+                           std::span<const psys::Particle> particles,
+                           BlendMode mode) {
+  return splat_points(fb, cam, particles, mode);
+}
+
+}  // namespace psanim::render

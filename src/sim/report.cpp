@@ -1,0 +1,37 @@
+#include "sim/report.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace psanim::sim {
+
+RunSummary summarize(const std::string& label, const SpeedupResult& r) {
+  RunSummary s;
+  s.label = label;
+  s.speedup = r.speedup;
+  s.time_reduction = r.time_reduction;
+  const auto& tel = r.parallel.telemetry;
+  s.crossers_per_proc_frame = tel.avg_crossers_per_proc_per_frame();
+  s.exchange_kb_per_frame = tel.avg_exchange_bytes_per_frame() / 1024.0;
+  s.balance_orders = tel.total_balance_orders();
+  const auto imb = tel.imbalance_series();
+  s.mean_imbalance =
+      imb.empty() ? 1.0
+                  : std::accumulate(imb.begin(), imb.end(), 0.0) /
+                        static_cast<double>(imb.size());
+  return s;
+}
+
+std::string to_line(const RunSummary& s) {
+  std::ostringstream os;
+  os << s.label << ": speedup " << trace::Table::num(s.speedup)
+     << " (time -" << trace::Table::num(s.time_reduction * 100, 0)
+     << "%), crossers/proc/frame "
+     << trace::Table::num(s.crossers_per_proc_frame, 0)
+     << ", exchange " << trace::Table::num(s.exchange_kb_per_frame, 0)
+     << " KB/frame, balance orders " << s.balance_orders
+     << ", mean imbalance " << trace::Table::num(s.mean_imbalance);
+  return os.str();
+}
+
+}  // namespace psanim::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+// Report formatting shared by the bench binaries: paper-style rows plus
+// the telemetry-derived quantities §5 quotes in prose.
+
+#include <string>
+
+#include "sim/runner.hpp"
+#include "trace/table.hpp"
+
+namespace psanim::sim {
+
+/// Summary of one run for prose-style reporting.
+struct RunSummary {
+  std::string label;
+  double speedup = 0.0;
+  double time_reduction = 0.0;          ///< §5.3 percentages
+  double crossers_per_proc_frame = 0.0; ///< §5.1 "~560", §5.2 "~4000"
+  double exchange_kb_per_frame = 0.0;   ///< §5.1 "613 KB", §5.2 "4375 KB"
+  std::size_t balance_orders = 0;
+  double mean_imbalance = 1.0;
+};
+
+RunSummary summarize(const std::string& label, const SpeedupResult& r);
+
+/// One formatted line: "label: speedup 3.15 (time -68%), ...".
+std::string to_line(const RunSummary& s);
+
+}  // namespace psanim::sim

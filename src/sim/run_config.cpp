@@ -1,0 +1,54 @@
+#include "sim/run_config.hpp"
+
+#include <stdexcept>
+
+namespace psanim::sim {
+
+std::string RunConfig::label() const {
+  std::string out;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i) out += " + ";
+    const auto& g = groups[i];
+    out += std::to_string(g.nodes) + "*" + g.type.name + "(" +
+           std::to_string(g.procs) + "P)";
+  }
+  out += " = " + std::to_string(total_procs()) + "P";
+  return out;
+}
+
+BuiltCluster build_cluster(const RunConfig& cfg) {
+  if (cfg.groups.empty()) {
+    throw std::invalid_argument("build_cluster: config has no node groups");
+  }
+  BuiltCluster out;
+  out.spec.preferred = cfg.network;
+  out.spec.compiler = cfg.compiler;
+  // Dedicated nodes for the manager and the image generator.
+  out.spec.add(cfg.groups.front().type, 2);
+  for (const auto& g : cfg.groups) {
+    if (g.nodes < 1 || g.procs < 1) {
+      throw std::invalid_argument("build_cluster: group needs >=1 node/proc");
+    }
+    out.spec.add(g.type, static_cast<std::size_t>(g.nodes));
+  }
+
+  // Ranks: 0 manager on node 0, 1 imgen on node 1, calculators group by
+  // group, spread one per node first within the group ("8*B (16 P.)" = 2
+  // per dual node).
+  out.placement.node_of_rank = {0, 1};
+  int node_base = 2;
+  for (const auto& g : cfg.groups) {
+    for (int p = 0; p < g.procs; ++p) {
+      out.placement.node_of_rank.push_back(node_base + p % g.nodes);
+    }
+    node_base += g.nodes;
+  }
+  out.ncalc = cfg.total_procs();
+  return out;
+}
+
+double baseline_rate(const RunConfig& cfg) {
+  return cfg.baseline_node.cpu.rate(cfg.compiler);
+}
+
+}  // namespace psanim::sim

@@ -1,0 +1,33 @@
+#include "sim/runner.hpp"
+
+namespace psanim::sim {
+
+double measure_sequential(const core::Scene& scene,
+                          const core::SimSettings& settings,
+                          const RunConfig& cfg,
+                          const cluster::CostModel& cost) {
+  return core::run_sequential(scene, settings, baseline_rate(cfg), cost)
+      .total_s;
+}
+
+SpeedupResult run_speedup(const core::Scene& scene, core::SimSettings settings,
+                          const RunConfig& cfg,
+                          std::optional<double> cached_seq_s,
+                          const cluster::CostModel& cost) {
+  const BuiltCluster built = build_cluster(cfg);
+  settings.ncalc = built.ncalc;
+  settings.space = cfg.space;
+  settings.lb = cfg.lb;
+
+  SpeedupResult out;
+  out.seq_s = cached_seq_s ? *cached_seq_s
+                           : measure_sequential(scene, settings, cfg, cost);
+  out.parallel =
+      core::run_parallel(scene, settings, built.spec, built.placement, cost);
+  out.par_s = out.parallel.animation_s;
+  out.speedup = out.par_s > 0 ? out.seq_s / out.par_s : 0.0;
+  out.time_reduction = out.seq_s > 0 ? 1.0 - out.par_s / out.seq_s : 0.0;
+  return out;
+}
+
+}  // namespace psanim::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+// Speedup harness: run one experiment row (sequential baseline + parallel
+// run) and report the paper's derived quantities.
+
+#include <optional>
+
+#include "core/simulation.hpp"
+#include "sim/run_config.hpp"
+
+namespace psanim::sim {
+
+struct SpeedupResult {
+  double seq_s = 0.0;
+  double par_s = 0.0;
+  double speedup = 0.0;
+  /// 1 - par/seq, the §5.3 "time was reduced by X%" quantity.
+  double time_reduction = 0.0;
+  core::ParallelResult parallel;
+};
+
+/// Run the row. `settings.ncalc`, `.space` and `.lb` are overwritten from
+/// the config. Pass `cached_seq_s` to reuse a baseline measured once per
+/// table (the paper's rows within one table share theirs).
+SpeedupResult run_speedup(const core::Scene& scene, core::SimSettings settings,
+                          const RunConfig& cfg,
+                          std::optional<double> cached_seq_s = std::nullopt,
+                          const cluster::CostModel& cost = {});
+
+/// Just the baseline (for caching across rows).
+double measure_sequential(const core::Scene& scene,
+                          const core::SimSettings& settings,
+                          const RunConfig& cfg,
+                          const cluster::CostModel& cost = {});
+
+}  // namespace psanim::sim

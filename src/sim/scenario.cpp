@@ -1,0 +1,59 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+
+#include "psys/effects.hpp"
+
+namespace psanim::sim {
+
+core::Scene make_snow_scene(const ScenarioParams& p) {
+  core::Scene scene;
+  scene.space = Aabb({-10, 0, -10}, {10, 12, 10});
+  scene.look_center = {0, 5, 0};
+  scene.look_radius = 12.0f;
+  const float lifetime =
+      static_cast<float>(p.lifetime_frames()) * p.dt;
+  for (std::size_t s = 0; s < p.systems; ++s) {
+    scene.systems.push_back(
+        psys::snow_system(scene.space, p.rate_per_frame(), lifetime));
+  }
+  return scene;
+}
+
+core::Scene make_fountain_scene(const ScenarioParams& p) {
+  core::Scene scene;
+  // A wide plaza: each fountain's particle cloud (~8 units across) covers
+  // only a slice of the 60-unit space, so equal-width domains do NOT hold
+  // equal loads — the irregularity §5.2 builds the whole experiment on.
+  scene.space = Aabb({-30, 0, -15}, {30, 14, 15});
+  scene.look_center = {0, 4, 0};
+  scene.look_radius = 30.0f;
+  const float lifetime =
+      static_cast<float>(p.lifetime_frames()) * p.dt;
+  // Random placement (fixed seed): clumps and gaps along x, like real
+  // fountains "distributed through the simulated space".
+  Rng place(0xF0417A17ULL);
+  for (std::size_t s = 0; s < p.systems; ++s) {
+    const Vec3 base{place.uniform(-24.0f, 24.0f), 0.0f,
+                    place.uniform(-10.0f, 10.0f)};
+    scene.systems.push_back(psys::fountain_system(
+        base, p.rate_per_frame(), /*jet_speed=*/9.0f, /*spread=*/0.9f,
+        lifetime));
+  }
+  return scene;
+}
+
+core::Scene make_showcase_scene(std::size_t rate_per_frame) {
+  core::Scene scene;
+  scene.space = Aabb({-12, 0, -12}, {12, 14, 12});
+  scene.look_center = {0, 5, 0};
+  scene.look_radius = 14.0f;
+  scene.systems.push_back(psys::smoke_system({-6, 0, 0}, rate_per_frame));
+  scene.systems.push_back(psys::fireworks_system({4, 9, -2}, rate_per_frame));
+  scene.systems.push_back(psys::waterfall_system({6, 8, 3}, {9, 8, 5},
+                                                 rate_per_frame));
+  scene.systems.push_back(psys::fountain_system({0, 0, 4}, rate_per_frame));
+  return scene;
+}
+
+}  // namespace psanim::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+// The paper's two workloads (§5) as ready-made scenes, parameterized by
+// scale so benches can run reduced sizes quickly and `--full` sizes
+// faithfully (8 systems x 400,000 alive particles each).
+
+#include <cstddef>
+
+#include "core/frame_loop.hpp"
+
+namespace psanim::sim {
+
+struct ScenarioParams {
+  std::size_t systems = 8;
+  /// Alive-particle target per system once the population is steady.
+  std::size_t particles_per_system = 40'000;
+  std::uint32_t frames = 40;
+  float dt = 1.0f / 30.0f;
+  /// Population reaches steady state after this fraction of the run:
+  /// particle lifetime = steady_fraction * frames * dt, creation rate =
+  /// target / lifetime_frames.
+  double steady_fraction = 0.5;
+
+  std::uint32_t lifetime_frames() const {
+    const auto f = static_cast<std::uint32_t>(
+        steady_fraction * static_cast<double>(frames));
+    return f > 0 ? f : 1;
+  }
+  std::size_t rate_per_frame() const {
+    return (particles_per_system + lifetime_frames() - 1) / lifetime_frames();
+  }
+};
+
+/// §5.1 snow: all systems emit over the same area; motion mainly vertical,
+/// load uniform along x.
+core::Scene make_snow_scene(const ScenarioParams& p);
+
+/// §5.2 fountain: one fountain per system, scattered irregularly along x
+/// ("the particle systems were distributed through the simulated space");
+/// motion both horizontal and vertical, load irregular.
+core::Scene make_fountain_scene(const ScenarioParams& p);
+
+/// A showcase scene mixing effects (smoke + fireworks + waterfall), used
+/// by the examples.
+core::Scene make_showcase_scene(std::size_t rate_per_frame = 800);
+
+}  // namespace psanim::sim

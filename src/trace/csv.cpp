@@ -1,0 +1,52 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psanim::trace {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "CsvWriter::add_row: cell count != header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ",";
+      os << escape(cells[i]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvWriter: cannot open " + path);
+  f << str();
+  if (!f) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace psanim::trace

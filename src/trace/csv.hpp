@@ -1,0 +1,31 @@
+#pragma once
+
+// Minimal CSV writer for exporting telemetry series (plots, offline
+// analysis). Values containing commas/quotes/newlines are quoted per RFC
+// 4180.
+
+#include <string>
+#include <vector>
+
+namespace psanim::trace {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Full document text (header + rows).
+  std::string str() const;
+
+  /// Write to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psanim::trace

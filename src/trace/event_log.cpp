@@ -1,0 +1,45 @@
+#include "trace/event_log.hpp"
+
+#include <algorithm>
+
+namespace psanim::trace {
+
+void EventLog::record(double vtime, int rank, std::uint32_t frame,
+                      std::string label) {
+  const std::scoped_lock lock(mu_);
+  events_.push_back(Event{vtime, rank, frame, std::move(label)});
+}
+
+std::vector<Event> EventLog::sorted() const {
+  std::vector<Event> out;
+  {
+    const std::scoped_lock lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.vtime != b.vtime) return a.vtime < b.vtime;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+std::vector<Event> EventLog::frame_events(std::uint32_t frame) const {
+  std::vector<Event> out;
+  for (auto& e : sorted()) {
+    if (e.frame == frame) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  const std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void EventLog::clear() {
+  const std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+}  // namespace psanim::trace

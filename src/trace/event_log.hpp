@@ -1,0 +1,41 @@
+#pragma once
+
+// Thread-safe protocol event log. When a SimSettings enables it, every
+// role records its phase transitions with its virtual timestamp; sorting
+// by time reproduces Figure 2's per-frame protocol as an executable trace
+// (bench/fig2_protocol_trace) and lets tests assert protocol ordering.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psanim::trace {
+
+struct Event {
+  double vtime = 0.0;
+  int rank = -1;
+  std::uint32_t frame = 0;
+  std::string label;
+};
+
+class EventLog {
+ public:
+  void record(double vtime, int rank, std::uint32_t frame,
+              std::string label);
+
+  /// All events ordered by (vtime, rank, label) — deterministic.
+  std::vector<Event> sorted() const;
+
+  /// Events of one frame, ordered.
+  std::vector<Event> frame_events(std::uint32_t frame) const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace psanim::trace

@@ -1,0 +1,22 @@
+#include "trace/frame_stats.hpp"
+
+namespace psanim::trace {
+
+CalcFrameStats& CalcFrameStats::operator+=(const CalcFrameStats& o) {
+  particles_held += o.particles_held;
+  particles_created += o.particles_created;
+  particles_killed += o.particles_killed;
+  crossers_out += o.crossers_out;
+  crossers_in += o.crossers_in;
+  balance_sent += o.balance_sent;
+  balance_recv += o.balance_recv;
+  sorted_elements += o.sorted_elements;
+  exchange_bytes += o.exchange_bytes;
+  calc_s += o.calc_s;
+  exchange_s += o.exchange_s;
+  balance_s += o.balance_s;
+  send_frame_s += o.send_frame_s;
+  return *this;
+}
+
+}  // namespace psanim::trace

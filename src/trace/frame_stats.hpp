@@ -1,0 +1,57 @@
+#pragma once
+
+// Per-frame, per-process instrumentation records.
+//
+// The §5 experiments report derived quantities (speedup, particles crossing
+// domains per frame, KB exchanged); these structs are the raw series they
+// are derived from.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psanim::trace {
+
+/// What one calculator did in one frame.
+struct CalcFrameStats {
+  std::uint32_t frame = 0;
+  int rank = -1;
+
+  std::size_t particles_held = 0;     ///< after exchange, before balancing
+  std::size_t particles_created = 0;  ///< received from manager this frame
+  std::size_t particles_killed = 0;
+  std::size_t crossers_out = 0;   ///< left our domain this frame
+  std::size_t crossers_in = 0;    ///< entered from neighbors
+  std::size_t balance_sent = 0;   ///< donated by load-balancing order
+  std::size_t balance_recv = 0;
+  std::size_t sorted_elements = 0;  ///< particles ordered to select donations
+  std::uint64_t exchange_bytes = 0;  ///< wire bytes of domain-crossing traffic
+
+  double calc_s = 0.0;      ///< virtual time in the compute phase
+  double exchange_s = 0.0;  ///< particle-exchange phase
+  double balance_s = 0.0;   ///< load-balance negotiation + transfers
+  double send_frame_s = 0.0;  ///< shipping particles to the image generator
+
+  CalcFrameStats& operator+=(const CalcFrameStats& o);
+};
+
+/// What the manager observed in one frame (its balancing decisions).
+struct ManagerFrameStats {
+  std::uint32_t frame = 0;
+  std::size_t pairs_evaluated = 0;
+  std::size_t balance_orders = 0;      ///< orders actually issued
+  std::size_t particles_ordered = 0;   ///< total particles commanded to move
+  double max_calc_time_s = 0.0;        ///< slowest reported calculator
+  double min_calc_time_s = 0.0;
+  double imbalance = 1.0;              ///< max/mean of reported times
+};
+
+/// What the image generator did in one frame.
+struct ImageFrameStats {
+  std::uint32_t frame = 0;
+  std::size_t particles_rendered = 0;
+  std::uint64_t gather_bytes = 0;
+  double render_s = 0.0;
+  double frame_complete_time = 0.0;  ///< virtual time the frame finished
+};
+
+}  // namespace psanim::trace

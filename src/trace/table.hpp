@@ -1,0 +1,35 @@
+#pragma once
+
+// Aligned console tables. The bench binaries print the paper's tables in
+// this format so "paper row vs. measured row" can be eyeballed directly.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psanim::trace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals; strings pass
+  /// through.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psanim::trace

@@ -1,0 +1,72 @@
+#include "trace/telemetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace psanim::trace {
+
+void Telemetry::merge(const Telemetry& o) {
+  calc_.insert(calc_.end(), o.calc_.begin(), o.calc_.end());
+  manager_.insert(manager_.end(), o.manager_.begin(), o.manager_.end());
+  image_.insert(image_.end(), o.image_.begin(), o.image_.end());
+}
+
+std::size_t Telemetry::frame_count() const {
+  std::size_t frames = 0;
+  for (const auto& s : calc_) {
+    frames = std::max(frames, static_cast<std::size_t>(s.frame) + 1);
+  }
+  for (const auto& s : image_) {
+    frames = std::max(frames, static_cast<std::size_t>(s.frame) + 1);
+  }
+  return frames;
+}
+
+double Telemetry::avg_crossers_per_proc_per_frame() const {
+  if (calc_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : calc_) total += static_cast<double>(s.crossers_out);
+  return total / static_cast<double>(calc_.size());
+}
+
+double Telemetry::avg_exchange_bytes_per_frame() const {
+  const std::size_t frames = frame_count();
+  if (frames == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& s : calc_) total += static_cast<double>(s.exchange_bytes);
+  return total / static_cast<double>(frames);
+}
+
+std::size_t Telemetry::total_balance_orders() const {
+  std::size_t n = 0;
+  for (const auto& s : manager_) n += s.balance_orders;
+  return n;
+}
+
+std::size_t Telemetry::total_balance_particles() const {
+  std::size_t n = 0;
+  for (const auto& s : manager_) n += s.particles_ordered;
+  return n;
+}
+
+std::vector<double> Telemetry::imbalance_series() const {
+  // Group calculator compute times by frame, then max/mean per frame.
+  std::map<std::uint32_t, std::vector<double>> by_frame;
+  for (const auto& s : calc_) by_frame[s.frame].push_back(s.calc_s);
+  std::vector<double> out;
+  out.reserve(by_frame.size());
+  for (const auto& [frame, times] : by_frame) {
+    out.push_back(load_imbalance(times));
+  }
+  return out;
+}
+
+RunningStats Telemetry::held_stats() const {
+  RunningStats rs;
+  for (const auto& s : calc_) {
+    rs.add(static_cast<double>(s.particles_held));
+  }
+  return rs;
+}
+
+}  // namespace psanim::trace

@@ -1,0 +1,58 @@
+#pragma once
+
+// Run-level telemetry: collects the per-frame records produced by each
+// role process and answers the aggregate questions the paper's evaluation
+// asks (average crossers per process per frame, KB exchanged per frame,
+// balance activity, imbalance over time).
+
+#include <cstddef>
+#include <vector>
+
+#include "math/stats.hpp"
+#include "trace/frame_stats.hpp"
+
+namespace psanim::trace {
+
+class Telemetry {
+ public:
+  void add_calc(const CalcFrameStats& s) { calc_.push_back(s); }
+  void add_manager(const ManagerFrameStats& s) { manager_.push_back(s); }
+  void add_image(const ImageFrameStats& s) { image_.push_back(s); }
+
+  /// Merge another telemetry (e.g. per-process collections after a run).
+  void merge(const Telemetry& o);
+
+  const std::vector<CalcFrameStats>& calc_frames() const { return calc_; }
+  const std::vector<ManagerFrameStats>& manager_frames() const {
+    return manager_;
+  }
+  const std::vector<ImageFrameStats>& image_frames() const { return image_; }
+
+  std::size_t frame_count() const;
+
+  /// Mean particles leaving a calculator's domain per frame, averaged over
+  /// processes and frames (the paper's "~560" / "~4000" numbers in §5).
+  double avg_crossers_per_proc_per_frame() const;
+
+  /// Mean wire bytes of domain-crossing exchange per frame summed over all
+  /// processes (the paper's 613 KB / 4375 KB numbers).
+  double avg_exchange_bytes_per_frame() const;
+
+  /// Total load-balancing orders over the run.
+  std::size_t total_balance_orders() const;
+  /// Total particles moved by load balancing over the run.
+  std::size_t total_balance_particles() const;
+
+  /// Per-frame imbalance (max/mean of calculator compute times).
+  std::vector<double> imbalance_series() const;
+
+  /// Stats over per-frame per-process held particle counts.
+  RunningStats held_stats() const;
+
+ private:
+  std::vector<CalcFrameStats> calc_;
+  std::vector<ManagerFrameStats> manager_;
+  std::vector<ImageFrameStats> image_;
+};
+
+}  // namespace psanim::trace

@@ -1,0 +1,203 @@
+// Tests for the cloth extension (§6 future work: interconnected
+// particles): spring physics sanity, pinning, obstacle response, and the
+// headline distribution property — the column-partitioned parallel solver
+// produces BITWISE the same mesh as the sequential one for any process
+// count.
+
+#include <gtest/gtest.h>
+
+#include "cloth/distributed.hpp"
+#include "cloth/mesh.hpp"
+#include "cloth/solver.hpp"
+
+namespace psanim::cloth {
+namespace {
+
+ClothParams small_params(int rows = 8, int cols = 12) {
+  ClothParams p;
+  p.rows = rows;
+  p.cols = cols;
+  p.spacing = 0.1f;
+  return p;
+}
+
+ClothMesh hanging_cloth(const ClothParams& p) {
+  // Vertical sheet hanging from its pinned top row.
+  ClothMesh mesh = ClothMesh::grid(p, {0, 2, 0}, {1, 0, 0}, {0, -1, 0});
+  for (int c = 0; c < p.cols; ++c) mesh.pin(0, c);
+  return mesh;
+}
+
+TEST(ClothMesh, GridGeometry) {
+  const auto p = small_params(3, 4);
+  const ClothMesh mesh = ClothMesh::grid(p, {0, 0, 0}, {1, 0, 0}, {0, -1, 0});
+  EXPECT_EQ(mesh.node_count(), 12u);
+  EXPECT_EQ(mesh.node(0, 0).pos, (Vec3{0, 0, 0}));
+  EXPECT_NEAR(mesh.node(0, 3).pos.x, 0.3f, 1e-6f);
+  EXPECT_NEAR(mesh.node(2, 0).pos.y, -0.2f, 1e-6f);
+  EXPECT_TRUE(mesh.in_grid(2, 3));
+  EXPECT_FALSE(mesh.in_grid(3, 0));
+  EXPECT_FALSE(mesh.in_grid(0, -1));
+}
+
+TEST(ClothMesh, StencilHasTwelveSprings) {
+  EXPECT_EQ(spring_stencil().size(), 12u);
+  EXPECT_EQ(stencil_size(), 12u);
+}
+
+TEST(NodeForce, RestStateFeelsOnlyGravityAndDrag) {
+  const auto p = small_params();
+  const ClothMesh mesh = ClothMesh::grid(p, {0, 0, 0}, {1, 0, 0}, {0, -1, 0});
+  const NodeAccessor read = [&](int r, int c)
+      -> std::optional<std::pair<Vec3, Vec3>> {
+    if (!mesh.in_grid(r, c)) return std::nullopt;
+    return std::make_pair(mesh.node(r, c).pos, mesh.node(r, c).vel);
+  };
+  // Interior node at rest: spring forces cancel exactly (all at rest
+  // length), leaving m*g.
+  const ClothNode& n = mesh.node(4, 6);
+  const Vec3 f = node_force(p, n.pos, n.vel, n.mass, 4, 6, read);
+  EXPECT_NEAR(f.x, 0.0f, 1e-4f);
+  EXPECT_NEAR(f.y, p.gravity.y * p.mass, 1e-4f);
+  EXPECT_NEAR(f.z, 0.0f, 1e-4f);
+}
+
+TEST(NodeForce, StretchedSpringPullsBack) {
+  auto p = small_params(1, 2);
+  p.gravity = {0, 0, 0};
+  p.air_drag = 0;
+  ClothMesh mesh = ClothMesh::grid(p, {0, 0, 0}, {1, 0, 0}, {0, -1, 0});
+  mesh.node(0, 1).pos = {0.3f, 0, 0};  // stretched to 3x rest
+  const NodeAccessor read = [&](int r, int c)
+      -> std::optional<std::pair<Vec3, Vec3>> {
+    if (!mesh.in_grid(r, c)) return std::nullopt;
+    return std::make_pair(mesh.node(r, c).pos, mesh.node(r, c).vel);
+  };
+  const Vec3 f = node_force(p, mesh.node(0, 0).pos, {}, p.mass, 0, 0, read);
+  EXPECT_GT(f.x, 0.0f);  // pulled toward the stretched neighbor
+  const Vec3 f1 =
+      node_force(p, mesh.node(0, 1).pos, {}, p.mass, 0, 1, read);
+  EXPECT_LT(f1.x, 0.0f);  // and vice versa
+  EXPECT_NEAR(f.x + f1.x, 0.0f, 1e-4f);  // Newton's third law
+}
+
+TEST(StepSequential, PinnedNodesNeverMove) {
+  const auto p = small_params();
+  ClothMesh mesh = hanging_cloth(p);
+  const Vec3 before = mesh.node(0, 3).pos;
+  const float bottom_before = mesh.node(p.rows - 1, 3).pos.y;
+  for (int i = 0; i < 50; ++i) step_sequential(mesh, 1.0f / 240, {});
+  EXPECT_EQ(mesh.node(0, 3).pos, before);
+  // The free bottom row sagged below its rest position.
+  EXPECT_LT(mesh.node(p.rows - 1, 3).pos.y, bottom_before);
+}
+
+TEST(StepSequential, ClothSagsUnderGravityAndSettles) {
+  const auto p = small_params();
+  ClothMesh mesh = hanging_cloth(p);
+  for (int i = 0; i < 2000; ++i) step_sequential(mesh, 1.0f / 240, {});
+  // Bottom row stretched below its rest position but not torn away.
+  const float bottom = mesh.node(p.rows - 1, p.cols / 2).pos.y;
+  const float rest = 2.0f - p.spacing * static_cast<float>(p.rows - 1);
+  EXPECT_LT(bottom, rest);
+  EXPECT_GT(bottom, rest - 0.5f);
+  // Damping drains the kinetic energy.
+  EXPECT_LT(mesh.kinetic_energy(), 1e-3);
+}
+
+TEST(ResolveObstacle, ProjectsOutAndKillsInwardVelocity) {
+  const auto sphere = psys::make_sphere({0, 0, 0}, 1.0f);
+  Vec3 pos{0, 0.5f, 0};
+  Vec3 vel{0, -2.0f, 0};
+  resolve_obstacle(*sphere, pos, vel);
+  EXPECT_GE(pos.length(), 1.0f);
+  EXPECT_GE(vel.y, 0.0f);
+  // Outside: untouched.
+  Vec3 pos2{0, 2, 0}, vel2{0, -1, 0};
+  resolve_obstacle(*sphere, pos2, vel2);
+  EXPECT_EQ(pos2, (Vec3{0, 2, 0}));
+  EXPECT_EQ(vel2, (Vec3{0, -1, 0}));
+}
+
+TEST(StepSequential, DrapesOverSphereWithoutPenetration) {
+  auto p = small_params(10, 10);
+  ClothMesh mesh =
+      ClothMesh::grid(p, {-0.45f, 1.5f, -0.45f}, {1, 0, 0}, {0, 0, 1});
+  const auto sphere = psys::make_sphere({0, 0.5f, 0}, 0.6f);
+  for (int i = 0; i < 1500; ++i) {
+    step_sequential(mesh, 1.0f / 240, {{sphere}});
+  }
+  for (const auto& n : mesh.nodes()) {
+    EXPECT_GE((n.pos - Vec3{0, 0.5f, 0}).length(), 0.6f - 1e-3f);
+  }
+}
+
+TEST(ColumnRange, PartitionsExactly) {
+  for (const int cols : {7, 8, 30}) {
+    for (const int n : {1, 2, 3, 5}) {
+      int covered = 0;
+      int prev_hi = 0;
+      for (int r = 0; r < n; ++r) {
+        const auto [lo, hi] = column_range(cols, r, n);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_GE(hi, lo);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, cols);
+      EXPECT_EQ(prev_hi, cols);
+    }
+  }
+}
+
+class DistributedClothTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedClothTest, MatchesSequentialBitwise) {
+  const int ncalc = GetParam();
+  const auto p = small_params(8, 13);  // odd cols: uneven partitions too
+  ClothMesh mesh = hanging_cloth(p);
+  const auto sphere = psys::make_sphere({0.5f, 1.2f, 0}, 0.25f);
+
+  const auto seq =
+      run_cloth_sequential(mesh, /*steps=*/120, 1.0f / 240, {{sphere}});
+
+  const auto spec = cluster::ClusterSpec::homogeneous(
+      cluster::NodeType::e800(), static_cast<std::size_t>(ncalc),
+      net::Interconnect::kMyrinet, cluster::Compiler::kGcc);
+  const auto placement = cluster::Placement::round_robin(spec, ncalc);
+  const auto par = run_cloth_parallel(mesh, 120, 1.0f / 240, {{sphere}},
+                                      ncalc, spec, placement);
+
+  ASSERT_EQ(par.final_state.node_count(), seq.final_state.node_count());
+  for (std::size_t i = 0; i < seq.final_state.nodes().size(); ++i) {
+    const auto& a = seq.final_state.nodes()[i];
+    const auto& b = par.final_state.nodes()[i];
+    ASSERT_EQ(a.pos, b.pos) << "node " << i << " ncalc=" << ncalc;
+    ASSERT_EQ(a.vel, b.vel) << "node " << i << " ncalc=" << ncalc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CalcCounts, DistributedClothTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(DistributedCloth, VirtualSpeedupScales) {
+  const auto p = small_params(16, 48);
+  const ClothMesh mesh = hanging_cloth(p);
+  const auto seq = run_cloth_sequential(mesh, 40, 1.0f / 240, {});
+  double prev = 0.0;
+  for (const int n : {1, 2, 4}) {
+    const auto spec = cluster::ClusterSpec::homogeneous(
+        cluster::NodeType::e800(), static_cast<std::size_t>(n),
+        net::Interconnect::kMyrinet, cluster::Compiler::kGcc);
+    const auto par = run_cloth_parallel(
+        mesh, 40, 1.0f / 240, {}, n, spec,
+        cluster::Placement::round_robin(spec, n));
+    const double speedup = seq.sim_seconds / par.sim_seconds;
+    EXPECT_GT(speedup, prev);
+    prev = speedup;
+  }
+  EXPECT_GT(prev, 2.0);  // 4 processes must at least double throughput
+}
+
+}  // namespace
+}  // namespace psanim::cloth

@@ -1,0 +1,251 @@
+// Tests for collision detection: swept segment tests, triangle domains,
+// response math, the spatial hash (validated against brute force) and the
+// particle-particle solver with ghost bands.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collide/colliders.hpp"
+#include "collide/pair_collide.hpp"
+#include "collide/response.hpp"
+#include "collide/spatial_hash.hpp"
+#include "math/rng.hpp"
+
+namespace psanim::collide {
+namespace {
+
+using psys::Particle;
+
+TEST(SweepSegment, FindsPlaneCrossing) {
+  const auto plane = psys::make_plane({0, 0, 0}, {0, 1, 0});
+  const auto hit = sweep_segment(*plane, {0, 1, 0}, {0, -1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t, 0.5f, 1e-3f);
+  EXPECT_NEAR(hit->point.y, 0.0f, 1e-3f);
+  EXPECT_EQ(hit->normal, (Vec3{0, 1, 0}));
+}
+
+TEST(SweepSegment, NoHitWhenBothOutside) {
+  const auto sphere = psys::make_sphere({0, 0, 0}, 1.0f);
+  EXPECT_FALSE(sweep_segment(*sphere, {2, 0, 0}, {0, 2, 0}).has_value());
+}
+
+TEST(SweepSegment, NoHitWhenStartingInside) {
+  const auto sphere = psys::make_sphere({0, 0, 0}, 1.0f);
+  EXPECT_FALSE(sweep_segment(*sphere, {0, 0, 0}, {0, 0.5f, 0}).has_value());
+}
+
+TEST(SweepSegment, SphereEntryPointOnSurface) {
+  const auto sphere = psys::make_sphere({0, 0, 0}, 1.0f);
+  const auto hit = sweep_segment(*sphere, {3, 0, 0}, {0, 0, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.length(), 1.0f, 1e-2f);
+  EXPECT_NEAR(hit->normal.x, 1.0f, 1e-2f);
+}
+
+TEST(Triangle, SurfaceSignsAboveAndBelow) {
+  const auto tri = make_triangle({0, 0, 0}, {2, 0, 0}, {0, 0, 2});
+  // Triangle lies in the y=0 plane with normal -y or +y depending on
+  // winding: (b-a)x(c-a) = (2,0,0)x(0,0,2) = (0*2-0*0, 0*0-2*2, 0) =
+  // (0,-4,0) -> normal -y.
+  const auto above = tri->surface({0.5f, 1.0f, 0.5f});
+  const auto below = tri->surface({0.5f, -1.0f, 0.5f});
+  EXPECT_LT(above.signed_distance, 0.0f);  // opposite the (-y) normal
+  EXPECT_GT(below.signed_distance, 0.0f);
+}
+
+TEST(Triangle, RimDistancePositive) {
+  const auto tri = make_triangle({0, 0, 0}, {2, 0, 0}, {0, 0, 2});
+  const auto far = tri->surface({5, 0, 0});
+  EXPECT_NEAR(far.signed_distance, 3.0f, 1e-4f);
+}
+
+TEST(Triangle, SamplesLieOnTrianglePlane) {
+  const auto tri = make_triangle({0, 0, 0}, {2, 0, 0}, {0, 0, 2});
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = tri->generate(rng);
+    EXPECT_NEAR(p.y, 0.0f, 1e-5f);
+    EXPECT_GE(p.x, -1e-5f);
+    EXPECT_GE(p.z, -1e-5f);
+    EXPECT_LE(p.x / 2 + p.z / 2, 1.0f + 1e-5f);  // inside the hypotenuse
+  }
+}
+
+TEST(Reflect, SplitsNormalAndTangent) {
+  const Vec3 v = reflect({3, -2, 0}, {0, 1, 0}, 0.5f, 0.25f);
+  EXPECT_NEAR(v.y, 1.0f, 1e-5f);
+  EXPECT_NEAR(v.x, 2.25f, 1e-5f);
+}
+
+TEST(Reflect, SeparatingVelocityUnchanged) {
+  const Vec3 v = reflect({1, 2, 0}, {0, 1, 0}, 0.5f, 0.25f);
+  EXPECT_EQ(v, (Vec3{1, 2, 0}));
+}
+
+TEST(ResolvePenetration, PushesAlongNormal) {
+  const Vec3 p = resolve_penetration({0, -1, 0}, {0, 1, 0}, 1.0f, 0.0f);
+  EXPECT_NEAR(p.y, 0.0f, 1e-6f);
+  EXPECT_EQ(resolve_penetration({1, 1, 1}, {0, 1, 0}, -0.5f), (Vec3{1, 1, 1}));
+}
+
+TEST(SphereImpulse, ConservesMomentum) {
+  Vec3 va{2, 0, 0}, vb{-1, 0, 0};
+  const Vec3 before = va * 1.0f + vb * 3.0f;
+  sphere_impulse(va, 1.0f, vb, 3.0f, {1, 0, 0}, 0.8f);
+  const Vec3 after = va * 1.0f + vb * 3.0f;
+  EXPECT_NEAR((before - after).length(), 0.0f, 1e-5f);
+  // Relative velocity reversed and scaled by restitution.
+  EXPECT_NEAR((vb - va).x, 0.8f * 3.0f, 1e-5f);
+}
+
+TEST(SphereImpulse, SeparatingPairUntouched) {
+  Vec3 va{-1, 0, 0}, vb{1, 0, 0};
+  sphere_impulse(va, 1, vb, 1, {1, 0, 0}, 0.5f);
+  EXPECT_EQ(va, (Vec3{-1, 0, 0}));
+  EXPECT_EQ(vb, (Vec3{1, 0, 0}));
+}
+
+// --- spatial hash vs brute force ---
+
+std::vector<Particle> cloud(std::size_t n, float extent, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> out(n);
+  for (auto& p : out) {
+    p.pos = rng.in_box({-extent, -extent, -extent}, {extent, extent, extent});
+  }
+  return out;
+}
+
+class SpatialHashTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpatialHashTest, FindsExactlyBruteForcePairs) {
+  const auto particles = cloud(GetParam(), 2.0f, GetParam());
+  const float radius = 0.5f;
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> brute;
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < particles.size(); ++j) {
+      if ((particles[i].pos - particles[j].pos).length2() <= radius * radius) {
+        brute.emplace(i, j);
+      }
+    }
+  }
+
+  SpatialHash grid(radius);
+  grid.build(particles);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> hashed;
+  grid.for_each_pair(particles, radius, [&](std::uint32_t i, std::uint32_t j) {
+    hashed.emplace(std::min(i, j), std::max(i, j));
+  });
+
+  EXPECT_EQ(hashed, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(CloudSizes, SpatialHashTest,
+                         ::testing::Values(2, 16, 100, 500));
+
+TEST(SpatialHash, RejectsBadConfig) {
+  EXPECT_THROW(SpatialHash(0.0f), std::invalid_argument);
+  EXPECT_THROW(SpatialHash(1.0f, 1000), std::invalid_argument);  // not 2^k
+}
+
+TEST(SpatialHash, ForEachNearFindsNeighbors) {
+  std::vector<Particle> ps(3);
+  ps[0].pos = {0, 0, 0};
+  ps[1].pos = {0.1f, 0, 0};
+  ps[2].pos = {5, 5, 5};
+  SpatialHash grid(0.5f);
+  grid.build(ps);
+  std::set<std::uint32_t> near;
+  grid.for_each_near(ps, {0, 0, 0}, 0.5f,
+                     [&](std::uint32_t j) { near.insert(j); });
+  EXPECT_TRUE(near.contains(0));
+  EXPECT_TRUE(near.contains(1));
+  EXPECT_FALSE(near.contains(2));
+}
+
+// --- pair collision solver ---
+
+TEST(PairCollide, HeadOnPairBounces) {
+  std::vector<Particle> ps(2);
+  ps[0].pos = {0, 0, 0};
+  ps[0].vel = {1, 0, 0};
+  ps[1].pos = {0.2f, 0, 0};
+  ps[1].vel = {-1, 0, 0};
+  const auto stats = resolve_pair_collisions(ps, {}, 0.3f, 1.0f);
+  EXPECT_EQ(stats.contacts, 1u);
+  EXPECT_LT(ps[0].vel.x, 0.0f);
+  EXPECT_GT(ps[1].vel.x, 0.0f);
+}
+
+TEST(PairCollide, MomentumConservedAcrossLocalPairs) {
+  auto ps = cloud(200, 1.0f, 9);
+  Rng rng(10);
+  for (auto& p : ps) p.vel = rng.in_unit_ball() * 2.0f;
+  Vec3 before{};
+  for (const auto& p : ps) before += p.vel * p.mass;
+  resolve_pair_collisions(ps, {}, 0.2f, 0.7f);
+  Vec3 after{};
+  for (const auto& p : ps) after += p.vel * p.mass;
+  EXPECT_NEAR((before - after).length(), 0.0f, 1e-3f);
+}
+
+TEST(PairCollide, GhostsInfluenceButAreNotWritten) {
+  std::vector<Particle> locals(1);
+  locals[0].pos = {0, 0, 0};
+  locals[0].vel = {1, 0, 0};
+  std::vector<Particle> ghosts(1);
+  ghosts[0].pos = {0.2f, 0, 0};
+  ghosts[0].vel = {-1, 0, 0};
+  const Vec3 ghost_vel_before = ghosts[0].vel;
+  const auto stats = resolve_pair_collisions(locals, ghosts, 0.3f, 1.0f);
+  EXPECT_EQ(stats.ghost_contacts, 1u);
+  EXPECT_LT(locals[0].vel.x, 1.0f);             // local reacted
+  EXPECT_EQ(ghosts[0].vel, ghost_vel_before);    // ghost untouched
+}
+
+TEST(PairCollide, MirroredGhostPassesAgree) {
+  // Two "processes" resolving the same boundary pair from either side
+  // must produce equal-and-opposite updates — the correctness condition
+  // for the ghost-band scheme.
+  Particle a;
+  a.pos = {-0.05f, 0, 0};
+  a.vel = {1, 0, 0};
+  Particle b;
+  b.pos = {0.05f, 0, 0};
+  b.vel = {-1, 0, 0};
+
+  std::vector<Particle> left{a};
+  resolve_pair_collisions(left, {&b, 1}, 0.2f, 0.5f);
+  std::vector<Particle> right{b};
+  resolve_pair_collisions(right, {&a, 1}, 0.2f, 0.5f);
+
+  // Total momentum of the two independently-updated halves is conserved.
+  const Vec3 total = left[0].vel + right[0].vel;
+  EXPECT_NEAR(total.x, 0.0f, 1e-5f);
+}
+
+TEST(PairCollide, DeadParticlesIgnored) {
+  std::vector<Particle> ps(2);
+  ps[0].pos = {0, 0, 0};
+  ps[1].pos = {0.1f, 0, 0};
+  ps[1].kill();
+  const auto stats = resolve_pair_collisions(ps, {}, 0.3f, 1.0f);
+  EXPECT_EQ(stats.contacts, 0u);
+}
+
+TEST(GhostBand, SelectsOnlyEdgeParticles) {
+  std::vector<Particle> ps(3);
+  ps[0].pos = {0.05f, 0, 0};   // near lo edge
+  ps[1].pos = {0.5f, 0, 0};    // interior
+  ps[2].pos = {0.97f, 0, 0};   // near hi edge
+  const auto band = ghost_band(ps, 0, /*lo=*/0.0f, /*hi=*/1.0f, /*band=*/0.1f);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_FLOAT_EQ(band[0].pos.x, 0.05f);
+  EXPECT_FLOAT_EQ(band[1].pos.x, 0.97f);
+}
+
+}  // namespace
+}  // namespace psanim::collide

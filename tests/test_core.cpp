@@ -1,0 +1,273 @@
+// Tests for the core model pieces below the role processes: domain
+// decomposition, the wire protocol codecs and the exchange engine.
+
+#include <gtest/gtest.h>
+
+#include "core/decomposition.hpp"
+#include "core/exchange.hpp"
+#include "core/wire.hpp"
+#include "mp/runtime.hpp"
+
+namespace psanim::core {
+namespace {
+
+using psys::Particle;
+
+Particle at_x(float x) {
+  Particle p;
+  p.pos = {x, 0, 0};
+  return p;
+}
+
+// --- decomposition ---
+
+TEST(Decomposition, UniformSplitMatchesFigure1) {
+  // Figure 1: [-10, 10] into 4 domains -> edges at -5, 0, 5.
+  const Decomposition d(0, -10, 10, 4);
+  ASSERT_EQ(d.edges().size(), 3u);
+  EXPECT_FLOAT_EQ(d.edges()[0], -5);
+  EXPECT_FLOAT_EQ(d.edges()[1], 0);
+  EXPECT_FLOAT_EQ(d.edges()[2], 5);
+  EXPECT_EQ(d.domain_count(), 4);
+}
+
+TEST(Decomposition, OwnerOfCoversWholeAxis) {
+  const Decomposition d(0, -10, 10, 4);
+  EXPECT_EQ(d.owner_of(-100), 0);  // beyond the nominal space: edge domain
+  EXPECT_EQ(d.owner_of(-7), 0);
+  EXPECT_EQ(d.owner_of(-5), 1);  // boundary belongs to the right domain
+  EXPECT_EQ(d.owner_of(0), 2);
+  EXPECT_EQ(d.owner_of(4.9f), 2);
+  EXPECT_EQ(d.owner_of(100), 3);
+}
+
+TEST(Decomposition, SingleDomainOwnsEverything) {
+  const Decomposition d(0, -10, 10, 1);
+  EXPECT_TRUE(d.edges().empty());
+  EXPECT_EQ(d.owner_of(-1e5f), 0);
+  EXPECT_EQ(d.owner_of(1e5f), 0);
+  EXPECT_FLOAT_EQ(d.domain_lo(0), -Aabb::kHuge);
+  EXPECT_FLOAT_EQ(d.domain_hi(0), Aabb::kHuge);
+}
+
+TEST(Decomposition, InfiniteSpaceCentralDomainPathology) {
+  // Table 1's IS-SLB story: with 5 domains over +/-kHuge the whole
+  // emission box [-10, 10] belongs to the central calculator.
+  const Decomposition d = Decomposition::infinite_space(0, 5);
+  EXPECT_EQ(d.owner_of(-10), 2);
+  EXPECT_EQ(d.owner_of(0), 2);
+  EXPECT_EQ(d.owner_of(10), 2);
+  // Even counts split the box between the two central calculators.
+  const Decomposition e = Decomposition::infinite_space(0, 4);
+  EXPECT_EQ(e.owner_of(-1), 1);
+  EXPECT_EQ(e.owner_of(1), 2);
+}
+
+TEST(Decomposition, SetEdgeClampsBetweenNeighbors) {
+  Decomposition d(0, -10, 10, 4);  // edges -5, 0, 5
+  d.set_edge(1, 3.0f);
+  EXPECT_FLOAT_EQ(d.edges()[1], 3.0f);
+  d.set_edge(1, 100.0f);  // beyond edge 2: clamps to 5
+  EXPECT_FLOAT_EQ(d.edges()[1], 5.0f);
+  d.set_edge(0, -100.0f);  // lowest edge can move far left
+  EXPECT_LT(d.edges()[0], -50.0f);
+}
+
+TEST(Decomposition, DomainIntervalsAreContiguous) {
+  const Decomposition d(0, 0, 100, 8);
+  for (int i = 0; i + 1 < d.domain_count(); ++i) {
+    EXPECT_FLOAT_EQ(d.domain_hi(i), d.domain_lo(i + 1));
+  }
+}
+
+TEST(Decomposition, NominalShares) {
+  const Decomposition d(0, 0, 100, 4);
+  const auto shares = d.nominal_shares();
+  ASSERT_EQ(shares.size(), 4u);
+  for (const double s : shares) EXPECT_NEAR(s, 0.25, 1e-6);
+}
+
+TEST(Decomposition, EncodeDecodeRoundTrip) {
+  Decomposition d(2, -3, 7, 5);
+  d.set_edge(0, -2.5f);
+  mp::Writer w;
+  d.encode(w);
+  mp::Reader r{std::span<const std::byte>(w.bytes())};
+  const Decomposition back = Decomposition::decode(r);
+  EXPECT_EQ(back, d);
+}
+
+TEST(Decomposition, RejectsBadArguments) {
+  EXPECT_THROW(Decomposition(0, 5, 5, 2), std::invalid_argument);
+  EXPECT_THROW(Decomposition(0, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Decomposition(5, 0, 1, 2), std::invalid_argument);
+}
+
+// --- wire codecs ---
+
+TEST(Wire, BatchesRoundTrip) {
+  std::vector<SystemBatch> batches(2);
+  batches[0].system = 0;
+  batches[0].particles = {at_x(1), at_x(2)};
+  batches[1].system = 3;
+  batches[1].particles = {at_x(-1)};
+  mp::Message m;
+  m.payload = encode_batches(7, batches).take();
+  const auto back = decode_batches(m, 7);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].particles.size(), 2u);
+  EXPECT_EQ(back[1].system, 3u);
+  EXPECT_FLOAT_EQ(back[1].particles[0].pos.x, -1);
+}
+
+TEST(Wire, FrameMismatchThrows) {
+  mp::Message m;
+  m.payload = encode_batches(7, {}).take();
+  EXPECT_THROW(decode_batches(m, 8), ProtocolError);
+}
+
+TEST(Wire, LoadReportRoundTrip) {
+  const std::vector<LoadEntry> entries{
+      {.system = 0, .particles = 100, .time_s = 0.5},
+      {.system = 1, .particles = 0, .time_s = 0.0},
+  };
+  mp::Message m;
+  m.payload = encode_load_report(3, entries).take();
+  const auto back = decode_load_report(m, 3);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].particles, 100u);
+  EXPECT_DOUBLE_EQ(back[0].time_s, 0.5);
+}
+
+TEST(Wire, OrdersAndEdgesRoundTrip) {
+  const std::vector<OrderEntry> orders{
+      {.system = 2, .is_send = 1, .partner = 4, .count = 77}};
+  mp::Message m;
+  m.payload = encode_orders(1, orders).take();
+  const auto o = decode_orders(m, 1);
+  ASSERT_EQ(o.size(), 1u);
+  EXPECT_EQ(o[0].partner, 4);
+  EXPECT_EQ(o[0].count, 77u);
+
+  const std::vector<EdgeEntry> edges{{.system = 1, .edge_index = 2,
+                                      .value = -3.5f}};
+  mp::Message me;
+  me.payload = encode_edges(1, edges).take();
+  const auto e = decode_edges(me, 1);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_FLOAT_EQ(e[0].value, -3.5f);
+}
+
+TEST(Wire, RenderVertexPackIsLossyButClose) {
+  RenderVertex v;
+  v.pos = {1.5f, -2.25f, 3.0f};
+  v.color = {0.2f, 0.6f, 1.0f};
+  v.alpha = 0.5f;
+  v.size = 0.1f;
+  const RenderVertex back = unpack_vertex(pack_vertex(v));
+  EXPECT_EQ(back.pos, v.pos);  // positions are exact
+  // Colors come back premultiplied by alpha, to 8-bit precision.
+  EXPECT_NEAR(back.color.x, 0.1f, 1.0f / 255);
+  EXPECT_NEAR(back.color.y, 0.3f, 1.0f / 255);
+  EXPECT_NEAR(back.color.z, 0.5f, 1.0f / 255);
+  EXPECT_FLOAT_EQ(back.alpha, 1.0f);
+  EXPECT_NEAR(back.size, 0.1f, kMaxSplatSize / 255);
+}
+
+TEST(Wire, FrameVerticesRoundTripCount) {
+  std::vector<RenderVertex> verts(100);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    verts[i].pos = {static_cast<float>(i), 0, 0};
+  }
+  mp::Message m;
+  m.payload = encode_frame_vertices(9, verts).take();
+  // 16 bytes per vertex plus frame number and length prefix.
+  EXPECT_EQ(m.payload.size(), 4u + 8u + 100u * 16u);
+  const auto back = decode_frame_vertices(m, 9);
+  ASSERT_EQ(back.size(), 100u);
+  EXPECT_FLOAT_EQ(back[42].pos.x, 42.0f);
+}
+
+TEST(Wire, RankHelpers) {
+  EXPECT_EQ(calc_rank(0), 2);
+  EXPECT_EQ(calc_index(calc_rank(5)), 5);
+  EXPECT_EQ(world_size_for(8), 10);
+}
+
+// --- exchange engine ---
+
+TEST(RouteCrossers, GroupsByOwnerAndKeepsHome) {
+  const Decomposition d(0, -10, 10, 4);
+  Outboxes outboxes(4);
+  std::vector<Particle> back_home;
+  // Self is calculator 1 (domain [-5, 0)).
+  route_crossers(d, /*system=*/2, /*self=*/1,
+                 {at_x(-8), at_x(-3), at_x(2), at_x(7)}, outboxes, back_home);
+  ASSERT_EQ(back_home.size(), 1u);  // -3 still belongs to us
+  EXPECT_FLOAT_EQ(back_home[0].pos.x, -3);
+  ASSERT_EQ(outboxes[0].size(), 1u);
+  EXPECT_EQ(outboxes[0][0].system, 2u);
+  EXPECT_FLOAT_EQ(outboxes[0][0].particles[0].pos.x, -8);
+  ASSERT_EQ(outboxes[2].size(), 1u);
+  ASSERT_EQ(outboxes[3].size(), 1u);
+  EXPECT_TRUE(outboxes[1].empty());
+}
+
+TEST(Exchange, AllToAllDeliversAndCounts) {
+  // 3 calculators (ranks 2..4) exchange one particle ring-wise; manager
+  // and imgen ranks idle.
+  mp::Runtime rt(world_size_for(3), mp::zero_cost_fn(),
+                 {.recv_timeout_s = 10.0});
+  rt.run([](mp::Endpoint& ep) {
+    if (ep.rank() < kFirstCalcRank) return;
+    const int self = calc_index(ep.rank());
+    Outboxes outboxes(3);
+    const int target = (self + 1) % 3;
+    outboxes[static_cast<std::size_t>(target)].push_back(
+        SystemBatch{0, {at_x(static_cast<float>(self))}});
+    std::vector<Particle> received;
+    const auto stats = exchange_crossers(
+        ep, /*frame=*/0, 3, self, std::move(outboxes),
+        [&](psys::SystemId, std::vector<Particle>&& ps) {
+          received.insert(received.end(), ps.begin(), ps.end());
+        });
+    EXPECT_EQ(stats.sent_particles, 1u);
+    EXPECT_EQ(stats.received_particles, 1u);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_FLOAT_EQ(received[0].pos.x,
+                    static_cast<float>((self + 2) % 3));
+  });
+}
+
+TEST(Exchange, EmptyOutboxesStillSynchronize) {
+  // The empty message IS the end-of-transmission marker; nobody blocks.
+  mp::Runtime rt(world_size_for(4), mp::zero_cost_fn(),
+                 {.recv_timeout_s = 10.0});
+  rt.run([](mp::Endpoint& ep) {
+    if (ep.rank() < kFirstCalcRank) return;
+    const int self = calc_index(ep.rank());
+    const auto stats = exchange_crossers(
+        ep, 0, 4, self, Outboxes(4),
+        [](psys::SystemId, std::vector<Particle>&&) { FAIL(); });
+    EXPECT_EQ(stats.sent_particles, 0u);
+    EXPECT_EQ(stats.received_particles, 0u);
+    EXPECT_GT(stats.sent_bytes, 0u);  // markers still cost wire bytes
+  });
+}
+
+TEST(Exchange, MissingEotIsDetectedAsTimeout) {
+  // A buggy peer that never sends its (empty) exchange message must
+  // surface as RecvTimeout — the failure mode §3.2.1 warns about.
+  mp::Runtime rt(world_size_for(2), mp::zero_cost_fn(),
+                 {.recv_timeout_s = 0.2});
+  EXPECT_THROW(
+      rt.run([](mp::Endpoint& ep) {
+        if (ep.rank() != calc_rank(0)) return;  // calc 1 stays silent
+        exchange_crossers(ep, 0, 2, 0, Outboxes(2),
+                          [](psys::SystemId, std::vector<Particle>&&) {});
+      }),
+      mp::RecvTimeout);
+}
+
+}  // namespace
+}  // namespace psanim::core

@@ -1,0 +1,233 @@
+// Unit tests for the math module: vectors, boxes, RNG determinism and
+// distribution sanity, running statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "math/aabb.hpp"
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+#include "math/vec.hpp"
+
+namespace psanim {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0f * a, a * 2.0f);
+  EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{-2, 1, 4};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0f, 1e-5f);
+  EXPECT_NEAR(c.dot(b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, NormalizedHandlesZero) {
+  EXPECT_FLOAT_EQ((Vec3{3, 0, 4}).normalized().length(), 1.0f);
+  // Zero vector normalizes to a unit fallback, never NaN.
+  const Vec3 z = Vec3{}.normalized();
+  EXPECT_FLOAT_EQ(z.length(), 1.0f);
+}
+
+TEST(Vec3, AxisAccess) {
+  const Vec3 v{7, 8, 9};
+  EXPECT_FLOAT_EQ(v.axis(0), 7);
+  EXPECT_FLOAT_EQ(v.axis(1), 8);
+  EXPECT_FLOAT_EQ(v.axis(2), 9);
+  Vec3 w;
+  w.axis_ref(1) = 5;
+  EXPECT_FLOAT_EQ(w.y, 5);
+}
+
+TEST(Vec3, Lerp) {
+  EXPECT_EQ(lerp({0, 0, 0}, {2, 4, 6}, 0.5f), (Vec3{1, 2, 3}));
+  EXPECT_EQ(lerp({1, 1, 1}, {2, 2, 2}, 0.0f), (Vec3{1, 1, 1}));
+  EXPECT_EQ(lerp({1, 1, 1}, {2, 2, 2}, 1.0f), (Vec3{2, 2, 2}));
+}
+
+TEST(Aabb, ContainsAndClamp) {
+  const Aabb box({-1, -1, -1}, {1, 2, 3});
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_TRUE(box.contains({-1, 2, 3}));  // boundary inclusive
+  EXPECT_FALSE(box.contains({0, 2.1f, 0}));
+  EXPECT_EQ(box.clamp({5, -9, 0}), (Vec3{1, -1, 0}));
+}
+
+TEST(Aabb, ExtendFromEmpty) {
+  Aabb box = Aabb::empty();
+  EXPECT_FALSE(box.valid());
+  box.extend({1, 2, 3});
+  box.extend({-1, 0, 5});
+  EXPECT_TRUE(box.valid());
+  EXPECT_EQ(box.lo, (Vec3{-1, 0, 3}));
+  EXPECT_EQ(box.hi, (Vec3{1, 2, 5}));
+}
+
+TEST(Aabb, InfiniteCoversEverything) {
+  const Aabb inf = Aabb::infinite();
+  EXPECT_TRUE(inf.contains({9e5f, -9e5f, 0}));
+  EXPECT_FLOAT_EQ(inf.extent(0), 2 * Aabb::kHuge);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeriveIsDeterministicAndIndependent) {
+  const Rng base(7);
+  Rng s1 = base.derive(1, 2);
+  Rng s2 = base.derive(1, 2);
+  Rng s3 = base.derive(2, 1);  // key order matters
+  EXPECT_EQ(s1.next_u64(), s2.next_u64());
+  EXPECT_NE(s1.seed(), s3.seed());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = r.uniform(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(r.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, InUnitBallStaysInside) {
+  Rng r(17);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(r.in_unit_ball().length(), 1.0f + 1e-6f);
+  }
+}
+
+TEST(Rng, OnUnitSphereHasUnitLength) {
+  Rng r(19);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NEAR(r.on_unit_sphere().length(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Rng, InBoxRespectsBounds) {
+  Rng r(23);
+  const Vec3 lo{-1, 2, -3};
+  const Vec3 hi{1, 4, 3};
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p = r.in_box(lo, hi);
+    EXPECT_TRUE((Aabb{lo, hi}).contains(p));
+  }
+}
+
+TEST(Rng, InDiscLiesInPlane) {
+  Rng r(29);
+  const Vec3 n = Vec3{1, 2, -1}.normalized();
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p = r.in_disc(2.0f, n);
+    EXPECT_NEAR(p.dot(n), 0.0f, 1e-5f);
+    EXPECT_LE(p.length(), 2.0f + 1e-5f);
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats st;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    const double v = r.next_double();
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(LoadImbalance, PerfectAndSkewed) {
+  EXPECT_DOUBLE_EQ(load_imbalance({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({4, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0, 0}), 1.0);
+}
+
+TEST(RelDiff, Basics) {
+  EXPECT_DOUBLE_EQ(rel_diff(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(rel_diff(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(rel_diff(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_diff(0, 3), 1.0);
+}
+
+TEST(MixKeys, OrderSensitive) {
+  EXPECT_NE(mix_keys(1, 2), mix_keys(2, 1));
+  EXPECT_NE(mix_keys(1, 2, 3), mix_keys(3, 2, 1));
+  EXPECT_EQ(mix_keys(1, 2, 3), mix_keys(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace psanim

@@ -1,0 +1,368 @@
+// Tests for the message-passing runtime: serialization, mailbox matching,
+// virtual-time semantics (including MPI-style non-overtaking), collectives
+// and determinism of simulated makespans under real thread scheduling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mp/collectives.hpp"
+#include "mp/communicator.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+#include "mp/runtime.hpp"
+#include "mp/virtual_clock.hpp"
+
+namespace psanim::mp {
+namespace {
+
+// --- serialization ---
+
+TEST(WriterReader, PodRoundTrip) {
+  Writer w;
+  w.put<std::int32_t>(-7);
+  w.put<double>(3.25);
+  w.put<float>(1.5f);
+  Reader r{std::span<const std::byte>(w.bytes())};
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_FLOAT_EQ(r.get<float>(), 1.5f);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WriterReader, VectorRoundTrip) {
+  Writer w;
+  const std::vector<std::uint16_t> v{1, 2, 3, 65535};
+  w.put_vector(v);
+  Reader r{std::span<const std::byte>(w.bytes())};
+  EXPECT_EQ(r.get_vector<std::uint16_t>(), v);
+}
+
+TEST(WriterReader, EmptyVectorRoundTrip) {
+  Writer w;
+  w.put_vector(std::vector<double>{});
+  Reader r{std::span<const std::byte>(w.bytes())};
+  EXPECT_TRUE(r.get_vector<double>().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, ThrowsOnShortPayload) {
+  Writer w;
+  w.put<std::uint16_t>(1);
+  Reader r{std::span<const std::byte>(w.bytes())};
+  EXPECT_THROW(r.get<std::uint64_t>(), DecodeError);
+}
+
+TEST(Reader, ThrowsOnOverlongVectorLength) {
+  Writer w;
+  w.put<std::uint64_t>(1'000'000);  // claims a million entries, has none
+  Reader r{std::span<const std::byte>(w.bytes())};
+  EXPECT_THROW(r.get_vector<std::uint32_t>(), DecodeError);
+}
+
+// --- virtual clock ---
+
+TEST(VirtualClock, ChargesAccumulate) {
+  VirtualClock c;
+  c.charge_compute(1.0);
+  c.charge_comm(0.25);
+  EXPECT_DOUBLE_EQ(c.now(), 1.25);
+  EXPECT_DOUBLE_EQ(c.compute_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(c.comm_seconds(), 0.25);
+}
+
+TEST(VirtualClock, AdvanceNeverGoesBackwards) {
+  VirtualClock c;
+  c.charge_compute(2.0);
+  c.advance_to(1.0);  // in the past: no-op
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.wait_seconds(), 0.0);
+  c.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+  EXPECT_DOUBLE_EQ(c.wait_seconds(), 3.0);
+}
+
+// --- mailbox ---
+
+Message make_msg(int src, int tag, double arrive, std::uint64_t seq = 0) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.arrive_time = arrive;
+  m.seq = seq;
+  return m;
+}
+
+TEST(Mailbox, MatchesBySrcAndTag) {
+  Mailbox box;
+  box.push(make_msg(1, 10, 0.0));
+  box.push(make_msg(2, 20, 0.0));
+  EXPECT_EQ(box.pop_match(2, kAny, 1.0).tag, 20);
+  EXPECT_EQ(box.pop_match(kAny, 10, 1.0).src, 1);
+}
+
+TEST(Mailbox, PicksEarliestVirtualArrival) {
+  Mailbox box;
+  box.push(make_msg(1, 5, /*arrive=*/3.0, 0));
+  box.push(make_msg(2, 5, /*arrive=*/1.0, 1));
+  box.push(make_msg(3, 5, /*arrive=*/2.0, 2));
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).src, 2);
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).src, 3);
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).src, 1);
+}
+
+TEST(Mailbox, TieBreaksBySrcThenSeq) {
+  Mailbox box;
+  box.push(make_msg(4, 5, 1.0, 9));
+  box.push(make_msg(2, 5, 1.0, 8));
+  box.push(make_msg(2, 5, 1.0, 3));
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).seq, 3u);
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).seq, 8u);
+  EXPECT_EQ(box.pop_match(kAny, 5, 1.0).src, 4);
+}
+
+TEST(Mailbox, TimeoutThrows) {
+  Mailbox box;
+  box.push(make_msg(1, 7, 0.0));
+  EXPECT_THROW(box.pop_match(1, 99, 0.05), RecvTimeout);
+  EXPECT_EQ(box.size(), 1u);  // non-matching message untouched
+}
+
+TEST(Mailbox, ProbeAndTryPop) {
+  Mailbox box;
+  EXPECT_FALSE(box.probe(kAny, kAny));
+  EXPECT_EQ(box.try_pop_match(kAny, kAny), std::nullopt);
+  box.push(make_msg(1, 7, 0.0));
+  EXPECT_TRUE(box.probe(1, 7));
+  EXPECT_FALSE(box.probe(1, 8));
+  auto m = box.try_pop_match(1, 7);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(box.size(), 0u);
+}
+
+// --- runtime / endpoint ---
+
+TEST(Runtime, RejectsBadArguments) {
+  EXPECT_THROW(Runtime(0, zero_cost_fn()), std::invalid_argument);
+  EXPECT_THROW(Runtime(2, LinkCostFn{}), std::invalid_argument);
+}
+
+TEST(Runtime, PingPongDeliversPayload) {
+  Runtime rt(2, zero_cost_fn());
+  rt.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      Writer w;
+      w.put<std::int32_t>(42);
+      ep.send(1, 7, std::move(w));
+      const Message reply = ep.recv(1, 8);
+      Reader r(reply);
+      EXPECT_EQ(r.get<std::int32_t>(), 43);
+    } else {
+      const Message m = ep.recv(0, 7);
+      Reader r(m);
+      Writer w;
+      w.put<std::int32_t>(r.get<std::int32_t>() + 1);
+      ep.send(0, 8, std::move(w));
+    }
+  });
+}
+
+TEST(Runtime, ExceptionInBodyPropagates) {
+  Runtime rt(2, zero_cost_fn());
+  EXPECT_THROW(rt.run([](Endpoint& ep) {
+                 if (ep.rank() == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(Runtime, RecvTimesOutOnMissingMessage) {
+  Runtime rt(1, zero_cost_fn(), RuntimeOptions{.recv_timeout_s = 0.05});
+  EXPECT_THROW(rt.run([](Endpoint& ep) { ep.recv(0, 1); }), RecvTimeout);
+}
+
+TEST(Endpoint, MessageCostsAdvanceClocks) {
+  // 1 ms send CPU, 10 ms wire, 2 ms recv CPU.
+  auto cost = [](int, int, std::size_t) {
+    return MsgCost{.send_cpu_s = 1e-3, .wire_s = 10e-3, .recv_cpu_s = 2e-3};
+  };
+  Runtime rt(2, cost);
+  const auto results = rt.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_empty(1, 1);
+    } else {
+      ep.recv(0, 1);
+    }
+  });
+  EXPECT_DOUBLE_EQ(results[0].finish_time, 1e-3);            // send overhead
+  EXPECT_DOUBLE_EQ(results[1].finish_time, 1e-3 + 12e-3);    // arrival
+  EXPECT_DOUBLE_EQ(results[1].wait_s, 13e-3);
+}
+
+TEST(Endpoint, NonOvertakingPerPair) {
+  // A big slow message followed by a tiny fast one: FIFO order per
+  // (src, dst) must hold, so the small message cannot arrive earlier.
+  auto cost = [](int, int, std::size_t bytes) {
+    return MsgCost{.send_cpu_s = 0.0,
+                   .wire_s = static_cast<double>(bytes) * 1e-6,
+                   .recv_cpu_s = 0.0};
+  };
+  Runtime rt(2, cost);
+  rt.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 1, std::vector<std::byte>(10'000));  // arrives at 10 ms
+      ep.send_empty(1, 2);                            // tiny, same pair
+    } else {
+      const Message big = ep.recv(0, 1);
+      const Message small = ep.recv(0, 2);
+      EXPECT_GE(small.arrive_time, big.arrive_time);
+    }
+  });
+}
+
+TEST(Endpoint, TrafficCountersTrackBytes) {
+  Runtime rt(2, zero_cost_fn());
+  const auto results = rt.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send(1, 1, std::vector<std::byte>(100));
+    } else {
+      ep.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(results[0].traffic.msgs_sent, 1u);
+  EXPECT_EQ(results[0].traffic.bytes_sent, 100 + kEnvelopeBytes);
+  EXPECT_EQ(results[1].traffic.msgs_recv, 1u);
+  EXPECT_EQ(results[1].traffic.bytes_recv, 100 + kEnvelopeBytes);
+}
+
+TEST(Endpoint, RecvEachCollectsInOrder) {
+  Runtime rt(4, zero_cost_fn());
+  rt.run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      const int sources[] = {1, 2, 3};
+      const auto msgs = ep.recv_each(sources, 5);
+      ASSERT_EQ(msgs.size(), 3u);
+      EXPECT_EQ(msgs[0].src, 1);
+      EXPECT_EQ(msgs[1].src, 2);
+      EXPECT_EQ(msgs[2].src, 3);
+    } else {
+      ep.send_empty(0, 5);
+    }
+  });
+}
+
+// --- virtual-time determinism ---
+
+TEST(Runtime, MakespanIsDeterministicAcrossRuns) {
+  // A little protocol with compute charges and cross traffic; wall-clock
+  // scheduling varies between repetitions, virtual time must not.
+  auto cost = [](int src, int dst, std::size_t bytes) {
+    return MsgCost{.send_cpu_s = 1e-6 * (src + 1),
+                   .wire_s = 1e-5 + static_cast<double>(bytes) * 1e-8,
+                   .recv_cpu_s = 2e-6 * (dst + 1)};
+  };
+  auto run_once = [&] {
+    Runtime rt(4, cost);
+    return rt.run([](Endpoint& ep) {
+      for (int round = 0; round < 20; ++round) {
+        ep.charge(1e-5 * (ep.rank() + 1));
+        for (int dst = 0; dst < ep.world_size(); ++dst) {
+          if (dst != ep.rank()) {
+            ep.send(dst, round, std::vector<std::byte>(64));
+          }
+        }
+        for (int src = 0; src < ep.world_size(); ++src) {
+          if (src != ep.rank()) ep.recv(src, round);
+        }
+      }
+    });
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a[r].finish_time, b[r].finish_time) << "rank " << r;
+    EXPECT_DOUBLE_EQ(a[r].wait_s, b[r].wait_s) << "rank " << r;
+  }
+}
+
+// --- collectives ---
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, BarrierSynchronizesClocks) {
+  const int n = GetParam();
+  auto cost = [](int, int, std::size_t) {
+    return MsgCost{.send_cpu_s = 0, .wire_s = 1e-4, .recv_cpu_s = 0};
+  };
+  Runtime rt(n, cost);
+  const auto results = rt.run([](Endpoint& ep) {
+    ep.charge(1e-3 * (ep.rank() + 1));  // ranks arrive at different times
+    barrier(ep);
+  });
+  // After the barrier every clock is at least the slowest arrival.
+  for (const auto& r : results) {
+    EXPECT_GE(r.finish_time, 1e-3 * n);
+  }
+}
+
+TEST_P(CollectivesTest, BcastDeliversRootPayload) {
+  const int n = GetParam();
+  Runtime rt(n, zero_cost_fn());
+  rt.run([](Endpoint& ep) {
+    Writer w;
+    if (ep.rank() == 0) w.put<std::uint64_t>(1234);
+    const auto bytes = bcast(ep, 0, w.take());
+    Reader r{std::span<const std::byte>(bytes)};
+    EXPECT_EQ(r.get<std::uint64_t>(), 1234u);
+  });
+}
+
+TEST_P(CollectivesTest, GatherOrdersByRank) {
+  const int n = GetParam();
+  Runtime rt(n, zero_cost_fn());
+  rt.run([](Endpoint& ep) {
+    Writer w;
+    w.put<std::int32_t>(ep.rank() * 10);
+    const auto parts = gather(ep, 0, w.take());
+    if (ep.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(parts.size()), ep.world_size());
+      for (int i = 0; i < ep.world_size(); ++i) {
+        Reader r{std::span<const std::byte>(parts[static_cast<std::size_t>(i)])};
+        EXPECT_EQ(r.get<std::int32_t>(), i * 10);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllgatherGivesEveryoneEverything) {
+  const int n = GetParam();
+  Runtime rt(n, zero_cost_fn());
+  rt.run([](Endpoint& ep) {
+    Writer w;
+    w.put<std::int32_t>(ep.rank());
+    const auto parts = allgather(ep, w.take());
+    ASSERT_EQ(static_cast<int>(parts.size()), ep.world_size());
+    for (int i = 0; i < ep.world_size(); ++i) {
+      Reader r{std::span<const std::byte>(parts[static_cast<std::size_t>(i)])};
+      EXPECT_EQ(r.get<std::int32_t>(), i);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceMaxAndSum) {
+  const int n = GetParam();
+  Runtime rt(n, zero_cost_fn());
+  rt.run([n](Endpoint& ep) {
+    const double mx = allreduce_max(ep, static_cast<double>(ep.rank()));
+    EXPECT_DOUBLE_EQ(mx, n - 1);
+    const double sum = allreduce_sum(ep, 1.0);
+    EXPECT_DOUBLE_EQ(sum, n);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace psanim::mp

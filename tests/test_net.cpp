@@ -1,0 +1,89 @@
+// Unit tests for the network model: alpha-beta link costs, presets and
+// link resolution between heterogeneous NIC sets.
+
+#include <gtest/gtest.h>
+
+#include "net/network_model.hpp"
+
+namespace psanim::net {
+namespace {
+
+TEST(LinkModel, CostIsLatencyPlusBandwidth) {
+  const LinkModel link = LinkModel::custom(10e-6, 100e6);
+  EXPECT_DOUBLE_EQ(link.cost_s(0), 10e-6);
+  EXPECT_DOUBLE_EQ(link.cost_s(100'000'000), 10e-6 + 1.0);
+}
+
+TEST(LinkModel, PresetsAreOrderedBySpeed) {
+  const std::size_t mb = 1 << 20;
+  const double loop = LinkModel::loopback().cost_s(mb);
+  const double myri = LinkModel::myrinet().cost_s(mb);
+  const double gig = LinkModel::gigabit_ethernet().cost_s(mb);
+  const double fe = LinkModel::fast_ethernet().cost_s(mb);
+  EXPECT_LT(loop, myri);
+  EXPECT_LT(myri, gig);
+  EXPECT_LT(gig, fe);
+}
+
+TEST(LinkModel, MyrinetLatencyFarBelowEthernet) {
+  EXPECT_LT(LinkModel::myrinet().latency_s,
+            LinkModel::fast_ethernet().latency_s / 5);
+}
+
+TEST(LinkModel, PresetFactoryMatchesKind) {
+  for (const auto ic :
+       {Interconnect::kLoopback, Interconnect::kFastEthernet,
+        Interconnect::kGigabitEthernet, Interconnect::kMyrinet}) {
+    EXPECT_EQ(LinkModel::preset(ic).kind, ic) << to_string(ic);
+  }
+}
+
+TEST(NicSet, HasMatchesFlags) {
+  const NicSet paper_piii{.fast_ethernet = true, .gigabit = false,
+                          .myrinet = true};
+  EXPECT_TRUE(paper_piii.has(Interconnect::kFastEthernet));
+  EXPECT_TRUE(paper_piii.has(Interconnect::kMyrinet));
+  EXPECT_FALSE(paper_piii.has(Interconnect::kGigabitEthernet));
+  EXPECT_FALSE(paper_piii.has(Interconnect::kLoopback));
+}
+
+TEST(ResolveLink, SameNodeIsLoopback) {
+  const NicSet nics{.fast_ethernet = true, .gigabit = false, .myrinet = true};
+  const auto link = resolve_link(nics, nics, /*same_node=*/true,
+                                 Interconnect::kMyrinet);
+  EXPECT_EQ(link.kind, Interconnect::kLoopback);
+}
+
+TEST(ResolveLink, PrefersRequestedWhenBothHaveIt) {
+  const NicSet nics{.fast_ethernet = true, .gigabit = false, .myrinet = true};
+  EXPECT_EQ(resolve_link(nics, nics, false, Interconnect::kMyrinet).kind,
+            Interconnect::kMyrinet);
+  EXPECT_EQ(resolve_link(nics, nics, false, Interconnect::kFastEthernet).kind,
+            Interconnect::kFastEthernet);
+}
+
+TEST(ResolveLink, ItaniumFallsBackToFastEthernet) {
+  // The paper's Itanium nodes have no Myrinet: a PIII<->Itanium link over
+  // a "preferred Myrinet" cluster still ends up on Fast-Ethernet.
+  const NicSet piii{.fast_ethernet = true, .gigabit = false, .myrinet = true};
+  const NicSet itanium{.fast_ethernet = true, .gigabit = false,
+                       .myrinet = false};
+  const auto link = resolve_link(piii, itanium, false, Interconnect::kMyrinet);
+  EXPECT_EQ(link.kind, Interconnect::kFastEthernet);
+}
+
+TEST(ResolveLink, FastestCommonWinsWithoutPreference) {
+  const NicSet both{.fast_ethernet = true, .gigabit = true, .myrinet = true};
+  const NicSet gige{.fast_ethernet = true, .gigabit = true, .myrinet = false};
+  EXPECT_EQ(resolve_link(both, gige, false, Interconnect::kMyrinet).kind,
+            Interconnect::kGigabitEthernet);
+}
+
+TEST(ToString, CoversAllKinds) {
+  EXPECT_EQ(to_string(Interconnect::kMyrinet), "myrinet");
+  EXPECT_EQ(to_string(Interconnect::kLoopback), "loopback");
+  EXPECT_EQ(to_string(Interconnect::kFastEthernet), "fast-ethernet");
+}
+
+}  // namespace
+}  // namespace psanim::net

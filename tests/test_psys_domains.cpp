@@ -1,0 +1,140 @@
+// Tests for the pDomain-style geometric domains: sampling stays inside,
+// membership and surface queries are consistent, bounds are conservative.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "psys/source_domain.hpp"
+
+namespace psanim::psys {
+namespace {
+
+struct DomainCase {
+  std::string name;
+  DomainPtr domain;
+  bool bounded;  // bounds() finite
+};
+
+std::vector<DomainCase> all_domains() {
+  return {
+      {"point", make_point({1, 2, 3}), true},
+      {"line", make_line({0, 0, 0}, {4, 0, 0}), true},
+      {"box", make_box({-1, -2, -3}, {1, 2, 3}), true},
+      {"sphere", make_sphere({0, 1, 0}, 2.0f), true},
+      {"disc", make_disc({0, 0, 0}, {0, 1, 0}, 1.5f), true},
+      {"plane", make_plane({0, 0, 0}, {0, 1, 0}), false},
+      {"cylinder", make_cylinder({0, 0, 0}, {0, 3, 0}, 1.0f), true},
+  };
+}
+
+class DomainParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DomainParamTest, GeneratedSamplesLieWithinBounds) {
+  const DomainCase c = all_domains()[GetParam()];
+  Rng rng(99);
+  const Aabb bounds = c.domain->bounds();
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 p = c.domain->generate(rng);
+    // Allow tiny float slack at the boundary.
+    const Aabb grown{bounds.lo - Vec3{1e-4f, 1e-4f, 1e-4f},
+                     bounds.hi + Vec3{1e-4f, 1e-4f, 1e-4f}};
+    EXPECT_TRUE(grown.contains(p)) << c.name << " sample " << i;
+  }
+}
+
+TEST_P(DomainParamTest, SurfaceNormalIsUnit) {
+  const DomainCase c = all_domains()[GetParam()];
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 probe = rng.in_box({-5, -5, -5}, {5, 5, 5});
+    const SurfaceHit hit = c.domain->surface(probe);
+    EXPECT_NEAR(hit.normal.length(), 1.0f, 1e-4f) << c.name;
+  }
+}
+
+TEST_P(DomainParamTest, FarPointsAreOutside) {
+  const DomainCase c = all_domains()[GetParam()];
+  if (!c.bounded) return;  // plane extends forever
+  const Vec3 far{1e4f, 1e4f, 1e4f};
+  EXPECT_FALSE(c.domain->within(far)) << c.name;
+  EXPECT_GT(c.domain->surface(far).signed_distance, 0.0f) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainParamTest,
+                         ::testing::Range<std::size_t>(0, 7));
+
+TEST(PointDomain, GeneratesExactPoint) {
+  Rng rng(1);
+  EXPECT_EQ(make_point({1, 2, 3})->generate(rng), (Vec3{1, 2, 3}));
+}
+
+TEST(LineDomain, SamplesAreCollinear) {
+  Rng rng(2);
+  const auto line = make_line({0, 0, 0}, {2, 2, 0});
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = line->generate(rng);
+    EXPECT_NEAR(p.x, p.y, 1e-5f);
+    EXPECT_NEAR(p.z, 0.0f, 1e-6f);
+  }
+}
+
+TEST(BoxDomain, SignedDistanceSigns) {
+  const auto box = make_box({-1, -1, -1}, {1, 1, 1});
+  EXPECT_LT(box->surface({0, 0, 0}).signed_distance, 0.0f);
+  EXPECT_GT(box->surface({2, 0, 0}).signed_distance, 0.0f);
+  EXPECT_NEAR(box->surface({2, 0, 0}).signed_distance, 1.0f, 1e-5f);
+  // Inside, nearest face is +x at distance 0.2.
+  const SurfaceHit h = box->surface({0.8f, 0, 0});
+  EXPECT_NEAR(h.signed_distance, -0.2f, 1e-5f);
+  EXPECT_EQ(h.normal, (Vec3{1, 0, 0}));
+}
+
+TEST(SphereDomain, SurfaceDistanceIsRadial) {
+  const auto s = make_sphere({0, 0, 0}, 2.0f);
+  EXPECT_NEAR(s->surface({3, 0, 0}).signed_distance, 1.0f, 1e-5f);
+  EXPECT_NEAR(s->surface({1, 0, 0}).signed_distance, -1.0f, 1e-5f);
+  EXPECT_EQ(s->surface({3, 0, 0}).normal, (Vec3{1, 0, 0}));
+  EXPECT_TRUE(s->within({0, 0, 1.9f}));
+  EXPECT_FALSE(s->within({0, 0, 2.1f}));
+}
+
+TEST(DiscDomain, HeightSignFollowsNormal) {
+  const auto d = make_disc({0, 0, 0}, {0, 1, 0}, 1.0f);
+  EXPECT_GT(d->surface({0, 0.5f, 0}).signed_distance, 0.0f);
+  EXPECT_LT(d->surface({0, -0.5f, 0}).signed_distance, 0.0f);
+  // Beyond the rim the distance is to the rim circle.
+  EXPECT_NEAR(d->surface({2, 0, 0}).signed_distance, 1.0f, 1e-4f);
+}
+
+TEST(PlaneDomain, WithinMeansBehind) {
+  const auto pl = make_plane({0, 0, 0}, {0, 1, 0});
+  EXPECT_TRUE(pl->within({5, -0.1f, 3}));
+  EXPECT_FALSE(pl->within({5, 0.1f, 3}));
+  EXPECT_NEAR(pl->surface({0, 2, 0}).signed_distance, 2.0f, 1e-6f);
+  EXPECT_NEAR(pl->surface({0, -2, 0}).signed_distance, -2.0f, 1e-6f);
+}
+
+TEST(PlaneDomain, SamplesLieOnPlane) {
+  Rng rng(3);
+  const auto pl = make_plane({0, 1, 0}, {0, 1, 0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(pl->generate(rng).y, 1.0f, 1e-5f);
+  }
+}
+
+TEST(CylinderDomain, WithinChecksHeightAndRadius) {
+  const auto cyl = make_cylinder({0, 0, 0}, {0, 2, 0}, 0.5f);
+  EXPECT_TRUE(cyl->within({0.3f, 1.0f, 0}));
+  EXPECT_FALSE(cyl->within({0.6f, 1.0f, 0}));   // outside radius
+  EXPECT_FALSE(cyl->within({0.0f, 2.5f, 0}));   // above the cap
+  EXPECT_NEAR(cyl->surface({1.5f, 1.0f, 0}).signed_distance, 1.0f, 1e-5f);
+}
+
+TEST(DomainKindToString, Names) {
+  EXPECT_EQ(to_string(DomainKind::kSphere), "sphere");
+  EXPECT_EQ(to_string(DomainKind::kCylinder), "cylinder");
+}
+
+}  // namespace
+}  // namespace psanim::psys

@@ -1,0 +1,269 @@
+// Tests for the software renderer: color math, framebuffer blending and
+// depth, camera projection, splatting, image I/O, comparison utilities and
+// the sort-last compositor's equivalence with single-pass rendering.
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "render/camera.hpp"
+#include "render/compare.hpp"
+#include "render/compositor.hpp"
+#include "render/framebuffer.hpp"
+#include "render/image_io.hpp"
+#include "render/objects.hpp"
+#include "render/splat.hpp"
+
+namespace psanim::render {
+namespace {
+
+TEST(Color, Clamp01) {
+  EXPECT_EQ(clamp01({-1, 0.5f, 2}), (Color{0, 0.5f, 1}));
+}
+
+TEST(Color, ToRgb8AppliesGamma) {
+  EXPECT_EQ(to_rgb8({0, 0, 0}), (Rgb8{0, 0, 0}));
+  EXPECT_EQ(to_rgb8({1, 1, 1}), (Rgb8{255, 255, 255}));
+  // Mid-grey encodes brighter than linear because of gamma.
+  EXPECT_GT(to_rgb8({0.5f, 0.5f, 0.5f}).r, 128);
+}
+
+TEST(Color, BlendOverInterpolates) {
+  const Color out = blend_over({1, 0, 0}, 0.25f, {0, 1, 0});
+  EXPECT_NEAR(out.x, 0.25f, 1e-6f);
+  EXPECT_NEAR(out.y, 0.75f, 1e-6f);
+}
+
+TEST(Color, BlendAddAccumulates) {
+  const Color out = blend_add({0.5f, 0, 0}, 1.0f, {0.7f, 0, 0});
+  EXPECT_NEAR(out.x, 1.2f, 1e-6f);  // clamped only at write time
+}
+
+TEST(Color, LuminanceWeightsGreenHighest) {
+  EXPECT_GT(luminance({0, 1, 0}), luminance({1, 0, 0}));
+  EXPECT_GT(luminance({1, 0, 0}), luminance({0, 0, 1}));
+}
+
+TEST(Framebuffer, RejectsBadDimensions) {
+  EXPECT_THROW(Framebuffer(0, 10), std::invalid_argument);
+  EXPECT_THROW(Framebuffer(10, -1), std::invalid_argument);
+}
+
+TEST(Framebuffer, PutHonorsDepthTest) {
+  Framebuffer fb(4, 4);
+  fb.put(1, 1, {1, 0, 0}, 5.0f);
+  fb.put(1, 1, {0, 1, 0}, 9.0f);  // farther: rejected
+  EXPECT_EQ(fb.pixel(1, 1), (Color{1, 0, 0}));
+  fb.put(1, 1, {0, 0, 1}, 2.0f);  // closer: wins
+  EXPECT_EQ(fb.pixel(1, 1), (Color{0, 0, 1}));
+  EXPECT_FLOAT_EQ(fb.depth(1, 1), 2.0f);
+}
+
+TEST(Framebuffer, OutOfBoundsWritesIgnored) {
+  Framebuffer fb(4, 4);
+  fb.put(-1, 0, {1, 1, 1}, 0.0f);
+  fb.put(4, 0, {1, 1, 1}, 0.0f);
+  fb.add(0, 7, {1, 1, 1}, 1.0f);
+  for (const auto& c : fb.colors()) EXPECT_EQ(c, Color{});
+}
+
+TEST(Framebuffer, ClearResetsDepthAndColor) {
+  Framebuffer fb(2, 2);
+  fb.put(0, 0, {1, 1, 1}, 1.0f);
+  fb.clear({0.5f, 0, 0});
+  EXPECT_EQ(fb.pixel(0, 0), (Color{0.5f, 0, 0}));
+  fb.put(0, 0, {0, 1, 0}, 100.0f);  // any depth beats cleared infinity
+  EXPECT_EQ(fb.pixel(0, 0), (Color{0, 1, 0}));
+}
+
+TEST(Camera, CenterOfViewProjectsToImageCenter) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 200, 100);
+  const auto p = cam.project({0, 0, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 100.0f, 1e-3f);
+  EXPECT_NEAR(p->y, 50.0f, 1e-3f);
+  EXPECT_NEAR(p->depth, 5.0f, 1e-5f);
+}
+
+TEST(Camera, BehindCameraCulled) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 200, 100);
+  EXPECT_FALSE(cam.project({0, 0, 10}).has_value());
+}
+
+TEST(Camera, RightwardPointsProjectRight) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 200, 100);
+  const auto left = cam.project({-1, 0, 0});
+  const auto right = cam.project({1, 0, 0});
+  ASSERT_TRUE(left && right);
+  EXPECT_LT(left->x, right->x);
+  const auto up = cam.project({0, 1, 0});
+  EXPECT_LT(up->y, 50.0f);  // image y grows downward
+}
+
+TEST(Camera, CloserMeansBiggerSplat) {
+  const Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 50, 200, 100);
+  const auto near = cam.project({0, 0, 5});
+  const auto far = cam.project({0, 0, -5});
+  ASSERT_TRUE(near && far);
+  EXPECT_GT(near->px_per_unit, far->px_per_unit);
+}
+
+TEST(Camera, FramingSeesTheScene) {
+  const Camera cam = Camera::framing({0, 5, 0}, 10.0f, 320, 240);
+  for (const Vec3 corner : {Vec3{-10, 0, 0}, Vec3{10, 10, 0}, Vec3{0, 5, 5}}) {
+    const auto p = cam.project(corner);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GE(p->x, -40.0f);
+    EXPECT_LE(p->x, 360.0f);
+  }
+}
+
+psys::Particle splat_particle(Vec3 pos, float size) {
+  psys::Particle p;
+  p.pos = pos;
+  p.color = {1, 1, 1};
+  p.size = size;
+  return p;
+}
+
+TEST(Splat, DepositsEnergyAtProjection) {
+  Framebuffer fb(64, 64);
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 64, 64);
+  const auto stats =
+      splat_particles(fb, cam, {{splat_particle({0, 0, 0}, 0.3f)}});
+  EXPECT_EQ(stats.splatted, 1u);
+  EXPECT_GT(luminance(fb.pixel(32, 32)), 0.0f);
+}
+
+TEST(Splat, DeadAndBehindCulled) {
+  Framebuffer fb(64, 64);
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 64, 64);
+  auto dead = splat_particle({0, 0, 0}, 0.3f);
+  dead.kill();
+  const auto behind = splat_particle({0, 0, 9}, 0.3f);
+  const std::vector<psys::Particle> ps{dead, behind};
+  const auto stats = splat_particles(fb, cam, ps);
+  EXPECT_EQ(stats.splatted, 0u);
+  EXPECT_EQ(stats.culled, 2u);
+}
+
+TEST(Splat, AdditiveIsOrderIndependent) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 64, 64);
+  std::vector<psys::Particle> ps;
+  Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    auto p = splat_particle(rng.in_unit_ball(), 0.2f);
+    p.color = {rng.next_float(), rng.next_float(), rng.next_float()};
+    ps.push_back(p);
+  }
+  Framebuffer fwd(64, 64);
+  splat_particles(fwd, cam, ps);
+  std::reverse(ps.begin(), ps.end());
+  Framebuffer rev(64, 64);
+  splat_particles(rev, cam, ps);
+  EXPECT_TRUE(images_match(fwd, rev, 1e-4));
+}
+
+TEST(ImageIo, PpmHeaderAndSize) {
+  Framebuffer fb(3, 2);
+  const std::string doc = to_ppm(fb);
+  EXPECT_EQ(doc.substr(0, 11), "P6\n3 2\n255\n");
+  EXPECT_EQ(doc.size(), 11u + 3u * 2u * 3u);
+}
+
+TEST(ImageIo, PgmEncodesLuminance) {
+  Framebuffer fb(2, 1);
+  fb.put(0, 0, {1, 1, 1}, 0);
+  const std::string doc = to_pgm(fb);
+  EXPECT_EQ(doc.substr(0, 11), "P5\n2 1\n255\n");
+  EXPECT_EQ(static_cast<unsigned char>(doc[11]), 255u);
+  EXPECT_EQ(static_cast<unsigned char>(doc[12]), 0u);
+}
+
+TEST(ImageIo, WriteFailsLoudly) {
+  Framebuffer fb(2, 2);
+  EXPECT_THROW(write_ppm(fb, "/nonexistent_dir/x.ppm"), std::runtime_error);
+}
+
+TEST(Compare, IdenticalImagesMatch) {
+  Framebuffer a(8, 8), b(8, 8);
+  const ImageDiff d = compare(a, b);
+  EXPECT_TRUE(d.same_dims);
+  EXPECT_DOUBLE_EQ(d.max_abs, 0.0);
+  EXPECT_EQ(d.psnr_db, 999.0);
+  EXPECT_TRUE(images_match(a, b));
+}
+
+TEST(Compare, DetectsDifferencesAndDims) {
+  Framebuffer a(8, 8), b(8, 8), c(4, 4);
+  b.put(3, 3, {1, 0, 0}, 0);
+  const ImageDiff d = compare(a, b);
+  EXPECT_NEAR(d.max_abs, 1.0, 1e-9);
+  EXPECT_FALSE(images_match(a, b));
+  EXPECT_FALSE(compare(a, c).same_dims);
+}
+
+TEST(Compositor, AdditiveMatchesSinglePass) {
+  const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 50, 64, 64);
+  Rng rng(31);
+  std::vector<psys::Particle> all;
+  for (int i = 0; i < 60; ++i) {
+    auto p = splat_particle(rng.in_unit_ball() * 2.0f, 0.15f);
+    p.color = {rng.next_float(), rng.next_float(), rng.next_float()};
+    all.push_back(p);
+  }
+  Framebuffer single(64, 64);
+  splat_particles(single, cam, all);
+
+  // Split across three "calculators", render separately, composite.
+  std::vector<Framebuffer> parts(3, Framebuffer(64, 64));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    splat_particles(parts[i % 3], cam, {&all[i], 1});
+  }
+  Framebuffer composed(64, 64);
+  composite_additive(composed, parts);
+  EXPECT_TRUE(images_match(single, composed, 1e-4));
+}
+
+TEST(Compositor, DepthKeepsClosest) {
+  Framebuffer a(2, 1), b(2, 1);
+  a.put(0, 0, {1, 0, 0}, 5.0f);
+  b.put(0, 0, {0, 1, 0}, 2.0f);
+  Framebuffer out(2, 1);
+  const Framebuffer parts_arr[] = {std::move(a), std::move(b)};
+  composite_depth(out, parts_arr);
+  EXPECT_EQ(out.pixel(0, 0), (Color{0, 1, 0}));
+}
+
+TEST(Compositor, RejectsMismatchedDims) {
+  Framebuffer out(4, 4);
+  const Framebuffer parts_arr[] = {Framebuffer(2, 2)};
+  EXPECT_THROW(composite_additive(out, parts_arr), std::invalid_argument);
+}
+
+TEST(Compositor, FrameWireBytes) {
+  const Framebuffer fb(10, 10);
+  EXPECT_EQ(frame_wire_bytes(fb, false), 100 * sizeof(Color));
+  EXPECT_EQ(frame_wire_bytes(fb, true), 100 * (sizeof(Color) + sizeof(float)));
+}
+
+TEST(Objects, GroundGridDrawsDepthTestedLines) {
+  Framebuffer fb(64, 64);
+  const Camera cam = Camera::framing({0, 0, 0}, 10.0f, 64, 64);
+  draw_ground_grid(fb, cam, 0.0f, 8.0f, 8, {0.5f, 0.5f, 0.5f});
+  std::size_t lit = 0;
+  for (const auto& c : fb.colors()) lit += luminance(c) > 0 ? 1 : 0;
+  EXPECT_GT(lit, 50u);
+}
+
+TEST(Objects, BoxAndSphereDraw) {
+  Framebuffer fb(64, 64);
+  const Camera cam = Camera::framing({0, 0, 0}, 5.0f, 64, 64);
+  draw_box(fb, cam, Aabb({-1, -1, -1}, {1, 1, 1}), {1, 0, 0});
+  draw_sphere(fb, cam, {0, 0, 0}, 1.5f, {0, 1, 0});
+  std::size_t lit = 0;
+  for (const auto& c : fb.colors()) lit += luminance(c) > 0 ? 1 : 0;
+  EXPECT_GT(lit, 30u);
+}
+
+}  // namespace
+}  // namespace psanim::render

@@ -1,0 +1,169 @@
+// Tests for the sim layer: scenario builders, experiment configuration,
+// the speedup runner and report formatting.
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+#include "sim/run_config.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace psanim::sim {
+namespace {
+
+TEST(ScenarioParams, RateReachesSteadyTarget) {
+  ScenarioParams p;
+  p.particles_per_system = 10'000;
+  p.frames = 40;
+  p.steady_fraction = 0.5;
+  EXPECT_EQ(p.lifetime_frames(), 20u);
+  // rate * lifetime_frames >= target (ceiling division).
+  EXPECT_GE(p.rate_per_frame() * p.lifetime_frames(), 10'000u);
+  EXPECT_LT(p.rate_per_frame() * (p.lifetime_frames() - 1), 10'000u + 500u);
+}
+
+TEST(Scenario, SnowSceneShape) {
+  ScenarioParams p;
+  p.systems = 4;
+  const auto scene = make_snow_scene(p);
+  EXPECT_EQ(scene.systems.size(), 4u);
+  for (const auto& sys : scene.systems) {
+    EXPECT_EQ(sys.name(), "snow");
+    EXPECT_GT(sys.creation_rate(), 0u);
+  }
+  EXPECT_LT(scene.space.lo.x, scene.space.hi.x);
+}
+
+TEST(Scenario, FountainSceneIsIrregularAlongX) {
+  ScenarioParams p;
+  const auto scene = make_fountain_scene(p);
+  EXPECT_EQ(scene.systems.size(), 8u);
+  // The wide plaza: fountains must NOT be evenly spread — at least one
+  // pair of adjacent eighths of the space is empty (gaps are what make
+  // the load irregular). We can't see positions directly, but the space
+  // must be much wider than the snow scene's.
+  EXPECT_GT(scene.space.extent(0), 40.0f);
+}
+
+TEST(Scenario, ShowcaseMixesEffects) {
+  const auto scene = make_showcase_scene(100);
+  EXPECT_GE(scene.systems.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& s : scene.systems) names.insert(s.name());
+  EXPECT_GE(names.size(), 4u);  // distinct effect types
+}
+
+TEST(RunConfig, LabelFormatsLikeThePaper) {
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 4, 8},
+                {cluster::NodeType::e60(), 4, 4}};
+  EXPECT_EQ(cfg.label(), "4*E800(8P) + 4*E60(4P) = 12P");
+  EXPECT_EQ(cfg.total_procs(), 12);
+}
+
+TEST(BuildCluster, LayoutMatchesRoles) {
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 4}};
+  const auto built = build_cluster(cfg);
+  EXPECT_EQ(built.ncalc, 4);
+  // 2 aux nodes + 2 calculator nodes.
+  EXPECT_EQ(built.spec.node_count(), 4u);
+  ASSERT_EQ(built.placement.world_size(), 6);
+  EXPECT_EQ(built.placement.node_of(0), 0);
+  EXPECT_EQ(built.placement.node_of(1), 1);
+  // 4 calculators over 2 nodes: one per node, then wrap.
+  EXPECT_EQ(built.placement.node_of(2), 2);
+  EXPECT_EQ(built.placement.node_of(3), 3);
+  EXPECT_EQ(built.placement.node_of(4), 2);
+  EXPECT_EQ(built.placement.node_of(5), 3);
+}
+
+TEST(BuildCluster, MultiGroupNodesStack) {
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 2},
+                {cluster::NodeType::zx2000(), 2, 2}};
+  const auto built = build_cluster(cfg);
+  EXPECT_EQ(built.spec.node_count(), 6u);
+  EXPECT_EQ(built.spec.nodes[4].name, "zx2000");
+  EXPECT_EQ(built.placement.node_of(4), 4);  // first C calculator
+}
+
+TEST(BuildCluster, RejectsEmptyAndBadGroups) {
+  RunConfig cfg;
+  EXPECT_THROW(build_cluster(cfg), std::invalid_argument);
+  cfg.groups = {{cluster::NodeType::e800(), 0, 2}};
+  EXPECT_THROW(build_cluster(cfg), std::invalid_argument);
+}
+
+TEST(BaselineRate, FollowsCompiler) {
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 1, 1}};
+  cfg.baseline_node = cluster::NodeType::zx2000();
+  cfg.compiler = cluster::Compiler::kIcc;
+  const double icc = baseline_rate(cfg);
+  cfg.compiler = cluster::Compiler::kGcc;
+  const double gcc = baseline_rate(cfg);
+  EXPECT_GT(icc, gcc);  // Itanium loves ICC
+}
+
+TEST(Runner, SpeedupUsesCachedBaseline) {
+  ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 500;
+  p.frames = 6;
+  const auto scene = make_snow_scene(p);
+  core::SimSettings settings;
+  settings.frames = p.frames;
+
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 2}};
+  cfg.network = net::Interconnect::kMyrinet;
+
+  const auto r = run_speedup(scene, settings, cfg, /*cached_seq_s=*/2.0);
+  EXPECT_DOUBLE_EQ(r.seq_s, 2.0);
+  EXPECT_GT(r.par_s, 0.0);
+  EXPECT_NEAR(r.speedup, 2.0 / r.par_s, 1e-12);
+  EXPECT_NEAR(r.time_reduction, 1.0 - r.par_s / 2.0, 1e-12);
+}
+
+TEST(Runner, MeasuredSequentialScalesWithBaselineRate) {
+  ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 500;
+  p.frames = 6;
+  const auto scene = make_snow_scene(p);
+  core::SimSettings settings;
+  settings.frames = p.frames;
+
+  RunConfig slow;
+  slow.groups = {{cluster::NodeType::e800(), 1, 1}};
+  slow.baseline_node = cluster::NodeType::e60();
+  RunConfig fast = slow;
+  fast.baseline_node = cluster::NodeType::e800();
+
+  const double t_slow = measure_sequential(scene, settings, slow);
+  const double t_fast = measure_sequential(scene, settings, fast);
+  EXPECT_NEAR(t_slow / t_fast, 1.0 / 0.55, 1e-6);
+}
+
+TEST(Report, SummarizeAndFormat) {
+  ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 500;
+  p.frames = 6;
+  const auto scene = make_fountain_scene(p);
+  core::SimSettings settings;
+  settings.frames = p.frames;
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 2}};
+  const auto r = run_speedup(scene, settings, cfg);
+  const auto s = summarize("row", r);
+  EXPECT_EQ(s.label, "row");
+  EXPECT_GT(s.speedup, 0.0);
+  const std::string line = to_line(s);
+  EXPECT_NE(line.find("speedup"), std::string::npos);
+  EXPECT_NE(line.find("KB/frame"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psanim::sim

@@ -1,0 +1,245 @@
+// Tests for the §4 sliced particle store: routing into sub-slices,
+// crosser extraction, dead compaction and the donation invariants the
+// load balancer depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "math/rng.hpp"
+#include "psys/store.hpp"
+
+namespace psanim::psys {
+namespace {
+
+Particle at_x(float x) {
+  Particle p;
+  p.pos = {x, 0, 0};
+  return p;
+}
+
+std::vector<Particle> random_particles(std::size_t n, float lo, float hi,
+                                       std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<Particle> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(at_x(rng.uniform(lo, hi)));
+  return out;
+}
+
+std::vector<float> sorted_keys(const std::vector<Particle>& ps) {
+  std::vector<float> keys;
+  keys.reserve(ps.size());
+  for (const auto& p : ps) keys.push_back(p.pos.x);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(SlicedStore, RejectsBadArguments) {
+  EXPECT_THROW(SlicedStore(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SlicedStore(0, 2, 1), std::invalid_argument);
+}
+
+TEST(SlicedStore, InsertAndSize) {
+  SlicedStore store(0, -10, 10, 4);
+  EXPECT_TRUE(store.empty());
+  store.insert(at_x(0));
+  store.insert(at_x(-9));
+  store.insert(at_x(9));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(SlicedStore, SnapshotAndTakeAll) {
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(random_particles(100, 0, 10));
+  EXPECT_EQ(store.snapshot().size(), 100u);
+  EXPECT_EQ(store.size(), 100u);  // snapshot does not consume
+  const auto all = store.take_all();
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SlicedStore, ExtractOutsideReturnsOnlyCrossers) {
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(random_particles(100, 0, 10));
+  // Push some particles outside by editing them in place.
+  std::size_t moved = 0;
+  store.for_each_slice([&](std::span<Particle> ps) {
+    for (auto& p : ps) {
+      if (moved < 10) {
+        p.pos.x = -1.0f - static_cast<float>(moved);
+        ++moved;
+      }
+    }
+  });
+  const auto out = store.extract_outside();
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(store.size(), 90u);
+  for (const auto& p : out) EXPECT_LT(p.pos.x, 0.0f);
+  // Remaining particles are all in range.
+  for (const auto& p : store.snapshot()) {
+    EXPECT_GE(p.pos.x, 0.0f);
+    EXPECT_LT(p.pos.x, 10.0f);
+  }
+}
+
+TEST(SlicedStore, ExtractRefilesInternalMovers) {
+  SlicedStore store(0, 0, 10, 10);
+  store.insert(at_x(0.5f));  // slice 0
+  // Move it to slice-9 territory.
+  store.for_each_slice([](std::span<Particle> ps) {
+    for (auto& p : ps) p.pos.x = 9.5f;
+  });
+  EXPECT_TRUE(store.extract_outside().empty());
+  // Donating from the high end must now find it without sorting stale
+  // slices: the particle must be in the last slice.
+  const auto d = store.donate_high(1);
+  ASSERT_EQ(d.particles.size(), 1u);
+  EXPECT_FLOAT_EQ(d.particles[0].pos.x, 9.5f);
+}
+
+TEST(SlicedStore, CompactDeadRemovesAndCounts) {
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(random_particles(50, 0, 10));
+  std::size_t killed = 0;
+  store.for_each_slice([&](std::span<Particle> ps) {
+    for (auto& p : ps) {
+      if (killed < 20) {
+        p.kill();
+        ++killed;
+      }
+    }
+  });
+  EXPECT_EQ(store.compact_dead(), 20u);
+  EXPECT_EQ(store.size(), 30u);
+  for (const auto& p : store.snapshot()) EXPECT_FALSE(p.dead());
+}
+
+TEST(SlicedStore, ResetBoundsKeepsParticles) {
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(random_particles(64, 0, 10));
+  store.reset_bounds(-5, 15);
+  EXPECT_EQ(store.size(), 64u);
+  EXPECT_FLOAT_EQ(store.lo(), -5);
+  EXPECT_FLOAT_EQ(store.hi(), 15);
+}
+
+// --- donation invariants, swept over slice counts and donation sizes ---
+
+class DonationTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DonationTest, DonateLowTakesLowestKeys) {
+  const auto [slices, count] = GetParam();
+  SlicedStore store(0, -10, 10, slices);
+  const auto input = random_particles(500, -10, 10);
+  store.insert_batch(input);
+
+  const auto expected = sorted_keys(input);
+  const Donation d = store.donate_low(count);
+
+  ASSERT_EQ(d.particles.size(), std::min<std::size_t>(count, 500));
+  // The donated multiset is exactly the `count` smallest keys.
+  auto donated = sorted_keys(d.particles);
+  for (std::size_t i = 0; i < donated.size(); ++i) {
+    EXPECT_FLOAT_EQ(donated[i], expected[i]);
+  }
+  // Every donated key <= new edge <= every kept key.
+  for (const float k : donated) EXPECT_LE(k, d.new_edge);
+  for (const auto& p : store.snapshot()) {
+    EXPECT_GE(p.pos.x, d.new_edge);
+  }
+  EXPECT_EQ(store.size() + d.particles.size(), 500u);
+}
+
+TEST_P(DonationTest, DonateHighTakesHighestKeys) {
+  const auto [slices, count] = GetParam();
+  SlicedStore store(0, -10, 10, slices);
+  const auto input = random_particles(500, -10, 10, /*seed=*/77);
+  store.insert_batch(input);
+
+  const auto expected = sorted_keys(input);
+  const Donation d = store.donate_high(count);
+
+  ASSERT_EQ(d.particles.size(), std::min<std::size_t>(count, 500));
+  auto donated = sorted_keys(d.particles);
+  for (std::size_t i = 0; i < donated.size(); ++i) {
+    EXPECT_FLOAT_EQ(donated[i], expected[500 - donated.size() + i]);
+  }
+  for (const float k : donated) EXPECT_GE(k, d.new_edge);
+  for (const auto& p : store.snapshot()) {
+    EXPECT_LE(p.pos.x, d.new_edge);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlicesAndCounts, DonationTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 8, 32),
+                       ::testing::Values<std::size_t>(1, 50, 250, 499, 600)));
+
+TEST(Donation, MoreSlicesSortFewerElements) {
+  const auto input = random_particles(4096, -10, 10);
+  std::size_t sorted_flat = 0;
+  std::size_t sorted_sliced = 0;
+  {
+    SlicedStore store(0, -10, 10, 1);
+    store.insert_batch(input);
+    sorted_flat = store.donate_low(100).sorted_elements;
+  }
+  {
+    SlicedStore store(0, -10, 10, 32);
+    store.insert_batch(input);
+    sorted_sliced = store.donate_low(100).sorted_elements;
+  }
+  // The flat store sorts everything; the sliced one only a boundary slice.
+  EXPECT_EQ(sorted_flat, 4096u);
+  EXPECT_LT(sorted_sliced, 4096u / 8);
+}
+
+TEST(Donation, EmptyAndZeroCases) {
+  SlicedStore store(0, 0, 10, 4);
+  EXPECT_TRUE(store.donate_low(10).particles.empty());
+  store.insert(at_x(5));
+  EXPECT_TRUE(store.donate_low(0).particles.empty());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Donation, DonatingEverythingCollapsesInterval) {
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(random_particles(20, 0, 10));
+  const Donation d = store.donate_low(20);
+  EXPECT_EQ(d.particles.size(), 20u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_FLOAT_EQ(d.new_edge, 10.0f);  // donor keeps an empty interval
+}
+
+TEST(Donation, DuplicateKeysStillSeparable) {
+  SlicedStore store(0, 0, 10, 4);
+  for (int i = 0; i < 10; ++i) store.insert(at_x(5.0f));
+  const Donation d = store.donate_low(4);
+  EXPECT_EQ(d.particles.size(), 4u);
+  // All keys equal: the edge must sit at or just above the key so kept
+  // particles remain in [edge, hi).
+  for (const auto& p : store.snapshot()) EXPECT_GE(p.pos.x, d.new_edge);
+}
+
+TEST(SlicedStore, KeyUsesConfiguredAxis) {
+  SlicedStore store(2, -10, 10, 4);  // z axis
+  Particle p;
+  p.pos = {100, 100, 3.5f};
+  EXPECT_FLOAT_EQ(store.key(p), 3.5f);
+}
+
+TEST(SlicedStore, ZeroWidthIntervalIsUsable) {
+  // A fully-starved domain after aggressive balancing.
+  SlicedStore store(0, 5, 5, 8);
+  store.insert(at_x(5));
+  EXPECT_EQ(store.size(), 1u);
+  // The particle's key is not < lo and not >= hi... edge case: [5,5) is
+  // empty, so extract_outside must evict it.
+  const auto out = store.extract_outside();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace psanim::psys
