@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balance_threshold.dir/ablation_balance_threshold.cpp.o"
+  "CMakeFiles/ablation_balance_threshold.dir/ablation_balance_threshold.cpp.o.d"
+  "ablation_balance_threshold"
+  "ablation_balance_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balance_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decentralized_lb.dir/ablation_decentralized_lb.cpp.o"
+  "CMakeFiles/ablation_decentralized_lb.dir/ablation_decentralized_lb.cpp.o.d"
+  "ablation_decentralized_lb"
+  "ablation_decentralized_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decentralized_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed_imgen.dir/ablation_distributed_imgen.cpp.o"
+  "CMakeFiles/ablation_distributed_imgen.dir/ablation_distributed_imgen.cpp.o.d"
+  "ablation_distributed_imgen"
+  "ablation_distributed_imgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_imgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

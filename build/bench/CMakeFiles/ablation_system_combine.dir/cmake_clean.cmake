@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_system_combine.dir/ablation_system_combine.cpp.o"
+  "CMakeFiles/ablation_system_combine.dir/ablation_system_combine.cpp.o.d"
+  "ablation_system_combine"
+  "ablation_system_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_system_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_volume.dir/exchange_volume.cpp.o"
+  "CMakeFiles/exchange_volume.dir/exchange_volume.cpp.o.d"
+  "exchange_volume"
+  "exchange_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cloth_scaling.dir/ext_cloth_scaling.cpp.o"
+  "CMakeFiles/ext_cloth_scaling.dir/ext_cloth_scaling.cpp.o.d"
+  "ext_cloth_scaling"
+  "ext_cloth_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cloth_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_reductions.dir/summary_reductions.cpp.o"
+  "CMakeFiles/summary_reductions.dir/summary_reductions.cpp.o.d"
+  "summary_reductions"
+  "summary_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_snow_myrinet.dir/table1_snow_myrinet.cpp.o"
+  "CMakeFiles/table1_snow_myrinet.dir/table1_snow_myrinet.cpp.o.d"
+  "table1_snow_myrinet"
+  "table1_snow_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_snow_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_snow_hetero.dir/table2_snow_hetero.cpp.o"
+  "CMakeFiles/table2_snow_hetero.dir/table2_snow_hetero.cpp.o.d"
+  "table2_snow_hetero"
+  "table2_snow_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_snow_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

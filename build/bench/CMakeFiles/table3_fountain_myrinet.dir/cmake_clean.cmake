@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fountain_myrinet.dir/table3_fountain_myrinet.cpp.o"
+  "CMakeFiles/table3_fountain_myrinet.dir/table3_fountain_myrinet.cpp.o.d"
+  "table3_fountain_myrinet"
+  "table3_fountain_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fountain_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_fountain_misc.dir/text_fountain_misc.cpp.o"
+  "CMakeFiles/text_fountain_misc.dir/text_fountain_misc.cpp.o.d"
+  "text_fountain_misc"
+  "text_fountain_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_fountain_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_fountain_misc.
+# This may be replaced when dependencies are built.

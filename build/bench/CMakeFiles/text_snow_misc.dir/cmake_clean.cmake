@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_snow_misc.dir/text_snow_misc.cpp.o"
+  "CMakeFiles/text_snow_misc.dir/text_snow_misc.cpp.o.d"
+  "text_snow_misc"
+  "text_snow_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_snow_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

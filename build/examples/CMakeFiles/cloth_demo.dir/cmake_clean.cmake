@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloth_demo.dir/cloth_demo.cpp.o"
+  "CMakeFiles/cloth_demo.dir/cloth_demo.cpp.o.d"
+  "cloth_demo"
+  "cloth_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloth_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

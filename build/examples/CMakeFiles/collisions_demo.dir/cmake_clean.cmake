@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collisions_demo.dir/collisions_demo.cpp.o"
+  "CMakeFiles/collisions_demo.dir/collisions_demo.cpp.o.d"
+  "collisions_demo"
+  "collisions_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collisions_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fountain_cluster.cpp" "examples/CMakeFiles/fountain_cluster.dir/fountain_cluster.cpp.o" "gcc" "examples/CMakeFiles/fountain_cluster.dir/fountain_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_collide.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_cloth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_psys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

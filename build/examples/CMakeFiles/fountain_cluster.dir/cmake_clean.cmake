@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fountain_cluster.dir/fountain_cluster.cpp.o"
+  "CMakeFiles/fountain_cluster.dir/fountain_cluster.cpp.o.d"
+  "fountain_cluster"
+  "fountain_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fountain_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/showcase_effects.dir/showcase_effects.cpp.o"
+  "CMakeFiles/showcase_effects.dir/showcase_effects.cpp.o.d"
+  "showcase_effects"
+  "showcase_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/showcase_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

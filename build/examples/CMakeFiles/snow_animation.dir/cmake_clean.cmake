@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snow_animation.dir/snow_animation.cpp.o"
+  "CMakeFiles/snow_animation.dir/snow_animation.cpp.o.d"
+  "snow_animation"
+  "snow_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snow_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

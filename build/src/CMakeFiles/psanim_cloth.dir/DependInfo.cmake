@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloth/distributed.cpp" "src/CMakeFiles/psanim_cloth.dir/cloth/distributed.cpp.o" "gcc" "src/CMakeFiles/psanim_cloth.dir/cloth/distributed.cpp.o.d"
+  "/root/repo/src/cloth/mesh.cpp" "src/CMakeFiles/psanim_cloth.dir/cloth/mesh.cpp.o" "gcc" "src/CMakeFiles/psanim_cloth.dir/cloth/mesh.cpp.o.d"
+  "/root/repo/src/cloth/solver.cpp" "src/CMakeFiles/psanim_cloth.dir/cloth/solver.cpp.o" "gcc" "src/CMakeFiles/psanim_cloth.dir/cloth/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_psys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_cloth.dir/cloth/distributed.cpp.o"
+  "CMakeFiles/psanim_cloth.dir/cloth/distributed.cpp.o.d"
+  "CMakeFiles/psanim_cloth.dir/cloth/mesh.cpp.o"
+  "CMakeFiles/psanim_cloth.dir/cloth/mesh.cpp.o.d"
+  "CMakeFiles/psanim_cloth.dir/cloth/solver.cpp.o"
+  "CMakeFiles/psanim_cloth.dir/cloth/solver.cpp.o.d"
+  "libpsanim_cloth.a"
+  "libpsanim_cloth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_cloth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_cluster.dir/cluster/cluster_spec.cpp.o"
+  "CMakeFiles/psanim_cluster.dir/cluster/cluster_spec.cpp.o.d"
+  "CMakeFiles/psanim_cluster.dir/cluster/cost_model.cpp.o"
+  "CMakeFiles/psanim_cluster.dir/cluster/cost_model.cpp.o.d"
+  "CMakeFiles/psanim_cluster.dir/cluster/cpu_model.cpp.o"
+  "CMakeFiles/psanim_cluster.dir/cluster/cpu_model.cpp.o.d"
+  "CMakeFiles/psanim_cluster.dir/cluster/placement.cpp.o"
+  "CMakeFiles/psanim_cluster.dir/cluster/placement.cpp.o.d"
+  "libpsanim_cluster.a"
+  "libpsanim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collide/colliders.cpp" "src/CMakeFiles/psanim_collide.dir/collide/colliders.cpp.o" "gcc" "src/CMakeFiles/psanim_collide.dir/collide/colliders.cpp.o.d"
+  "/root/repo/src/collide/pair_collide.cpp" "src/CMakeFiles/psanim_collide.dir/collide/pair_collide.cpp.o" "gcc" "src/CMakeFiles/psanim_collide.dir/collide/pair_collide.cpp.o.d"
+  "/root/repo/src/collide/response.cpp" "src/CMakeFiles/psanim_collide.dir/collide/response.cpp.o" "gcc" "src/CMakeFiles/psanim_collide.dir/collide/response.cpp.o.d"
+  "/root/repo/src/collide/spatial_hash.cpp" "src/CMakeFiles/psanim_collide.dir/collide/spatial_hash.cpp.o" "gcc" "src/CMakeFiles/psanim_collide.dir/collide/spatial_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_psys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_collide.dir/collide/colliders.cpp.o"
+  "CMakeFiles/psanim_collide.dir/collide/colliders.cpp.o.d"
+  "CMakeFiles/psanim_collide.dir/collide/pair_collide.cpp.o"
+  "CMakeFiles/psanim_collide.dir/collide/pair_collide.cpp.o.d"
+  "CMakeFiles/psanim_collide.dir/collide/response.cpp.o"
+  "CMakeFiles/psanim_collide.dir/collide/response.cpp.o.d"
+  "CMakeFiles/psanim_collide.dir/collide/spatial_hash.cpp.o"
+  "CMakeFiles/psanim_collide.dir/collide/spatial_hash.cpp.o.d"
+  "libpsanim_collide.a"
+  "libpsanim_collide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_collide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calculator.cpp" "src/CMakeFiles/psanim_core.dir/core/calculator.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/calculator.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/psanim_core.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "src/CMakeFiles/psanim_core.dir/core/exchange.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/exchange.cpp.o.d"
+  "/root/repo/src/core/frame_loop.cpp" "src/CMakeFiles/psanim_core.dir/core/frame_loop.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/frame_loop.cpp.o.d"
+  "/root/repo/src/core/image_generator.cpp" "src/CMakeFiles/psanim_core.dir/core/image_generator.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/image_generator.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/CMakeFiles/psanim_core.dir/core/manager.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/manager.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/psanim_core.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/CMakeFiles/psanim_core.dir/core/wire.cpp.o" "gcc" "src/CMakeFiles/psanim_core.dir/core/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_psys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_collide.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_core.dir/core/calculator.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/calculator.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/decomposition.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/decomposition.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/exchange.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/exchange.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/frame_loop.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/frame_loop.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/image_generator.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/image_generator.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/manager.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/manager.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/simulation.cpp.o.d"
+  "CMakeFiles/psanim_core.dir/core/wire.cpp.o"
+  "CMakeFiles/psanim_core.dir/core/wire.cpp.o.d"
+  "libpsanim_core.a"
+  "libpsanim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/diffusion_lb.cpp" "src/CMakeFiles/psanim_lb.dir/lb/diffusion_lb.cpp.o" "gcc" "src/CMakeFiles/psanim_lb.dir/lb/diffusion_lb.cpp.o.d"
+  "/root/repo/src/lb/dynamic_pairwise_lb.cpp" "src/CMakeFiles/psanim_lb.dir/lb/dynamic_pairwise_lb.cpp.o" "gcc" "src/CMakeFiles/psanim_lb.dir/lb/dynamic_pairwise_lb.cpp.o.d"
+  "/root/repo/src/lb/load_balancer.cpp" "src/CMakeFiles/psanim_lb.dir/lb/load_balancer.cpp.o" "gcc" "src/CMakeFiles/psanim_lb.dir/lb/load_balancer.cpp.o.d"
+  "/root/repo/src/lb/metrics.cpp" "src/CMakeFiles/psanim_lb.dir/lb/metrics.cpp.o" "gcc" "src/CMakeFiles/psanim_lb.dir/lb/metrics.cpp.o.d"
+  "/root/repo/src/lb/static_lb.cpp" "src/CMakeFiles/psanim_lb.dir/lb/static_lb.cpp.o" "gcc" "src/CMakeFiles/psanim_lb.dir/lb/static_lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_lb.dir/lb/diffusion_lb.cpp.o"
+  "CMakeFiles/psanim_lb.dir/lb/diffusion_lb.cpp.o.d"
+  "CMakeFiles/psanim_lb.dir/lb/dynamic_pairwise_lb.cpp.o"
+  "CMakeFiles/psanim_lb.dir/lb/dynamic_pairwise_lb.cpp.o.d"
+  "CMakeFiles/psanim_lb.dir/lb/load_balancer.cpp.o"
+  "CMakeFiles/psanim_lb.dir/lb/load_balancer.cpp.o.d"
+  "CMakeFiles/psanim_lb.dir/lb/metrics.cpp.o"
+  "CMakeFiles/psanim_lb.dir/lb/metrics.cpp.o.d"
+  "CMakeFiles/psanim_lb.dir/lb/static_lb.cpp.o"
+  "CMakeFiles/psanim_lb.dir/lb/static_lb.cpp.o.d"
+  "libpsanim_lb.a"
+  "libpsanim_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

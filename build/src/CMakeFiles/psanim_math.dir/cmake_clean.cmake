@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_math.dir/math/rng.cpp.o"
+  "CMakeFiles/psanim_math.dir/math/rng.cpp.o.d"
+  "CMakeFiles/psanim_math.dir/math/stats.cpp.o"
+  "CMakeFiles/psanim_math.dir/math/stats.cpp.o.d"
+  "CMakeFiles/psanim_math.dir/math/vec.cpp.o"
+  "CMakeFiles/psanim_math.dir/math/vec.cpp.o.d"
+  "libpsanim_math.a"
+  "libpsanim_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/collectives.cpp" "src/CMakeFiles/psanim_mp.dir/mp/collectives.cpp.o" "gcc" "src/CMakeFiles/psanim_mp.dir/mp/collectives.cpp.o.d"
+  "/root/repo/src/mp/communicator.cpp" "src/CMakeFiles/psanim_mp.dir/mp/communicator.cpp.o" "gcc" "src/CMakeFiles/psanim_mp.dir/mp/communicator.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/CMakeFiles/psanim_mp.dir/mp/mailbox.cpp.o" "gcc" "src/CMakeFiles/psanim_mp.dir/mp/mailbox.cpp.o.d"
+  "/root/repo/src/mp/message.cpp" "src/CMakeFiles/psanim_mp.dir/mp/message.cpp.o" "gcc" "src/CMakeFiles/psanim_mp.dir/mp/message.cpp.o.d"
+  "/root/repo/src/mp/runtime.cpp" "src/CMakeFiles/psanim_mp.dir/mp/runtime.cpp.o" "gcc" "src/CMakeFiles/psanim_mp.dir/mp/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_mp.dir/mp/collectives.cpp.o"
+  "CMakeFiles/psanim_mp.dir/mp/collectives.cpp.o.d"
+  "CMakeFiles/psanim_mp.dir/mp/communicator.cpp.o"
+  "CMakeFiles/psanim_mp.dir/mp/communicator.cpp.o.d"
+  "CMakeFiles/psanim_mp.dir/mp/mailbox.cpp.o"
+  "CMakeFiles/psanim_mp.dir/mp/mailbox.cpp.o.d"
+  "CMakeFiles/psanim_mp.dir/mp/message.cpp.o"
+  "CMakeFiles/psanim_mp.dir/mp/message.cpp.o.d"
+  "CMakeFiles/psanim_mp.dir/mp/runtime.cpp.o"
+  "CMakeFiles/psanim_mp.dir/mp/runtime.cpp.o.d"
+  "libpsanim_mp.a"
+  "libpsanim_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

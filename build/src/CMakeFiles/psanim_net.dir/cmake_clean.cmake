@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_net.dir/net/network_model.cpp.o"
+  "CMakeFiles/psanim_net.dir/net/network_model.cpp.o.d"
+  "libpsanim_net.a"
+  "libpsanim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

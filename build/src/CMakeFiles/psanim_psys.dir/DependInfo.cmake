@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psys/action_list.cpp" "src/CMakeFiles/psanim_psys.dir/psys/action_list.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/action_list.cpp.o.d"
+  "/root/repo/src/psys/actions.cpp" "src/CMakeFiles/psanim_psys.dir/psys/actions.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/actions.cpp.o.d"
+  "/root/repo/src/psys/effects.cpp" "src/CMakeFiles/psanim_psys.dir/psys/effects.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/effects.cpp.o.d"
+  "/root/repo/src/psys/particle.cpp" "src/CMakeFiles/psanim_psys.dir/psys/particle.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/particle.cpp.o.d"
+  "/root/repo/src/psys/source_domain.cpp" "src/CMakeFiles/psanim_psys.dir/psys/source_domain.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/source_domain.cpp.o.d"
+  "/root/repo/src/psys/store.cpp" "src/CMakeFiles/psanim_psys.dir/psys/store.cpp.o" "gcc" "src/CMakeFiles/psanim_psys.dir/psys/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_psys.dir/psys/action_list.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/action_list.cpp.o.d"
+  "CMakeFiles/psanim_psys.dir/psys/actions.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/actions.cpp.o.d"
+  "CMakeFiles/psanim_psys.dir/psys/effects.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/effects.cpp.o.d"
+  "CMakeFiles/psanim_psys.dir/psys/particle.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/particle.cpp.o.d"
+  "CMakeFiles/psanim_psys.dir/psys/source_domain.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/source_domain.cpp.o.d"
+  "CMakeFiles/psanim_psys.dir/psys/store.cpp.o"
+  "CMakeFiles/psanim_psys.dir/psys/store.cpp.o.d"
+  "libpsanim_psys.a"
+  "libpsanim_psys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_psys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cpp" "src/CMakeFiles/psanim_render.dir/render/camera.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/camera.cpp.o.d"
+  "/root/repo/src/render/color.cpp" "src/CMakeFiles/psanim_render.dir/render/color.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/color.cpp.o.d"
+  "/root/repo/src/render/compare.cpp" "src/CMakeFiles/psanim_render.dir/render/compare.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/compare.cpp.o.d"
+  "/root/repo/src/render/compositor.cpp" "src/CMakeFiles/psanim_render.dir/render/compositor.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/compositor.cpp.o.d"
+  "/root/repo/src/render/framebuffer.cpp" "src/CMakeFiles/psanim_render.dir/render/framebuffer.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/framebuffer.cpp.o.d"
+  "/root/repo/src/render/image_io.cpp" "src/CMakeFiles/psanim_render.dir/render/image_io.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/image_io.cpp.o.d"
+  "/root/repo/src/render/objects.cpp" "src/CMakeFiles/psanim_render.dir/render/objects.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/objects.cpp.o.d"
+  "/root/repo/src/render/splat.cpp" "src/CMakeFiles/psanim_render.dir/render/splat.cpp.o" "gcc" "src/CMakeFiles/psanim_render.dir/render/splat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_psys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_render.dir/render/camera.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/camera.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/color.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/color.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/compare.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/compare.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/compositor.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/compositor.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/framebuffer.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/framebuffer.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/image_io.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/image_io.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/objects.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/objects.cpp.o.d"
+  "CMakeFiles/psanim_render.dir/render/splat.cpp.o"
+  "CMakeFiles/psanim_render.dir/render/splat.cpp.o.d"
+  "libpsanim_render.a"
+  "libpsanim_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/psanim_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/psanim_sim.dir/sim/run_config.cpp.o"
+  "CMakeFiles/psanim_sim.dir/sim/run_config.cpp.o.d"
+  "CMakeFiles/psanim_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/psanim_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/psanim_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/psanim_sim.dir/sim/scenario.cpp.o.d"
+  "libpsanim_sim.a"
+  "libpsanim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

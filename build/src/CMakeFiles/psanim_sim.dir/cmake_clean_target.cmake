@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsanim_sim.a"
+)

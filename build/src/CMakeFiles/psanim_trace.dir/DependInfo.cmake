@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/CMakeFiles/psanim_trace.dir/trace/csv.cpp.o" "gcc" "src/CMakeFiles/psanim_trace.dir/trace/csv.cpp.o.d"
+  "/root/repo/src/trace/event_log.cpp" "src/CMakeFiles/psanim_trace.dir/trace/event_log.cpp.o" "gcc" "src/CMakeFiles/psanim_trace.dir/trace/event_log.cpp.o.d"
+  "/root/repo/src/trace/frame_stats.cpp" "src/CMakeFiles/psanim_trace.dir/trace/frame_stats.cpp.o" "gcc" "src/CMakeFiles/psanim_trace.dir/trace/frame_stats.cpp.o.d"
+  "/root/repo/src/trace/table.cpp" "src/CMakeFiles/psanim_trace.dir/trace/table.cpp.o" "gcc" "src/CMakeFiles/psanim_trace.dir/trace/table.cpp.o.d"
+  "/root/repo/src/trace/telemetry.cpp" "src/CMakeFiles/psanim_trace.dir/trace/telemetry.cpp.o" "gcc" "src/CMakeFiles/psanim_trace.dir/trace/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psanim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psanim_trace.dir/trace/csv.cpp.o"
+  "CMakeFiles/psanim_trace.dir/trace/csv.cpp.o.d"
+  "CMakeFiles/psanim_trace.dir/trace/event_log.cpp.o"
+  "CMakeFiles/psanim_trace.dir/trace/event_log.cpp.o.d"
+  "CMakeFiles/psanim_trace.dir/trace/frame_stats.cpp.o"
+  "CMakeFiles/psanim_trace.dir/trace/frame_stats.cpp.o.d"
+  "CMakeFiles/psanim_trace.dir/trace/table.cpp.o"
+  "CMakeFiles/psanim_trace.dir/trace/table.cpp.o.d"
+  "CMakeFiles/psanim_trace.dir/trace/telemetry.cpp.o"
+  "CMakeFiles/psanim_trace.dir/trace/telemetry.cpp.o.d"
+  "libpsanim_trace.a"
+  "libpsanim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psanim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

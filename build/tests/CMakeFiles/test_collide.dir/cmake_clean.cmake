@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collide.dir/test_collide.cpp.o"
+  "CMakeFiles/test_collide.dir/test_collide.cpp.o.d"
+  "test_collide"
+  "test_collide.pdb"
+  "test_collide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

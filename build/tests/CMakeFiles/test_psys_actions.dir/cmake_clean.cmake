@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psys_actions.dir/test_psys_actions.cpp.o"
+  "CMakeFiles/test_psys_actions.dir/test_psys_actions.cpp.o.d"
+  "test_psys_actions"
+  "test_psys_actions.pdb"
+  "test_psys_actions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psys_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psys_domains.dir/test_psys_domains.cpp.o"
+  "CMakeFiles/test_psys_domains.dir/test_psys_domains.cpp.o.d"
+  "test_psys_domains"
+  "test_psys_domains.pdb"
+  "test_psys_domains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psys_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
