@@ -1,13 +1,16 @@
 // Fountain cluster study — the paper's §5.2 workload as an experiment you
 // can poke at: runs the same irregular fountain scene under static and
-// dynamic balancing, prints the speedups side by side and exports the
-// per-frame imbalance series as CSV for plotting.
+// dynamic balancing, prints the speedups side by side, exports the
+// per-frame imbalance series as CSV for plotting, and finishes with a
+// chaos run (message drops + delay spikes + one calculator crash) to show
+// the fault-recovery path and its price.
 //
 //   ./build/examples/fountain_cluster [procs] [csv_path]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "fault/fault_plan.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
@@ -58,5 +61,31 @@ int main(int argc, char** argv) {
   }
   csv.save(csv_path);
   std::printf("imbalance series written to %s\n", csv_path.c_str());
+
+  // Chaos run: a lossy, jittery network plus a mid-run calculator crash.
+  // Everything below is replayed exactly by re-running with the same plan
+  // (see EXPERIMENTS.md "Fault injection").
+  core::SimSettings chaos = settings;
+  chaos.fault_plan.seed = 42;
+  chaos.fault_plan.drop_rate = 0.02;
+  chaos.fault_plan.delay_rate = 0.05;
+  chaos.fault_plan.delay_spike_s = 1e-3;
+  chaos.fault_plan.crashes = {{.calc = 1, .at_frame = params.frames / 2}};
+  const auto chaotic = sim::run_speedup(scene, chaos, cfg, seq_s);
+  const auto& fs = chaotic.parallel.fault_stats;
+  std::printf("\nchaos run (seed %llu, calc 1 dies at frame %u):\n",
+              static_cast<unsigned long long>(chaos.fault_plan.seed),
+              params.frames / 2);
+  std::printf("%s\n", sim::to_line(sim::summarize("DLB+chaos", chaotic)).c_str());
+  std::printf(
+      "  faults: %llu drops, %llu duplicates, %llu delay spikes, "
+      "%.3f virtual s of injected delay\n",
+      static_cast<unsigned long long>(fs.drops),
+      static_cast<unsigned long long>(fs.duplicates),
+      static_cast<unsigned long long>(fs.delay_spikes), fs.injected_delay_s);
+  std::printf("  survivors finished all %u frames; chaos cost %.0f%% extra "
+              "animation time\n",
+              params.frames,
+              100.0 * (chaotic.par_s / dlb.par_s - 1.0));
   return 0;
 }

@@ -17,7 +17,12 @@ Calculator::Calculator(const SimSettings& settings, const Scene& scene,
       base_rng_(settings.seed),
       cam_(render::Camera::framing(scene.look_center, scene.look_radius,
                                    settings.image_width,
-                                   settings.image_height)) {
+                                   settings.image_height)),
+      alive_(static_cast<std::size_t>(settings.ncalc), 1) {
+  peers_.reserve(static_cast<std::size_t>(settings.ncalc));
+  for (int c = 0; c < settings.ncalc; ++c) {
+    if (c != idx_) peers_.push_back(c);
+  }
   const auto [lo, hi] = initial_interval(set_, scene_);
   decomps_.reserve(scene_.systems.size());
   stores_.reserve(scene_.systems.size());
@@ -43,7 +48,16 @@ void Calculator::run(mp::Endpoint& ep) {
     }
   };
   for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
-    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    ep.set_trace_frame(frame);
+    if (!set_.fault_plan.crashes.empty()) {
+      if (const auto cf = set_.fault_plan.crash_frame(idx_);
+          cf && *cf == frame) {
+        die(ep, frame);
+        return;
+      }
+      apply_crashes(ep, frame);
+    }
+    ep.charge(env_.cost->frame_overhead_s / env_.rate);
     trace::CalcFrameStats fs;
     fs.frame = frame;
     fs.rank = calc_rank(idx_);
@@ -82,9 +96,69 @@ void Calculator::run(mp::Endpoint& ep) {
   }
 }
 
+void Calculator::die(mp::Endpoint& ep, std::uint32_t frame) {
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), frame,
+                        "fault: calculator crashed (fail-stop)");
+  }
+  // The dying gasp the manager's liveness check consumes; its arrival
+  // stamp puts the detection after the death in virtual time.
+  mp::Writer w;
+  w.put(frame);
+  ep.send(kManagerRank, kTagCrash, std::move(w));
+  // Fail-stop: the particles this rank held are gone with it.
+  for (auto& store : stores_) store.take_all();
+}
+
+void Calculator::apply_crashes(mp::Endpoint& ep, std::uint32_t frame) {
+  const auto& plan = set_.fault_plan;
+  // Same ascending sweep as Manager::liveness_check: remove all of this
+  // frame's deaths from membership first, then merge in index order.
+  bool any_death = false;
+  for (int c = 0; c < set_.ncalc; ++c) {
+    const auto cf = plan.crash_frame(c);
+    if (cf && *cf == frame) {
+      alive_[static_cast<std::size_t>(c)] = 0;
+      any_death = true;
+    }
+  }
+  if (!any_death) return;
+  for (int c = 0; c < set_.ncalc; ++c) {
+    const auto cf = plan.crash_frame(c);
+    if (!cf || *cf != frame) continue;
+    const int into = fault::merge_target(alive_, c);
+    if (into < 0) {
+      throw ProtocolError("calculator: no surviving calculator to inherit");
+    }
+    for (auto& d : decomps_) d.merge_domain(c, into);
+  }
+  peers_.clear();
+  for (int c = 0; c < set_.ncalc; ++c) {
+    if (c != idx_ && alive_[static_cast<std::size_t>(c)]) {
+      peers_.push_back(c);
+    }
+  }
+  // Adopt grown bounds (the inheritor's store widens; everyone else's
+  // stays put).
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    const Decomposition& d = decomps_[s];
+    auto& store = stores_[s];
+    const float lo = d.domain_lo(idx_);
+    const float hi = d.domain_hi(idx_);
+    if (lo != store.lo() || hi != store.hi()) {
+      charge_particles(ep, env_.cost->pack_cost, store.size());
+      store.reset_bounds(lo, hi);
+    }
+  }
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), frame,
+                        "recovery: adopted merged domains");
+  }
+}
+
 void Calculator::receive_created(mp::Endpoint& ep, std::uint32_t frame,
                                  trace::CalcFrameStats& fs) {
-  const mp::Message m = ep.recv(kManagerRank, kTagCreate);
+  const mp::Message m = recv_p(ep, kManagerRank, kTagCreate);
   for (auto& batch : decode_batches(m, frame)) {
     fs.particles_created += batch.particles.size();
     charge_particles(ep, env_.cost->pack_cost, batch.particles.size());
@@ -148,8 +222,9 @@ void Calculator::exchange_phase(mp::Endpoint& ep, std::uint32_t frame,
     // One message per peer per frame carrying every system's crossers.
     Outboxes outboxes(static_cast<std::size_t>(set_.ncalc));
     for (std::size_t s = 0; s < stores_.size(); ++s) extract(s, outboxes);
-    const ExchangeStats ex = exchange_crossers(ep, frame, set_.ncalc, idx_,
-                                               std::move(outboxes), deliver);
+    const ExchangeStats ex =
+        exchange_crossers(ep, frame, peers_, idx_, std::move(outboxes),
+                          deliver, set_.phase_timeout_s);
     fs.crossers_out = ex.sent_particles;
     fs.crossers_in = ex.received_particles;
     fs.exchange_bytes = ex.sent_bytes;
@@ -159,8 +234,9 @@ void Calculator::exchange_phase(mp::Endpoint& ep, std::uint32_t frame,
     for (std::size_t s = 0; s < stores_.size(); ++s) {
       Outboxes outboxes(static_cast<std::size_t>(set_.ncalc));
       extract(s, outboxes);
-      const ExchangeStats ex = exchange_crossers(
-          ep, frame, set_.ncalc, idx_, std::move(outboxes), deliver);
+      const ExchangeStats ex =
+          exchange_crossers(ep, frame, peers_, idx_, std::move(outboxes),
+                            deliver, set_.phase_timeout_s);
       fs.crossers_out += ex.sent_particles;
       fs.crossers_in += ex.received_particles;
       fs.exchange_bytes += ex.sent_bytes;
@@ -179,10 +255,22 @@ void Calculator::collide_phase(mp::Endpoint& ep, std::uint32_t frame,
     auto& store = stores_[s];
     auto locals = store.take_all();
 
+    // Nearest *alive* neighbor on each side (a crashed domain has zero
+    // width, so the band continues into the inheritor's interval).
     const std::vector<int> neighbors = [&] {
       std::vector<int> out;
-      if (idx_ > 0) out.push_back(idx_ - 1);
-      if (idx_ + 1 < set_.ncalc) out.push_back(idx_ + 1);
+      for (int c = idx_ - 1; c >= 0; --c) {
+        if (alive_[static_cast<std::size_t>(c)]) {
+          out.push_back(c);
+          break;
+        }
+      }
+      for (int c = idx_ + 1; c < set_.ncalc; ++c) {
+        if (alive_[static_cast<std::size_t>(c)]) {
+          out.push_back(c);
+          break;
+        }
+      }
       return out;
     }();
 
@@ -197,7 +285,7 @@ void Calculator::collide_phase(mp::Endpoint& ep, std::uint32_t frame,
     std::vector<psys::Particle> ghosts_in;
     for (const int nb : neighbors) {
       for (auto& b :
-           decode_batches(ep.recv(calc_rank(nb), kTagGhost), frame)) {
+           decode_batches(recv_p(ep, calc_rank(nb), kTagGhost), frame)) {
         ghosts_in.insert(ghosts_in.end(), b.particles.begin(),
                          b.particles.end());
       }
@@ -236,7 +324,7 @@ void Calculator::send_frame(mp::Endpoint& ep, std::uint32_t frame,
   // for frame f blocks until frame f-2 was consumed. Without this,
   // calculators would run unboundedly ahead of the renderer; with a
   // deeper window, gather wire time overlaps the next frame's compute.
-  if (frame >= 2) ep.recv(kImageGenRank, kTagFrameAck);
+  if (frame >= 2) recv_p(ep, kImageGenRank, kTagFrameAck);
   if (set_.imgen == ImageGenMode::kGatherParticles) {
     std::vector<RenderVertex> verts;
     for (auto& store : stores_) {
@@ -268,7 +356,8 @@ void Calculator::send_frame(mp::Endpoint& ep, std::uint32_t frame,
 void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
                                trace::CalcFrameStats& fs) {
   const double phase_start = ep.clock().now();
-  const auto orders = decode_orders(ep.recv(kManagerRank, kTagOrders), frame);
+  const auto orders =
+      decode_orders(recv_p(ep, kManagerRank, kTagOrders), frame);
 
   // Donors select particles and derive the new domain edge BEFORE any
   // transfer (§3.2.5: dimensions are negotiated first).
@@ -285,14 +374,25 @@ void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
     const bool toward_left = o.partner < idx_;
     psys::Donation d = toward_left ? store.donate_low(o.count)
                                    : store.donate_high(o.count);
-    ep.clock().charge_compute(
-        env_.cost->sort_s(d.sorted_elements, env_.rate));
+    ep.charge(env_.cost->sort_s(d.sorted_elements, env_.rate));
     fs.sorted_elements += d.sorted_elements;
-    proposals.push_back(EdgeEntry{
-        .system = o.system,
-        .edge_index = std::min(idx_, o.partner),
-        .value = d.new_edge,
-    });
+    // Every edge between donor and partner moves onto the new boundary —
+    // after a crash the pair may not be adjacent (collapsed zero-width
+    // domains lie in between), and each of their edges must cross too.
+    // Order matters for set_edge's neighbor clamping: raise edges from
+    // the high side down, lower them from the low side up. With adjacent
+    // partners this degenerates to the single edge min(idx_, partner).
+    if (toward_left) {
+      for (int e = idx_ - 1; e >= o.partner; --e) {
+        proposals.push_back(EdgeEntry{
+            .system = o.system, .edge_index = e, .value = d.new_edge});
+      }
+    } else {
+      for (int e = idx_; e < o.partner; ++e) {
+        proposals.push_back(EdgeEntry{
+            .system = o.system, .edge_index = e, .value = d.new_edge});
+      }
+    }
     fs.balance_sent += d.particles.size();
     pending.push_back(PendingSend{o.system, o.partner, std::move(d.particles)});
   }
@@ -301,7 +401,8 @@ void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
   // consolidated dimensions. "Only after receiving the new domains the
   // calculators effectively start the donation and reception."
   ep.send(kManagerRank, kTagEdgeProposal, encode_edges(frame, proposals));
-  const auto changed = decode_edges(ep.recv(kManagerRank, kTagDomains), frame);
+  const auto changed =
+      decode_edges(recv_p(ep, kManagerRank, kTagDomains), frame);
   for (const auto& e : changed) {
     decomps_.at(e.system).set_edge(e.edge_index, e.value);
   }
@@ -323,7 +424,7 @@ void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
   }
   for (const auto& o : orders) {
     if (o.is_send) continue;
-    const mp::Message m = ep.recv(calc_rank(o.partner), kTagBalance);
+    const mp::Message m = recv_p(ep, calc_rank(o.partner), kTagBalance);
     for (auto& b : decode_batches(m, frame)) {
       fs.balance_recv += b.particles.size();
       charge_particles(ep, env_.cost->pack_cost, b.particles.size());

@@ -56,6 +56,15 @@ class Calculator {
                      trace::CalcFrameStats& fs);
   void charge_particles(mp::Endpoint& ep, double per_particle,
                         std::size_t n) const;
+  /// Fail-stop: announce the crash to the manager and drop local state.
+  void die(mp::Endpoint& ep, std::uint32_t frame);
+  /// Mirror the manager's merge bookkeeping for peers dying this frame
+  /// (membership is derived from the shared fault plan — no messages).
+  void apply_crashes(mp::Endpoint& ep, std::uint32_t frame);
+  /// Protocol receive with the per-phase deadline from SimSettings.
+  mp::Message recv_p(mp::Endpoint& ep, int src, int tag) {
+    return ep.recv_within(src, tag, set_.phase_timeout_s);
+  }
 
   const SimSettings& set_;
   const Scene& scene_;
@@ -66,6 +75,10 @@ class Calculator {
   Rng base_rng_;
   render::Camera cam_;  // used in sort-last mode
   trace::Telemetry tel_;
+  /// Crash-recovery membership: who is still running, and the exchange
+  /// peer list derived from it (all alive calculators except self).
+  std::vector<char> alive_;
+  std::vector<int> peers_;
 };
 
 }  // namespace psanim::core

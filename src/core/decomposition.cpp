@@ -38,6 +38,23 @@ void Decomposition::set_edge(int i, float value) {
   e = std::clamp(value, lo_bound, hi_bound);
 }
 
+void Decomposition::merge_domain(int dead, int into) {
+  if (dead < 0 || dead >= domain_count() || into < 0 ||
+      into >= domain_count() || dead == into) {
+    throw std::invalid_argument("Decomposition::merge_domain: bad domains");
+  }
+  // Move edges toward the inheritor in clamp-safe order (set_edge clamps
+  // against current neighbors, so edges are relocated from the dead
+  // domain's side outward).
+  if (into < dead) {
+    const float v = domain_hi(dead);
+    for (int i = dead - 1; i >= into; --i) set_edge(i, v);
+  } else {
+    const float v = domain_lo(dead);
+    for (int i = dead; i < into; ++i) set_edge(i, v);
+  }
+}
+
 int Decomposition::owner_of(float key) const {
   // First edge strictly greater than key -> that edge's left domain index.
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), key);

@@ -43,6 +43,13 @@ class Decomposition {
   /// Which calculator owns a particle at coordinate `key`.
   int owner_of(float key) const;
 
+  /// Crash recovery: hand domain `dead`'s whole interval to domain
+  /// `into`. Every edge between them moves onto the shared boundary, so
+  /// `dead` (and any already-collapsed domain in between) ends up with
+  /// zero width — and `owner_of`'s upper_bound never resolves to a
+  /// zero-width domain, so the dead calculator owns no coordinate.
+  void merge_domain(int dead, int into);
+
   /// Owned interval of domain i. Edge domains extend to +/-kHuge so every
   /// coordinate has exactly one owner.
   float domain_lo(int i) const;

@@ -24,13 +24,14 @@ void route_crossers(const Decomposition& decomp, psys::SystemId system,
 }
 
 ExchangeStats exchange_crossers(
-    mp::Endpoint& ep, std::uint32_t frame, int ncalc, int self,
-    Outboxes outboxes,
+    mp::Endpoint& ep, std::uint32_t frame, std::span<const int> peers,
+    int self, Outboxes outboxes,
     const std::function<void(psys::SystemId, std::vector<psys::Particle>&&)>&
-        deliver) {
+        deliver,
+    double timeout_s) {
   ExchangeStats stats;
   // Send phase: one message per peer, empty payload = end-of-transmission.
-  for (int c = 0; c < ncalc; ++c) {
+  for (const int c : peers) {
     if (c == self) continue;
     auto& box = outboxes[static_cast<std::size_t>(c)];
     for (const auto& b : box) stats.sent_particles += b.particles.size();
@@ -39,15 +40,30 @@ ExchangeStats exchange_crossers(
     ep.send(calc_rank(c), kTagExchange, std::move(w));
   }
   // Receive phase: exactly one message from every peer, ascending order.
-  for (int c = 0; c < ncalc; ++c) {
+  for (const int c : peers) {
     if (c == self) continue;
-    const mp::Message m = ep.recv(calc_rank(c), kTagExchange);
+    const mp::Message m = ep.recv_within(calc_rank(c), kTagExchange,
+                                         timeout_s);
     for (auto& batch : decode_batches(m, frame)) {
       stats.received_particles += batch.particles.size();
       deliver(batch.system, std::move(batch.particles));
     }
   }
   return stats;
+}
+
+ExchangeStats exchange_crossers(
+    mp::Endpoint& ep, std::uint32_t frame, int ncalc, int self,
+    Outboxes outboxes,
+    const std::function<void(psys::SystemId, std::vector<psys::Particle>&&)>&
+        deliver) {
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(ncalc));
+  for (int c = 0; c < ncalc; ++c) {
+    if (c != self) peers.push_back(c);
+  }
+  return exchange_crossers(ep, frame, peers, self, std::move(outboxes),
+                           deliver);
 }
 
 }  // namespace psanim::core

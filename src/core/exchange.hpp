@@ -36,9 +36,20 @@ struct ExchangeStats {
 };
 
 /// Run the symmetric exchange: send one kTagExchange message to every
-/// other calculator (ascending), then receive one from each (ascending —
+/// peer (ascending), then receive one from each (ascending —
 /// deterministic virtual-time merge). Received batches are handed to
-/// `deliver(system, particles)`.
+/// `deliver(system, particles)`. `peers` are calculator indices, must not
+/// contain `self`, and must be the same set on every participant (after a
+/// crash: the alive set minus self). `timeout_s > 0` bounds each receive.
+ExchangeStats exchange_crossers(
+    mp::Endpoint& ep, std::uint32_t frame, std::span<const int> peers,
+    int self, Outboxes outboxes,
+    const std::function<void(psys::SystemId, std::vector<psys::Particle>&&)>&
+        deliver,
+    double timeout_s = 0.0);
+
+/// Full-membership convenience overload: peers = all of 0..ncalc-1 except
+/// `self`.
 ExchangeStats exchange_crossers(
     mp::Endpoint& ep, std::uint32_t frame, int ncalc, int self,
     Outboxes outboxes,

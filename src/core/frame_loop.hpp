@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cost_model.hpp"
+#include "fault/fault_plan.hpp"
 #include "lb/diffusion_lb.hpp"
 #include "lb/dynamic_pairwise_lb.hpp"
 #include "lb/load_balancer.hpp"
@@ -82,6 +83,15 @@ struct SimSettings {
   /// When set, every role records its protocol phase transitions here
   /// (Figure 2 as an executable trace). Must outlive the run.
   trace::EventLog* events = nullptr;
+  /// Deterministic faults to inject (drops, duplicates, delay spikes,
+  /// degradation, slowdowns, calculator crashes). Default: none. The plan
+  /// is shared by every role; crash membership is derived from it
+  /// identically everywhere (perfect-failure-detector model).
+  fault::FaultPlan fault_plan;
+  /// Wall-clock deadline for each protocol-phase receive; 0 inherits
+  /// mp::RuntimeOptions::recv_timeout_s. A wedged peer fails the phase
+  /// instead of hanging the whole run.
+  double phase_timeout_s = 0.0;
 };
 
 /// Instantiate the configured balancing policy (one instance per system —

@@ -36,7 +36,14 @@ void ImageGenerator::write_frame_if_due(std::uint32_t frame) const {
 
 void ImageGenerator::run(mp::Endpoint& ep) {
   for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
-    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    ep.set_trace_frame(frame);
+    // Membership under the shared fault plan: gather only from (and ack
+    // only to) calculators alive this frame. Alive-at-f is a superset of
+    // every later frame's consumers, so no ack a survivor waits for is
+    // ever withheld.
+    const std::vector<int> alive =
+        set_.fault_plan.alive_calcs(frame, set_.ncalc);
+    ep.charge(env_.cost->frame_overhead_s / env_.rate);
     fb_.clear({0.02f, 0.02f, 0.03f});
     render_externals(ep);
 
@@ -45,8 +52,9 @@ void ImageGenerator::run(mp::Endpoint& ep) {
     const double t0 = ep.clock().now();
 
     if (set_.imgen == ImageGenMode::kGatherParticles) {
-      for (int c = 0; c < set_.ncalc; ++c) {
-        const mp::Message m = ep.recv(calc_rank(c), kTagFrame);
+      for (const int c : alive) {
+        const mp::Message m =
+            ep.recv_within(calc_rank(c), kTagFrame, set_.phase_timeout_s);
         is.gather_bytes += m.wire_bytes();
         const auto verts = decode_frame_vertices(m, frame);
         splat_points(fb_, cam_, std::span<const RenderVertex>(verts),
@@ -57,8 +65,9 @@ void ImageGenerator::run(mp::Endpoint& ep) {
       }
     } else {
       // Sort-last: composite per-calculator partial images.
-      for (int c = 0; c < set_.ncalc; ++c) {
-        const mp::Message m = ep.recv(calc_rank(c), kTagFramePart);
+      for (const int c : alive) {
+        const mp::Message m = ep.recv_within(calc_rank(c), kTagFramePart,
+                                             set_.phase_timeout_s);
         is.gather_bytes += m.wire_bytes();
         mp::Reader r(m);
         check_frame(r.get<std::uint32_t>(), frame, "image part");
@@ -85,7 +94,7 @@ void ImageGenerator::run(mp::Endpoint& ep) {
 
     // Release the calculators' next frame sends (rendezvous completion).
     if (frame + 1 < set_.frames) {
-      for (int c = 0; c < set_.ncalc; ++c) {
+      for (const int c : alive) {
         ep.send_empty(calc_rank(c), kTagFrameAck);
       }
     }

@@ -1,6 +1,7 @@
 #include "core/manager.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "math/stats.hpp"
 
@@ -12,7 +13,10 @@ Manager::Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
       scene_(scene),
       env_(env),
       calc_powers_(std::move(calc_powers)),
-      base_rng_(settings.seed) {
+      base_rng_(settings.seed),
+      alive_(static_cast<std::size_t>(settings.ncalc), 1) {
+  alive_list_.reserve(static_cast<std::size_t>(settings.ncalc));
+  for (int c = 0; c < settings.ncalc; ++c) alive_list_.push_back(c);
   const auto [lo, hi] = initial_interval(set_, scene_);
   decomps_.reserve(scene_.systems.size());
   policies_.reserve(scene_.systems.size());
@@ -29,12 +33,62 @@ void Manager::run(mp::Endpoint& ep) {
     }
   };
   for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
-    ep.clock().charge_compute(env_.cost->frame_overhead_s / env_.rate);
+    ep.set_trace_frame(frame);
+    ep.charge(env_.cost->frame_overhead_s / env_.rate);
+    liveness_check(ep, frame);
     note(frame, "manager: particle creation");
     create_and_scatter(ep, frame);
     note(frame, "manager: creation scattered");
     balance(ep, frame);
     note(frame, "manager: new dimensions broadcast");
+  }
+}
+
+void Manager::liveness_check(mp::Endpoint& ep, std::uint32_t frame) {
+  const auto& plan = set_.fault_plan;
+  if (plan.crashes.empty()) return;
+  // Deaths take effect at frame start. All deaths of this frame are
+  // removed from the membership first (a calculator dying now cannot
+  // inherit another's domain), then processed in ascending index order so
+  // every role derives the identical merge sequence.
+  bool any_death = false;
+  for (int c = 0; c < set_.ncalc; ++c) {
+    const auto cf = plan.crash_frame(c);
+    if (cf && *cf == frame) {
+      alive_[static_cast<std::size_t>(c)] = 0;
+      any_death = true;
+    }
+  }
+  if (!any_death) return;
+  for (int c = 0; c < set_.ncalc; ++c) {
+    const auto cf = plan.crash_frame(c);
+    if (!cf || *cf != frame) continue;
+    // The dying calculator's last act is an obituary; receiving it stamps
+    // the manager's detection after the death in virtual time (the
+    // perfect-failure-detector idealization — no timeout rounds modeled).
+    const mp::Message ob = recv_p(ep, calc_rank(c), kTagCrash);
+    check_frame(mp::Reader(ob).get<std::uint32_t>(), frame,
+                "manager liveness check");
+    if (set_.events) {
+      set_.events->record(ep.clock().now(), ep.rank(), frame,
+                          "recovery: calculator " + std::to_string(c) +
+                              " lost");
+    }
+    const int into = fault::merge_target(alive_, c);
+    if (into < 0) {
+      throw ProtocolError("manager: no surviving calculator to inherit");
+    }
+    for (auto& d : decomps_) d.merge_domain(c, into);
+    if (set_.events) {
+      set_.events->record(ep.clock().now(), ep.rank(), frame,
+                          "recovery: domain of calculator " +
+                              std::to_string(c) + " merged into " +
+                              std::to_string(into));
+    }
+  }
+  alive_list_.clear();
+  for (int c = 0; c < set_.ncalc; ++c) {
+    if (alive_[static_cast<std::size_t>(c)]) alive_list_.push_back(c);
   }
 }
 
@@ -54,11 +108,12 @@ void Manager::create_and_scatter(mp::Endpoint& ep, std::uint32_t frame) {
     for (const psys::Source* src : system.actions().sources()) {
       src->generate(born, ctx);
     }
-    ep.clock().charge_compute(
+    ep.charge(
         env_.cost->compute_s(env_.cost->create_cost, born.size(), env_.rate));
 
     // Partition by owner (§3.2.1: "stored in the structure corresponding
-    // to its domain" and sent there).
+    // to its domain" and sent there). A merged-away (crashed) domain has
+    // zero width, so owner_of never routes a particle to a dead rank.
     const Decomposition& d = decomps_[s];
     std::vector<std::vector<psys::Particle>> per_calc(
         static_cast<std::size_t>(set_.ncalc));
@@ -74,9 +129,9 @@ void Manager::create_and_scatter(mp::Endpoint& ep, std::uint32_t frame) {
     }
   }
 
-  // Every calculator gets exactly one creation message per frame; an empty
-  // batch list is the end-of-transmission marker (§3.2.1).
-  for (int c = 0; c < set_.ncalc; ++c) {
+  // Every live calculator gets exactly one creation message per frame; an
+  // empty batch list is the end-of-transmission marker (§3.2.1).
+  for (const int c : alive_list_) {
     ep.send(calc_rank(c), kTagCreate,
             encode_batches(frame, outboxes[static_cast<std::size_t>(c)]));
   }
@@ -84,12 +139,12 @@ void Manager::create_and_scatter(mp::Endpoint& ep, std::uint32_t frame) {
 
 void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
   const int n = set_.ncalc;
-  // Collect per-system reports from every calculator (ascending order).
-  std::vector<std::vector<LoadEntry>> reports;
-  reports.reserve(static_cast<std::size_t>(n));
-  for (int c = 0; c < n; ++c) {
-    reports.push_back(
-        decode_load_report(ep.recv(calc_rank(c), kTagLoadReport), frame));
+  // Collect per-system reports from every live calculator (ascending
+  // order); dead slots stay empty and are skipped below.
+  std::vector<std::vector<LoadEntry>> reports(static_cast<std::size_t>(n));
+  for (const int c : alive_list_) {
+    reports[static_cast<std::size_t>(c)] =
+        decode_load_report(recv_p(ep, calc_rank(c), kTagLoadReport), frame);
   }
 
   if (set_.events) {
@@ -104,10 +159,11 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
       static_cast<std::size_t>(n));
   std::vector<double> frame_times(static_cast<std::size_t>(n), 0.0);
 
+  const int nalive = static_cast<int>(alive_list_.size());
   for (std::size_t s = 0; s < scene_.systems.size(); ++s) {
     std::vector<lb::CalcLoad> loads;
-    loads.reserve(static_cast<std::size_t>(n));
-    for (int c = 0; c < n; ++c) {
+    loads.reserve(alive_list_.size());
+    for (const int c : alive_list_) {
       const LoadEntry& e = reports[static_cast<std::size_t>(c)].at(s);
       loads.push_back(lb::CalcLoad{
           .calc = c,
@@ -118,9 +174,11 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
       frame_times[static_cast<std::size_t>(c)] += e.time_s;
     }
     // Evaluation cost: a handful of comparisons per pair.
-    ep.clock().charge_compute(env_.cost->compute_s(
-        env_.cost->action_cost, static_cast<std::size_t>(n), env_.rate));
-    mstats.pairs_evaluated += static_cast<std::size_t>(std::max(0, n - 1));
+    ep.charge(env_.cost->compute_s(env_.cost->action_cost,
+                                   static_cast<std::size_t>(nalive),
+                                   env_.rate));
+    mstats.pairs_evaluated +=
+        static_cast<std::size_t>(std::max(0, nalive - 1));
 
     const auto orders = policies_[s]->evaluate(loads);
     for (const auto& o : orders) {
@@ -137,36 +195,44 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
     }
   }
 
-  if (!frame_times.empty()) {
+  // Imbalance is over the survivors only — a dead slot's zero would
+  // otherwise read as a perfectly idle calculator.
+  std::vector<double> alive_times;
+  alive_times.reserve(alive_list_.size());
+  for (const int c : alive_list_) {
+    alive_times.push_back(frame_times[static_cast<std::size_t>(c)]);
+  }
+  if (!alive_times.empty()) {
     mstats.max_calc_time_s =
-        *std::max_element(frame_times.begin(), frame_times.end());
+        *std::max_element(alive_times.begin(), alive_times.end());
     mstats.min_calc_time_s =
-        *std::min_element(frame_times.begin(), frame_times.end());
-    mstats.imbalance = load_imbalance(frame_times);
+        *std::min_element(alive_times.begin(), alive_times.end());
+    mstats.imbalance = load_imbalance(alive_times);
   }
 
   if (set_.events) {
     set_.events->record(ep.clock().now(), ep.rank(), frame,
                         "manager: load balancing evaluated");
   }
-  // Send orders (possibly empty) to every calculator — the synchronization
-  // point §3.2 requires even when nothing moves.
-  for (int c = 0; c < n; ++c) {
+  // Send orders (possibly empty) to every live calculator — the
+  // synchronization point §3.2 requires even when nothing moves.
+  for (const int c : alive_list_) {
     ep.send(calc_rank(c), kTagOrders,
             encode_orders(frame, orders_out[static_cast<std::size_t>(c)]));
   }
 
-  // Collect edge proposals from every calculator (donors fill them in),
-  // update the authoritative decompositions, broadcast the new dimensions.
+  // Collect edge proposals from every live calculator (donors fill them
+  // in), update the authoritative decompositions, broadcast the new
+  // dimensions.
   std::vector<EdgeEntry> changed;
-  for (int c = 0; c < n; ++c) {
+  for (const int c : alive_list_) {
     for (const auto& e :
-         decode_edges(ep.recv(calc_rank(c), kTagEdgeProposal), frame)) {
+         decode_edges(recv_p(ep, calc_rank(c), kTagEdgeProposal), frame)) {
       decomps_.at(e.system).set_edge(e.edge_index, e.value);
       changed.push_back(e);
     }
   }
-  for (int c = 0; c < n; ++c) {
+  for (const int c : alive_list_) {
     ep.send(calc_rank(c), kTagDomains, encode_edges(frame, changed));
   }
 

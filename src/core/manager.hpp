@@ -31,6 +31,13 @@ class Manager {
  private:
   void create_and_scatter(mp::Endpoint& ep, std::uint32_t frame);
   void balance(mp::Endpoint& ep, std::uint32_t frame);
+  /// Consume obituaries of calculators whose crash frame is `frame` and
+  /// merge each dead domain into its nearest surviving neighbor.
+  void liveness_check(mp::Endpoint& ep, std::uint32_t frame);
+  /// Protocol receive with the per-phase deadline from SimSettings.
+  mp::Message recv_p(mp::Endpoint& ep, int src, int tag) {
+    return ep.recv_within(src, tag, set_.phase_timeout_s);
+  }
 
   const SimSettings& set_;
   const Scene& scene_;
@@ -42,6 +49,9 @@ class Manager {
   std::vector<std::unique_ptr<lb::LoadBalancer>> policies_;
   Rng base_rng_;
   trace::Telemetry tel_;
+  /// Calculators still running at the current frame (crash recovery).
+  std::vector<char> alive_;
+  std::vector<int> alive_list_;
 };
 
 }  // namespace psanim::core

@@ -23,6 +23,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
         "run_parallel: placement must cover manager, image generator and "
         "every calculator");
   }
+  settings.fault_plan.validate(settings.ncalc, settings.frames);
   const auto rates = cluster::rank_rates(spec, placement, cost.smp_contention);
 
   // A-priori powers the manager uses for proportional splits — the paper
@@ -32,6 +33,15 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   calc_powers.reserve(static_cast<std::size_t>(settings.ncalc));
   for (int c = 0; c < settings.ncalc; ++c) {
     calc_powers.push_back(rates.at(static_cast<std::size_t>(calc_rank(c))));
+  }
+
+  // The injector lives here, not in the runtime: one per run, shared by
+  // every rank's endpoint through the RuntimeOptions hook seam.
+  std::unique_ptr<fault::Injector> injector;
+  if (settings.fault_plan.any() && rt_options.fault == nullptr) {
+    injector = std::make_unique<fault::Injector>(settings.fault_plan, world,
+                                                 settings.events);
+    rt_options.fault = injector.get();
   }
 
   mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
@@ -76,6 +86,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   for (const auto& t : tele) result.telemetry.merge(t);
   if (final_frame) result.final_frame = std::move(*final_frame);
   result.final_decomps = std::move(final_decomps);
+  if (injector) result.fault_stats = injector->stats();
   result.final_particles.assign(scene.systems.size(), {});
   for (const auto& per_rank : final_parts) {
     for (std::size_t s = 0; s < per_rank.size(); ++s) {

@@ -9,6 +9,7 @@
 #include "cluster/cost_model.hpp"
 #include "core/decomposition.hpp"
 #include "core/frame_loop.hpp"
+#include "fault/injector.hpp"
 #include "mp/runtime.hpp"
 #include "render/framebuffer.hpp"
 #include "trace/telemetry.hpp"
@@ -26,6 +27,8 @@ struct ParallelResult {
   /// Union of all calculators' particles after the last frame, per system
   /// (tests use this for conservation properties).
   std::vector<std::vector<psys::Particle>> final_particles;
+  /// What the fault injector actually did (zeros when no plan was set).
+  fault::FaultStats fault_stats;
 };
 
 /// Run `settings.frames` frames of `scene` on the emulated cluster.

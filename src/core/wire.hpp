@@ -41,6 +41,7 @@ enum Tag : int {
   kTagFramePart = 108,     ///< calculator -> image generator: partial image
   kTagGhost = 109,         ///< calculator -> calculator: collision ghosts
   kTagFrameAck = 110,      ///< image generator -> calculator: frame consumed
+  kTagCrash = 111,         ///< dying calculator -> manager: obituary
 };
 
 /// Particles of one system, in one message.

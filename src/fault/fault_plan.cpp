@@ -1,0 +1,84 @@
+#include "fault/fault_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace psanim::fault {
+
+bool FaultPlan::message_faults() const {
+  return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+         degrade.has_value();
+}
+
+bool FaultPlan::any() const {
+  return message_faults() || !slowdowns.empty() || !crashes.empty();
+}
+
+std::optional<std::uint32_t> FaultPlan::crash_frame(int calc) const {
+  for (const CrashSpec& c : crashes) {
+    if (c.calc == calc) return c.at_frame;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::calc_alive(int calc, std::uint32_t frame) const {
+  const auto cf = crash_frame(calc);
+  return !cf || frame < *cf;
+}
+
+std::vector<int> FaultPlan::alive_calcs(std::uint32_t frame,
+                                        int ncalc) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(ncalc));
+  for (int c = 0; c < ncalc; ++c) {
+    if (calc_alive(c, frame)) out.push_back(c);
+  }
+  return out;
+}
+
+double FaultPlan::compute_factor(int rank, double vtime) const {
+  double f = 1.0;
+  for (const SlowdownSpec& s : slowdowns) {
+    if (s.rank == rank && vtime >= s.after_s) f *= s.factor;
+  }
+  return f;
+}
+
+void FaultPlan::validate(int ncalc, std::uint32_t frames) const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("psanim::fault::FaultPlan: " + what);
+  };
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(drop_rate) || !rate_ok(duplicate_rate) || !rate_ok(delay_rate))
+    bad("rates must lie in [0, 1]");
+  if (retransmit_s < 0.0 || duplicate_lag_s < 0.0 || delay_spike_s < 0.0)
+    bad("delays must be non-negative");
+  for (const SlowdownSpec& s : slowdowns) {
+    if (s.factor <= 0.0) bad("slowdown factor must be positive");
+    if (s.after_s < 0.0) bad("slowdown after_s must be non-negative");
+  }
+  for (const CrashSpec& c : crashes) {
+    if (c.calc < 0 || c.calc >= ncalc)
+      bad("crash calc index out of range");
+    if (c.at_frame >= frames)
+      bad("crash frame beyond the run");
+    int seen = 0;
+    for (const CrashSpec& o : crashes) seen += (o.calc == c.calc);
+    if (seen > 1) bad("calculator crashes more than once");
+  }
+  if (!crashes.empty() && frames > 0 &&
+      alive_calcs(frames - 1, ncalc).empty())
+    bad("crash schedule leaves no calculator alive");
+}
+
+int merge_target(const std::vector<char>& alive, int dead) {
+  for (int c = dead - 1; c >= 0; --c) {
+    if (alive[static_cast<std::size_t>(c)]) return c;
+  }
+  for (int c = dead + 1; c < static_cast<int>(alive.size()); ++c) {
+    if (alive[static_cast<std::size_t>(c)]) return c;
+  }
+  return -1;
+}
+
+}  // namespace psanim::fault

@@ -1,0 +1,101 @@
+#pragma once
+
+// FaultPlan: a seeded, declarative description of everything that goes
+// wrong in a run — message drops, duplicates, delay spikes, link
+// degradation, per-rank compute slowdown, and calculator crashes.
+//
+// The plan is shared by every role. Crash membership is a pure function
+// of (plan, frame), which models a perfect failure detector: when
+// calculator c crashes at frame f, every survivor deterministically knows
+// it from frame f on and applies the same domain merge locally — no
+// group-membership protocol rounds are simulated, only the obituary
+// message that gives the manager's detection a virtual-time stamp.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network_model.hpp"
+
+namespace psanim::fault {
+
+/// Fail-stop death of one calculator (by calculator index, not rank) at
+/// the start of frame `at_frame`. Its particles are lost; its domain
+/// interval is merged into the nearest surviving neighbor.
+struct CrashSpec {
+  int calc = 0;
+  std::uint32_t at_frame = 0;
+};
+
+/// From virtual time `after_s`, every compute charge on `rank` costs
+/// `factor` times as much (thermal throttling, a noisy co-tenant, ...).
+struct SlowdownSpec {
+  int rank = 0;
+  double after_s = 0.0;
+  double factor = 1.0;
+};
+
+/// From virtual time `after_s`, wire time is recomputed against `link`
+/// whenever that is slower than the healthy link (a failed switch port
+/// renegotiating down, cable fault, ...).
+struct DegradeSpec {
+  double after_s = 0.0;
+  net::LinkModel link = net::LinkModel::fast_ethernet();
+};
+
+struct FaultPlan {
+  /// Root seed for every per-message fault decision. Two runs with equal
+  /// plans perturb exactly the same messages by the same amounts.
+  std::uint64_t seed = 1;
+
+  /// Probability each transmission of a message is lost. Losses are
+  /// modeled as retransmissions: the sender re-pays its send CPU and the
+  /// message's wire time grows by `retransmit_s` per loss, so the
+  /// protocol above stays intact (reliable transport over a lossy link).
+  double drop_rate = 0.0;
+  double retransmit_s = 2e-3;
+
+  /// Probability a message is delivered twice; the copy trails the
+  /// original by `duplicate_lag_s` and is discarded by the receive path.
+  double duplicate_rate = 0.0;
+  double duplicate_lag_s = 0.5e-3;
+
+  /// Probability a message hits a delay spike of `delay_spike_s`
+  /// (congested switch queue).
+  double delay_rate = 0.0;
+  double delay_spike_s = 0.0;
+
+  std::optional<DegradeSpec> degrade;
+  std::vector<SlowdownSpec> slowdowns;
+  std::vector<CrashSpec> crashes;
+
+  /// Any fault configured at all? (Empty plans skip injector setup.)
+  bool any() const;
+  /// Any per-message fault (drop/duplicate/delay/degrade)?
+  bool message_faults() const;
+
+  /// Frame at which `calc` crashes, if it ever does.
+  std::optional<std::uint32_t> crash_frame(int calc) const;
+  /// Is `calc` still running at the start of `frame`? (A calculator
+  /// crashing at frame f is dead for all frames >= f.)
+  bool calc_alive(int calc, std::uint32_t frame) const;
+  /// Ascending indices of calculators alive at `frame`.
+  std::vector<int> alive_calcs(std::uint32_t frame, int ncalc) const;
+
+  /// Combined slowdown multiplier for `rank` at virtual time `vtime`.
+  double compute_factor(int rank, double vtime) const;
+
+  /// Throws std::invalid_argument on nonsense: rates outside [0, 1],
+  /// negative delays, crash specs out of range or duplicated, or a crash
+  /// schedule that leaves any frame with zero alive calculators.
+  void validate(int ncalc, std::uint32_t frames) const;
+};
+
+/// Which surviving calculator inherits `dead`'s domain interval: the
+/// nearest alive lower index, else the nearest alive higher index.
+/// `alive[c]` must already exclude every calculator dead at the merge
+/// frame (including others crashing the same frame). Returns -1 when no
+/// survivor exists.
+int merge_target(const std::vector<char>& alive, int dead);
+
+}  // namespace psanim::fault

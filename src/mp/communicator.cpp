@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mp/fault_hook.hpp"
 #include "mp/runtime.hpp"
 
 namespace psanim::mp {
@@ -23,8 +24,21 @@ void Endpoint::send(int dst, int tag, std::vector<std::byte> payload) {
 
   const MsgCost cost = rt_.message_cost(rank_, dst, m.wire_bytes());
   clock_.charge_comm(cost.send_cpu_s);
+
+  SendFaults faults;
+  if (FaultHook* hook = rt_.options().fault) {
+    faults = hook->on_send(rank_, dst, tag, m.wire_bytes(), clock_.now(),
+                           cost.wire_s, trace_frame_);
+    // Reliable transport over a lossy link: every lost transmission
+    // re-runs the sender's host send path before the copy that lands.
+    for (int i = 0; i < faults.retransmits; ++i) {
+      clock_.charge_comm(cost.send_cpu_s);
+    }
+  }
+
   m.depart_time = clock_.now();
-  m.arrive_time = m.depart_time + cost.wire_s + cost.recv_cpu_s;
+  m.arrive_time =
+      m.depart_time + cost.wire_s + faults.extra_wire_s + cost.recv_cpu_s;
   // Non-overtaking per ordered (src, dst) pair, as MPI guarantees.
   double& last = rt_.last_arrival(rank_, dst);
   if (m.arrive_time < last) m.arrive_time = last;
@@ -33,16 +47,51 @@ void Endpoint::send(int dst, int tag, std::vector<std::byte> payload) {
   traffic_.msgs_sent += 1;
   traffic_.bytes_sent += m.wire_bytes();
 
+  if (faults.duplicate) {
+    // The copy trails the original on the same ordered pair, so it keeps
+    // the non-overtaking invariant and the receive path can discard it
+    // without reordering anything.
+    Message dup = m;
+    dup.seq = rt_.next_seq();
+    dup.duplicate = true;
+    dup.arrive_time = last + std::max(faults.duplicate_lag_s, 0.0);
+    last = dup.arrive_time;
+    rt_.mailbox(dst).push(std::move(m));
+    rt_.mailbox(dst).push(std::move(dup));
+    return;
+  }
+
   rt_.mailbox(dst).push(std::move(m));
 }
 
-Message Endpoint::recv(int src, int tag) {
-  Message m =
-      rt_.mailbox(rank_).pop_match(src, tag, rt_.options().recv_timeout_s);
-  clock_.advance_to(m.arrive_time);
-  traffic_.msgs_recv += 1;
-  traffic_.bytes_recv += m.wire_bytes();
-  return m;
+Message Endpoint::recv(int src, int tag) { return recv_within(src, tag, 0.0); }
+
+Message Endpoint::recv_within(int src, int tag, double timeout_s) {
+  const double limit =
+      timeout_s > 0.0 ? timeout_s : rt_.options().recv_timeout_s;
+  for (;;) {
+    Message m = rt_.mailbox(rank_).pop_match(src, tag, limit);
+    clock_.advance_to(m.arrive_time);
+    if (m.duplicate) {
+      // Fault-injected copy: the transport layer recognizes and drops it,
+      // but its arrival still cost receiver time (already advanced above).
+      if (FaultHook* hook = rt_.options().fault) {
+        hook->on_duplicate_dropped(rank_, m.src, m.arrive_time,
+                                   trace_frame_);
+      }
+      continue;
+    }
+    traffic_.msgs_recv += 1;
+    traffic_.bytes_recv += m.wire_bytes();
+    return m;
+  }
+}
+
+void Endpoint::charge(double seconds) {
+  if (const FaultHook* hook = rt_.options().fault) {
+    seconds *= hook->compute_factor(rank_, clock_.now());
+  }
+  clock_.charge_compute(seconds);
 }
 
 std::vector<Message> Endpoint::recv_each(std::span<const int> sources,

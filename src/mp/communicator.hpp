@@ -79,6 +79,11 @@ class Endpoint {
   /// message's arrival and charges receive overhead.
   Message recv(int src = kAny, int tag = kAny);
 
+  /// recv with a per-call wall-clock deadline; `timeout_s <= 0` inherits
+  /// RuntimeOptions::recv_timeout_s. Protocol phases use this so a wedged
+  /// peer fails the phase in seconds.
+  Message recv_within(int src, int tag, double timeout_s);
+
   /// Receive exactly one message from every rank in `sources`, in the
   /// deterministic order given. Clock ends at
   /// max(arrivals) + sum(recv overheads) regardless of wall-clock order.
@@ -90,8 +95,14 @@ class Endpoint {
   /// Virtual-time access.
   VirtualClock& clock() { return clock_; }
   const VirtualClock& clock() const { return clock_; }
-  /// Convenience: charge modeled computation.
-  void charge(double seconds) { clock_.charge_compute(seconds); }
+  /// Convenience: charge modeled computation. A fault hook may scale the
+  /// charge (per-rank compute slowdown).
+  void charge(double seconds);
+
+  /// Frame number stamped onto fault-hook callbacks so injected faults
+  /// land in the event log against the right frame.
+  void set_trace_frame(std::uint32_t frame) { trace_frame_ = frame; }
+  std::uint32_t trace_frame() const { return trace_frame_; }
 
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_ = TrafficStats{}; }
@@ -106,6 +117,7 @@ class Endpoint {
   VirtualClock clock_;
   TrafficStats traffic_;
   int collective_seq_ = 0;
+  std::uint32_t trace_frame_ = 0;
 };
 
 }  // namespace psanim::mp

@@ -1,0 +1,53 @@
+#pragma once
+
+// Delivery-fault hook: the seam through which the fault subsystem bends
+// the message-passing substrate without the substrate knowing about fault
+// plans. The runtime consults an optional hook on every send (to perturb
+// delivery) and on every compute charge (to slow a rank down).
+//
+// Determinism contract: a hook implementation must be a pure function of
+// its inputs plus state touched only by the calling rank's thread, so two
+// runs with the same plan perturb the same messages by the same amounts.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psanim::mp {
+
+/// What the hook decided to do to one message.
+struct SendFaults {
+  /// Transmissions lost before one succeeds. The substrate models a
+  /// reliable transport over a lossy link: each loss recharges the send
+  /// CPU overhead and the hook adds retransmission delay to the wire.
+  int retransmits = 0;
+  /// Extra seconds added to the message's wire time (retransmission
+  /// round-trips, delay spikes, link degradation).
+  double extra_wire_s = 0.0;
+  /// Deliver a second, flagged copy of the message. The receive path
+  /// discards flagged duplicates after charging their arrival.
+  bool duplicate = false;
+  /// Virtual lag of the duplicate copy behind the original.
+  double duplicate_lag_s = 0.0;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Consulted once per Endpoint::send, on the sender's thread, before the
+  /// arrival stamp is computed. `base_wire_s` is the unperturbed wire time
+  /// for `wire_bytes` on this link; `depart_s` the sender's virtual time.
+  virtual SendFaults on_send(int src, int dst, int tag,
+                             std::size_t wire_bytes, double depart_s,
+                             double base_wire_s, std::uint32_t frame) = 0;
+
+  /// A flagged duplicate reached a receiver and was discarded.
+  virtual void on_duplicate_dropped(int rank, int src, double vtime,
+                                    std::uint32_t frame) = 0;
+
+  /// Multiplier applied to every compute charge on `rank` at virtual time
+  /// `vtime` (2.0 = the rank runs at half speed).
+  virtual double compute_factor(int rank, double vtime) const = 0;
+};
+
+}  // namespace psanim::mp

@@ -31,6 +31,7 @@ struct Message {
   std::uint64_t seq = 0;      ///< per-runtime sequence number (tiebreak)
   double depart_time = 0.0;   ///< sender virtual time at send
   double arrive_time = 0.0;   ///< receiver-side virtual availability time
+  bool duplicate = false;     ///< fault-injected copy; receive path discards
   std::vector<std::byte> payload;
 
   std::size_t wire_bytes() const { return payload.size() + kEnvelopeBytes; }

@@ -26,10 +26,15 @@ struct ProcessResult {
   TrafficStats traffic;
 };
 
+class FaultHook;
+
 struct RuntimeOptions {
   /// Wall-clock receive timeout; protocol deadlocks fail loudly instead of
   /// hanging forever. Tests lower this.
   double recv_timeout_s = 60.0;
+  /// Optional delivery/compute fault hook (not owned; must outlive the
+  /// runtime). Null means a perfectly reliable cluster.
+  FaultHook* fault = nullptr;
 };
 
 class Runtime {

@@ -13,7 +13,8 @@ double measure_sequential(const core::Scene& scene,
 SpeedupResult run_speedup(const core::Scene& scene, core::SimSettings settings,
                           const RunConfig& cfg,
                           std::optional<double> cached_seq_s,
-                          const cluster::CostModel& cost) {
+                          const cluster::CostModel& cost,
+                          mp::RuntimeOptions rt_options) {
   const BuiltCluster built = build_cluster(cfg);
   settings.ncalc = built.ncalc;
   settings.space = cfg.space;
@@ -22,8 +23,8 @@ SpeedupResult run_speedup(const core::Scene& scene, core::SimSettings settings,
   SpeedupResult out;
   out.seq_s = cached_seq_s ? *cached_seq_s
                            : measure_sequential(scene, settings, cfg, cost);
-  out.parallel =
-      core::run_parallel(scene, settings, built.spec, built.placement, cost);
+  out.parallel = core::run_parallel(scene, settings, built.spec,
+                                    built.placement, cost, rt_options);
   out.par_s = out.parallel.animation_s;
   out.speedup = out.par_s > 0 ? out.seq_s / out.par_s : 0.0;
   out.time_reduction = out.seq_s > 0 ? 1.0 - out.par_s / out.seq_s : 0.0;

@@ -21,11 +21,14 @@ struct SpeedupResult {
 
 /// Run the row. `settings.ncalc`, `.space` and `.lb` are overwritten from
 /// the config. Pass `cached_seq_s` to reuse a baseline measured once per
-/// table (the paper's rows within one table share theirs).
+/// table (the paper's rows within one table share theirs). `rt_options`
+/// reaches the parallel run's runtime — chaos experiments use it (and
+/// `settings.fault_plan`) to study speedups under degraded clusters.
 SpeedupResult run_speedup(const core::Scene& scene, core::SimSettings settings,
                           const RunConfig& cfg,
                           std::optional<double> cached_seq_s = std::nullopt,
-                          const cluster::CostModel& cost = {});
+                          const cluster::CostModel& cost = {},
+                          mp::RuntimeOptions rt_options = {});
 
 /// Just the baseline (for caching across rows).
 double measure_sequential(const core::Scene& scene,

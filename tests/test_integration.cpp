@@ -71,7 +71,10 @@ core::ParallelResult run(const Scene& scene, SimSettings settings, int ncalc,
   settings.space = space;
   settings.lb = lb;
   const auto built = homogeneous_cluster(ncalc);
-  return core::run_parallel(scene, settings, built.spec, built.placement);
+  // A deadlocked protocol phase should fail this suite in seconds, not
+  // ride the 60 s library default into the CTest timeout.
+  return core::run_parallel(scene, settings, built.spec, built.placement,
+                            {}, mp::RuntimeOptions{.recv_timeout_s = 15.0});
 }
 
 /// Canonical multiset fingerprint of a population: sorted position triples.
