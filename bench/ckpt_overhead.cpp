@@ -1,0 +1,105 @@
+// Checkpoint overhead — what does coordinated snapshotting cost?
+//
+// Sweeps the ckpt::CkptPolicy interval on the snow (uniform) and fountain
+// (irregular) workloads, 8 calculators over Myrinet, and reports the
+// animation-time overhead relative to the checkpoint-free run plus the
+// storage the vault accumulates (snapshot images + sealed manifests).
+// The snapshot phase serializes every store and ships per-rank digests to
+// the manager, so cost scales with resident particles and 1/interval.
+//
+// A final table shows why the overhead is worth paying: with a calculator
+// crash mid-run, restart-from-checkpoint replays a few frames instead of
+// degrading the domain decomposition for the rest of the animation.
+
+#include "bench/bench_util.hpp"
+
+#include "ckpt/vault.hpp"
+
+namespace {
+
+using namespace psanim;
+
+core::ParallelResult run_with_vault(const core::Scene& scene,
+                                    core::SimSettings settings,
+                                    const sim::RunConfig& cfg,
+                                    ckpt::Vault* vault) {
+  const auto built = sim::build_cluster(cfg);
+  settings.ncalc = built.ncalc;
+  settings.space = cfg.space;
+  settings.lb = cfg.lb;
+  settings.ckpt_vault = vault;
+  return core::run_parallel(scene, settings, built.spec, built.placement);
+}
+
+void sweep(const char* title, const core::Scene& scene,
+           const core::SimSettings& base, const sim::RunConfig& cfg) {
+  std::printf("--- %s ---\n", title);
+  trace::Table t({"interval", "snapshots", "animation s", "overhead %",
+                  "vault MiB", "images"});
+  double base_s = 0.0;
+  for (const int interval : {0, 1, 2, 4, 8}) {
+    core::SimSettings settings = base;
+    settings.ckpt.interval = interval;
+    ckpt::Vault vault;
+    const auto r = run_with_vault(scene, settings, cfg, &vault);
+    if (interval == 0) base_s = r.animation_s;
+    const double overhead =
+        base_s > 0.0 ? (r.animation_s / base_s - 1.0) * 100.0 : 0.0;
+    t.add_row({std::to_string(interval),
+               std::to_string(vault.sealed_frames().size()),
+               trace::Table::num(r.animation_s), trace::Table::num(overhead),
+               trace::Table::num(static_cast<double>(vault.total_bytes()) /
+                                 (1024.0 * 1024.0)),
+               std::to_string(vault.image_count())});
+  }
+  bench::print_table(t);
+}
+
+void recovery_comparison(const core::Scene& scene,
+                         const core::SimSettings& base,
+                         const sim::RunConfig& cfg) {
+  std::printf("--- fountain, crash at 60%% of the animation ---\n");
+  trace::Table t({"recovery", "animation s", "restarts", "merges"});
+  core::SimSettings settings = base;
+  settings.fault_plan.crashes = {
+      {.calc = 1, .at_frame = (settings.frames * 3) / 5}};
+  for (const auto mode :
+       {ckpt::RecoveryMode::kMergeOnly, ckpt::RecoveryMode::kRestart}) {
+    settings.ckpt.interval = 4;
+    settings.ckpt.recovery = mode;
+    ckpt::Vault vault;
+    const auto r = run_with_vault(scene, settings, cfg, &vault);
+    t.add_row({mode == ckpt::RecoveryMode::kRestart ? "restart" : "merge-only",
+               trace::Table::num(r.animation_s),
+               std::to_string(r.fault_stats.restart_recoveries),
+               std::to_string(r.fault_stats.merge_recoveries)});
+  }
+  bench::print_table(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.print_header("Checkpoint overhead: snapshot cost vs. interval");
+
+  const auto cfg = bench::e800_row(8, 8, core::SpaceMode::kFinite,
+                                   core::LbMode::kDynamicPairwise);
+  const core::SimSettings settings = args.settings();
+
+  sweep("snow (uniform load)", sim::make_snow_scene(args.scenario), settings,
+        cfg);
+  sweep("fountain (irregular load)", sim::make_fountain_scene(args.scenario),
+        settings, cfg);
+  recovery_comparison(sim::make_fountain_scene(args.scenario), settings, cfg);
+
+  std::printf(
+      "expected shape: overhead falls roughly as 1/interval (interval 1 is "
+      "the worst case, a snapshot after every frame); vault bytes grow with "
+      "snapshot count x resident particles. In the crash comparison, "
+      "merge-only finishes faster but on a degraded decomposition; restart "
+      "pays a replay of at most `interval` frames to keep the animation "
+      "bit-identical to the fault-free run.\n");
+  return 0;
+}

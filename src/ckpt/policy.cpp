@@ -1,0 +1,22 @@
+#include "ckpt/policy.hpp"
+
+namespace psanim::ckpt {
+
+bool calc_dead_at(const fault::FaultPlan& plan, const CkptPolicy& policy,
+                  int calc, std::uint32_t frame) {
+  const auto cf = plan.crash_frame(calc);
+  return cf && *cf <= frame && !policy.restarts(*cf);
+}
+
+std::vector<int> alive_for_exec(const fault::FaultPlan& plan,
+                                const CkptPolicy& policy,
+                                std::uint32_t frame, int ncalc) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(ncalc));
+  for (int c = 0; c < ncalc; ++c) {
+    if (!calc_dead_at(plan, policy, c, frame)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace psanim::ckpt

@@ -1,0 +1,88 @@
+#include "ckpt/replayer.hpp"
+
+#include <cstring>
+#include <span>
+
+#include "ckpt/format.hpp"
+
+namespace psanim::ckpt {
+
+namespace {
+
+bool same_image(const render::Framebuffer& a, const render::Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  const auto& ca = a.colors();
+  const auto& cb = b.colors();
+  return ca.size() == cb.size() &&
+         std::memcmp(ca.data(), cb.data(),
+                     ca.size() * sizeof(render::Color)) == 0;
+}
+
+}  // namespace
+
+Replayer::Replayer(const core::Scene& scene, const core::SimSettings& settings,
+                   const cluster::ClusterSpec& spec,
+                   const cluster::Placement& placement,
+                   const cluster::CostModel& cost,
+                   mp::RuntimeOptions rt_options)
+    : scene_(scene),
+      set_(settings),
+      spec_(spec),
+      placement_(placement),
+      cost_(cost),
+      rt_options_(rt_options) {}
+
+ReplayReport Replayer::verify(const Vault& vault,
+                              std::uint32_t snapshot_frame,
+                              const render::Framebuffer& expected) const {
+  ReplayReport rep;
+  rep.snapshot_frame = snapshot_frame;
+
+  const auto man = vault.manifest(snapshot_frame);
+  if (!man) {
+    rep.detail = "no sealed manifest for frame " +
+                 std::to_string(snapshot_frame);
+    return rep;
+  }
+  rep.manifest_complete = true;
+
+  for (const auto& e : man->entries) {
+    const std::vector<std::byte>* image = vault.fetch(e.rank, snapshot_frame);
+    if (!image) {
+      rep.detail = "manifest lists rank " + std::to_string(e.rank) +
+                   " but its image is missing";
+      return rep;
+    }
+    if (image->size() != e.bytes) {
+      rep.detail = "rank " + std::to_string(e.rank) + " image is " +
+                   std::to_string(image->size()) + " bytes, manifest says " +
+                   std::to_string(e.bytes);
+      return rep;
+    }
+    const std::uint32_t crc =
+        crc32(std::span<const std::byte>(image->data(), image->size()));
+    if (crc != e.crc) {
+      rep.detail = "rank " + std::to_string(e.rank) +
+                   " image CRC does not match its sealed digest";
+      return rep;
+    }
+  }
+  rep.images_verified = true;
+
+  // Resume in a scratch copy: replayed frames re-capture snapshots, and
+  // the oracle must leave the audited vault untouched.
+  Vault scratch(vault);
+  core::SimSettings resumed = set_;
+  resumed.resume_from = snapshot_frame;
+  resumed.ckpt_vault = &scratch;
+  const core::ParallelResult result = core::run_parallel(
+      scene_, resumed, spec_, placement_, cost_, rt_options_);
+  rep.frames_replayed = set_.frames - (snapshot_frame + 1);
+  rep.framebuffer_identical = same_image(result.final_frame, expected);
+  if (!rep.framebuffer_identical) {
+    rep.detail = "resumed run's final framebuffer differs from the original";
+  }
+  return rep;
+}
+
+}  // namespace psanim::ckpt

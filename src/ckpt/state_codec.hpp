@@ -1,0 +1,26 @@
+#pragma once
+
+// Bit-exact codecs for role state that has no wire codec of its own.
+//
+// SlicedStore serialization preserves the per-slice layout — not just the
+// particle multiset — because slice iteration order decides RNG
+// consumption order in the action phase: restoring the concatenated
+// snapshot through insert_batch would re-bucket particles and break
+// bit-exact replay (Decomposition already has encode/decode; load-balancer
+// state goes through LoadBalancer::save_state/load_state).
+
+#include "mp/message.hpp"
+#include "psys/store.hpp"
+#include "trace/telemetry.hpp"
+
+namespace psanim::ckpt {
+
+void encode_store(mp::Writer& w, const psys::SlicedStore& store);
+/// Restores bounds and the exact slice layout into `store`; throws
+/// SnapshotError when the serialized axis contradicts the store's.
+void decode_store(mp::Reader& r, psys::SlicedStore& store);
+
+void encode_telemetry(mp::Writer& w, const trace::Telemetry& tel);
+trace::Telemetry decode_telemetry(mp::Reader& r);
+
+}  // namespace psanim::ckpt

@@ -1,0 +1,74 @@
+#include "ckpt/vault.hpp"
+
+namespace psanim::ckpt {
+
+Vault::Vault(const Vault& o) {
+  std::lock_guard lock(o.mu_);
+  images_ = o.images_;
+  manifests_ = o.manifests_;
+}
+
+Vault& Vault::operator=(const Vault& o) {
+  if (this == &o) return *this;
+  // Lock ordering: copy the source under its own lock first, then swap in
+  // under ours — never hold both.
+  auto images = [&] {
+    std::lock_guard lock(o.mu_);
+    return o.images_;
+  }();
+  auto manifests = [&] {
+    std::lock_guard lock(o.mu_);
+    return o.manifests_;
+  }();
+  std::lock_guard lock(mu_);
+  images_ = std::move(images);
+  manifests_ = std::move(manifests);
+  return *this;
+}
+
+void Vault::store(int rank, std::uint32_t frame,
+                  std::vector<std::byte> image) {
+  std::lock_guard lock(mu_);
+  images_[{rank, frame}] = std::move(image);
+}
+
+const std::vector<std::byte>* Vault::fetch(int rank,
+                                           std::uint32_t frame) const {
+  std::lock_guard lock(mu_);
+  const auto it = images_.find({rank, frame});
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+void Vault::seal(Manifest m) {
+  std::lock_guard lock(mu_);
+  manifests_[m.frame] = std::move(m);
+}
+
+std::optional<Manifest> Vault::manifest(std::uint32_t frame) const {
+  std::lock_guard lock(mu_);
+  const auto it = manifests_.find(frame);
+  if (it == manifests_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> Vault::sealed_frames() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::uint32_t> out;
+  out.reserve(manifests_.size());
+  for (const auto& [frame, m] : manifests_) out.push_back(frame);
+  return out;
+}
+
+std::size_t Vault::image_count() const {
+  std::lock_guard lock(mu_);
+  return images_.size();
+}
+
+std::size_t Vault::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, img] : images_) n += img.size();
+  return n;
+}
+
+}  // namespace psanim::ckpt

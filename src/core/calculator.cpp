@@ -1,7 +1,12 @@
 #include "core/calculator.hpp"
 
 #include <algorithm>
+#include <span>
+#include <string>
 
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_codec.hpp"
+#include "ckpt/vault.hpp"
 #include "collide/pair_collide.hpp"
 #include "core/exchange.hpp"
 #include "render/splat.hpp"
@@ -18,7 +23,8 @@ Calculator::Calculator(const SimSettings& settings, const Scene& scene,
       cam_(render::Camera::framing(scene.look_center, scene.look_radius,
                                    settings.image_width,
                                    settings.image_height)),
-      alive_(static_cast<std::size_t>(settings.ncalc), 1) {
+      alive_(static_cast<std::size_t>(settings.ncalc), 1),
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {
   peers_.reserve(static_cast<std::size_t>(settings.ncalc));
   for (int c = 0; c < settings.ncalc; ++c) {
     if (c != idx_) peers_.push_back(c);
@@ -47,15 +53,31 @@ void Calculator::run(mp::Endpoint& ep) {
       set_.events->record(ep.clock().now(), ep.rank(), frame, label);
     }
   };
-  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
-    ep.set_trace_frame(frame);
-    if (!set_.fault_plan.crashes.empty()) {
-      if (const auto cf = set_.fault_plan.crash_frame(idx_);
-          cf && *cf == frame) {
-        die(ep, frame);
-        return;
+  std::uint32_t frame = 0;
+  if (set_.resume_from) {
+    const std::uint32_t f0 = *set_.resume_from;
+    // Recoveries completed before the snapshot are baked into it.
+    for (const auto& c : set_.fault_plan.crashes) {
+      if (c.at_frame <= f0) {
+        crash_done_[static_cast<std::size_t>(c.calc)] = 1;
       }
-      apply_crashes(ep, frame);
+    }
+    if (ckpt::calc_dead_at(set_.fault_plan, set_.ckpt, idx_, f0 + 1)) {
+      return;  // merge-crashed before the snapshot — this rank is gone
+    }
+    restore(ep, f0);
+    epoch_start_ = f0 + 1;
+    frame = f0 + 1;
+  }
+  while (frame < set_.frames) {
+    ep.set_trace_frame(frame);
+    switch (handle_crashes(ep, frame)) {
+      case CrashOutcome::kNone:
+        break;
+      case CrashOutcome::kRolledBack:
+        continue;  // frame was rewound to the snapshot successor
+      case CrashOutcome::kDead:
+        return;
     }
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
     trace::CalcFrameStats fs;
@@ -93,6 +115,11 @@ void Calculator::run(mp::Endpoint& ep) {
     note(frame, "calculator: load balance done, local domains defined");
 
     tel_.add_calc(fs);
+    if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
+      capture(ep, frame);
+      note(frame, "checkpoint: snapshot captured");
+    }
+    ++frame;
   }
 }
 
@@ -104,28 +131,58 @@ void Calculator::die(mp::Endpoint& ep, std::uint32_t frame) {
   // The dying gasp the manager's liveness check consumes; its arrival
   // stamp puts the detection after the death in virtual time.
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   ep.send(kManagerRank, kTagCrash, std::move(w));
   // Fail-stop: the particles this rank held are gone with it.
   for (auto& store : stores_) store.take_all();
 }
 
-void Calculator::apply_crashes(mp::Endpoint& ep, std::uint32_t frame) {
+Calculator::CrashOutcome Calculator::handle_crashes(mp::Endpoint& ep,
+                                                    std::uint32_t& frame) {
   const auto& plan = set_.fault_plan;
-  // Same ascending sweep as Manager::liveness_check: remove all of this
-  // frame's deaths from membership first, then merge in index order.
-  bool any_death = false;
-  for (int c = 0; c < set_.ncalc; ++c) {
-    const auto cf = plan.crash_frame(c);
-    if (cf && *cf == frame) {
-      alive_[static_cast<std::size_t>(c)] = 0;
-      any_death = true;
+  if (plan.crashes.empty()) return CrashOutcome::kNone;
+  std::vector<int> pending;
+  for (const auto& c : plan.crashes) {
+    if (c.at_frame == frame && !crash_done_[static_cast<std::size_t>(c.calc)]) {
+      pending.push_back(c.calc);
     }
   }
-  if (!any_death) return;
-  for (int c = 0; c < set_.ncalc; ++c) {
-    const auto cf = plan.crash_frame(c);
-    if (!cf || *cf != frame) continue;
+  if (pending.empty()) return CrashOutcome::kNone;
+  std::sort(pending.begin(), pending.end());
+  for (const int c : pending) crash_done_[static_cast<std::size_t>(c)] = 1;
+  const bool self_dies =
+      std::find(pending.begin(), pending.end(), idx_) != pending.end();
+
+  if (set_.ckpt.restarts(frame)) {
+    // Coordinated rollback: every role derives the same snapshot frame
+    // from (plan, policy) alone, so no extra agreement round is needed.
+    const std::uint32_t f0 = *set_.ckpt.latest_snapshot_before(frame);
+    if (self_dies) {
+      die(ep, frame);
+      ep.note_restart();
+    }
+    drain_stale_acks(ep, frame);
+    restore(ep, f0);
+    epoch_start_ = f0 + 1;
+    frame = f0 + 1;
+    return CrashOutcome::kRolledBack;
+  }
+
+  if (self_dies) {
+    die(ep, frame);
+    return CrashOutcome::kDead;
+  }
+  apply_crashes(ep, frame, pending);
+  return CrashOutcome::kNone;
+}
+
+void Calculator::apply_crashes(mp::Endpoint& ep, std::uint32_t frame,
+                               const std::vector<int>& dead) {
+  // Same ascending sweep as Manager::liveness_check: remove all of this
+  // frame's deaths from membership first, then merge in index order.
+  for (const int c : dead) alive_[static_cast<std::size_t>(c)] = 0;
+  for (const int c : dead) {
     const int into = fault::merge_target(alive_, c);
     if (into < 0) {
       throw ProtocolError("calculator: no surviving calculator to inherit");
@@ -153,6 +210,125 @@ void Calculator::apply_crashes(mp::Endpoint& ep, std::uint32_t frame) {
   if (set_.events) {
     set_.events->record(ep.clock().now(), ep.rank(), frame,
                         "recovery: adopted merged domains");
+  }
+}
+
+void Calculator::capture(mp::Endpoint& ep, std::uint32_t frame) {
+  ckpt::SnapshotWriter snap(ckpt::Role::kCalculator, ep.rank(), frame,
+                            set_.seed);
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kStores);
+    w.put<std::uint64_t>(stores_.size());
+    std::size_t held = 0;
+    for (const auto& s : stores_) {
+      held += s.size();
+      ckpt::encode_store(w, s);
+    }
+    charge_particles(ep, env_.cost->pack_cost, held);
+  }
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kDecomps);
+    w.put<std::uint64_t>(decomps_.size());
+    for (const auto& d : decomps_) d.encode(w);
+  }
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kTelemetry);
+    ckpt::encode_telemetry(w, tel_);
+  }
+  {
+    // Forensics only — virtual clocks are never rolled back on restore.
+    auto& w = snap.begin_section(ckpt::SectionId::kClock);
+    w.put(ep.clock().now());
+  }
+  std::vector<std::byte> image = snap.finish();
+  const auto bytes = static_cast<std::uint64_t>(image.size());
+  const std::uint32_t crc =
+      ckpt::crc32(std::span<const std::byte>(image.data(), image.size()));
+  set_.ckpt_vault->store(ep.rank(), frame, std::move(image));
+  // Digest to the manager: the coordinator seals the frame's manifest only
+  // once every participant's image is accounted for.
+  mp::Writer w;
+  put_control_header(w);
+  w.put(frame);
+  w.put<std::int32_t>(ep.rank());
+  w.put(bytes);
+  w.put(crc);
+  ep.send(kManagerRank, kTagCkptDigest, std::move(w));
+}
+
+void Calculator::restore(mp::Endpoint& ep, std::uint32_t f0) {
+  if (!set_.ckpt_vault) {
+    throw ProtocolError("calculator: restart recovery needs a vault");
+  }
+  const std::vector<std::byte>* image = set_.ckpt_vault->fetch(ep.rank(), f0);
+  if (!image) {
+    throw ProtocolError("calculator " + std::to_string(idx_) +
+                        ": no checkpoint image for frame " +
+                        std::to_string(f0));
+  }
+  ckpt::SnapshotReader snap(*image);
+  if (snap.header().role != ckpt::Role::kCalculator ||
+      snap.header().rank != ep.rank() || snap.header().frame != f0) {
+    throw ProtocolError("calculator " + std::to_string(idx_) +
+                        ": checkpoint header does not match rank/frame");
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kStores);
+    const auto n = r.get<std::uint64_t>();
+    if (n != stores_.size()) {
+      throw ProtocolError("calculator: snapshot has " + std::to_string(n) +
+                          " stores, scene has " +
+                          std::to_string(stores_.size()));
+    }
+    std::size_t held = 0;
+    for (auto& s : stores_) {
+      ckpt::decode_store(r, s);
+      held += s.size();
+    }
+    charge_particles(ep, env_.cost->pack_cost, held);
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kDecomps);
+    const auto n = r.get<std::uint64_t>();
+    if (n != decomps_.size()) {
+      throw ProtocolError("calculator: snapshot decomposition count skew");
+    }
+    for (auto& d : decomps_) d = Decomposition::decode(r);
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kTelemetry);
+    tel_ = ckpt::decode_telemetry(r);
+  }
+  refresh_membership(f0 + 1);
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), f0,
+                        "recovery: restored checkpoint");
+  }
+}
+
+void Calculator::drain_stale_acks(mp::Endpoint& ep, std::uint32_t frame) {
+  // The image generator acked the end of every executed frame of this
+  // epoch; we consumed one per frame once two were outstanding. Exactly
+  // min(frame - epoch_start_, 2) are still in flight, and non-overtaking
+  // delivery guarantees the blocking receives below match them (and not a
+  // replayed epoch's acks).
+  const std::uint32_t in_flight =
+      std::min<std::uint32_t>(frame - epoch_start_, 2);
+  for (std::uint32_t i = 0; i < in_flight; ++i) {
+    recv_p(ep, kImageGenRank, kTagFrameAck);
+  }
+}
+
+void Calculator::refresh_membership(std::uint32_t frame) {
+  for (int c = 0; c < set_.ncalc; ++c) {
+    alive_[static_cast<std::size_t>(c)] =
+        ckpt::calc_dead_at(set_.fault_plan, set_.ckpt, c, frame) ? 0 : 1;
+  }
+  peers_.clear();
+  for (int c = 0; c < set_.ncalc; ++c) {
+    if (c != idx_ && alive_[static_cast<std::size_t>(c)]) {
+      peers_.push_back(c);
+    }
   }
 }
 
@@ -324,7 +500,7 @@ void Calculator::send_frame(mp::Endpoint& ep, std::uint32_t frame,
   // for frame f blocks until frame f-2 was consumed. Without this,
   // calculators would run unboundedly ahead of the renderer; with a
   // deeper window, gather wire time overlaps the next frame's compute.
-  if (frame >= 2) recv_p(ep, kImageGenRank, kTagFrameAck);
+  if (frame - epoch_start_ >= 2) recv_p(ep, kImageGenRank, kTagFrameAck);
   if (set_.imgen == ImageGenMode::kGatherParticles) {
     std::vector<RenderVertex> verts;
     for (auto& store : stores_) {

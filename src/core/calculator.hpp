@@ -58,9 +58,31 @@ class Calculator {
                         std::size_t n) const;
   /// Fail-stop: announce the crash to the manager and drop local state.
   void die(mp::Endpoint& ep, std::uint32_t frame);
-  /// Mirror the manager's merge bookkeeping for peers dying this frame
-  /// (membership is derived from the shared fault plan — no messages).
-  void apply_crashes(mp::Endpoint& ep, std::uint32_t frame);
+  /// What the crash sweep at a frame boundary decided.
+  enum class CrashOutcome {
+    kNone,        ///< nothing pending — run the frame
+    kRolledBack,  ///< restart recovery: frame was rewound, re-enter loop
+    kDead,        ///< this calculator merge-crashed — thread exits
+  };
+  /// Detect crashes scheduled for `frame` (not yet handled), pick the
+  /// policy's recovery and execute this rank's share of it. May rewind
+  /// `frame` to the rollback target.
+  CrashOutcome handle_crashes(mp::Endpoint& ep, std::uint32_t& frame);
+  /// Merge-mode recovery: mirror the manager's merge bookkeeping for the
+  /// (ascending) dead peers (membership is derived from the shared fault
+  /// plan — no messages).
+  void apply_crashes(mp::Endpoint& ep, std::uint32_t frame,
+                     const std::vector<int>& dead);
+  /// Snapshot frame-barrier state into the vault + digest to the manager.
+  void capture(mp::Endpoint& ep, std::uint32_t frame);
+  /// Restore this rank's vault image for snapshot frame `f0`.
+  void restore(mp::Endpoint& ep, std::uint32_t f0);
+  /// Consume the frame acks in flight across a rollback boundary — their
+  /// count, min(frame - epoch_start_, 2), is exact under window-2 flow
+  /// control and MPI non-overtaking order.
+  void drain_stale_acks(mp::Endpoint& ep, std::uint32_t frame);
+  /// Recompute alive_/peers_ for the start of `frame` (recovery-aware).
+  void refresh_membership(std::uint32_t frame);
   /// Protocol receive with the per-phase deadline from SimSettings.
   mp::Message recv_p(mp::Endpoint& ep, int src, int tag) {
     return ep.recv_within(src, tag, set_.phase_timeout_s);
@@ -79,6 +101,13 @@ class Calculator {
   /// peer list derived from it (all alive calculators except self).
   std::vector<char> alive_;
   std::vector<int> peers_;
+  /// Crashes already handled (by calculator index) — replayed frames must
+  /// not re-execute a recovery.
+  std::vector<char> crash_done_;
+  /// First frame of the current ack epoch: 0 initially, snapshot_frame+1
+  /// after every rollback/resume. The window-2 ack for frame f is consumed
+  /// iff f - epoch_start_ >= 2.
+  std::uint32_t epoch_start_ = 0;
 };
 
 }  // namespace psanim::core

@@ -1,6 +1,59 @@
 #include "core/frame_loop.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace psanim::core {
+
+void SimSettings::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("SimSettings: " + what);
+  };
+  if (ncalc <= 0) {
+    fail("ncalc must be positive, got " + std::to_string(ncalc));
+  }
+  if (frames == 0) {
+    fail("frames must be positive — a zero-frame animation renders nothing");
+  }
+  if (!(dt > 0.0f)) {
+    fail("dt must be positive, got " + std::to_string(dt));
+  }
+  if (axis < 0 || axis > 2) {
+    fail("axis must be 0, 1 or 2 (x/y/z), got " + std::to_string(axis));
+  }
+  if (image_width <= 0 || image_height <= 0) {
+    fail("image dimensions must be positive, got " +
+         std::to_string(image_width) + "x" + std::to_string(image_height));
+  }
+  if (store_slices == 0) {
+    fail("store_slices must be positive — each store needs at least one "
+         "sub-domain vector");
+  }
+  if (phase_timeout_s < 0.0) {
+    fail("phase_timeout_s must be >= 0 (0 inherits the runtime timeout), "
+         "got " + std::to_string(phase_timeout_s));
+  }
+  if (ckpt.interval < 0) {
+    fail("ckpt.interval must be >= 0 (0 disables checkpointing), got " +
+         std::to_string(ckpt.interval));
+  }
+  if (resume_from) {
+    if (!ckpt.enabled()) {
+      fail("resume_from requires checkpointing enabled (ckpt.interval > 0) "
+           "so replayed recovery decisions match the original run");
+    }
+    if (*resume_from + 1 >= frames) {
+      fail("resume_from frame " + std::to_string(*resume_from) +
+           " leaves no frame to execute (frames = " + std::to_string(frames) +
+           ")");
+    }
+    if (!ckpt.due_after(*resume_from)) {
+      fail("resume_from frame " + std::to_string(*resume_from) +
+           " is not a snapshot frame for interval " +
+           std::to_string(ckpt.interval));
+    }
+  }
+}
 
 std::string to_string(SpaceMode m) {
   return m == SpaceMode::kInfinite ? "IS" : "FS";

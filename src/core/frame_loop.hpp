@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "ckpt/policy.hpp"
 #include "cluster/cost_model.hpp"
 #include "fault/fault_plan.hpp"
 #include "lb/diffusion_lb.hpp"
@@ -18,6 +20,10 @@
 #include "math/aabb.hpp"
 #include "psys/system.hpp"
 #include "trace/event_log.hpp"
+
+namespace psanim::ckpt {
+class Vault;
+}
 
 namespace psanim::core {
 
@@ -92,6 +98,22 @@ struct SimSettings {
   /// mp::RuntimeOptions::recv_timeout_s. A wedged peer fails the phase
   /// instead of hanging the whole run.
   double phase_timeout_s = 0.0;
+  /// Coordinated checkpoint/restore: snapshot cadence and crash-recovery
+  /// mode (see ckpt::CkptPolicy). Off by default.
+  ckpt::CkptPolicy ckpt;
+  /// Where snapshot images land. Null + enabled policy: run_parallel owns
+  /// an internal vault. Supply one (it must outlive the run) to keep the
+  /// checkpoints for replay/resume across runs.
+  ckpt::Vault* ckpt_vault = nullptr;
+  /// When set, skip frames 0..resume_from and restore every role from the
+  /// sealed checkpoint at `resume_from` in `ckpt_vault` instead — the
+  /// Replayer's entry point.
+  std::optional<std::uint32_t> resume_from;
+
+  /// Reject nonsensical settings (non-positive frame counts, negative
+  /// timeouts or checkpoint intervals, ...) with actionable messages.
+  /// Throws std::invalid_argument. run_parallel/run_sequential call this.
+  void validate() const;
 };
 
 /// Instantiate the configured balancing policy (one instance per system —

@@ -1,5 +1,11 @@
 #include "core/image_generator.hpp"
 
+#include <span>
+#include <string>
+
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_codec.hpp"
+#include "ckpt/vault.hpp"
 #include "render/image_io.hpp"
 #include "render/objects.hpp"
 #include "render/splat.hpp"
@@ -14,7 +20,8 @@ ImageGenerator::ImageGenerator(const SimSettings& settings, const Scene& scene,
       cam_(render::Camera::framing(scene.look_center, scene.look_radius,
                                    settings.image_width,
                                    settings.image_height)),
-      fb_(settings.image_width, settings.image_height) {}
+      fb_(settings.image_width, settings.image_height),
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {}
 
 void ImageGenerator::render_externals(mp::Endpoint& ep) {
   // §3.2.4: rendering external objects is the image generator's job.
@@ -35,14 +42,27 @@ void ImageGenerator::write_frame_if_due(std::uint32_t frame) const {
 }
 
 void ImageGenerator::run(mp::Endpoint& ep) {
-  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
+  std::uint32_t frame = 0;
+  if (set_.resume_from) {
+    const std::uint32_t f0 = *set_.resume_from;
+    // Recoveries completed before the snapshot are baked into it.
+    for (const auto& c : set_.fault_plan.crashes) {
+      if (c.at_frame <= f0) {
+        crash_done_[static_cast<std::size_t>(c.calc)] = 1;
+      }
+    }
+    restore(ep, f0);
+    frame = f0 + 1;
+  }
+  while (frame < set_.frames) {
     ep.set_trace_frame(frame);
-    // Membership under the shared fault plan: gather only from (and ack
-    // only to) calculators alive this frame. Alive-at-f is a superset of
-    // every later frame's consumers, so no ack a survivor waits for is
-    // ever withheld.
+    if (handle_crashes(ep, frame)) continue;  // rolled back; frame rewound
+    // Membership under the shared fault plan + recovery policy: gather
+    // only from (and ack only to) calculators executing this frame.
+    // Alive-at-f is a superset of every later frame's consumers, so no
+    // ack a survivor waits for is ever withheld.
     const std::vector<int> alive =
-        set_.fault_plan.alive_calcs(frame, set_.ncalc);
+        ckpt::alive_for_exec(set_.fault_plan, set_.ckpt, frame, set_.ncalc);
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
     fb_.clear({0.02f, 0.02f, 0.03f});
     render_externals(ep);
@@ -98,6 +118,77 @@ void ImageGenerator::run(mp::Endpoint& ep) {
         ep.send_empty(calc_rank(c), kTagFrameAck);
       }
     }
+    if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
+      capture(ep, frame);
+    }
+    ++frame;
+  }
+}
+
+bool ImageGenerator::handle_crashes(mp::Endpoint& ep, std::uint32_t& frame) {
+  const auto& plan = set_.fault_plan;
+  if (plan.crashes.empty()) return false;
+  bool pending = false;
+  for (const auto& c : plan.crashes) {
+    if (c.at_frame == frame && !crash_done_[static_cast<std::size_t>(c.calc)]) {
+      crash_done_[static_cast<std::size_t>(c.calc)] = 1;
+      pending = true;
+    }
+  }
+  if (!pending || !set_.ckpt.restarts(frame)) return false;
+  const std::uint32_t f0 = *set_.ckpt.latest_snapshot_before(frame);
+  restore(ep, f0);
+  frame = f0 + 1;
+  return true;
+}
+
+void ImageGenerator::capture(mp::Endpoint& ep, std::uint32_t frame) {
+  ckpt::SnapshotWriter snap(ckpt::Role::kImageGen, ep.rank(), frame,
+                            set_.seed);
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kTelemetry);
+    ckpt::encode_telemetry(w, tel_);
+  }
+  {
+    // Forensics only — virtual clocks are never rolled back on restore.
+    auto& w = snap.begin_section(ckpt::SectionId::kClock);
+    w.put(ep.clock().now());
+  }
+  std::vector<std::byte> image = snap.finish();
+  const auto bytes = static_cast<std::uint64_t>(image.size());
+  const std::uint32_t crc =
+      ckpt::crc32(std::span<const std::byte>(image.data(), image.size()));
+  set_.ckpt_vault->store(ep.rank(), frame, std::move(image));
+  mp::Writer w;
+  put_control_header(w);
+  w.put(frame);
+  w.put<std::int32_t>(ep.rank());
+  w.put(bytes);
+  w.put(crc);
+  ep.send(kManagerRank, kTagCkptDigest, std::move(w));
+}
+
+void ImageGenerator::restore(mp::Endpoint& ep, std::uint32_t f0) {
+  if (!set_.ckpt_vault) {
+    throw ProtocolError("image generator: restart recovery needs a vault");
+  }
+  const std::vector<std::byte>* image = set_.ckpt_vault->fetch(ep.rank(), f0);
+  if (!image) {
+    throw ProtocolError("image generator: no checkpoint image for frame " +
+                        std::to_string(f0));
+  }
+  ckpt::SnapshotReader snap(*image);
+  if (snap.header().role != ckpt::Role::kImageGen ||
+      snap.header().rank != ep.rank() || snap.header().frame != f0) {
+    throw ProtocolError("image generator: checkpoint header does not match");
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kTelemetry);
+    tel_ = ckpt::decode_telemetry(r);
+  }
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), f0,
+                        "recovery: restored checkpoint");
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/frame_loop.hpp"
 #include "core/wire.hpp"
@@ -31,6 +32,16 @@ class ImageGenerator {
  private:
   void render_externals(mp::Endpoint& ep);
   void write_frame_if_due(std::uint32_t frame) const;
+  /// Restart-eligible crashes scheduled for `frame`: roll back to the
+  /// snapshot and rewind `frame` (returns true). Merge-mode crashes need
+  /// no action here — per-frame membership accounts for them.
+  bool handle_crashes(mp::Endpoint& ep, std::uint32_t& frame);
+  /// Snapshot (telemetry + clock) into the vault + digest to the manager.
+  /// The framebuffer is rebuilt from scratch every frame, so it is not
+  /// part of the image.
+  void capture(mp::Endpoint& ep, std::uint32_t frame);
+  /// Restore telemetry from this rank's vault image for frame `f0`.
+  void restore(mp::Endpoint& ep, std::uint32_t f0);
 
   const SimSettings& set_;
   const Scene& scene_;
@@ -38,6 +49,9 @@ class ImageGenerator {
   render::Camera cam_;
   render::Framebuffer fb_;
   trace::Telemetry tel_;
+  /// Crashes already handled (by calculator index) — replayed frames must
+  /// not re-trigger a rollback.
+  std::vector<char> crash_done_;
 };
 
 }  // namespace psanim::core

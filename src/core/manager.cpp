@@ -1,8 +1,12 @@
 #include "core/manager.hpp"
 
 #include <algorithm>
+#include <span>
 #include <string>
 
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_codec.hpp"
+#include "ckpt/vault.hpp"
 #include "math/stats.hpp"
 
 namespace psanim::core {
@@ -14,7 +18,8 @@ Manager::Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
       env_(env),
       calc_powers_(std::move(calc_powers)),
       base_rng_(settings.seed),
-      alive_(static_cast<std::size_t>(settings.ncalc), 1) {
+      alive_(static_cast<std::size_t>(settings.ncalc), 1),
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {
   alive_list_.reserve(static_cast<std::size_t>(settings.ncalc));
   for (int c = 0; c < settings.ncalc; ++c) alive_list_.push_back(c);
   const auto [lo, hi] = initial_interval(set_, scene_);
@@ -32,43 +37,89 @@ void Manager::run(mp::Endpoint& ep) {
       set_.events->record(ep.clock().now(), ep.rank(), frame, label);
     }
   };
-  for (std::uint32_t frame = 0; frame < set_.frames; ++frame) {
+  std::uint32_t frame = 0;
+  if (set_.resume_from) {
+    const std::uint32_t f0 = *set_.resume_from;
+    // Recoveries completed before the snapshot are baked into it.
+    for (const auto& c : set_.fault_plan.crashes) {
+      if (c.at_frame <= f0) {
+        crash_done_[static_cast<std::size_t>(c.calc)] = 1;
+      }
+    }
+    restore(ep, f0);
+    frame = f0 + 1;
+  }
+  while (frame < set_.frames) {
     ep.set_trace_frame(frame);
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
-    liveness_check(ep, frame);
+    if (handle_crashes(ep, frame)) continue;  // rolled back; frame rewound
     note(frame, "manager: particle creation");
     create_and_scatter(ep, frame);
     note(frame, "manager: creation scattered");
     balance(ep, frame);
     note(frame, "manager: new dimensions broadcast");
+    if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
+      checkpoint_phase(ep, frame);
+      note(frame, "checkpoint: manifest sealed");
+    }
+    ++frame;
   }
 }
 
-void Manager::liveness_check(mp::Endpoint& ep, std::uint32_t frame) {
+bool Manager::handle_crashes(mp::Endpoint& ep, std::uint32_t& frame) {
   const auto& plan = set_.fault_plan;
-  if (plan.crashes.empty()) return;
-  // Deaths take effect at frame start. All deaths of this frame are
-  // removed from the membership first (a calculator dying now cannot
-  // inherit another's domain), then processed in ascending index order so
-  // every role derives the identical merge sequence.
-  bool any_death = false;
-  for (int c = 0; c < set_.ncalc; ++c) {
-    const auto cf = plan.crash_frame(c);
-    if (cf && *cf == frame) {
-      alive_[static_cast<std::size_t>(c)] = 0;
-      any_death = true;
+  if (plan.crashes.empty()) return false;
+  // Deaths take effect at frame start, in ascending index order, so every
+  // role derives the identical recovery sequence.
+  std::vector<int> pending;
+  for (const auto& c : plan.crashes) {
+    if (c.at_frame == frame && !crash_done_[static_cast<std::size_t>(c.calc)]) {
+      pending.push_back(c.calc);
     }
   }
-  if (!any_death) return;
-  for (int c = 0; c < set_.ncalc; ++c) {
-    const auto cf = plan.crash_frame(c);
-    if (!cf || *cf != frame) continue;
+  if (pending.empty()) return false;
+  std::sort(pending.begin(), pending.end());
+  for (const int c : pending) crash_done_[static_cast<std::size_t>(c)] = 1;
+
+  if (set_.ckpt.restarts(frame)) {
+    const std::uint32_t f0 = *set_.ckpt.latest_snapshot_before(frame);
+    for (const int c : pending) {
+      // The dying calculator's last act is an obituary; receiving it
+      // stamps the manager's detection after the death in virtual time.
+      const mp::Message ob = recv_p(ep, calc_rank(c), kTagCrash);
+      mp::Reader r(ob);
+      check_control_header(r, "manager liveness check");
+      check_frame(r.get<std::uint32_t>(), frame, "manager liveness check");
+      if (set_.events) {
+        set_.events->record(ep.clock().now(), ep.rank(), frame,
+                            "recovery: restarting calculator " +
+                                std::to_string(c) + " from checkpoint frame " +
+                                std::to_string(f0));
+      }
+    }
+    restore(ep, f0);
+    frame = f0 + 1;
+    return true;
+  }
+
+  merge_crashed(ep, frame, pending);
+  return false;
+}
+
+void Manager::merge_crashed(mp::Endpoint& ep, std::uint32_t frame,
+                            const std::vector<int>& dead) {
+  // All deaths of this frame are removed from the membership first (a
+  // calculator dying now cannot inherit another's domain), then processed
+  // in ascending index order.
+  for (const int c : dead) alive_[static_cast<std::size_t>(c)] = 0;
+  for (const int c : dead) {
     // The dying calculator's last act is an obituary; receiving it stamps
     // the manager's detection after the death in virtual time (the
     // perfect-failure-detector idealization — no timeout rounds modeled).
     const mp::Message ob = recv_p(ep, calc_rank(c), kTagCrash);
-    check_frame(mp::Reader(ob).get<std::uint32_t>(), frame,
-                "manager liveness check");
+    mp::Reader r(ob);
+    check_control_header(r, "manager liveness check");
+    check_frame(r.get<std::uint32_t>(), frame, "manager liveness check");
     if (set_.events) {
       set_.events->record(ep.clock().now(), ep.rank(), frame,
                           "recovery: calculator " + std::to_string(c) +
@@ -85,6 +136,115 @@ void Manager::liveness_check(mp::Endpoint& ep, std::uint32_t frame) {
                               std::to_string(c) + " merged into " +
                               std::to_string(into));
     }
+  }
+  alive_list_.clear();
+  for (int c = 0; c < set_.ncalc; ++c) {
+    if (alive_[static_cast<std::size_t>(c)]) alive_list_.push_back(c);
+  }
+}
+
+void Manager::checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame) {
+  ckpt::SnapshotWriter snap(ckpt::Role::kManager, ep.rank(), frame,
+                            set_.seed);
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kDecomps);
+    w.put<std::uint64_t>(decomps_.size());
+    for (const auto& d : decomps_) d.encode(w);
+  }
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kLbState);
+    w.put<std::uint64_t>(policies_.size());
+    for (const auto& p : policies_) p->save_state(w);
+  }
+  {
+    auto& w = snap.begin_section(ckpt::SectionId::kTelemetry);
+    ckpt::encode_telemetry(w, tel_);
+  }
+  {
+    // Forensics only — virtual clocks are never rolled back on restore.
+    auto& w = snap.begin_section(ckpt::SectionId::kClock);
+    w.put(ep.clock().now());
+  }
+  std::vector<std::byte> image = snap.finish();
+  ckpt::Manifest man;
+  man.frame = frame;
+  man.entries.push_back(ckpt::ManifestEntry{
+      .rank = ep.rank(),
+      .bytes = static_cast<std::uint64_t>(image.size()),
+      .crc = ckpt::crc32(
+          std::span<const std::byte>(image.data(), image.size())),
+  });
+  set_.ckpt_vault->store(ep.rank(), frame, std::move(image));
+
+  // Collect every participant's digest — the image generator, then the
+  // calculators that executed this frame, ascending — and seal the
+  // manifest. A sealed frame is the coordinator's promise that every rank
+  // can restore from it.
+  const auto collect = [&](int rank) {
+    const mp::Message m = recv_p(ep, rank, kTagCkptDigest);
+    mp::Reader r(m);
+    check_control_header(r, "manager checkpoint digest");
+    check_frame(r.get<std::uint32_t>(), frame, "manager checkpoint digest");
+    const auto from = r.get<std::int32_t>();
+    if (from != rank) {
+      throw ProtocolError("manager: checkpoint digest claims rank " +
+                          std::to_string(from) + ", arrived from " +
+                          std::to_string(rank));
+    }
+    const auto bytes = r.get<std::uint64_t>();
+    const auto crc = r.get<std::uint32_t>();
+    man.entries.push_back(ckpt::ManifestEntry{rank, bytes, crc});
+  };
+  collect(kImageGenRank);
+  for (const int c : alive_list_) collect(calc_rank(c));
+  set_.ckpt_vault->seal(std::move(man));
+}
+
+void Manager::restore(mp::Endpoint& ep, std::uint32_t f0) {
+  if (!set_.ckpt_vault) {
+    throw ProtocolError("manager: restart recovery needs a vault");
+  }
+  const std::vector<std::byte>* image = set_.ckpt_vault->fetch(ep.rank(), f0);
+  if (!image) {
+    throw ProtocolError("manager: no checkpoint image for frame " +
+                        std::to_string(f0));
+  }
+  ckpt::SnapshotReader snap(*image);
+  if (snap.header().role != ckpt::Role::kManager ||
+      snap.header().rank != ep.rank() || snap.header().frame != f0) {
+    throw ProtocolError("manager: checkpoint header does not match");
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kDecomps);
+    const auto n = r.get<std::uint64_t>();
+    if (n != decomps_.size()) {
+      throw ProtocolError("manager: snapshot decomposition count skew");
+    }
+    for (auto& d : decomps_) d = Decomposition::decode(r);
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kLbState);
+    const auto n = r.get<std::uint64_t>();
+    if (n != policies_.size()) {
+      throw ProtocolError("manager: snapshot balancer count skew");
+    }
+    for (auto& p : policies_) p->load_state(r);
+  }
+  {
+    auto r = snap.section(ckpt::SectionId::kTelemetry);
+    tel_ = ckpt::decode_telemetry(r);
+  }
+  refresh_membership(f0 + 1);
+  if (set_.events) {
+    set_.events->record(ep.clock().now(), ep.rank(), f0,
+                        "recovery: restored checkpoint");
+  }
+}
+
+void Manager::refresh_membership(std::uint32_t frame) {
+  for (int c = 0; c < set_.ncalc; ++c) {
+    alive_[static_cast<std::size_t>(c)] =
+        ckpt::calc_dead_at(set_.fault_plan, set_.ckpt, c, frame) ? 0 : 1;
   }
   alive_list_.clear();
   for (int c = 0; c < set_.ncalc; ++c) {

@@ -32,8 +32,20 @@ class Manager {
   void create_and_scatter(mp::Endpoint& ep, std::uint32_t frame);
   void balance(mp::Endpoint& ep, std::uint32_t frame);
   /// Consume obituaries of calculators whose crash frame is `frame` and
-  /// merge each dead domain into its nearest surviving neighbor.
-  void liveness_check(mp::Endpoint& ep, std::uint32_t frame);
+  /// run the policy's recovery: restart-from-checkpoint (returns true,
+  /// `frame` rewound to the snapshot successor) or domain merge.
+  bool handle_crashes(mp::Endpoint& ep, std::uint32_t& frame);
+  /// Merge each dead domain into its nearest surviving neighbor
+  /// (ascending; PR-1 degradation path).
+  void merge_crashed(mp::Endpoint& ep, std::uint32_t frame,
+                     const std::vector<int>& dead);
+  /// Coordinated snapshot: capture own state, collect every participant's
+  /// digest and seal the frame's manifest in the vault.
+  void checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame);
+  /// Restore own vault image for snapshot frame `f0`.
+  void restore(mp::Endpoint& ep, std::uint32_t f0);
+  /// Recompute alive_/alive_list_ for the start of `frame`.
+  void refresh_membership(std::uint32_t frame);
   /// Protocol receive with the per-phase deadline from SimSettings.
   mp::Message recv_p(mp::Endpoint& ep, int src, int tag) {
     return ep.recv_within(src, tag, set_.phase_timeout_s);
@@ -52,6 +64,9 @@ class Manager {
   /// Calculators still running at the current frame (crash recovery).
   std::vector<char> alive_;
   std::vector<int> alive_list_;
+  /// Crashes already handled (by calculator index) — replayed frames must
+  /// not re-consume an obituary or re-run a recovery.
+  std::vector<char> crash_done_;
 };
 
 }  // namespace psanim::core

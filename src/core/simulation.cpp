@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "ckpt/vault.hpp"
 #include "core/calculator.hpp"
 #include "core/image_generator.hpp"
 #include "core/manager.hpp"
@@ -17,6 +19,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
                             const cluster::Placement& placement,
                             const cluster::CostModel& cost,
                             mp::RuntimeOptions rt_options) {
+  settings.validate();
   const int world = world_size_for(settings.ncalc);
   if (placement.world_size() != world) {
     throw std::invalid_argument(
@@ -24,6 +27,22 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
         "every calculator");
   }
   settings.fault_plan.validate(settings.ncalc, settings.frames);
+
+  // Checkpointing needs a vault; when the caller did not supply one (and
+  // so cannot want the images afterwards), the run owns a private one.
+  SimSettings eff = settings;
+  std::unique_ptr<ckpt::Vault> own_vault;
+  if (eff.ckpt.enabled() && eff.ckpt_vault == nullptr) {
+    own_vault = std::make_unique<ckpt::Vault>();
+    eff.ckpt_vault = own_vault.get();
+  }
+  if (eff.resume_from &&
+      (!eff.ckpt_vault || !eff.ckpt_vault->manifest(*eff.resume_from))) {
+    throw std::invalid_argument(
+        "run_parallel: resume_from requires a supplied vault holding a "
+        "sealed checkpoint for frame " + std::to_string(*eff.resume_from));
+  }
+
   const auto rates = cluster::rank_rates(spec, placement, cost.smp_contention);
 
   // A-priori powers the manager uses for proportional splits — the paper
@@ -38,9 +57,9 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   // The injector lives here, not in the runtime: one per run, shared by
   // every rank's endpoint through the RuntimeOptions hook seam.
   std::unique_ptr<fault::Injector> injector;
-  if (settings.fault_plan.any() && rt_options.fault == nullptr) {
-    injector = std::make_unique<fault::Injector>(settings.fault_plan, world,
-                                                 settings.events);
+  if (eff.fault_plan.any() && rt_options.fault == nullptr) {
+    injector = std::make_unique<fault::Injector>(eff.fault_plan, world,
+                                                 eff.events);
     rt_options.fault = injector.get();
   }
 
@@ -57,17 +76,17 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   const auto procs = runtime.run([&](mp::Endpoint& ep) {
     const RoleEnv env{&cost, rates.at(static_cast<std::size_t>(ep.rank()))};
     if (ep.rank() == kManagerRank) {
-      Manager m(settings, scene, env, calc_powers);
+      Manager m(eff, scene, env, calc_powers);
       m.run(ep);
       tele[static_cast<std::size_t>(ep.rank())] = m.telemetry();
       final_decomps = m.decompositions();
     } else if (ep.rank() == kImageGenRank) {
-      ImageGenerator ig(settings, scene, env);
+      ImageGenerator ig(eff, scene, env);
       ig.run(ep);
       tele[static_cast<std::size_t>(ep.rank())] = ig.telemetry();
       final_frame = ig.final_frame();
     } else {
-      Calculator c(settings, scene, env, calc_index(ep.rank()));
+      Calculator c(eff, scene, env, calc_index(ep.rank()));
       c.run(ep);
       tele[static_cast<std::size_t>(ep.rank())] = c.telemetry();
       auto& mine = final_parts[static_cast<std::size_t>(ep.rank())];
@@ -87,6 +106,17 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   if (final_frame) result.final_frame = std::move(*final_frame);
   result.final_decomps = std::move(final_decomps);
   if (injector) result.fault_stats = injector->stats();
+  // How each crash was recovered — a function of (plan, policy), recorded
+  // so experiments can attribute degradation vs. replay cost. Crashes at
+  // or before a resume point were already recovered in the original run.
+  for (const auto& c : eff.fault_plan.crashes) {
+    if (eff.resume_from && c.at_frame <= *eff.resume_from) continue;
+    if (eff.ckpt.restarts(c.at_frame)) {
+      ++result.fault_stats.restart_recoveries;
+    } else {
+      ++result.fault_stats.merge_recoveries;
+    }
+  }
   result.final_particles.assign(scene.systems.size(), {});
   for (const auto& per_rank : final_parts) {
     for (std::size_t s = 0; s < per_rank.size(); ++s) {
@@ -101,6 +131,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
 SequentialResult run_sequential(const Scene& scene,
                                 const SimSettings& settings, double rate,
                                 const cluster::CostModel& cost) {
+  settings.validate();
   // Mirror the single-calculator layout exactly (same SlicedStore, same
   // RNG streams with calculator index 0) so run_parallel(ncalc=1) evolves
   // the identical particle set.

@@ -2,7 +2,30 @@
 
 #include <string>
 
+#include "ckpt/format.hpp"
+
 namespace psanim::core {
+
+void put_control_header(mp::Writer& w) {
+  w.put(ckpt::kFormatMagicByte);
+  w.put(ckpt::kFormatVersion);
+}
+
+void check_control_header(mp::Reader& r, const char* where) {
+  const auto magic = r.get<std::uint8_t>();
+  if (magic != ckpt::kFormatMagicByte) {
+    throw ProtocolError(std::string(where) +
+                        ": control payload has bad format magic 0x" +
+                        std::to_string(magic) +
+                        " — wire/snapshot format skew or misrouted message");
+  }
+  const auto version = r.get<std::uint8_t>();
+  if (version != ckpt::kFormatVersion) {
+    throw ProtocolError(std::string(where) + ": control format version " +
+                        std::to_string(version) + ", this build speaks " +
+                        std::to_string(ckpt::kFormatVersion));
+  }
+}
 
 RenderVertex to_render_vertex(const psys::Particle& p) {
   return {p.pos, p.color, p.alpha, p.size};
@@ -49,6 +72,7 @@ void check_frame(std::uint32_t got, std::uint32_t expect, const char* where) {
 mp::Writer encode_batches(std::uint32_t frame,
                           const std::vector<SystemBatch>& batches) {
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(batches.size()));
   for (const auto& b : batches) {
@@ -61,6 +85,7 @@ mp::Writer encode_batches(std::uint32_t frame,
 std::vector<SystemBatch> decode_batches(const mp::Message& m,
                                         std::uint32_t expect_frame) {
   mp::Reader r(m);
+  check_control_header(r, "decode_batches");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_batches");
   const auto n = r.get<std::uint32_t>();
   std::vector<SystemBatch> out(n);
@@ -74,6 +99,7 @@ std::vector<SystemBatch> decode_batches(const mp::Message& m,
 mp::Writer encode_load_report(std::uint32_t frame,
                               const std::vector<LoadEntry>& entries) {
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   w.put_vector(entries);
   return w;
@@ -82,6 +108,7 @@ mp::Writer encode_load_report(std::uint32_t frame,
 std::vector<LoadEntry> decode_load_report(const mp::Message& m,
                                           std::uint32_t expect_frame) {
   mp::Reader r(m);
+  check_control_header(r, "decode_load_report");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_load_report");
   return r.get_vector<LoadEntry>();
 }
@@ -89,6 +116,7 @@ std::vector<LoadEntry> decode_load_report(const mp::Message& m,
 mp::Writer encode_orders(std::uint32_t frame,
                          const std::vector<OrderEntry>& orders) {
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   w.put_vector(orders);
   return w;
@@ -97,6 +125,7 @@ mp::Writer encode_orders(std::uint32_t frame,
 std::vector<OrderEntry> decode_orders(const mp::Message& m,
                                       std::uint32_t expect_frame) {
   mp::Reader r(m);
+  check_control_header(r, "decode_orders");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_orders");
   return r.get_vector<OrderEntry>();
 }
@@ -104,6 +133,7 @@ std::vector<OrderEntry> decode_orders(const mp::Message& m,
 mp::Writer encode_edges(std::uint32_t frame,
                         const std::vector<EdgeEntry>& edges) {
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   w.put_vector(edges);
   return w;
@@ -112,6 +142,7 @@ mp::Writer encode_edges(std::uint32_t frame,
 std::vector<EdgeEntry> decode_edges(const mp::Message& m,
                                     std::uint32_t expect_frame) {
   mp::Reader r(m);
+  check_control_header(r, "decode_edges");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_edges");
   return r.get_vector<EdgeEntry>();
 }
@@ -119,6 +150,7 @@ std::vector<EdgeEntry> decode_edges(const mp::Message& m,
 mp::Writer encode_frame_vertices(std::uint32_t frame,
                                  const std::vector<RenderVertex>& verts) {
   mp::Writer w;
+  put_control_header(w);
   w.put(frame);
   std::vector<PackedVertex> packed;
   packed.reserve(verts.size());
@@ -130,6 +162,7 @@ mp::Writer encode_frame_vertices(std::uint32_t frame,
 std::vector<RenderVertex> decode_frame_vertices(const mp::Message& m,
                                                 std::uint32_t expect_frame) {
   mp::Reader r(m);
+  check_control_header(r, "decode_frame_vertices");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_frame_vertices");
   const auto packed = r.get_vector<PackedVertex>();
   std::vector<RenderVertex> verts;

@@ -42,6 +42,7 @@ enum Tag : int {
   kTagGhost = 109,         ///< calculator -> calculator: collision ghosts
   kTagFrameAck = 110,      ///< image generator -> calculator: frame consumed
   kTagCrash = 111,         ///< dying calculator -> manager: obituary
+  kTagCkptDigest = 112,    ///< rank -> manager: checkpoint image digest
 };
 
 /// Particles of one system, in one message.
@@ -105,7 +106,16 @@ inline constexpr float kMaxSplatSize = 0.5f;
 PackedVertex pack_vertex(const RenderVertex& v);
 RenderVertex unpack_vertex(const PackedVertex& p);
 
-// --- codecs; every payload begins with the frame number ---
+// --- codecs ---
+//
+// Every control payload begins with a two-byte control header — the format
+// magic byte and version shared with the ckpt snapshot format
+// (ckpt::kFormatMagicByte / kFormatVersion) — followed by the frame
+// number. Decoders verify both, so a build-format skew or a misrouted
+// payload fails loudly instead of misdecoding.
+
+void put_control_header(mp::Writer& w);
+void check_control_header(mp::Reader& r, const char* where);
 
 mp::Writer encode_batches(std::uint32_t frame,
                           const std::vector<SystemBatch>& batches);

@@ -31,6 +31,11 @@ struct FaultStats {
   /// Total extra wire seconds injected across all messages.
   double injected_delay_s = 0.0;
 
+  /// How each calculator crash was recovered (filled in by the run
+  /// driver, not the injector): restart-from-checkpoint vs. domain merge.
+  std::uint64_t restart_recoveries = 0;
+  std::uint64_t merge_recoveries = 0;
+
   std::uint64_t total_faults() const {
     return drops + duplicates + delay_spikes + degraded_msgs;
   }

@@ -44,6 +44,14 @@ class DynamicPairwiseLB final : public LoadBalancer {
   std::string name() const override { return "dynamic-pairwise"; }
   std::vector<BalanceOrder> evaluate(std::span<const CalcLoad> loads) override;
 
+  /// The pair-alternation phase is the one piece of cross-frame state.
+  void save_state(mp::Writer& w) const override {
+    w.put<std::int32_t>(first_pair_);
+  }
+  void load_state(mp::Reader& r) override {
+    first_pair_ = r.get<std::int32_t>();
+  }
+
   const DynamicPairwiseConfig& config() const { return cfg_; }
 
   /// True when the report's sample is large enough to trust its

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "mp/message.hpp"
+
 namespace psanim::lb {
 
 /// One calculator's report for one particle system.
@@ -48,6 +50,12 @@ class LoadBalancer {
   /// keep state across calls (the paper's pair alternation does).
   virtual std::vector<BalanceOrder> evaluate(
       std::span<const CalcLoad> loads) = 0;
+
+  /// Checkpoint hooks: serialize whatever evaluate() keeps across calls
+  /// (replaying from a snapshot must reproduce the same decisions).
+  /// Stateless policies inherit these no-ops.
+  virtual void save_state(mp::Writer&) const {}
+  virtual void load_state(mp::Reader&) {}
 };
 
 }  // namespace psanim::lb

@@ -107,6 +107,12 @@ class Endpoint {
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_ = TrafficStats{}; }
 
+  /// Rank respawn bookkeeping: a role that dies and is re-seeded from a
+  /// checkpoint on this endpoint's thread records it here; surfaced in
+  /// ProcessResult::restarts.
+  void note_restart() { ++restarts_; }
+  std::uint32_t restarts() const { return restarts_; }
+
   /// Sequence number for collective operations; must advance identically
   /// on all ranks (collectives are called in the same order everywhere).
   int next_collective_tag();
@@ -118,6 +124,7 @@ class Endpoint {
   TrafficStats traffic_;
   int collective_seq_ = 0;
   std::uint32_t trace_frame_ = 0;
+  std::uint32_t restarts_ = 0;
 };
 
 }  // namespace psanim::mp

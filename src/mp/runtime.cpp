@@ -49,6 +49,7 @@ std::vector<ProcessResult> Runtime::run(
             .compute_s = ep.clock().compute_seconds(),
             .comm_s = ep.clock().comm_seconds(),
             .wait_s = ep.clock().wait_seconds(),
+            .restarts = ep.restarts(),
             .traffic = ep.traffic(),
         };
       });

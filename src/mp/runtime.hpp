@@ -23,6 +23,8 @@ struct ProcessResult {
   double compute_s = 0.0;
   double comm_s = 0.0;
   double wait_s = 0.0;
+  /// Times this rank's role died and was respawned from a checkpoint.
+  std::uint32_t restarts = 0;
   TrafficStats traffic;
 };
 

@@ -181,6 +181,21 @@ Donation SlicedStore::donate(std::size_t count, bool low) {
   return d;
 }
 
+void SlicedStore::adopt_slices(float lo, float hi,
+                               std::vector<std::vector<Particle>> slices) {
+  if (!(lo <= hi)) {
+    throw std::invalid_argument(
+        "SlicedStore::adopt_slices: lo must be <= hi");
+  }
+  if (slices.empty()) {
+    throw std::invalid_argument(
+        "SlicedStore::adopt_slices: need at least one slice");
+  }
+  lo_ = lo;
+  hi_ = hi;
+  slices_ = std::move(slices);
+}
+
 std::vector<Particle> SlicedStore::snapshot() const {
   std::vector<Particle> out;
   out.reserve(size());

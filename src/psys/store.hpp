@@ -81,6 +81,17 @@ class SlicedStore {
   /// Gather a copy of every particle (rendering, tests).
   std::vector<Particle> snapshot() const;
 
+  /// The internal per-slice layout (checkpoint serialization — replay is
+  /// bit-exact only if the slice order, which drives RNG consumption
+  /// order, survives the round trip).
+  const std::vector<std::vector<Particle>>& raw_slices() const {
+    return slices_;
+  }
+  /// Checkpoint restore: replace bounds and the whole slice layout
+  /// verbatim. `slices` must be non-empty and lo <= hi.
+  void adopt_slices(float lo, float hi,
+                    std::vector<std::vector<Particle>> slices);
+
   /// Move all particles out, leaving the store empty.
   std::vector<Particle> take_all();
 

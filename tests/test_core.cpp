@@ -181,8 +181,9 @@ TEST(Wire, FrameVerticesRoundTripCount) {
   }
   mp::Message m;
   m.payload = encode_frame_vertices(9, verts).take();
-  // 16 bytes per vertex plus frame number and length prefix.
-  EXPECT_EQ(m.payload.size(), 4u + 8u + 100u * 16u);
+  // 16 bytes per vertex plus control header (format magic + version),
+  // frame number and length prefix.
+  EXPECT_EQ(m.payload.size(), 2u + 4u + 8u + 100u * 16u);
   const auto back = decode_frame_vertices(m, 9);
   ASSERT_EQ(back.size(), 100u);
   EXPECT_FLOAT_EQ(back[42].pos.x, 42.0f);
