@@ -5,8 +5,9 @@
 // exchange between calculators, load information to the manager, load
 // balancing evaluation, new dimensions negotiation, definition of local
 // domains, balance transfers, and image generation. This binary runs the
-// real protocol with the event log enabled and prints the trace of one
-// frame ordered by virtual time — the flowchart, regenerated from the
+// real protocol with span tracing on and prints one frame's timeline from
+// the obs span stream — phase spans appear at their end time with their
+// virtual duration, instants inline — the flowchart, regenerated from the
 // executing system.
 
 #include <cstdio>
@@ -14,7 +15,7 @@
 #include "bench/bench_util.hpp"
 #include "core/simulation.hpp"
 #include "core/wire.hpp"
-#include "trace/event_log.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace psanim;
@@ -31,8 +32,8 @@ int main() {
   settings.frames = params.frames;
   settings.dt = params.dt;
 
-  trace::EventLog events;
-  settings.events = &events;
+  obs::Trace trace;
+  settings.obs.trace = &trace;
 
   auto cfg = bench::e800_row(3, 3, core::SpaceMode::kFinite,
                              core::LbMode::kDynamicPairwise);
@@ -47,15 +48,15 @@ int main() {
   std::printf("(1 system, manager + image generator + 3 calculators;\n");
   std::printf(" frame 2 shown — balancing is warmed up by then)\n\n");
   std::printf("%12s  %-6s  %s\n", "virtual time", "rank", "event");
-  for (const auto& e : events.frame_events(2)) {
+  for (const auto& e : trace.frame_timeline(2)) {
     const char* who = e.rank == core::kManagerRank ? "mgr"
                       : e.rank == core::kImageGenRank
                           ? "imgen"
                           : "calc";
     std::printf("%10.3f ms  %-3s %2d  %s\n", e.vtime * 1e3, who, e.rank,
-                e.label.c_str());
+                e.text.c_str());
   }
-  std::printf("\ntotal protocol events over %u frames: %zu\n", params.frames,
-              events.size());
+  std::printf("\ntotal trace records over %u frames: %zu\n", params.frames,
+              trace.record_count());
   return 0;
 }

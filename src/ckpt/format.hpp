@@ -49,6 +49,7 @@ enum class SectionId : std::uint32_t {
   kLbState = 3,    ///< per-system load-balancer policy state (manager)
   kTelemetry = 4,  ///< per-frame stats accumulated so far
   kClock = 5,      ///< virtual-clock readings at capture (forensics)
+  kFlightRecorder = 6,  ///< bounded ring of recent obs records (optional)
 };
 
 /// Thrown on any snapshot integrity failure: bad magic, version skew,

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "ckpt/format.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace psanim::ckpt {
 
@@ -51,6 +52,16 @@ trace::Telemetry decode_telemetry(mp::Reader& r) {
     tel.add_image(s);
   }
   return tel;
+}
+
+void encode_flight_ring(mp::Writer& w, const obs::RankRecorder& rec,
+                        const obs::LabelTable& labels) {
+  obs::encode_ring(w, rec, labels);
+}
+
+std::vector<obs::SpanRecord> decode_flight_ring(mp::Reader& r,
+                                                obs::LabelTable& labels) {
+  return obs::decode_ring(r, labels);
 }
 
 }  // namespace psanim::ckpt

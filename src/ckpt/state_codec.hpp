@@ -9,7 +9,11 @@
 // bit-exact replay (Decomposition already has encode/decode; load-balancer
 // state goes through LoadBalancer::save_state/load_state).
 
+#include <vector>
+
 #include "mp/message.hpp"
+#include "obs/recorder.hpp"
+#include "obs/span.hpp"
 #include "psys/store.hpp"
 #include "trace/telemetry.hpp"
 
@@ -22,5 +26,12 @@ void decode_store(mp::Reader& r, psys::SlicedStore& store);
 
 void encode_telemetry(mp::Writer& w, const trace::Telemetry& tel);
 trace::Telemetry decode_telemetry(mp::Reader& r);
+
+/// kFlightRecorder section payload: the rank's recent-record ring with a
+/// self-contained label table (see obs/flight_recorder.hpp).
+void encode_flight_ring(mp::Writer& w, const obs::RankRecorder& rec,
+                        const obs::LabelTable& labels);
+std::vector<obs::SpanRecord> decode_flight_ring(mp::Reader& r,
+                                                obs::LabelTable& labels);
 
 }  // namespace psanim::ckpt

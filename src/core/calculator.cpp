@@ -9,6 +9,7 @@
 #include "ckpt/vault.hpp"
 #include "collide/pair_collide.hpp"
 #include "core/exchange.hpp"
+#include "obs/trace.hpp"
 #include "render/splat.hpp"
 
 namespace psanim::core {
@@ -24,7 +25,9 @@ Calculator::Calculator(const SimSettings& settings, const Scene& scene,
                                    settings.image_width,
                                    settings.image_height)),
       alive_(static_cast<std::size_t>(settings.ncalc), 1),
-      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0),
+      tr_(settings.obs.trace, settings.events, calc_rank(index)),
+      metrics_{env.metrics} {
   peers_.reserve(static_cast<std::size_t>(settings.ncalc));
   for (int c = 0; c < settings.ncalc; ++c) {
     if (c != idx_) peers_.push_back(c);
@@ -48,10 +51,10 @@ void Calculator::charge_particles(mp::Endpoint& ep, double per_particle,
 void Calculator::run(mp::Endpoint& ep) {
   std::vector<double> time_per_system(scene_.systems.size());
   std::vector<std::size_t> count_per_system(scene_.systems.size());
+  // Both sinks at once: the span stream and the legacy EventLog labels
+  // (verbatim — tests pin Figure 2's exact per-frame label sequence).
   auto note = [&](std::uint32_t frame, const char* label) {
-    if (set_.events) {
-      set_.events->record(ep.clock().now(), ep.rank(), frame, label);
-    }
+    tr_.instant(ep.clock(), frame, label);
   };
   std::uint32_t frame = 0;
   if (set_.resume_from) {
@@ -80,17 +83,27 @@ void Calculator::run(mp::Endpoint& ep) {
         return;
     }
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
+    auto frame_span = tr_.phase(ep.clock(), frame, "frame");
     trace::CalcFrameStats fs;
     fs.frame = frame;
     fs.rank = calc_rank(idx_);
 
-    receive_created(ep, frame, fs);
-    note(frame, "calculator: addition to local set");
-    compute_phase(ep, frame, time_per_system, count_per_system, fs);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "simulate");
+      receive_created(ep, frame, fs);
+      note(frame, "calculator: addition to local set");
+      compute_phase(ep, frame, time_per_system, count_per_system, fs);
+    }
     note(frame, "calculator: calculus done");
-    exchange_phase(ep, frame, fs);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "exchange");
+      exchange_phase(ep, frame, fs);
+    }
     note(frame, "calculator: particle exchange done");
-    if (set_.pair_collisions) collide_phase(ep, frame, time_per_system);
+    if (set_.pair_collisions) {
+      auto ph = tr_.phase(ep.clock(), frame, "collide");
+      collide_phase(ep, frame, time_per_system);
+    }
 
     // §3.2.4: the reported time must be pro-rata for the post-exchange
     // count, "since the amount of particles of the process changed".
@@ -109,25 +122,33 @@ void Calculator::run(mp::Endpoint& ep) {
     // "While the manager evaluates the load balancing, the calculators
     // send the particles to the image generator" (§3.2.5) — the frame goes
     // out before the orders come back.
-    send_frame(ep, frame, fs);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "send-frame");
+      send_frame(ep, frame, fs);
+    }
     note(frame, "calculator: particles sent to image generator");
-    balance_phase(ep, frame, fs);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "balance");
+      balance_phase(ep, frame, fs);
+    }
     note(frame, "calculator: load balance done, local domains defined");
 
     tel_.add_calc(fs);
+    metrics_.on_frame(fs);
     if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
-      capture(ep, frame);
+      {
+        auto ph = tr_.phase(ep.clock(), frame, "snapshot");
+        capture(ep, frame);
+      }
       note(frame, "checkpoint: snapshot captured");
     }
+    frame_span.close();
     ++frame;
   }
 }
 
 void Calculator::die(mp::Endpoint& ep, std::uint32_t frame) {
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), frame,
-                        "fault: calculator crashed (fail-stop)");
-  }
+  tr_.instant(ep.clock(), frame, "fault: calculator crashed (fail-stop)");
   // The dying gasp the manager's liveness check consumes; its arrival
   // stamp puts the detection after the death in virtual time.
   mp::Writer w;
@@ -207,13 +228,11 @@ void Calculator::apply_crashes(mp::Endpoint& ep, std::uint32_t frame,
       store.reset_bounds(lo, hi);
     }
   }
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), frame,
-                        "recovery: adopted merged domains");
-  }
+  tr_.instant(ep.clock(), frame, "recovery: adopted merged domains");
 }
 
 void Calculator::capture(mp::Endpoint& ep, std::uint32_t frame) {
+  const double capture_start = ep.clock().now();
   ckpt::SnapshotWriter snap(ckpt::Role::kCalculator, ep.rank(), frame,
                             set_.seed);
   {
@@ -240,11 +259,18 @@ void Calculator::capture(mp::Endpoint& ep, std::uint32_t frame) {
     auto& w = snap.begin_section(ckpt::SectionId::kClock);
     w.put(ep.clock().now());
   }
+  if (set_.obs.flight_recorder && set_.obs.trace) {
+    auto& w = snap.begin_section(ckpt::SectionId::kFlightRecorder);
+    ckpt::encode_flight_ring(w, set_.obs.trace->rank(ep.rank()),
+                             set_.obs.trace->labels());
+  }
   std::vector<std::byte> image = snap.finish();
   const auto bytes = static_cast<std::uint64_t>(image.size());
   const std::uint32_t crc =
       ckpt::crc32(std::span<const std::byte>(image.data(), image.size()));
   set_.ckpt_vault->store(ep.rank(), frame, std::move(image));
+  metrics_.on_snapshot(ep.clock().now() - capture_start,
+                       static_cast<std::size_t>(bytes));
   // Digest to the manager: the coordinator seals the frame's manifest only
   // once every participant's image is accounted for.
   mp::Writer w;
@@ -299,11 +325,15 @@ void Calculator::restore(mp::Endpoint& ep, std::uint32_t f0) {
     auto r = snap.section(ckpt::SectionId::kTelemetry);
     tel_ = ckpt::decode_telemetry(r);
   }
-  refresh_membership(f0 + 1);
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), f0,
-                        "recovery: restored checkpoint");
+  if (set_.obs.trace && snap.has(ckpt::SectionId::kFlightRecorder)) {
+    auto r = snap.section(ckpt::SectionId::kFlightRecorder);
+    const auto recovered =
+        ckpt::decode_flight_ring(r, set_.obs.trace->labels());
+    set_.obs.trace->rank(ep.rank()).emit_recovered(recovered);
   }
+  refresh_membership(f0 + 1);
+  metrics_.on_restore();
+  tr_.instant(ep.clock(), f0, "recovery: restored checkpoint");
 }
 
 void Calculator::drain_stale_acks(mp::Endpoint& ep, std::uint32_t frame) {

@@ -13,6 +13,7 @@
 #include "core/wire.hpp"
 #include "math/rng.hpp"
 #include "mp/communicator.hpp"
+#include "obs/role_tracer.hpp"
 #include "psys/store.hpp"
 #include "render/camera.hpp"
 #include "render/framebuffer.hpp"
@@ -108,6 +109,9 @@ class Calculator {
   /// after every rollback/resume. The window-2 ack for frame f is consumed
   /// iff f - epoch_start_ >= 2.
   std::uint32_t epoch_start_ = 0;
+  /// Observability: span/EventLog fan-out and this rank's metric updates.
+  obs::RoleTracer tr_;
+  obs::CalcMetrics metrics_;
 };
 
 }  // namespace psanim::core

@@ -1,5 +1,6 @@
 #include "core/frame_loop.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 
@@ -51,6 +52,28 @@ void SimSettings::validate() const {
       fail("resume_from frame " + std::to_string(*resume_from) +
            " is not a snapshot frame for interval " +
            std::to_string(ckpt.interval));
+    }
+  }
+  if (obs.flight_recorder) {
+    if (obs.flight_capacity == 0) {
+      fail("obs.flight_recorder with obs.flight_capacity == 0 records "
+           "nothing — set a positive ring capacity or disable the recorder");
+    }
+    if (!obs.tracing()) {
+      fail("obs.flight_recorder needs tracing on — supply obs.trace or set "
+           "obs.trace_json_path");
+    }
+  }
+  if (!obs.trace_json_path.empty()) {
+    const std::filesystem::path p(obs.trace_json_path);
+    if (std::filesystem::is_directory(p)) {
+      fail("obs.trace_json_path '" + obs.trace_json_path +
+           "' is a directory — give a file path for the Chrome trace JSON");
+    }
+    const std::filesystem::path dir = p.parent_path();
+    if (!dir.empty() && !std::filesystem::is_directory(dir)) {
+      fail("obs.trace_json_path parent directory '" + dir.string() +
+           "' does not exist — create it before the run");
     }
   }
 }

@@ -25,6 +25,11 @@ namespace psanim::ckpt {
 class Vault;
 }
 
+namespace psanim::obs {
+class MetricsRegistry;
+class Trace;
+}  // namespace psanim::obs
+
 namespace psanim::core {
 
 /// IS / FS in the paper's tables: how the initial domain split covers
@@ -51,6 +56,22 @@ std::string to_string(SpaceMode m);
 std::string to_string(LbMode m);
 std::string to_string(ImageGenMode m);
 std::string to_string(SystemCombine c);
+
+/// Observability knobs (psanim::obs). Tracing is on when either `trace`
+/// is supplied (caller keeps the trace for queries; must outlive the run)
+/// or `trace_json_path` is set (run_parallel owns an internal trace and
+/// writes the Chrome JSON at run end — the own_vault pattern).
+struct ObsSettings {
+  obs::Trace* trace = nullptr;
+  /// Export the run's Chrome trace-event JSON here ("" = don't write).
+  std::string trace_json_path;
+  /// Capture a bounded ring of recent records into every checkpoint and
+  /// re-emit it on restore (needs tracing on and a checkpoint policy).
+  bool flight_recorder = false;
+  std::size_t flight_capacity = 256;
+
+  bool tracing() const { return trace != nullptr || !trace_json_path.empty(); }
+};
 
 /// The scene: the systems of Algorithm 1 plus the space they play in.
 /// Systems are identified by their index in `systems` (§3.1.3). Immutable
@@ -109,6 +130,8 @@ struct SimSettings {
   /// sealed checkpoint at `resume_from` in `ckpt_vault` instead — the
   /// Replayer's entry point.
   std::optional<std::uint32_t> resume_from;
+  /// Observability: span tracing, metrics, flight recorder (psanim::obs).
+  ObsSettings obs;
 
   /// Reject nonsensical settings (non-positive frame counts, negative
   /// timeouts or checkpoint intervals, ...) with actionable messages.
@@ -130,6 +153,9 @@ std::pair<float, float> initial_interval(const SimSettings& s,
 struct RoleEnv {
   const cluster::CostModel* cost = nullptr;
   double rate = 1.0;  ///< this rank's effective compute rate
+  /// This rank's metrics registry (null = metrics off). Owner-thread
+  /// mutation only, like every per-rank obs buffer.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace psanim::core

@@ -6,6 +6,7 @@
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_codec.hpp"
 #include "ckpt/vault.hpp"
+#include "obs/trace.hpp"
 #include "render/image_io.hpp"
 #include "render/objects.hpp"
 #include "render/splat.hpp"
@@ -21,7 +22,9 @@ ImageGenerator::ImageGenerator(const SimSettings& settings, const Scene& scene,
                                    settings.image_width,
                                    settings.image_height)),
       fb_(settings.image_width, settings.image_height),
-      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {}
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0),
+      tr_(settings.obs.trace, settings.events, kImageGenRank),
+      metrics_{env.metrics} {}
 
 void ImageGenerator::render_externals(mp::Endpoint& ep) {
   // §3.2.4: rendering external objects is the image generator's job.
@@ -64,12 +67,14 @@ void ImageGenerator::run(mp::Endpoint& ep) {
     const std::vector<int> alive =
         ckpt::alive_for_exec(set_.fault_plan, set_.ckpt, frame, set_.ncalc);
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
+    auto frame_span = tr_.phase(ep.clock(), frame, "frame");
     fb_.clear({0.02f, 0.02f, 0.03f});
     render_externals(ep);
 
     trace::ImageFrameStats is;
     is.frame = frame;
     const double t0 = ep.clock().now();
+    auto render_span = tr_.phase(ep.clock(), frame, "render");
 
     if (set_.imgen == ImageGenMode::kGatherParticles) {
       for (const int c : alive) {
@@ -103,24 +108,27 @@ void ImageGenerator::run(mp::Endpoint& ep) {
       }
     }
 
+    render_span.close();
     is.render_s = ep.clock().now() - t0;
     is.frame_complete_time = ep.clock().now();
-    if (set_.events) {
-      set_.events->record(ep.clock().now(), ep.rank(), frame,
-                          "image generator: image generation complete");
-    }
+    tr_.instant(ep.clock(), frame,
+                "image generator: image generation complete");
     tel_.add_image(is);
+    metrics_.on_frame(is);
     write_frame_if_due(frame);
 
     // Release the calculators' next frame sends (rendezvous completion).
     if (frame + 1 < set_.frames) {
+      auto ph = tr_.phase(ep.clock(), frame, "frame-barrier");
       for (const int c : alive) {
         ep.send_empty(calc_rank(c), kTagFrameAck);
       }
     }
     if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
+      auto ph = tr_.phase(ep.clock(), frame, "snapshot");
       capture(ep, frame);
     }
+    frame_span.close();
     ++frame;
   }
 }
@@ -143,6 +151,7 @@ bool ImageGenerator::handle_crashes(mp::Endpoint& ep, std::uint32_t& frame) {
 }
 
 void ImageGenerator::capture(mp::Endpoint& ep, std::uint32_t frame) {
+  const double capture_start = ep.clock().now();
   ckpt::SnapshotWriter snap(ckpt::Role::kImageGen, ep.rank(), frame,
                             set_.seed);
   {
@@ -154,7 +163,13 @@ void ImageGenerator::capture(mp::Endpoint& ep, std::uint32_t frame) {
     auto& w = snap.begin_section(ckpt::SectionId::kClock);
     w.put(ep.clock().now());
   }
+  if (set_.obs.flight_recorder && set_.obs.trace) {
+    auto& w = snap.begin_section(ckpt::SectionId::kFlightRecorder);
+    ckpt::encode_flight_ring(w, set_.obs.trace->rank(ep.rank()),
+                             set_.obs.trace->labels());
+  }
   std::vector<std::byte> image = snap.finish();
+  metrics_.on_snapshot(ep.clock().now() - capture_start, image.size());
   const auto bytes = static_cast<std::uint64_t>(image.size());
   const std::uint32_t crc =
       ckpt::crc32(std::span<const std::byte>(image.data(), image.size()));
@@ -186,10 +201,14 @@ void ImageGenerator::restore(mp::Endpoint& ep, std::uint32_t f0) {
     auto r = snap.section(ckpt::SectionId::kTelemetry);
     tel_ = ckpt::decode_telemetry(r);
   }
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), f0,
-                        "recovery: restored checkpoint");
+  if (set_.obs.trace && snap.has(ckpt::SectionId::kFlightRecorder)) {
+    auto r = snap.section(ckpt::SectionId::kFlightRecorder);
+    const auto recovered =
+        ckpt::decode_flight_ring(r, set_.obs.trace->labels());
+    set_.obs.trace->rank(ep.rank()).emit_recovered(recovered);
   }
+  metrics_.on_restore();
+  tr_.instant(ep.clock(), f0, "recovery: restored checkpoint");
 }
 
 }  // namespace psanim::core

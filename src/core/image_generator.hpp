@@ -12,6 +12,7 @@
 #include "core/frame_loop.hpp"
 #include "core/wire.hpp"
 #include "mp/communicator.hpp"
+#include "obs/role_tracer.hpp"
 #include "render/camera.hpp"
 #include "render/framebuffer.hpp"
 #include "trace/telemetry.hpp"
@@ -52,6 +53,9 @@ class ImageGenerator {
   /// Crashes already handled (by calculator index) — replayed frames must
   /// not re-trigger a rollback.
   std::vector<char> crash_done_;
+  /// Observability: span/EventLog fan-out and this rank's metric updates.
+  obs::RoleTracer tr_;
+  obs::ImageGenMetrics metrics_;
 };
 
 }  // namespace psanim::core

@@ -7,7 +7,9 @@
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_codec.hpp"
 #include "ckpt/vault.hpp"
+#include "lb/metrics.hpp"
 #include "math/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace psanim::core {
 
@@ -19,7 +21,9 @@ Manager::Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
       calc_powers_(std::move(calc_powers)),
       base_rng_(settings.seed),
       alive_(static_cast<std::size_t>(settings.ncalc), 1),
-      crash_done_(static_cast<std::size_t>(settings.ncalc), 0) {
+      crash_done_(static_cast<std::size_t>(settings.ncalc), 0),
+      tr_(settings.obs.trace, settings.events, kManagerRank),
+      metrics_{env.metrics} {
   alive_list_.reserve(static_cast<std::size_t>(settings.ncalc));
   for (int c = 0; c < settings.ncalc; ++c) alive_list_.push_back(c);
   const auto [lo, hi] = initial_interval(set_, scene_);
@@ -32,10 +36,10 @@ Manager::Manager(const SimSettings& settings, const Scene& scene, RoleEnv env,
 }
 
 void Manager::run(mp::Endpoint& ep) {
+  // Both sinks at once: the span stream and the legacy EventLog labels
+  // (verbatim — tests pin the historical label sequence).
   auto note = [&](std::uint32_t frame, const char* label) {
-    if (set_.events) {
-      set_.events->record(ep.clock().now(), ep.rank(), frame, label);
-    }
+    tr_.instant(ep.clock(), frame, label);
   };
   std::uint32_t frame = 0;
   if (set_.resume_from) {
@@ -53,15 +57,26 @@ void Manager::run(mp::Endpoint& ep) {
     ep.set_trace_frame(frame);
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
     if (handle_crashes(ep, frame)) continue;  // rolled back; frame rewound
+    auto frame_span = tr_.phase(ep.clock(), frame, "frame");
     note(frame, "manager: particle creation");
-    create_and_scatter(ep, frame);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "create");
+      create_and_scatter(ep, frame);
+    }
     note(frame, "manager: creation scattered");
-    balance(ep, frame);
+    {
+      auto ph = tr_.phase(ep.clock(), frame, "balance");
+      balance(ep, frame);
+    }
     note(frame, "manager: new dimensions broadcast");
     if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
-      checkpoint_phase(ep, frame);
+      {
+        auto ph = tr_.phase(ep.clock(), frame, "snapshot");
+        checkpoint_phase(ep, frame);
+      }
       note(frame, "checkpoint: manifest sealed");
     }
+    frame_span.close();
     ++frame;
   }
 }
@@ -90,12 +105,9 @@ bool Manager::handle_crashes(mp::Endpoint& ep, std::uint32_t& frame) {
       mp::Reader r(ob);
       check_control_header(r, "manager liveness check");
       check_frame(r.get<std::uint32_t>(), frame, "manager liveness check");
-      if (set_.events) {
-        set_.events->record(ep.clock().now(), ep.rank(), frame,
-                            "recovery: restarting calculator " +
-                                std::to_string(c) + " from checkpoint frame " +
-                                std::to_string(f0));
-      }
+      tr_.instant(ep.clock(), frame,
+                  "recovery: restarting calculator " + std::to_string(c) +
+                      " from checkpoint frame " + std::to_string(f0));
     }
     restore(ep, f0);
     frame = f0 + 1;
@@ -120,22 +132,16 @@ void Manager::merge_crashed(mp::Endpoint& ep, std::uint32_t frame,
     mp::Reader r(ob);
     check_control_header(r, "manager liveness check");
     check_frame(r.get<std::uint32_t>(), frame, "manager liveness check");
-    if (set_.events) {
-      set_.events->record(ep.clock().now(), ep.rank(), frame,
-                          "recovery: calculator " + std::to_string(c) +
-                              " lost");
-    }
+    tr_.instant(ep.clock(), frame,
+                "recovery: calculator " + std::to_string(c) + " lost");
     const int into = fault::merge_target(alive_, c);
     if (into < 0) {
       throw ProtocolError("manager: no surviving calculator to inherit");
     }
     for (auto& d : decomps_) d.merge_domain(c, into);
-    if (set_.events) {
-      set_.events->record(ep.clock().now(), ep.rank(), frame,
-                          "recovery: domain of calculator " +
-                              std::to_string(c) + " merged into " +
-                              std::to_string(into));
-    }
+    tr_.instant(ep.clock(), frame,
+                "recovery: domain of calculator " + std::to_string(c) +
+                    " merged into " + std::to_string(into));
   }
   alive_list_.clear();
   for (int c = 0; c < set_.ncalc; ++c) {
@@ -144,6 +150,7 @@ void Manager::merge_crashed(mp::Endpoint& ep, std::uint32_t frame,
 }
 
 void Manager::checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame) {
+  const double capture_start = ep.clock().now();
   ckpt::SnapshotWriter snap(ckpt::Role::kManager, ep.rank(), frame,
                             set_.seed);
   {
@@ -165,7 +172,13 @@ void Manager::checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame) {
     auto& w = snap.begin_section(ckpt::SectionId::kClock);
     w.put(ep.clock().now());
   }
+  if (set_.obs.flight_recorder && set_.obs.trace) {
+    auto& w = snap.begin_section(ckpt::SectionId::kFlightRecorder);
+    ckpt::encode_flight_ring(w, set_.obs.trace->rank(ep.rank()),
+                             set_.obs.trace->labels());
+  }
   std::vector<std::byte> image = snap.finish();
+  metrics_.on_snapshot(ep.clock().now() - capture_start, image.size());
   ckpt::Manifest man;
   man.frame = frame;
   man.entries.push_back(ckpt::ManifestEntry{
@@ -198,6 +211,9 @@ void Manager::checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame) {
   collect(kImageGenRank);
   for (const int c : alive_list_) collect(calc_rank(c));
   set_.ckpt_vault->seal(std::move(man));
+  if (metrics_.reg) {
+    metrics_.reg->counter("psanim_ckpt_manifests_sealed_total").inc();
+  }
 }
 
 void Manager::restore(mp::Endpoint& ep, std::uint32_t f0) {
@@ -234,11 +250,15 @@ void Manager::restore(mp::Endpoint& ep, std::uint32_t f0) {
     auto r = snap.section(ckpt::SectionId::kTelemetry);
     tel_ = ckpt::decode_telemetry(r);
   }
-  refresh_membership(f0 + 1);
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), f0,
-                        "recovery: restored checkpoint");
+  if (set_.obs.trace && snap.has(ckpt::SectionId::kFlightRecorder)) {
+    auto r = snap.section(ckpt::SectionId::kFlightRecorder);
+    const auto recovered =
+        ckpt::decode_flight_ring(r, set_.obs.trace->labels());
+    set_.obs.trace->rank(ep.rank()).emit_recovered(recovered);
   }
+  refresh_membership(f0 + 1);
+  metrics_.on_restore();
+  tr_.instant(ep.clock(), f0, "recovery: restored checkpoint");
 }
 
 void Manager::refresh_membership(std::uint32_t frame) {
@@ -307,10 +327,7 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
         decode_load_report(recv_p(ep, calc_rank(c), kTagLoadReport), frame);
   }
 
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), frame,
-                        "manager: load information received");
-  }
+  tr_.instant(ep.clock(), frame, "manager: load information received");
   trace::ManagerFrameStats mstats;
   mstats.frame = frame;
 
@@ -341,6 +358,7 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
         static_cast<std::size_t>(std::max(0, nalive - 1));
 
     const auto orders = policies_[s]->evaluate(loads);
+    lb::observe_balance(env_.metrics, loads, orders);
     for (const auto& o : orders) {
       orders_out[static_cast<std::size_t>(o.calc)].push_back(OrderEntry{
           .system = static_cast<std::uint32_t>(s),
@@ -370,10 +388,7 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
     mstats.imbalance = load_imbalance(alive_times);
   }
 
-  if (set_.events) {
-    set_.events->record(ep.clock().now(), ep.rank(), frame,
-                        "manager: load balancing evaluated");
-  }
+  tr_.instant(ep.clock(), frame, "manager: load balancing evaluated");
   // Send orders (possibly empty) to every live calculator — the
   // synchronization point §3.2 requires even when nothing moves.
   for (const int c : alive_list_) {
@@ -397,6 +412,7 @@ void Manager::balance(mp::Endpoint& ep, std::uint32_t frame) {
   }
 
   tel_.add_manager(mstats);
+  metrics_.on_frame(mstats);
 }
 
 }  // namespace psanim::core

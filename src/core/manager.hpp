@@ -12,6 +12,7 @@
 #include "core/wire.hpp"
 #include "math/rng.hpp"
 #include "mp/communicator.hpp"
+#include "obs/role_tracer.hpp"
 #include "trace/telemetry.hpp"
 
 namespace psanim::core {
@@ -67,6 +68,9 @@ class Manager {
   /// Crashes already handled (by calculator index) — replayed frames must
   /// not re-consume an obituary or re-run a recovery.
   std::vector<char> crash_done_;
+  /// Observability: span/EventLog fan-out and this rank's metric updates.
+  obs::RoleTracer tr_;
+  obs::ManagerMetrics metrics_;
 };
 
 }  // namespace psanim::core

@@ -8,11 +8,58 @@
 #include "core/calculator.hpp"
 #include "core/image_generator.hpp"
 #include "core/manager.hpp"
+#include "obs/trace.hpp"
 #include "psys/store.hpp"
 #include "render/objects.hpp"
 #include "render/splat.hpp"
 
 namespace psanim::core {
+
+namespace {
+
+/// Register the human names the obs trace shows for ranks and message
+/// tags (Perfetto process names, flow-arrow labels). Must run before the
+/// role threads start — both ends of a flow read the tag table.
+void name_trace(obs::Trace& trace, const SimSettings& s) {
+  trace.set_rank_name(kManagerRank, "manager");
+  trace.set_rank_name(kImageGenRank, "image generator");
+  for (int c = 0; c < s.ncalc; ++c) {
+    trace.set_rank_name(calc_rank(c), "calc " + std::to_string(c));
+  }
+  trace.name_tag(kTagCreate, "create");
+  trace.name_tag(kTagExchange, "exchange");
+  trace.name_tag(kTagLoadReport, "load-report");
+  trace.name_tag(kTagOrders, "orders");
+  trace.name_tag(kTagEdgeProposal, "edge-proposal");
+  trace.name_tag(kTagDomains, "domains");
+  trace.name_tag(kTagBalance, "balance");
+  trace.name_tag(kTagFrame, "frame");
+  trace.name_tag(kTagFramePart, "frame-part");
+  trace.name_tag(kTagGhost, "ghost");
+  trace.name_tag(kTagFrameAck, "frame-ack");
+  trace.name_tag(kTagCrash, "crash");
+  trace.name_tag(kTagCkptDigest, "ckpt-digest");
+}
+
+/// Fold the injector's tally into the merged registry so one metrics dump
+/// covers protocol, checkpointing and the fault layer alike.
+void fault_metrics(obs::MetricsRegistry& reg, const fault::FaultStats& fs) {
+  reg.counter("psanim_fault_drops_total").add(static_cast<double>(fs.drops));
+  reg.counter("psanim_fault_duplicates_total")
+      .add(static_cast<double>(fs.duplicates));
+  reg.counter("psanim_fault_delay_spikes_total")
+      .add(static_cast<double>(fs.delay_spikes));
+  reg.counter("psanim_fault_degraded_msgs_total")
+      .add(static_cast<double>(fs.degraded_msgs));
+  reg.counter("psanim_fault_injected_delay_seconds_total")
+      .add(fs.injected_delay_s);
+  reg.counter("psanim_fault_restart_recoveries_total")
+      .add(static_cast<double>(fs.restart_recoveries));
+  reg.counter("psanim_fault_merge_recoveries_total")
+      .add(static_cast<double>(fs.merge_recoveries));
+}
+
+}  // namespace
 
 ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
                             const cluster::ClusterSpec& spec,
@@ -63,6 +110,22 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
     rt_options.fault = injector.get();
   }
 
+  // Observability: the caller's trace, or (own_vault pattern) a private
+  // one when only a JSON export path was requested.
+  std::unique_ptr<obs::Trace> own_trace;
+  obs::Trace* trace = eff.obs.trace;
+  if (trace == nullptr && !eff.obs.trace_json_path.empty()) {
+    own_trace = std::make_unique<obs::Trace>();
+    trace = own_trace.get();
+    eff.obs.trace = trace;
+  }
+  if (trace != nullptr) {
+    trace->begin_run(world,
+                     eff.obs.flight_recorder ? eff.obs.flight_capacity : 0);
+    name_trace(*trace, eff);
+    rt_options.trace = trace;
+  }
+
   mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
                       rt_options);
 
@@ -74,7 +137,8 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
       static_cast<std::size_t>(world));
 
   const auto procs = runtime.run([&](mp::Endpoint& ep) {
-    const RoleEnv env{&cost, rates.at(static_cast<std::size_t>(ep.rank()))};
+    const RoleEnv env{&cost, rates.at(static_cast<std::size_t>(ep.rank())),
+                      trace ? &trace->metrics(ep.rank()) : nullptr};
     if (ep.rank() == kManagerRank) {
       Manager m(eff, scene, env, calc_powers);
       m.run(ep);
@@ -123,6 +187,13 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
       result.final_particles[s].insert(result.final_particles[s].end(),
                                        per_rank[s].begin(),
                                        per_rank[s].end());
+    }
+  }
+  if (trace != nullptr) {
+    result.metrics = trace->merged_metrics();
+    fault_metrics(result.metrics, result.fault_stats);
+    if (!eff.obs.trace_json_path.empty()) {
+      trace->write_chrome_json(eff.obs.trace_json_path);
     }
   }
   return result;

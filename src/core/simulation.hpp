@@ -11,6 +11,7 @@
 #include "core/frame_loop.hpp"
 #include "fault/injector.hpp"
 #include "mp/runtime.hpp"
+#include "obs/metrics.hpp"
 #include "render/framebuffer.hpp"
 #include "trace/telemetry.hpp"
 
@@ -29,6 +30,8 @@ struct ParallelResult {
   std::vector<std::vector<psys::Particle>> final_particles;
   /// What the fault injector actually did (zeros when no plan was set).
   fault::FaultStats fault_stats;
+  /// All ranks' metric registries merged (empty unless obs tracing was on).
+  obs::MetricsRegistry metrics;
 };
 
 /// Run `settings.frames` frames of `scene` on the emulated cluster.

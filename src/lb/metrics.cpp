@@ -95,4 +95,24 @@ std::string validate_orders(std::span<const CalcLoad> loads,
   return {};
 }
 
+void observe_balance(obs::MetricsRegistry* reg,
+                     std::span<const CalcLoad> loads,
+                     std::span<const BalanceOrder> orders) {
+  if (!reg) return;
+  // Each logical move is one send order paired with one receive order;
+  // counting sends matches ManagerFrameStats::balance_orders exactly.
+  std::uint64_t sends = 0;
+  std::uint64_t particles = 0;
+  for (const auto& o : orders) {
+    if (o.op != BalanceOp::kSend) continue;
+    ++sends;
+    particles += o.count;
+  }
+  reg->counter("psanim_lb_orders_total").add(static_cast<double>(sends));
+  reg->counter("psanim_lb_particles_ordered_total")
+      .add(static_cast<double>(particles));
+  reg->histogram("psanim_lb_imbalance", {1.0, 1.1, 1.25, 1.5, 2.0, 4.0})
+      .observe(time_imbalance(loads));
+}
+
 }  // namespace psanim::lb

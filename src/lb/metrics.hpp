@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lb/load_balancer.hpp"
+#include "obs/metrics.hpp"
 
 namespace psanim::lb {
 
@@ -27,5 +28,13 @@ std::vector<CalcLoad> apply_orders(std::span<const CalcLoad> loads,
 std::string validate_orders(std::span<const CalcLoad> loads,
                             std::span<const BalanceOrder> orders,
                             bool allow_send_and_receive = false);
+
+/// Publish one evaluation's balancing activity into `reg` (no-op when
+/// null): order and particle totals plus the reported-time imbalance
+/// distribution. This is the single source of the lb_* aggregates, so the
+/// metrics dump matches Telemetry's balance counts by construction.
+void observe_balance(obs::MetricsRegistry* reg,
+                     std::span<const CalcLoad> loads,
+                     std::span<const BalanceOrder> orders);
 
 }  // namespace psanim::lb

@@ -4,6 +4,7 @@
 
 #include "mp/fault_hook.hpp"
 #include "mp/runtime.hpp"
+#include "mp/trace_hook.hpp"
 
 namespace psanim::mp {
 
@@ -47,6 +48,13 @@ void Endpoint::send(int dst, int tag, std::vector<std::byte> payload) {
   traffic_.msgs_sent += 1;
   traffic_.bytes_sent += m.wire_bytes();
 
+  if (TraceHook* hook = rt_.options().trace) {
+    // Once per logical message — a fault-injected duplicate copy is a
+    // transport artifact, not a second protocol send.
+    hook->on_send(rank_, dst, tag, m.seq, m.wire_bytes(), m.depart_time,
+                  m.arrive_time, trace_frame_);
+  }
+
   if (faults.duplicate) {
     // The copy trails the original on the same ordered pair, so it keeps
     // the non-overtaking invariant and the receive path can discard it
@@ -83,6 +91,10 @@ Message Endpoint::recv_within(int src, int tag, double timeout_s) {
     }
     traffic_.msgs_recv += 1;
     traffic_.bytes_recv += m.wire_bytes();
+    if (TraceHook* hook = rt_.options().trace) {
+      hook->on_recv(rank_, m.src, m.tag, m.seq, m.wire_bytes(),
+                    m.arrive_time, trace_frame_);
+    }
     return m;
   }
 }

@@ -29,6 +29,7 @@ struct ProcessResult {
 };
 
 class FaultHook;
+class TraceHook;
 
 struct RuntimeOptions {
   /// Wall-clock receive timeout; protocol deadlocks fail loudly instead of
@@ -37,6 +38,9 @@ struct RuntimeOptions {
   /// Optional delivery/compute fault hook (not owned; must outlive the
   /// runtime). Null means a perfectly reliable cluster.
   FaultHook* fault = nullptr;
+  /// Optional message-trace hook (not owned; must outlive the runtime).
+  /// Null means no per-message observability.
+  TraceHook* trace = nullptr;
 };
 
 class Runtime {

@@ -1,0 +1,41 @@
+#pragma once
+
+// Message-trace hook: the seam through which the observability subsystem
+// watches the message-passing substrate without the substrate knowing about
+// traces (same pattern as FaultHook). The runtime notifies an optional hook
+// once per logical send (after the arrival stamp is final — retransmissions
+// and fault delays already folded in) and once per consumed message on the
+// receive side; flagged duplicate copies are invisible to the hook, so every
+// reported recv pairs with exactly one reported send via the sequence id.
+//
+// Determinism contract: implementations mutate only state owned by the
+// calling rank's thread (send events fire on the sender, recv events on the
+// receiver).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psanim::mp {
+
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  /// A logical message departed `src` for `dst`. `seq` is the runtime-wide
+  /// message sequence id (the flow pairing key), `depart_s`/`arrive_s` its
+  /// final virtual timestamps, `frame` the sender's current trace frame.
+  virtual void on_send(int src, int dst, int tag, std::uint64_t seq,
+                       std::size_t wire_bytes, double depart_s,
+                       double arrive_s, std::uint32_t frame) = 0;
+
+  /// `rank` consumed a (non-duplicate) message from `src`. Everything
+  /// passed here is virtual-time state — mailbox depth at pop time is
+  /// deliberately not exposed, because it reflects how far ahead other OS
+  /// threads happen to have run and would leak host-schedule nondeterminism
+  /// into otherwise reproducible traces.
+  virtual void on_recv(int rank, int src, int tag, std::uint64_t seq,
+                       std::size_t wire_bytes, double arrive_s,
+                       std::uint32_t frame) = 0;
+};
+
+}  // namespace psanim::mp

@@ -1,0 +1,72 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace psanim::obs {
+
+void encode_ring(mp::Writer& w, const RankRecorder& rec,
+                 const LabelTable& labels) {
+  const std::vector<SpanRecord> ring = rec.ring_snapshot();
+
+  // Local string table in first-appearance order: global ids are schedule
+  // dependent, remapped ids are a pure function of the ring contents.
+  std::map<std::uint32_t, std::uint32_t> local;
+  std::vector<std::uint32_t> order;
+  for (const SpanRecord& r : ring) {
+    if (local.emplace(r.label, static_cast<std::uint32_t>(order.size()))
+            .second) {
+      order.push_back(r.label);
+    }
+  }
+  w.put<std::uint64_t>(order.size());
+  for (const std::uint32_t id : order) {
+    const std::string name = labels.name(id);
+    w.put_span(std::span<const char>(name.data(), name.size()));
+  }
+  w.put<std::uint64_t>(ring.size());
+  for (const SpanRecord& r : ring) {
+    w.put(r.id);
+    w.put(r.parent);
+    w.put(r.flow);
+    w.put(r.begin_v);
+    w.put(r.end_v);
+    w.put(r.frame);
+    w.put(local.at(r.label));
+    w.put(r.rank);
+    w.put(static_cast<std::uint8_t>(r.kind));
+    w.put(r.replayed);
+  }
+}
+
+std::vector<SpanRecord> decode_ring(mp::Reader& r, LabelTable& labels) {
+  const auto nlabels = r.get<std::uint64_t>();
+  std::vector<std::uint32_t> live_ids;
+  live_ids.reserve(static_cast<std::size_t>(nlabels));
+  for (std::uint64_t i = 0; i < nlabels; ++i) {
+    const std::vector<char> chars = r.get_vector<char>();
+    live_ids.push_back(
+        labels.intern(std::string_view(chars.data(), chars.size())));
+  }
+  const auto n = r.get<std::uint64_t>();
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SpanRecord rec;
+    rec.id = r.get<std::uint64_t>();
+    rec.parent = r.get<std::uint64_t>();
+    rec.flow = r.get<std::uint64_t>();
+    rec.begin_v = r.get<double>();
+    rec.end_v = r.get<double>();
+    rec.frame = r.get<std::uint32_t>();
+    rec.label = live_ids.at(r.get<std::uint32_t>());
+    rec.rank = r.get<std::int32_t>();
+    rec.kind = static_cast<RecordKind>(r.get<std::uint8_t>());
+    rec.replayed = r.get<std::uint8_t>();
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace psanim::obs

@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace psanim::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument(
+          "Histogram: upper bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge: bucket bounds differ between registries");
+  }
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::counter_value(std::string_view name) const {
+  const Counter* c = find_counter(name);
+  return c ? c->value() : 0.0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Gauge* g = find_gauge(name);
+  return g ? g->value() : 0.0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set_max(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.upper_bounds()).merge(h);
+  }
+}
+
+std::string format_metric_value(double v) {
+  char buf[64];
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+/// le-label for a bucket bound ("+Inf" for the overflow bucket).
+std::string le_label(double bound, bool inf) {
+  return inf ? std::string("+Inf") : format_metric_value(bound);
+}
+
+}  // namespace
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& [name, c] : counters_) out.push_back({name, c.value()});
+  for (const auto& [name, g] : gauges_) out.push_back({name, g.value()});
+  for (const auto& [name, h] : histograms_) {
+    std::uint64_t cum = 0;
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      const bool inf = i == bounds.size();
+      out.push_back({name + "_bucket{le=\"" +
+                         le_label(inf ? 0.0 : bounds[i], inf) + "\"}",
+                     static_cast<double>(cum)});
+    }
+    out.push_back({name + "_sum", h.sum()});
+    out.push_back({name + "_count", static_cast<double>(h.count())});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + format_metric_value(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_metric_value(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cum = 0;
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      const bool inf = i == bounds.size();
+      out += name + "_bucket{le=\"" + le_label(inf ? 0.0 : bounds[i], inf) +
+             "\"} " + format_metric_value(static_cast<double>(cum)) + "\n";
+    }
+    out += name + "_sum " + format_metric_value(h.sum()) + "\n";
+    out += name + "_count " +
+           format_metric_value(static_cast<double>(h.count())) + "\n";
+  }
+  return out;
+}
+
+}  // namespace psanim::obs

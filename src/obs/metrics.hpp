@@ -1,0 +1,122 @@
+#pragma once
+
+// psanim::obs metrics registry.
+//
+// Named counters, gauges, and fixed-bucket histograms. Each rank owns one
+// registry (owner-thread mutation contract, like RankRecorder); the manager
+// merges all per-rank registries into one at run end, so the instruments
+// themselves need no locks. Dumpable as Prometheus text exposition and as
+// trace::csv-style tables (sim/report.hpp).
+//
+// Merge semantics: counters and histograms add; gauges keep the max (a gauge
+// here records a per-rank level — queue depth high-water, ring occupancy —
+// and "worst across ranks" is the aggregate a run report wants).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psanim::obs {
+
+class Counter {
+ public:
+  void add(double v) { value_ += v; }
+  void inc() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Keep the high-water mark.
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed upper-bound buckets plus an implicit +Inf bucket, cumulative on
+/// export (Prometheus `le` convention).
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size == upper_bounds().size() + 1,
+  /// last entry is the +Inf bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Bucket-wise add; throws std::invalid_argument on bound mismatch.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;           // strictly increasing upper bounds
+  std::vector<std::uint64_t> counts_;    // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One flattened sample for csv/report output. Histograms flatten to
+/// cumulative `name_bucket{le="..."}` rows plus `name_sum` / `name_count`.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (std::map nodes are stable).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  double counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  /// Fold `other` into this registry (counter/histogram add, gauge max).
+  void merge(const MetricsRegistry& other);
+
+  /// All metrics flattened to (name, value) rows — counters, gauges, then
+  /// histogram groups, each name-sorted; bucket rows stay in le order
+  /// (the same row order as the Prometheus text).
+  std::vector<MetricSample> samples() const;
+
+  /// Prometheus text exposition (deterministic: name order, fixed number
+  /// formatting).
+  std::string prometheus() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Format a metric value the way both the Prometheus dump and the csv dump
+/// do: integral values without a decimal point, others with enough digits
+/// to round-trip comparisons in tests.
+std::string format_metric_value(double v);
+
+}  // namespace psanim::obs

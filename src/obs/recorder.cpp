@@ -1,0 +1,133 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+
+#include "obs/span.hpp"
+
+namespace psanim::obs {
+
+std::uint32_t LabelTable::intern(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  names_.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(names_.size() - 1);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::string LabelTable::name(std::uint32_t id) const {
+  const std::scoped_lock lock(mu_);
+  if (id >= names_.size()) return "?";
+  return names_[id];
+}
+
+std::size_t LabelTable::size() const {
+  const std::scoped_lock lock(mu_);
+  return names_.size();
+}
+
+std::uint64_t RankRecorder::open_span(std::uint32_t label, std::uint32_t frame,
+                                      double t) {
+  if (records_.empty()) records_.reserve(1024);
+  SpanRecord r;
+  r.id = next_id_++;
+  r.parent = open_.empty() ? 0 : records_[open_.back()].id;
+  r.begin_v = r.end_v = t;
+  r.frame = frame;
+  r.label = label;
+  r.rank = rank_;
+  r.kind = RecordKind::kSpan;
+  open_.push_back(records_.size());
+  records_.push_back(r);
+  return r.id;
+}
+
+void RankRecorder::close_span(double t) {
+  if (open_.empty()) return;  // tolerated: a stray close is not worth a crash
+  SpanRecord& r = records_[open_.back()];
+  open_.pop_back();
+  if (t > r.end_v) r.end_v = t;
+  finish(r);
+}
+
+void RankRecorder::instant(std::uint32_t label, std::uint32_t frame,
+                           double t) {
+  if (records_.empty()) records_.reserve(1024);
+  SpanRecord r;
+  r.id = next_id_++;
+  r.parent = open_.empty() ? 0 : records_[open_.back()].id;
+  r.begin_v = r.end_v = t;
+  r.frame = frame;
+  r.label = label;
+  r.rank = rank_;
+  r.kind = RecordKind::kInstant;
+  records_.push_back(r);
+  finish(r);
+}
+
+void RankRecorder::flow(RecordKind kind, std::uint64_t flow_id,
+                        std::uint32_t label, std::uint32_t frame, double t) {
+  if (records_.empty()) records_.reserve(1024);
+  SpanRecord r;
+  r.id = next_id_++;
+  r.parent = open_.empty() ? 0 : records_[open_.back()].id;
+  r.flow = flow_id;
+  r.begin_v = r.end_v = t;
+  r.frame = frame;
+  r.label = label;
+  r.rank = rank_;
+  r.kind = kind;
+  records_.push_back(r);
+  finish(r);
+}
+
+void RankRecorder::enable_ring(std::size_t capacity) {
+  ring_cap_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  ring_head_ = 0;
+}
+
+void RankRecorder::finish(const SpanRecord& r) {
+  if (ring_cap_ == 0) return;
+  if (ring_.size() < ring_cap_) {
+    ring_.push_back(r);
+    return;
+  }
+  ring_[ring_head_] = r;
+  ring_head_ = (ring_head_ + 1) % ring_cap_;
+}
+
+std::vector<SpanRecord> RankRecorder::ring_snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  // Completed records enter the ring in close order, which can differ from
+  // begin order for nested spans; present oldest-begin first.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.begin_v != b.begin_v) return a.begin_v < b.begin_v;
+                     return a.id < b.id;
+                   });
+  return out;
+}
+
+std::size_t RankRecorder::emit_recovered(
+    std::span<const SpanRecord> recovered) {
+  std::size_t emitted = 0;
+  for (const SpanRecord& in : recovered) {
+    if (in.id < next_id_) continue;  // already recorded this run
+    SpanRecord r = in;
+    r.rank = rank_;
+    r.replayed = 1;
+    records_.push_back(r);
+    next_id_ = r.id + 1;
+    finish(r);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace psanim::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+// Per-rank record buffer + flight ring.
+//
+// Threading contract (the "lock-free-ish" of the design): every mutating
+// method is called only from the owning rank's thread — the same ownership
+// argument as Runtime::last_arrival and the fault injector's per-pair
+// counters — so the hot append path is a plain vector push with no lock.
+// Cross-thread reads happen only after Runtime::run returns (or from the
+// owning thread itself, e.g. the checkpoint codec).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace psanim::obs {
+
+class RankRecorder {
+ public:
+  RankRecorder() = default;
+  explicit RankRecorder(int rank) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+  /// Open a nested span at virtual time `t`; returns its id. Spans form a
+  /// stack per rank (protocol phases are properly nested).
+  std::uint64_t open_span(std::uint32_t label, std::uint32_t frame, double t);
+
+  /// Close the innermost open span at virtual time `t`.
+  void close_span(double t);
+
+  void instant(std::uint32_t label, std::uint32_t frame, double t);
+
+  /// One end of a message flow; `kind` must be kFlowSend or kFlowRecv.
+  void flow(RecordKind kind, std::uint64_t flow_id, std::uint32_t label,
+            std::uint32_t frame, double t);
+
+  /// Completed records, in begin-time order per rank. Open spans are
+  /// visible with end_v == begin_v until closed.
+  const std::vector<SpanRecord>& records() const { return records_; }
+
+  std::size_t open_depth() const { return open_.size(); }
+  std::uint64_t next_id() const { return next_id_; }
+
+  // --- flight ring -----------------------------------------------------
+  /// Keep the most recent `capacity` *completed* records in a bounded ring
+  /// (0 disables). The ring is what checkpoints capture: enough recent
+  /// history to put the pre-crash timeline into a post-restart trace.
+  void enable_ring(std::size_t capacity);
+  std::size_t ring_capacity() const { return ring_cap_; }
+
+  /// Ring contents, oldest first.
+  std::vector<SpanRecord> ring_snapshot() const;
+
+  /// Re-emit records recovered from a checkpointed ring. Records whose id
+  /// is below next_id() were produced by this very recorder earlier in the
+  /// run (in-run rollback) and are skipped; fresh ids (restart into a new
+  /// run) are appended flagged `replayed` and advance the id counter past
+  /// them. Returns how many records were emitted.
+  std::size_t emit_recovered(std::span<const SpanRecord> recovered);
+
+ private:
+  void finish(const SpanRecord& r);  // ring bookkeeping for completed records
+
+  int rank_ = -1;
+  std::vector<SpanRecord> records_;
+  std::vector<std::size_t> open_;  // indices into records_ of open spans
+  std::uint64_t next_id_ = 1;
+
+  std::vector<SpanRecord> ring_;
+  std::size_t ring_cap_ = 0;
+  std::size_t ring_head_ = 0;  // next slot to overwrite once full
+};
+
+}  // namespace psanim::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+// psanim::obs record model.
+//
+// The observability layer sees a run as a stream of *records* stamped in
+// virtual time: phase spans (begin/end), instant markers, and the two ends
+// of a message flow (send at the source rank, recv at the destination).
+// Records carry interned label ids instead of strings so the hot recording
+// path never allocates; the owning Trace's LabelTable resolves names at
+// query/export time.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace psanim::obs {
+
+enum class RecordKind : std::uint8_t {
+  kSpan = 0,      ///< a phase with virtual begin/end times
+  kInstant = 1,   ///< a point event (begin == end)
+  kFlowSend = 2,  ///< message departed this rank (flow id = message seq)
+  kFlowRecv = 3,  ///< message consumed by this rank
+};
+
+/// One trace record. Trivially copyable so the flight ring can memcpy it;
+/// the label id is only meaningful against the trace that produced it (the
+/// checkpoint codec re-interns labels on decode).
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< per-rank sequence; unique within a rank
+  std::uint64_t parent = 0;  ///< enclosing span id, 0 = top level
+  std::uint64_t flow = 0;    ///< flow pairing key for kFlowSend/kFlowRecv
+  double begin_v = 0.0;      ///< virtual seconds
+  double end_v = 0.0;        ///< == begin_v for instants and flow ends
+  std::uint32_t frame = 0;
+  std::uint32_t label = 0;   ///< LabelTable id
+  std::int32_t rank = -1;
+  RecordKind kind = RecordKind::kInstant;
+  /// Re-emitted from a flight-recorder ring after a restore — the record
+  /// describes work done before the crash, not work of this epoch.
+  std::uint8_t replayed = 0;
+  std::uint16_t reserved = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<SpanRecord>);
+
+/// Thread-safe string interner shared by every rank of one Trace. Interning
+/// happens on role threads (rarely — label sets are small and repeat);
+/// resolution happens post-run.
+class LabelTable {
+ public:
+  /// Id of `name`, interning it on first sight. Ids are dense from 0 in
+  /// interning order (which may vary with thread schedule — resolve to
+  /// strings before comparing traces across runs).
+  std::uint32_t intern(std::string_view name);
+
+  /// Resolve an id; returns "?" for ids this table never produced.
+  std::string name(std::uint32_t id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  // deque: stable addresses for the map keys
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace psanim::obs

@@ -1,0 +1,309 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace psanim::obs {
+
+namespace {
+
+constexpr double kBucketsMsgBytes[] = {64,    256,   1024,  4096,
+                                       16384, 65536, 262144};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Virtual seconds -> trace microseconds, fixed precision for determinism.
+std::string us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+struct Trace::RankState {
+  explicit RankState(int r) : rec(r) {}
+
+  RankRecorder rec;
+  MetricsRegistry metrics;
+
+  // Hot-path handles, resolved once so per-message work is pointer chases.
+  Counter* msgs_sent = nullptr;
+  Counter* bytes_sent = nullptr;
+  Counter* msgs_recv = nullptr;
+  Counter* bytes_recv = nullptr;
+  Histogram* msg_bytes = nullptr;
+
+  void bind_handles() {
+    msgs_sent = &metrics.counter("psanim_mp_msgs_sent_total");
+    bytes_sent = &metrics.counter("psanim_mp_bytes_sent_total");
+    msgs_recv = &metrics.counter("psanim_mp_msgs_recv_total");
+    bytes_recv = &metrics.counter("psanim_mp_bytes_recv_total");
+    msg_bytes = &metrics.histogram(
+        "psanim_mp_msg_bytes",
+        {std::begin(kBucketsMsgBytes), std::end(kBucketsMsgBytes)});
+  }
+};
+
+Trace::Trace() = default;
+Trace::~Trace() = default;
+
+void Trace::begin_run(int world_size, std::size_t ring_capacity) {
+  ranks_.reserve(static_cast<std::size_t>(world_size));
+  while (static_cast<int>(ranks_.size()) < world_size) {
+    auto st = std::make_unique<RankState>(static_cast<int>(ranks_.size()));
+    st->bind_handles();
+    ranks_.push_back(std::move(st));
+  }
+  for (auto& st : ranks_) st->rec.enable_ring(ring_capacity);
+}
+
+Trace::RankState& Trace::state(int r) {
+  return *ranks_.at(static_cast<std::size_t>(r));
+}
+
+const Trace::RankState& Trace::state(int r) const {
+  return *ranks_.at(static_cast<std::size_t>(r));
+}
+
+RankRecorder& Trace::rank(int r) { return state(r).rec; }
+const RankRecorder& Trace::rank(int r) const { return state(r).rec; }
+MetricsRegistry& Trace::metrics(int r) { return state(r).metrics; }
+const MetricsRegistry& Trace::metrics(int r) const {
+  return state(r).metrics;
+}
+
+void Trace::set_rank_name(int r, std::string name) {
+  rank_names_[r] = std::move(name);
+}
+
+void Trace::name_tag(int tag, std::string name) {
+  tag_labels_[tag] = labels_.intern(name);
+}
+
+std::uint32_t Trace::tag_label(int tag) {
+  // Pre-run name_tag registrations cover the protocol tags; anything else
+  // (collective tags, tests) falls through to a generated name. Role
+  // threads can race here, so the whole lookup is under a mutex — the map
+  // is tiny and the per-message cost is one uncontended lock.
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  const auto it = tag_labels_.find(tag);
+  if (it != tag_labels_.end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "msg tag %d", tag);
+  const std::uint32_t id = labels_.intern(buf);
+  tag_labels_.emplace(tag, id);
+  return id;
+}
+
+void Trace::on_send(int src, int dst, int tag, std::uint64_t seq,
+                    std::size_t wire_bytes, double depart_s, double arrive_s,
+                    std::uint32_t frame) {
+  (void)dst;
+  (void)arrive_s;
+  RankState& st = state(src);
+  st.rec.flow(RecordKind::kFlowSend, seq, tag_label(tag), frame, depart_s);
+  st.msgs_sent->inc();
+  st.bytes_sent->add(static_cast<double>(wire_bytes));
+}
+
+void Trace::on_recv(int rank, int src, int tag, std::uint64_t seq,
+                    std::size_t wire_bytes, double arrive_s,
+                    std::uint32_t frame) {
+  (void)src;
+  RankState& st = state(rank);
+  st.rec.flow(RecordKind::kFlowRecv, seq, tag_label(tag), frame, arrive_s);
+  st.msgs_recv->inc();
+  st.bytes_recv->add(static_cast<double>(wire_bytes));
+  st.msg_bytes->observe(static_cast<double>(wire_bytes));
+}
+
+MetricsRegistry Trace::merged_metrics() const {
+  MetricsRegistry merged;
+  for (const auto& st : ranks_) merged.merge(st->metrics);
+  return merged;
+}
+
+std::size_t Trace::record_count() const {
+  std::size_t n = 0;
+  for (const auto& st : ranks_) n += st->rec.records().size();
+  return n;
+}
+
+std::vector<SpanRecord> Trace::sorted_records() const {
+  std::vector<SpanRecord> out;
+  out.reserve(record_count());
+  for (const auto& st : ranks_) {
+    const auto& recs = st->rec.records();
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.begin_v != b.begin_v) return a.begin_v < b.begin_v;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<TimelineEntry> Trace::frame_timeline(std::uint32_t frame) const {
+  std::vector<TimelineEntry> out;
+  for (const auto& st : ranks_) {
+    for (const SpanRecord& r : st->rec.records()) {
+      if (r.frame != frame) continue;
+      TimelineEntry e;
+      e.rank = r.rank;
+      e.frame = r.frame;
+      if (r.kind == RecordKind::kSpan) {
+        e.vtime = r.end_v;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " [+%.6fs]", r.end_v - r.begin_v);
+        e.text = labels_.name(r.label) + buf;
+      } else if (r.kind == RecordKind::kInstant) {
+        e.vtime = r.begin_v;
+        e.text = labels_.name(r.label);
+      } else {
+        continue;  // flows are arrows, not timeline rows
+      }
+      if (r.replayed) e.text += " (replayed)";
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineEntry& a, const TimelineEntry& b) {
+              if (a.vtime != b.vtime) return a.vtime < b.vtime;
+              return a.rank < b.rank;
+            });
+  return out;
+}
+
+std::string Trace::chrome_json() const {
+  const std::vector<SpanRecord> recs = sorted_records();
+
+  // Flow arrows need both ends; unmatched ends (e.g. frame acks the run
+  // finished without draining) would render as dangling arrows, so pair
+  // first and emit only complete pairs. Flow ids are message seqs of the
+  // run that produced them, so records replayed from a flight ring live in
+  // their own id space — a resumed run reuses the same seq values for its
+  // fresh messages.
+  const auto flow_key = [](const SpanRecord& r) {
+    return (r.flow << 1) | r.replayed;
+  };
+  std::unordered_map<std::uint64_t, const SpanRecord*> sends;
+  std::unordered_map<std::uint64_t, const SpanRecord*> recvs;
+  for (const SpanRecord& r : recs) {
+    if (r.kind == RecordKind::kFlowSend) sends.emplace(flow_key(r), &r);
+    if (r.kind == RecordKind::kFlowRecv) recvs.emplace(flow_key(r), &r);
+  }
+  // Raw flow ids are global send-order sequence values — schedule-
+  // dependent, which would make the export differ byte-wise between
+  // identical runs. Re-number matched pairs densely in the (deterministic)
+  // sorted-record order of their send end.
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_ids;
+  for (const SpanRecord& r : recs) {
+    if (r.kind != RecordKind::kFlowSend) continue;
+    const auto key = flow_key(r);
+    if (recvs.count(key) != 0) flow_ids.emplace(key, flow_ids.size());
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + ev;
+  };
+
+  for (const auto& st : ranks_) {
+    const int r = st->rec.rank();
+    std::string name = "rank " + std::to_string(r);
+    if (const auto it = rank_names_.find(r); it != rank_names_.end()) {
+      name = it->second;
+    }
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(r) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         json_escape(name) + "\"}}");
+  }
+
+  for (const SpanRecord& r : recs) {
+    const std::string head = "{\"name\":\"" +
+                             json_escape(labels_.name(r.label)) +
+                             "\",\"pid\":" + std::to_string(r.rank) +
+                             ",\"tid\":0,\"ts\":" + us(r.begin_v);
+    const std::string args = ",\"args\":{\"frame\":" +
+                             std::to_string(r.frame) +
+                             (r.replayed ? ",\"replayed\":1}" : "}");
+    const char* cat = r.replayed ? "replay" : "phase";
+    switch (r.kind) {
+      case RecordKind::kSpan:
+        emit(head + ",\"ph\":\"X\",\"dur\":" + us(r.end_v - r.begin_v) +
+             ",\"cat\":\"" + cat + "\"" + args + "}");
+        break;
+      case RecordKind::kInstant:
+        emit(head + ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"" + cat + "\"" +
+             args + "}");
+        break;
+      case RecordKind::kFlowSend: {
+        const auto it = flow_ids.find(flow_key(r));
+        if (it == flow_ids.end()) break;
+        emit(head + ",\"ph\":\"s\",\"cat\":\"" +
+             (r.replayed ? "flow-replay" : "flow") +
+             "\",\"id\":" + std::to_string(it->second) + args + "}");
+        break;
+      }
+      case RecordKind::kFlowRecv: {
+        // Only keys with a matched send end are in flow_ids.
+        const auto it = flow_ids.find(flow_key(r));
+        if (it == flow_ids.end()) break;
+        emit(head + ",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"" +
+             (r.replayed ? "flow-replay" : "flow") +
+             "\",\"id\":" + std::to_string(it->second) + args + "}");
+        break;
+      }
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+void Trace::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw std::runtime_error("obs::Trace: cannot open trace output path '" +
+                             path + "'");
+  }
+  f << chrome_json();
+  if (!f) {
+    throw std::runtime_error("obs::Trace: failed writing trace to '" + path +
+                             "'");
+  }
+}
+
+}  // namespace psanim::obs

@@ -1,7 +1,9 @@
 #include "sim/report.hpp"
 
+#include <fstream>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 
 namespace psanim::sim {
 
@@ -20,6 +22,26 @@ RunSummary summarize(const std::string& label, const SpeedupResult& r) {
                   : std::accumulate(imb.begin(), imb.end(), 0.0) /
                         static_cast<double>(imb.size());
   return s;
+}
+
+trace::CsvWriter metrics_csv(const obs::MetricsRegistry& reg) {
+  trace::CsvWriter csv({"metric", "value"});
+  for (const auto& s : reg.samples()) {
+    csv.add_row({s.name, obs::format_metric_value(s.value)});
+  }
+  return csv;
+}
+
+void save_metrics_prometheus(const obs::MetricsRegistry& reg,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_metrics_prometheus: cannot open " + path);
+  }
+  out << reg.prometheus();
+  if (!out) {
+    throw std::runtime_error("save_metrics_prometheus: write failed: " + path);
+  }
 }
 
 std::string to_line(const RunSummary& s) {

@@ -5,7 +5,9 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/runner.hpp"
+#include "trace/csv.hpp"
 #include "trace/table.hpp"
 
 namespace psanim::sim {
@@ -25,5 +27,13 @@ RunSummary summarize(const std::string& label, const SpeedupResult& r);
 
 /// One formatted line: "label: speedup 3.15 (time -68%), ...".
 std::string to_line(const RunSummary& s);
+
+/// Flattened metrics as a (name,value) CSV — histograms appear as their
+/// cumulative bucket/sum/count samples, same rows as the Prometheus text.
+trace::CsvWriter metrics_csv(const obs::MetricsRegistry& reg);
+
+/// Prometheus text exposition written to `path` (throws on I/O failure).
+void save_metrics_prometheus(const obs::MetricsRegistry& reg,
+                             const std::string& path);
 
 }  // namespace psanim::sim

@@ -4,17 +4,29 @@
 
 namespace psanim::trace {
 
+std::uint32_t EventLog::intern_locked(std::string_view label) {
+  if (const auto it = ids_.find(label); it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  const auto it = ids_.emplace(std::string(label), id).first;
+  names_.push_back(&it->first);
+  return id;
+}
+
 void EventLog::record(double vtime, int rank, std::uint32_t frame,
-                      std::string label) {
+                      std::string_view label) {
   const std::scoped_lock lock(mu_);
-  events_.push_back(Event{vtime, rank, frame, std::move(label)});
+  if (events_.empty()) events_.reserve(1024);
+  events_.push_back(Rec{vtime, rank, frame, intern_locked(label)});
 }
 
 std::vector<Event> EventLog::sorted() const {
   std::vector<Event> out;
   {
     const std::scoped_lock lock(mu_);
-    out = events_;
+    out.reserve(events_.size());
+    for (const Rec& r : events_) {
+      out.push_back(Event{r.vtime, r.rank, r.frame, *names_[r.label]});
+    }
   }
   std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
     if (a.vtime != b.vtime) return a.vtime < b.vtime;
@@ -37,9 +49,16 @@ std::size_t EventLog::size() const {
   return events_.size();
 }
 
+std::size_t EventLog::label_count() const {
+  const std::scoped_lock lock(mu_);
+  return names_.size();
+}
+
 void EventLog::clear() {
   const std::scoped_lock lock(mu_);
   events_.clear();
+  ids_.clear();
+  names_.clear();
 }
 
 }  // namespace psanim::trace

@@ -4,10 +4,17 @@
 // role records its phase transitions with its virtual timestamp; sorting
 // by time reproduces Figure 2's per-frame protocol as an executable trace
 // (bench/fig2_protocol_trace) and lets tests assert protocol ordering.
+//
+// Labels are interned: the protocol emits the same few dozen strings
+// millions of times in the slow grids, so the hot path stores a small id
+// instead of allocating a fresh std::string under the global mutex. The
+// public query API still materializes full Events.
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace psanim::trace {
@@ -22,7 +29,7 @@ struct Event {
 class EventLog {
  public:
   void record(double vtime, int rank, std::uint32_t frame,
-              std::string label);
+              std::string_view label);
 
   /// All events ordered by (vtime, rank, label) — deterministic.
   std::vector<Event> sorted() const;
@@ -31,11 +38,26 @@ class EventLog {
   std::vector<Event> frame_events(std::uint32_t frame) const;
 
   std::size_t size() const;
+  /// Distinct labels seen so far (the intern table size).
+  std::size_t label_count() const;
   void clear();
 
  private:
+  struct Rec {
+    double vtime = 0.0;
+    int rank = -1;
+    std::uint32_t frame = 0;
+    std::uint32_t label = 0;  ///< index into names_
+  };
+
+  std::uint32_t intern_locked(std::string_view label);
+
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::vector<Rec> events_;
+  // Interned labels: map node strings have stable addresses, so names_
+  // can point into the map's keys.
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+  std::vector<const std::string*> names_;
 };
 
 }  // namespace psanim::trace

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a psanim Chrome trace-event JSON export.
+
+Checks that the file tools/obs_trace_export (or any run with
+obs.trace_json_path set) produced is structurally sound and causally
+consistent:
+
+  - well-formed JSON with a traceEvents array;
+  - every rank (pid) has a process_name metadata event;
+  - complete ("X") events have non-negative durations;
+  - flow starts ("s") and finishes ("f") pair exactly by (cat, id), the
+    finish never precedes its start, and no flow dangles;
+  - every event's timestamp is non-negative.
+
+Exit status 0 on success; prints the first failure and exits 1 otherwise.
+
+Usage: check_trace.py trace.json [--expect-replay]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    path = argv[0]
+    expect_replay = "--expect-replay" in argv[1:]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    named_pids = set()
+    pids = set()
+    flows = {}  # (cat, id) -> start ts
+    finished = set()
+    replay_events = 0
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        pid = e.get("pid")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(pid)
+            continue
+        pids.add(pid)
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        if e.get("cat") == "replay" or (e.get("args") or {}).get("replayed"):
+            replay_events += 1
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({e.get('name')}): bad dur {dur!r}")
+        elif ph == "s":
+            key = (e.get("cat"), e.get("id"))
+            if key in flows:
+                fail(f"event {i}: duplicate flow start {key}")
+            flows[key] = ts
+        elif ph == "f":
+            key = (e.get("cat"), e.get("id"))
+            if key not in flows:
+                fail(f"event {i}: flow finish {key} without a start")
+            if key in finished:
+                fail(f"event {i}: duplicate flow finish {key}")
+            if ts < flows[key]:
+                fail(f"event {i}: flow {key} finishes at {ts} before its "
+                     f"start at {flows[key]} — acausal message")
+            finished.add(key)
+        elif ph not in ("i", "I"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+
+    dangling = set(flows) - finished
+    if dangling:
+        fail(f"{len(dangling)} flow(s) dangle without a finish, "
+             f"e.g. {sorted(dangling)[:3]}")
+    unnamed = pids - named_pids
+    if unnamed:
+        fail(f"pids without process_name metadata: {sorted(unnamed)}")
+    if expect_replay and replay_events == 0:
+        fail("--expect-replay: no replayed/flight-recorder events found")
+
+    print(f"check_trace: OK: {len(events)} events, {len(pids)} ranks, "
+          f"{len(finished)} flow pairs, {replay_events} replay events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

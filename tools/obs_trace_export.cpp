@@ -1,0 +1,114 @@
+// Acceptance artifact for the observability layer: run the snow scene with
+// a calculator crash mid-run and restart-from-checkpoint recovery, with
+// span tracing + flight recorder on, and export
+//   - the faulted run's Chrome trace-event JSON (Perfetto-loadable:
+//     per-rank phase spans, send->recv flow arrows, both the pre-crash
+//     epoch and the rolled-back replay of frames 4..5),
+//   - a resumed run's JSON, whose trace additionally carries the
+//     pre-crash history recovered from the checkpointed flight rings,
+//     flagged cat "replay", next to the resumed epoch's fresh spans, and
+//   - the faulted run's merged metrics as Prometheus text.
+// tools/check_trace.py validates both JSONs' structure and causality
+// (pass --expect-replay for the resumed one).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ckpt/vault.hpp"
+#include "core/simulation.hpp"
+#include "core/wire.hpp"
+#include "obs/trace.hpp"
+#include "sim/report.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psanim;
+
+  std::string json_path = "obs_trace.json";
+  std::string resumed_path = "obs_trace_resumed.json";
+  std::string prom_path = "obs_metrics.prom";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resumed-json") == 0 && i + 1 < argc) {
+      resumed_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else {
+      std::printf(
+          "usage: %s [--json out.json] [--resumed-json out.json] "
+          "[--prom out.prom]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  sim::ScenarioParams p;
+  p.systems = 2;
+  p.particles_per_system = 600;
+  p.frames = 8;
+  const core::Scene scene = sim::make_snow_scene(p);
+
+  const auto base_settings = [&] {
+    core::SimSettings s;
+    s.frames = p.frames;
+    s.dt = p.dt;
+    s.ncalc = 3;
+    s.image_width = 64;
+    s.image_height = 48;
+    s.phase_timeout_s = 10.0;
+    s.ckpt.interval = 2;  // snapshots after frames 1, 3, 5
+    return s;
+  };
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 3, 3}};
+  cfg.network = net::Interconnect::kMyrinet;
+  const auto built = sim::build_cluster(cfg);
+  const auto run = [&](const core::SimSettings& s) {
+    return core::run_parallel(scene, s, built.spec, built.placement, {},
+                              mp::RuntimeOptions{.recv_timeout_s = 15.0});
+  };
+
+  // Leg 1: the faulted run. Calc 1 dies at frame 5, the run rolls back to
+  // the frame-3 snapshot and replays — the trace shows both epochs.
+  ckpt::Vault vault;
+  core::SimSettings faulted = base_settings();
+  faulted.ckpt_vault = &vault;
+  faulted.fault_plan.crashes = {{.calc = 1, .at_frame = 5}};
+  obs::Trace trace;
+  faulted.obs.trace = &trace;
+  faulted.obs.flight_recorder = true;
+  faulted.obs.flight_capacity = 128;
+  const auto r = run(faulted);
+
+  trace.write_chrome_json(json_path);
+  sim::save_metrics_prometheus(r.metrics, prom_path);
+
+  // Leg 2: resume from the last sealed checkpoint with a brand-new trace.
+  // The flight rings inside the snapshots re-emit the pre-crash history
+  // into it (cat "replay"), next to the resumed epoch's fresh spans.
+  core::SimSettings resumed = base_settings();
+  resumed.ckpt_vault = &vault;
+  resumed.resume_from = 5;
+  obs::Trace trace2;
+  resumed.obs.trace = &trace2;
+  resumed.obs.flight_recorder = true;
+  resumed.obs.flight_capacity = 128;
+  run(resumed);
+  trace2.write_chrome_json(resumed_path);
+
+  std::printf("faulted snow run: %u frames, crash calc 1 @ frame 5, "
+              "%llu restart recovery\n",
+              faulted.frames,
+              static_cast<unsigned long long>(
+                  r.fault_stats.restart_recoveries));
+  std::printf("trace          : %s (%zu records)\n", json_path.c_str(),
+              trace.record_count());
+  std::printf("resumed trace  : %s (%zu records, flight-recorder replay)\n",
+              resumed_path.c_str(), trace2.record_count());
+  std::printf("metrics        : %s\n", prom_path.c_str());
+  return 0;
+}

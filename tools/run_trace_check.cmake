@@ -1,0 +1,28 @@
+# Test driver for obs.trace_export_roundtrip: run the exporter, then the
+# JSON validator on both artifacts. Variables: EXPORTER, CHECKER, PYTHON,
+# WORK_DIR.
+
+execute_process(
+  COMMAND ${EXPORTER}
+    --json ${WORK_DIR}/obs_trace.json
+    --resumed-json ${WORK_DIR}/obs_trace_resumed.json
+    --prom ${WORK_DIR}/obs_metrics.prom
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_trace_export failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/obs_trace.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the faulted-run trace")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/obs_trace_resumed.json
+    --expect-replay
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the resumed-run trace")
+endif()
