@@ -1,16 +1,28 @@
 #include "collide/pair_collide.hpp"
 
+#include <optional>
+#include <stdexcept>
+
 #include "collide/response.hpp"
 
 namespace psanim::collide {
 
 PairCollideStats resolve_pair_collisions(std::span<psys::Particle> locals,
                                          std::span<const psys::Particle> ghosts,
-                                         float radius, float restitution) {
+                                         float radius, float restitution,
+                                         SpatialHash* reuse) {
   PairCollideStats stats;
   if (locals.empty() || radius <= 0) return stats;
 
-  SpatialHash grid(radius);
+  std::optional<SpatialHash> own;
+  if (reuse == nullptr) {
+    own.emplace(radius);
+    reuse = &*own;
+  } else if (reuse->cell_size() != radius) {
+    throw std::invalid_argument(
+        "resolve_pair_collisions: reused grid cell_size != radius");
+  }
+  SpatialHash& grid = *reuse;
   grid.build(std::span<const psys::Particle>(locals.data(), locals.size()));
 
   // Local-local pairs: symmetric impulse.

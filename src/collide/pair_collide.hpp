@@ -28,9 +28,12 @@ struct PairCollideStats {
 /// Resolve collisions among `locals` (updated in place), considering
 /// `ghosts` as immovable-by-us partners. `radius` is the collision
 /// distance (sum of two particle radii); `restitution` the bounciness.
+/// Pass a persistent `grid` (with cell_size == radius) to reuse its
+/// storage across calls; with nullptr a grid is built on the spot.
 PairCollideStats resolve_pair_collisions(std::span<psys::Particle> locals,
                                          std::span<const psys::Particle> ghosts,
-                                         float radius, float restitution);
+                                         float radius, float restitution,
+                                         SpatialHash* grid = nullptr);
 
 /// Particles from `locals` within `band` of either domain edge along
 /// `axis` — the ghost band shipped to neighbors.

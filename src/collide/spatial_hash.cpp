@@ -42,9 +42,9 @@ void SpatialHash::build(std::span<const psys::Particle> particles) {
   for (const auto& p : particles) ++starts_[cell_of(p.pos) + 1];
   for (std::size_t h = 1; h < starts_.size(); ++h) starts_[h] += starts_[h - 1];
   entries_.resize(particles.size());
-  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  scratch_.assign(starts_.begin(), starts_.end() - 1);
   for (std::uint32_t i = 0; i < particles.size(); ++i) {
-    entries_[cursor[cell_of(particles[i].pos)]++] = i;
+    entries_[scratch_[cell_of(particles[i].pos)]++] = i;
   }
 }
 

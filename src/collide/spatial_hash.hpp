@@ -2,9 +2,10 @@
 
 // Uniform-grid spatial hash over particles, used by the particle-particle
 // collision pass. Cells are cubes of side `cell_size`; neighbor queries
-// visit the 27 surrounding cells. Built fresh each frame (counting sort
-// into a flat index), which beats incremental updates for fully dynamic
-// particle sets.
+// visit the 27 surrounding cells. Rebuilt each frame (counting sort into a
+// flat index), which beats incremental updates for fully dynamic particle
+// sets; keep one instance alive across frames so the table, entry and
+// cursor storage are reused instead of reallocated per build.
 
 #include <cstdint>
 #include <span>
@@ -48,6 +49,9 @@ class SpatialHash {
   // Counting-sort layout: starts_[h]..starts_[h+1] indexes into entries_.
   std::vector<std::uint32_t> starts_;
   std::vector<std::uint32_t> entries_;
+  // Scatter cursors, kept as a member so a reused grid rebuilds with zero
+  // allocations once the vectors reach steady-state capacity.
+  std::vector<std::uint32_t> scratch_;
 };
 
 // --- template implementations ---

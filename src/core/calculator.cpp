@@ -48,6 +48,15 @@ void Calculator::charge_particles(mp::Endpoint& ep, double per_particle,
   ep.charge(env_.cost->compute_s(per_particle, n, env_.rate));
 }
 
+void Calculator::report_nonfinite() {
+  std::uint64_t total = 0;
+  for (const auto& store : stores_) total += store.nonfinite_dropped();
+  if (total > nonfinite_reported_) {
+    metrics_.on_nonfinite(total - nonfinite_reported_);
+    nonfinite_reported_ = total;
+  }
+}
+
 void Calculator::run(mp::Endpoint& ep) {
   std::vector<double> time_per_system(scene_.systems.size());
   std::vector<std::size_t> count_per_system(scene_.systems.size());
@@ -135,6 +144,7 @@ void Calculator::run(mp::Endpoint& ep) {
 
     tel_.add_calc(fs);
     metrics_.on_frame(fs);
+    report_nonfinite();
     if (set_.ckpt.due_after(frame) && frame + 1 < set_.frames) {
       {
         auto ph = tr_.phase(ep.clock(), frame, "snapshot");
@@ -383,19 +393,20 @@ void Calculator::compute_phase(mp::Endpoint& ep, std::uint32_t frame,
     const std::size_t held = store.size();
     count_per_system[s] = held;
 
-    std::size_t action_index = 0;
-    for (const auto& action : scene_.systems[s].actions()) {
-      ++action_index;
-      if (action->cls() == psys::ActionClass::kCreate) continue;
-      // Stream per (system, frame, action, calculator): deterministic for
-      // a fixed configuration.
-      Rng rng = base_rng_.derive(s, frame).derive(action_index, idx_);
-      psys::ActionContext ctx{set_.dt, &rng, 0};
-      store.for_each_slice(
-          [&](std::span<psys::Particle> ps) { action->apply(ps, ctx); });
-      charge_particles(ep, env_.cost->action_cost * action->cost_weight(),
+    // Streams per (system, frame, action, calculator): deterministic for
+    // a fixed configuration. Fusing the actions into one store traversal
+    // keeps every per-action stream (and hence every virtual-time result)
+    // bit-identical to the per-action loop — see psys::FusedPasses.
+    psys::FusedPasses fused(
+        scene_.systems[s].actions(), set_.dt, [&](std::size_t ai) {
+          return base_rng_.derive(s, frame).derive(ai, idx_);
+        });
+    store.for_each_slice(
+        [&](std::span<psys::Particle> ps) { fused.apply(ps); });
+    for (const auto& pass : fused.passes()) {
+      charge_particles(ep, env_.cost->action_cost * pass.action->cost_weight(),
                        held);
-      fs.particles_killed += ctx.killed;
+      fs.particles_killed += pass.ctx.killed;
     }
     const std::size_t removed = store.compact_dead();
     charge_particles(ep, env_.cost->pack_cost, removed);
@@ -497,8 +508,12 @@ void Calculator::collide_phase(mp::Endpoint& ep, std::uint32_t frame,
       }
     }
 
+    // The grid is a member so its cell table and entry storage persist
+    // across frames and systems instead of being reallocated per call.
+    if (!collide_grid_) collide_grid_.emplace(set_.collision_radius);
     const auto stats = collide::resolve_pair_collisions(
-        locals, ghosts_in, set_.collision_radius, set_.collision_restitution);
+        locals, ghosts_in, set_.collision_radius, set_.collision_restitution,
+        &*collide_grid_);
     charge_particles(ep, env_.cost->collide_pair_cost, stats.candidate_pairs);
 
     store.insert_batch(locals);
@@ -581,6 +596,12 @@ void Calculator::balance_phase(mp::Endpoint& ep, std::uint32_t frame,
     psys::Donation d = toward_left ? store.donate_low(o.count)
                                    : store.donate_high(o.count);
     ep.charge(env_.cost->sort_s(d.sorted_elements, env_.rate));
+    // Extraction/copy cost for the donated particles themselves. The
+    // receiver has always charged pack_cost per adopted particle (below);
+    // the donor previously charged only the boundary sort, so whole-
+    // sub-slice donations (sorted_elements == 0) rode for free and the
+    // virtual clock undercounted the donor side of every transfer.
+    charge_particles(ep, env_.cost->pack_cost, d.particles.size());
     fs.sorted_elements += d.sorted_elements;
     // Every edge between donor and partner moves onto the new boundary —
     // after a crash the pair may not be adjacent (collapsed zero-width

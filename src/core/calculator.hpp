@@ -6,8 +6,10 @@
 // to the image generator every frame.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "collide/spatial_hash.hpp"
 #include "core/decomposition.hpp"
 #include "core/frame_loop.hpp"
 #include "core/wire.hpp"
@@ -57,6 +59,9 @@ class Calculator {
                      trace::CalcFrameStats& fs);
   void charge_particles(mp::Endpoint& ep, double per_particle,
                         std::size_t n) const;
+  /// Export the stores' non-finite drop counters (delta since last call)
+  /// into the metrics registry.
+  void report_nonfinite();
   /// Fail-stop: announce the crash to the manager and drop local state.
   void die(mp::Endpoint& ep, std::uint32_t frame);
   /// What the crash sweep at a frame boundary decided.
@@ -112,6 +117,10 @@ class Calculator {
   /// Observability: span/EventLog fan-out and this rank's metric updates.
   obs::RoleTracer tr_;
   obs::CalcMetrics metrics_;
+  /// Collision broad-phase grid, lazily built and reused every frame.
+  std::optional<collide::SpatialHash> collide_grid_;
+  /// Non-finite drops already exported to metrics_.
+  std::uint64_t nonfinite_reported_ = 0;
 };
 
 }  // namespace psanim::core

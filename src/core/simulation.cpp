@@ -6,6 +6,7 @@
 
 #include "ckpt/vault.hpp"
 #include "core/calculator.hpp"
+#include "mp/buffer_pool.hpp"
 #include "core/image_generator.hpp"
 #include "core/manager.hpp"
 #include "obs/trace.hpp"
@@ -57,6 +58,26 @@ void fault_metrics(obs::MetricsRegistry& reg, const fault::FaultStats& fs) {
       .add(static_cast<double>(fs.restart_recoveries));
   reg.counter("psanim_fault_merge_recoveries_total")
       .add(static_cast<double>(fs.merge_recoveries));
+}
+
+/// Message-path allocation counters for this run: the buffer pool's global
+/// tally is sampled around the run and the deltas exported, so one dump
+/// shows both virtual-time results and the wall-clock allocation behavior
+/// the pool exists to eliminate (misses == heap allocations).
+void pool_metrics(obs::MetricsRegistry& reg,
+                  const mp::BufferPool::Stats& before,
+                  const mp::BufferPool::Stats& after) {
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<double>(a - b);
+  };
+  reg.counter("psanim_mp_buffer_acquires_total")
+      .add(delta(after.acquires, before.acquires));
+  reg.counter("psanim_mp_buffer_pool_hits_total")
+      .add(delta(after.hits, before.hits));
+  reg.counter("psanim_mp_buffer_heap_allocs_total")
+      .add(delta(after.misses, before.misses));
+  reg.counter("psanim_mp_buffer_releases_total")
+      .add(delta(after.releases, before.releases));
 }
 
 }  // namespace
@@ -125,6 +146,8 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
     name_trace(*trace, eff);
     rt_options.trace = trace;
   }
+
+  const mp::BufferPool::Stats pool_before = mp::BufferPool::global().stats();
 
   mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
                       rt_options);
@@ -196,6 +219,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
       trace->write_chrome_json(eff.obs.trace_json_path);
     }
   }
+  pool_metrics(result.metrics, pool_before, mp::BufferPool::global().stats());
   return result;
 }
 
@@ -233,19 +257,18 @@ SequentialResult run_sequential(const Scene& scene,
       clock += cost.compute_s(cost.create_cost, born.size(), rate);
       stores[s].insert_batch(born);
     }
-    // Actions (same streams as calculator 0's).
+    // Actions (same streams as calculator 0's, same fused traversal).
     for (std::size_t s = 0; s < scene.systems.size(); ++s) {
       auto& store = stores[s];
       const std::size_t held = store.size();
-      std::size_t action_index = 0;
-      for (const auto& action : scene.systems[s].actions()) {
-        ++action_index;
-        if (action->cls() == psys::ActionClass::kCreate) continue;
-        Rng rng = base.derive(s, frame).derive(action_index, /*calc=*/0);
-        psys::ActionContext ctx{settings.dt, &rng, 0};
-        store.for_each_slice(
-            [&](std::span<psys::Particle> ps) { action->apply(ps, ctx); });
-        clock += cost.compute_s(cost.action_cost * action->cost_weight(),
+      psys::FusedPasses fused(
+          scene.systems[s].actions(), settings.dt, [&](std::size_t ai) {
+            return base.derive(s, frame).derive(ai, /*calc=*/0);
+          });
+      store.for_each_slice(
+          [&](std::span<psys::Particle> ps) { fused.apply(ps); });
+      for (const auto& pass : fused.passes()) {
+        clock += cost.compute_s(cost.action_cost * pass.action->cost_weight(),
                                 held, rate);
       }
       const std::size_t removed = store.compact_dead();

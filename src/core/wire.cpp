@@ -1,5 +1,6 @@
 #include "core/wire.hpp"
 
+#include <cstring>
 #include <string>
 
 #include "ckpt/format.hpp"
@@ -150,12 +151,20 @@ std::vector<EdgeEntry> decode_edges(const mp::Message& m,
 mp::Writer encode_frame_vertices(std::uint32_t frame,
                                  const std::vector<RenderVertex>& verts) {
   mp::Writer w;
+  w.reserve(2 + sizeof(frame) + sizeof(std::uint64_t) +
+            verts.size() * sizeof(PackedVertex));
   put_control_header(w);
   w.put(frame);
-  std::vector<PackedVertex> packed;
-  packed.reserve(verts.size());
-  for (const auto& v : verts) packed.push_back(pack_vertex(v));
-  w.put_vector(packed);
+  // Pack straight into the payload: the former intermediate
+  // vector<PackedVertex> cost an allocation plus a second full copy per
+  // frame per calculator. memcpy keeps the write legal at any alignment
+  // (the 14-byte header leaves the array unaligned).
+  w.put<std::uint64_t>(verts.size());
+  std::byte* out = w.alloc(verts.size() * sizeof(PackedVertex));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const PackedVertex p = pack_vertex(verts[i]);
+    std::memcpy(out + i * sizeof(PackedVertex), &p, sizeof(PackedVertex));
+  }
   return w;
 }
 
@@ -164,10 +173,22 @@ std::vector<RenderVertex> decode_frame_vertices(const mp::Message& m,
   mp::Reader r(m);
   check_control_header(r, "decode_frame_vertices");
   check_frame(r.get<std::uint32_t>(), expect_frame, "decode_frame_vertices");
-  const auto packed = r.get_vector<PackedVertex>();
+  // Unpack straight out of the payload (no intermediate packed vector).
+  const auto n = r.get<std::uint64_t>();
+  if (n > r.remaining() / sizeof(PackedVertex)) {
+    throw mp::DecodeError(
+        "decode_frame_vertices: vertex count exceeds payload");
+  }
+  const std::span<const std::byte> raw =
+      r.raw(static_cast<std::size_t>(n) * sizeof(PackedVertex));
   std::vector<RenderVertex> verts;
-  verts.reserve(packed.size());
-  for (const auto& p : packed) verts.push_back(unpack_vertex(p));
+  verts.reserve(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    PackedVertex p;
+    std::memcpy(&p, raw.data() + i * sizeof(PackedVertex),
+                sizeof(PackedVertex));
+    verts.push_back(unpack_vertex(p));
+  }
   return verts;
 }
 

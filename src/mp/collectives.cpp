@@ -39,7 +39,7 @@ std::vector<std::byte> bcast(Endpoint& ep, int root,
     }
     return payload;
   }
-  return ep.recv(root, tag).payload;
+  return ep.recv(root, tag).payload.detach();
 }
 
 std::vector<std::vector<std::byte>> gather(Endpoint& ep, int root,
@@ -53,7 +53,7 @@ std::vector<std::vector<std::byte>> gather(Endpoint& ep, int root,
       static_cast<std::size_t>(ep.world_size()));
   out[static_cast<std::size_t>(root)] = std::move(payload);
   for (const int r : others(ep, root)) {
-    out[static_cast<std::size_t>(r)] = ep.recv(r, tag).payload;
+    out[static_cast<std::size_t>(r)] = ep.recv(r, tag).payload.detach();
   }
   return out;
 }

@@ -8,11 +8,24 @@
 // pushed first in wall-clock order. Combined with the protocol's
 // known-sender receive loops this makes simulated makespans reproducible
 // run-to-run even under arbitrary thread scheduling.
+//
+// Storage is indexed by (src, tag): each stream gets its own ring queue
+// kept sorted by (arrive_time, seq, push order). The protocol's exact
+// (src, tag) receives — the hot path — pop the front of one ring in
+// O(log #streams) for the map lookup and O(1) for the pop, instead of the
+// former O(n) scan over a flat deque. Wildcard receives compare the ring
+// fronts, which is O(#streams), still far below O(#messages). Pushes from
+// the runtime arrive per-stream in nondecreasing (arrive_time, seq) order
+// (MPI non-overtaking + a monotone sender-side seq), so the sorted insert
+// degenerates to an O(1) append; the general insert path exists for
+// direct-push tests and keeps correctness independent of that property.
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "mp/message.hpp"
 
@@ -26,6 +39,16 @@ class RecvTimeout : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Multiplier applied to every blocking-receive timeout, read once from
+/// PSANIM_TIMEOUT_SCALE. Defaults to 1, or higher under sanitizer builds
+/// (TSan/ASan slow wall-clock execution 5-20x while virtual time is
+/// unaffected, so unscaled deadlines fire spuriously in chaos tests).
+double timeout_scale();
+
+/// Test-only override of the cached scale (pass a value <= 0 to restore
+/// the environment-derived default).
+void override_timeout_scale(double scale);
+
 class Mailbox {
  public:
   /// Enqueue a message (called from the sender's thread).
@@ -34,7 +57,7 @@ class Mailbox {
   /// Block until a message matching (src, tag) is present, then remove and
   /// return the match with the smallest (arrive_time, src, seq).
   /// `src`/`tag` may be kAny. Throws RecvTimeout after `timeout_s` of
-  /// wall-clock waiting.
+  /// wall-clock waiting (scaled by timeout_scale()).
   Message pop_match(int src, int tag, double timeout_s);
 
   /// Non-blocking variant; nullopt when no match is queued.
@@ -47,12 +70,49 @@ class Mailbox {
   std::size_t size() const;
 
  private:
-  // Index of best match in q_, or npos. Caller holds mu_.
-  std::size_t find_match(int src, int tag) const;
+  struct Item {
+    Message m;
+    std::uint64_t ord = 0;  ///< mailbox-wide push ordinal (stability tiebreak)
+  };
+
+  /// Growable ring of Items sorted by (arrive_time, seq, ord). Steady
+  /// state is push_back/pop_front with zero allocation.
+  class Ring {
+   public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    const Item& front() const { return at(0); }
+    void insert_sorted(Item item);
+    Item pop_front();
+
+   private:
+    Item& at(std::size_t i) { return buf_[(head_ + i) & (buf_.size() - 1)]; }
+    const Item& at(std::size_t i) const {
+      return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    void grow();
+
+    std::vector<Item> buf_;  // capacity is a power of two (mask indexing)
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  using Key = std::pair<int, int>;  // (src, tag)
+
+  // Pointer to the ring holding the best match, or nullptr. Caller holds
+  // mu_. The map is ordered, so scans visit streams by (src, tag) — the
+  // winner is decided purely by the (arrive_time, src, seq, ord) compare.
+  Ring* find_match(int src, int tag);
+  const Ring* find_match(int src, int tag) const;
+  Message pop_from(Ring& ring);
+  void gc_empty_rings();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> q_;
+  std::map<Key, Ring> rings_;
+  std::size_t empty_rings_ = 0;
+  std::size_t total_ = 0;
+  std::uint64_t next_ord_ = 0;
 };
 
 }  // namespace psanim::mp

@@ -84,6 +84,12 @@ void CalcMetrics::on_snapshot(double seconds, std::size_t bytes) {
 
 void CalcMetrics::on_restore() { observe_restore(reg); }
 
+void CalcMetrics::on_nonfinite(std::uint64_t n) {
+  if (!reg || n == 0) return;
+  reg->counter("psanim_psys_nonfinite_dropped_total")
+      .add(static_cast<double>(n));
+}
+
 void ManagerMetrics::on_frame(const trace::ManagerFrameStats& ms) {
   if (!reg) return;
   // Order/particle totals come from lb::observe_balance (one source of

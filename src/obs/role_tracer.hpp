@@ -77,6 +77,9 @@ struct CalcMetrics {
   void on_frame(const trace::CalcFrameStats& fs);
   void on_snapshot(double seconds, std::size_t bytes);
   void on_restore();
+  /// `n` more particles dropped for non-finite positions (see
+  /// psys::SlicedStore::nonfinite_dropped).
+  void on_nonfinite(std::uint64_t n);
 };
 
 /// Manager-side metric updates.

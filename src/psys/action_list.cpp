@@ -26,4 +26,18 @@ double ActionList::modify_move_weight() const {
   return w;
 }
 
+void FusedPasses::apply(std::span<Particle> ps) {
+  for (Pass& p : passes_) {
+    // Re-anchored every call: the rng lives in the (movable) pass itself.
+    p.ctx.rng = &p.rng;
+    p.action->apply(ps, p.ctx);
+  }
+}
+
+std::size_t FusedPasses::killed() const {
+  std::size_t n = 0;
+  for (const Pass& p : passes_) n += p.ctx.killed;
+  return n;
+}
+
 }  // namespace psanim::psys

@@ -45,4 +45,57 @@ class ActionList {
   std::vector<ActionPtr> actions_;
 };
 
+/// One frame's non-create actions fused into a single store traversal.
+///
+/// The naive executor walks every slice once per action; fusing applies
+/// the whole action chain to a slice while it is hot in cache, walking the
+/// store exactly once per frame. Equivalence with the per-action loop is
+/// exact, not approximate: actions are elementwise (each reads and writes
+/// only the particle it is applied to), every pass keeps its own RNG
+/// stream and context, and slices are visited in the same ascending order
+/// — so per-particle action order, per-action RNG consumption order and
+/// kill counts all come out bit-identical.
+class FusedPasses {
+ public:
+  /// Per-action execution state, in list order.
+  struct Pass {
+    const Action* action = nullptr;
+    /// 1-based position in the full list counting create actions too —
+    /// the historical RNG-stream key.
+    std::size_t index = 0;
+    Rng rng;
+    ActionContext ctx;
+  };
+
+  /// Build passes for every non-create action of `list`; `rng_for(index)`
+  /// supplies the deterministic stream for the action at that position.
+  template <typename RngFor>
+  FusedPasses(const ActionList& list, float dt, RngFor&& rng_for) {
+    passes_.reserve(list.size());
+    std::size_t index = 0;
+    for (const auto& action : list) {
+      ++index;
+      if (action->cls() == ActionClass::kCreate) continue;
+      Pass p;
+      p.action = action.get();
+      p.index = index;
+      p.rng = rng_for(index);
+      p.ctx = ActionContext{dt, nullptr, 0};
+      passes_.push_back(std::move(p));
+    }
+  }
+
+  /// Apply every pass to one slice, in action order.
+  void apply(std::span<Particle> ps);
+
+  const std::vector<Pass>& passes() const { return passes_; }
+  bool empty() const { return passes_.empty(); }
+
+  /// Total particles marked dead across all passes.
+  std::size_t killed() const;
+
+ private:
+  std::vector<Pass> passes_;
+};
+
 }  // namespace psanim::psys

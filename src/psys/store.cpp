@@ -6,6 +6,15 @@
 
 namespace psanim::psys {
 
+namespace {
+/// Every position component finite — a NaN/inf anywhere makes edge tests
+/// and the boundary-slice sort (a strict weak ordering) meaningless.
+bool finite_pos(const Particle& p) {
+  return std::isfinite(p.pos.x) && std::isfinite(p.pos.y) &&
+         std::isfinite(p.pos.z);
+}
+}  // namespace
+
 SlicedStore::SlicedStore(int axis, float lo, float hi, std::size_t slices)
     : axis_(axis), lo_(lo), hi_(hi), slices_(slices == 0 ? 1 : slices) {
   if (axis < 0 || axis > 2) {
@@ -33,6 +42,10 @@ std::size_t SlicedStore::slice_of(float k) const {
 }
 
 void SlicedStore::insert(const Particle& p) {
+  if (!finite_pos(p)) {
+    ++nonfinite_dropped_;
+    return;
+  }
   slices_[slice_of(key(p))].push_back(p);
 }
 
@@ -66,6 +79,13 @@ std::vector<Particle> SlicedStore::extract_outside() {
     auto& s = slices_[i];
     std::size_t keep = 0;
     for (std::size_t r = 0; r < s.size(); ++r) {
+      if (!finite_pos(s[r])) {
+        // An action blew this particle up (NaN/inf position) — it can't be
+        // routed or kept without corrupting the layout, so drop it here,
+        // the same choice insert() makes.
+        ++nonfinite_dropped_;
+        continue;
+      }
       const float k = key(s[r]);
       if (k < lo_ || k >= hi_) {
         out.push_back(s[r]);

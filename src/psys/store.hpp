@@ -14,6 +14,7 @@
 // decomposition axis.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -48,9 +49,16 @@ class SlicedStore {
 
   /// Insert one particle (must have key in [lo, hi); out-of-range keys
   /// clamp into the edge slices — the caller routes true crossers away
-  /// before inserting).
+  /// before inserting). A particle with a non-finite position is DROPPED
+  /// and counted in nonfinite_dropped(): a NaN key compares false against
+  /// every edge, so it would otherwise land in an arbitrary slice, evade
+  /// crossing discovery and corrupt exchange conservation.
   void insert(const Particle& p);
   void insert_batch(std::span<const Particle> ps);
+
+  /// Particles dropped because their position went non-finite (NaN/inf),
+  /// at insert or extract. Monotone over the store's lifetime.
+  std::uint64_t nonfinite_dropped() const { return nonfinite_dropped_; }
 
   /// Change the owned interval (after a load-balance boundary move or an
   /// initial decomposition) and redistribute current particles into the
@@ -103,6 +111,7 @@ class SlicedStore {
   float lo_;
   float hi_;
   std::vector<std::vector<Particle>> slices_;
+  std::uint64_t nonfinite_dropped_ = 0;
 };
 
 }  // namespace psanim::psys

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -25,6 +27,8 @@
 #include "mp/fault_hook.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/runtime.hpp"
+#include "obs/trace.hpp"
+#include "psys/actions.hpp"
 #include "sim/run_config.hpp"
 #include "sim/scenario.hpp"
 #include "trace/event_log.hpp"
@@ -398,6 +402,65 @@ TEST(DeterminismRegression, SameSeedSameFramebufferAndFinishTimes) {
   settings.seed = 0xbeefULL;
   const auto c = run(scene, settings);
   EXPECT_FALSE(same_image(a.final_frame, c.final_frame));
+}
+
+// --- numeric chaos: particles whose positions go non-finite ------------
+
+/// Flips a small random fraction of particle x positions to NaN — a stand-
+/// in for a diverging user action. The store must drop (and count) these
+/// instead of letting them evade crossing discovery.
+class NanInjector final : public psys::Action {
+ public:
+  const char* name() const override { return "nan_injector"; }
+  psys::ActionClass cls() const override { return psys::ActionClass::kMove; }
+  void apply(std::span<psys::Particle> ps,
+             psys::ActionContext& ctx) const override {
+    for (auto& p : ps) {
+      if (p.dead()) continue;
+      if (ctx.rng->next_float() < 0.02f) {
+        p.pos.x = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  }
+};
+
+TEST(NumericChaos, NanParticlesAreDroppedCountedAndDoNotWedgeTheRun) {
+  core::Scene scene;
+  scene.space = Aabb({-10, 0, -10}, {10, 12, 10});
+  scene.look_center = {0, 5, 0};
+  scene.look_radius = 12.0f;
+  for (int s = 0; s < 2; ++s) {
+    psys::ActionList al;
+    psys::Source::Params src;
+    src.rate = 150;
+    src.position_domain = psys::make_box({-8, 9, -8}, {8, 10, 8});
+    src.velocity_domain = psys::make_box({-1, -2.5f, -1}, {1, -1.5f, 1});
+    src.lifetime = 2.0f;
+    al.add<psys::Source>(src);
+    al.add<psys::Gravity>(Vec3{0, -9.8f, 0});
+    al.add<NanInjector>();
+    al.add<psys::KillOld>();
+    al.add<psys::Move>();
+    scene.systems.emplace_back("nan_chaos", std::move(al));
+  }
+
+  SimSettings settings = chaos_settings();
+  obs::Trace trace;
+  settings.obs.trace = &trace;
+
+  const auto res = run(scene, settings);  // completes all frames: no wedge
+
+  // The guard counted drops and exported them through the metrics.
+  EXPECT_GT(
+      res.metrics.counter_value("psanim_psys_nonfinite_dropped_total"), 0.0);
+
+  // No NaN survives into the final population.
+  for (const auto& sys : res.final_particles) {
+    for (const auto& p : sys) {
+      EXPECT_TRUE(std::isfinite(p.pos.x) && std::isfinite(p.pos.y) &&
+                  std::isfinite(p.pos.z));
+    }
+  }
 }
 
 }  // namespace

@@ -5,7 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <tuple>
+#include <utility>
 
+#include "mp/buffer_pool.hpp"
 #include "mp/collectives.hpp"
 #include "mp/communicator.hpp"
 #include "mp/mailbox.hpp"
@@ -138,6 +144,206 @@ TEST(Mailbox, ProbeAndTryPop) {
   auto m = box.try_pop_match(1, 7);
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, OutOfOrderArrivalsStillPopSorted) {
+  // Direct pushes with shuffled arrive times exercise the general
+  // binary-search insert (the runtime's non-overtaking pushes only hit
+  // the append fast path).
+  std::vector<double> arrivals;
+  for (int i = 0; i < 64; ++i) arrivals.push_back(0.125 * ((i * 37) % 64));
+  Mailbox box;
+  for (int i = 0; i < 64; ++i) {
+    box.push(make_msg(/*src=*/i % 3, /*tag=*/5, arrivals[i],
+                      static_cast<std::uint64_t>(i)));
+  }
+  double prev = -1.0;
+  for (int i = 0; i < 64; ++i) {
+    const Message m = box.pop_match(kAny, kAny, 1.0);
+    EXPECT_GE(m.arrive_time, prev);
+    prev = m.arrive_time;
+  }
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, ThreadedPushesAlwaysPopInVirtualOrder) {
+  // Property: however the OS schedules the pushing threads, draining the
+  // mailbox always yields the global (arrive_time, src, seq) order. Each
+  // thread's arrive times are nondecreasing (the runtime's non-overtaking
+  // property) and quantized so cross-thread ties are common.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  for (int round = 0; round < 5; ++round) {
+    Mailbox box;
+    std::vector<std::thread> pushers;
+    for (int t = 0; t < kThreads; ++t) {
+      pushers.emplace_back([&box, t, round] {
+        std::mt19937 gen(static_cast<unsigned>(100 * round + t));
+        std::uniform_int_distribution<int> step(0, 3);
+        double at = 0.0;
+        for (int i = 0; i < kPerThread; ++i) {
+          at += 0.25 * step(gen);
+          Message m = make_msg(t, 50 + (i % 3), at,
+                               static_cast<std::uint64_t>(i));
+          box.push(std::move(m));
+        }
+      });
+    }
+    for (auto& th : pushers) th.join();
+
+    auto prev = std::make_tuple(-1.0, -1, std::uint64_t{0});
+    for (int i = 0; i < kThreads * kPerThread; ++i) {
+      const Message m = box.pop_match(kAny, kAny, 1.0);
+      const auto cur = std::make_tuple(m.arrive_time, m.src, m.seq);
+      EXPECT_LT(prev, cur) << "pop " << i << " out of order in round "
+                           << round;
+      prev = cur;
+    }
+    EXPECT_EQ(box.size(), 0u);
+
+    // Exact-match receives (the protocol's hot path) drain each (src, tag)
+    // stream in its own (arrive_time, seq) order.
+    std::vector<std::thread> refill;
+    for (int t = 0; t < kThreads; ++t) {
+      refill.emplace_back([&box, t, round] {
+        std::mt19937 gen(static_cast<unsigned>(100 * round + t));
+        std::uniform_int_distribution<int> step(0, 3);
+        double at = 0.0;
+        for (int i = 0; i < kPerThread; ++i) {
+          at += 0.25 * step(gen);
+          box.push(make_msg(t, 50 + (i % 3), at,
+                            static_cast<std::uint64_t>(i)));
+        }
+      });
+    }
+    for (auto& th : refill) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+      for (int tag = 50; tag < 53; ++tag) {
+        auto sprev = std::make_pair(-1.0, std::uint64_t{0});
+        while (auto m = box.try_pop_match(t, tag)) {
+          EXPECT_EQ(m->src, t);
+          EXPECT_EQ(m->tag, tag);
+          const auto cur = std::make_pair(m->arrive_time, m->seq);
+          EXPECT_LT(sprev, cur);
+          sprev = cur;
+        }
+      }
+    }
+    EXPECT_EQ(box.size(), 0u);
+  }
+}
+
+TEST(Mailbox, TimeoutScaleOverrideAndDefault) {
+  override_timeout_scale(3.5);
+  EXPECT_DOUBLE_EQ(timeout_scale(), 3.5);
+  override_timeout_scale(0.0);  // back to the environment-derived default
+  EXPECT_GE(timeout_scale(), 1.0);
+}
+
+TEST(Mailbox, TimeoutScaleStretchesOrShrinksDeadline) {
+  // With a tiny scale a nominally long timeout fires almost immediately —
+  // observable without waiting out a long deadline.
+  override_timeout_scale(0.01);
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(box.pop_match(0, 0, 5.0), RecvTimeout);  // 50 ms scaled
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  override_timeout_scale(0.0);
+  EXPECT_LT(waited, 2.5);
+}
+
+// --- buffer pool ---
+
+TEST(BufferPool, RecyclesBuffersBySizeClass) {
+  BufferPool pool;  // local instance: independent of the global pool
+  auto a = pool.acquire(100);
+  EXPECT_GE(a.capacity(), 100u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.release(std::move(a));
+  auto b = pool.acquire(100);  // same size class: served from cache
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().acquires, 2u);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+  pool.trim();
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+}
+
+TEST(BufferPool, GrowPreservesContents) {
+  BufferPool pool;
+  std::vector<std::byte> buf = pool.acquire(64);
+  buf.push_back(std::byte{0xAB});
+  buf.push_back(std::byte{0xCD});
+  pool.grow(buf, 1 << 12);
+  ASSERT_GE(buf.capacity(), std::size_t{1} << 12);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], std::byte{0xAB});
+  EXPECT_EQ(buf[1], std::byte{0xCD});
+  pool.release(std::move(buf));
+}
+
+TEST(BufferPool, DisabledModeBypassesCaching) {
+  BufferPool pool;
+  pool.set_enabled(false);
+  auto a = pool.acquire(64);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  pool.set_enabled(true);
+  auto b = pool.acquire(64);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.cached_buffers(), 1u);
+}
+
+TEST(BufferPool, OversizeRequestsBypassThePool) {
+  BufferPool pool;
+  auto big = pool.acquire((std::size_t{1} << 24) + 1);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+  EXPECT_EQ(pool.stats().dropped, 1u);
+}
+
+TEST(BufferPool, SteadyStateMessagePathAllocatesZero) {
+  // A strict ping-pong keeps at most one payload live per direction, so
+  // the second run's buffer demand is identical to the first's — every
+  // acquire must be served from the pool, and every buffer must come back
+  // (no leaks out of the recycle loop).
+  auto& pool = BufferPool::global();
+  const bool was_enabled = pool.enabled();
+  pool.set_enabled(true);
+  pool.trim();
+
+  auto ping_pong = [] {
+    Runtime rt(2, zero_cost_fn());
+    rt.run([](Endpoint& ep) {
+      std::vector<std::uint8_t> blob(1024, 7);
+      for (int i = 0; i < 20; ++i) {
+        if (ep.rank() == 0) {
+          Writer w;
+          w.put_vector(blob);
+          ep.send(1, 40, std::move(w));
+          (void)ep.recv(1, 41);
+        } else {
+          (void)ep.recv(0, 40);
+          Writer w;
+          w.put_vector(blob);
+          ep.send(0, 41, std::move(w));
+        }
+      }
+    });
+  };
+
+  ping_pong();  // warm the pool
+  pool.reset_stats();
+  ping_pong();  // steady state: zero heap allocations on the message path
+  const BufferPool::Stats s = pool.stats();
+  EXPECT_GT(s.acquires, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.releases, s.acquires);  // every buffer returned to the pool
+  pool.set_enabled(was_enabled);
 }
 
 // --- runtime / endpoint ---

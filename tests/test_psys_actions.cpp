@@ -316,6 +316,81 @@ std::vector<Particle> roll(const ParticleSystem& sys, int frames,
   return ps;
 }
 
+TEST(FusedPasses, MatchesPerActionReferenceLoop) {
+  // The fused executor (all actions per slice, one store walk) must be
+  // bit-identical to the naive one (all slices per action): same particle
+  // state, same per-action RNG consumption, same kill counts.
+  ActionList list;
+  Source::Params sp;
+  sp.rate = 5;
+  sp.position_domain = make_box({-1, 5, -1}, {1, 6, 1});
+  sp.velocity_domain = make_point({0, -2, 0});
+  list.add<Source>(sp);  // skipped by both executors
+  list.add<Gravity>(Vec3{0, -9.8f, 0});
+  list.add<RandomAccel>(make_sphere({0, 0, 0}, 1.0f));
+  list.add<Damping>(0.97f);
+  list.add<KillOld>();
+  list.add<Move>();
+
+  // Two "slices" with a mix of live, short-lived and dead particles.
+  Rng init(99);
+  auto make_slice = [&](std::size_t n) {
+    std::vector<Particle> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Particle p = at(init.in_box({-5, 0, -5}, {5, 8, 5}),
+                      init.in_unit_ball() * 2.0f);
+      p.lifetime = (i % 7 == 0) ? 0.01f : 10.0f;  // some die under KillOld
+      p.age = 1.0f;
+      out.push_back(p);
+    }
+    return out;
+  };
+  std::vector<Particle> ref1 = make_slice(40);
+  std::vector<Particle> ref2 = make_slice(25);
+  std::vector<Particle> fus1 = ref1;
+  std::vector<Particle> fus2 = ref2;
+
+  const float dt = 0.05f;
+  auto rng_for = [](std::size_t index) {
+    return Rng(1234).derive(index, 9);
+  };
+
+  // Reference: one pass per action over every slice, exactly the
+  // pre-fusion executor (per-action RNG stream spans the slices).
+  std::size_t ref_killed = 0;
+  std::size_t index = 0;
+  for (const auto& action : list) {
+    ++index;
+    if (action->cls() == ActionClass::kCreate) continue;
+    Rng rng = rng_for(index);
+    ActionContext ctx{dt, &rng, 0};
+    action->apply(ref1, ctx);
+    action->apply(ref2, ctx);
+    ref_killed += ctx.killed;
+  }
+
+  FusedPasses fused(list, dt, rng_for);
+  ASSERT_EQ(fused.passes().size(), 5u);
+  fused.apply(fus1);
+  fused.apply(fus2);
+
+  EXPECT_EQ(fused.killed(), ref_killed);
+  EXPECT_GT(ref_killed, 0u);
+  auto expect_same = [](const std::vector<Particle>& a,
+                        const std::vector<Particle>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].pos, b[i].pos);
+      EXPECT_EQ(a[i].prev_pos, b[i].prev_pos);
+      EXPECT_EQ(a[i].vel, b[i].vel);
+      EXPECT_EQ(a[i].age, b[i].age);
+      EXPECT_EQ(a[i].dead(), b[i].dead());
+    }
+  };
+  expect_same(ref1, fus1);
+  expect_same(ref2, fus2);
+}
+
 TEST(Effects, SnowFallsDownward) {
   const Aabb area({-10, 0, -10}, {10, 12, 10});
   const auto sys = snow_system(area, 200, 5.0f);

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "math/rng.hpp"
 #include "psys/store.hpp"
@@ -196,6 +198,51 @@ TEST(Donation, MoreSlicesSortFewerElements) {
   EXPECT_LT(sorted_sliced, 4096u / 8);
 }
 
+TEST(Donation, WholeSliceFastPathSkipsSortingAndConservesCount) {
+  // 4 slices over [0, 4): 10 particles land in each slice. Taking whole
+  // sub-slices must not sort anything; taking a partial boundary slice
+  // sorts only that slice. Both branches conserve the particle count.
+  auto build = [] {
+    SlicedStore store(0, 0, 4, 4);
+    for (int s = 0; s < 4; ++s) {
+      for (int i = 0; i < 10; ++i) {
+        store.insert(at_x(static_cast<float>(s) + 0.05f * (i + 1)));
+      }
+    }
+    return store;
+  };
+
+  {
+    SlicedStore store = build();
+    const Donation d = store.donate_low(10);  // exactly slice 0
+    EXPECT_EQ(d.particles.size(), 10u);
+    EXPECT_EQ(d.sorted_elements, 0u);  // whole-sub-slice fast path
+    EXPECT_EQ(store.size() + d.particles.size(), 40u);
+    for (const auto& p : d.particles) EXPECT_LT(p.pos.x, 1.0f);
+  }
+  {
+    SlicedStore store = build();
+    const Donation d = store.donate_low(20);  // slices 0+1, still unsorted
+    EXPECT_EQ(d.particles.size(), 20u);
+    EXPECT_EQ(d.sorted_elements, 0u);
+    EXPECT_EQ(store.size() + d.particles.size(), 40u);
+  }
+  {
+    SlicedStore store = build();
+    const Donation d = store.donate_low(15);  // slice 0 + half of slice 1
+    EXPECT_EQ(d.particles.size(), 15u);
+    EXPECT_EQ(d.sorted_elements, 10u);  // only the boundary slice sorted
+    EXPECT_EQ(store.size() + d.particles.size(), 40u);
+  }
+  {
+    SlicedStore store = build();
+    const Donation d = store.donate_high(15);  // mirror image
+    EXPECT_EQ(d.particles.size(), 15u);
+    EXPECT_EQ(d.sorted_elements, 10u);
+    EXPECT_EQ(store.size() + d.particles.size(), 40u);
+  }
+}
+
 TEST(Donation, EmptyAndZeroCases) {
   SlicedStore store(0, 0, 10, 4);
   EXPECT_TRUE(store.donate_low(10).particles.empty());
@@ -221,6 +268,50 @@ TEST(Donation, DuplicateKeysStillSeparable) {
   // All keys equal: the edge must sit at or just above the key so kept
   // particles remain in [edge, hi).
   for (const auto& p : store.snapshot()) EXPECT_GE(p.pos.x, d.new_edge);
+}
+
+TEST(SlicedStore, DropsNonFiniteOnInsert) {
+  SlicedStore store(0, 0, 10, 4);
+  Particle nan_x = at_x(5);
+  nan_x.pos.x = std::numeric_limits<float>::quiet_NaN();
+  Particle inf_y = at_x(5);
+  inf_y.pos.y = std::numeric_limits<float>::infinity();
+  store.insert(nan_x);
+  store.insert(inf_y);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.nonfinite_dropped(), 2u);
+  store.insert(at_x(5));  // finite particles still land
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.nonfinite_dropped(), 2u);
+}
+
+TEST(SlicedStore, InsertBatchDropsOnlyNonFinite) {
+  SlicedStore store(0, 0, 10, 4);
+  std::vector<Particle> batch = {at_x(1), at_x(2), at_x(3)};
+  batch[1].pos.z = std::numeric_limits<float>::quiet_NaN();
+  store.insert_batch(batch);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.nonfinite_dropped(), 1u);
+}
+
+TEST(SlicedStore, ExtractDropsParticlesThatWentNonFinite) {
+  // A particle whose position turns NaN during an action pass must not
+  // survive the crossing scan: NaN compares false against both edges, so
+  // the old code kept it forever, corrupting exchange conservation.
+  SlicedStore store(0, 0, 10, 4);
+  store.insert_batch(std::vector<Particle>{at_x(1), at_x(5), at_x(9)});
+  store.for_each_slice([](std::span<Particle> ps) {
+    for (auto& p : ps) {
+      if (p.pos.x == 5.0f) p.pos.x = std::numeric_limits<float>::quiet_NaN();
+    }
+  });
+  const auto crossers = store.extract_outside();
+  EXPECT_TRUE(crossers.empty());  // the NaN is dropped, not shipped
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.nonfinite_dropped(), 1u);
+  for (const auto& p : store.snapshot()) {
+    EXPECT_TRUE(std::isfinite(p.pos.x));
+  }
 }
 
 TEST(SlicedStore, KeyUsesConfiguredAxis) {

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_PR4.json emitted by bench/wallclock_suite.
+
+Usage:
+    bench_json.py check FILE [--baseline FILE]
+
+Hard failures (exit 1):
+  - schema mismatch or missing sections
+  - virtual-time drift: within a scene, the pooled and unpooled variants
+    must report bit-identical virtual makespans, framebuffer hashes and
+    final particle counts (wall-clock optimizations must not leak into
+    virtual-time results). Floats are compared as their literal JSON
+    strings, so "identical" means identical down to the last bit.
+  - allocation guard: the pooled variant of every scene, and the pooled
+    round-trip kernel, must perform at least 2x fewer heap allocations
+    on the message path than the unpooled variant.
+  - kernel floor: each kernel's measured speedup (legacy_s / optimized_s)
+    must be >= its self-declared min_speedup.
+  - --baseline: every scene present in both files must report identical
+    makespan strings (regression guard across commits).
+
+Soft warnings (exit 0): kernel speedup below 1.0 while still above its
+floor, pooled steady-state allocations that are nonzero.
+
+Stdlib only; floats are parsed with parse_float=str so comparisons are
+exact string comparisons, immune to float round-tripping.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "psanim-bench-pr4-v1"
+
+_failures = []
+_warnings = []
+
+
+def fail(msg):
+    _failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def warn(msg):
+    _warnings.append(msg)
+    print(f"warn: {msg}")
+
+
+def ok(msg):
+    print(f"  ok: {msg}")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f, parse_float=str)
+
+
+def variants_of(scene):
+    pooled = [v for v in scene.get("variants", []) if v.get("pool") is True]
+    unpooled = [v for v in scene.get("variants", []) if v.get("pool") is False]
+    if len(pooled) != 1 or len(unpooled) != 1:
+        fail(f"scene {scene.get('name')}: expected exactly one pooled and one "
+             f"unpooled variant")
+        return None, None
+    return pooled[0], unpooled[0]
+
+
+def check_scene(scene):
+    name = scene.get("name", "<unnamed>")
+    pooled, unpooled = variants_of(scene)
+    if pooled is None:
+        return
+
+    for field in ("virtual_makespan_s", "fb_hash", "final_particles"):
+        a, b = pooled.get(field), unpooled.get(field)
+        if a != b:
+            fail(f"scene {name}: {field} differs between pool variants "
+                 f"({a!r} vs {b!r}) — virtual time leaked wall-clock state")
+        else:
+            ok(f"scene {name}: {field} identical across variants ({a})")
+
+    pa = int(pooled.get("buffer_heap_allocs", -1))
+    ua = int(unpooled.get("buffer_heap_allocs", -1))
+    if pa < 0 or ua < 0:
+        fail(f"scene {name}: missing buffer_heap_allocs")
+    elif pa * 2 > ua:
+        fail(f"scene {name}: pooled heap allocs {pa} not >= 2x fewer than "
+             f"unpooled {ua}")
+    else:
+        ratio = (ua / pa) if pa else float("inf")
+        ok(f"scene {name}: heap allocs pooled={pa} unpooled={ua} "
+           f"({ratio:.1f}x fewer)")
+
+
+def check_kernel(k):
+    name = k.get("name", "<unnamed>")
+    try:
+        legacy = float(k["legacy_s"])
+        optimized = float(k["optimized_s"])
+        floor = float(k.get("min_speedup", "1.0"))
+    except (KeyError, ValueError) as e:
+        fail(f"kernel {name}: bad timing fields ({e})")
+        return
+    if optimized <= 0:
+        fail(f"kernel {name}: nonpositive optimized_s")
+        return
+    speedup = legacy / optimized
+    if speedup < floor:
+        fail(f"kernel {name}: speedup {speedup:.2f}x below floor {floor}x")
+    elif speedup < 1.0:
+        warn(f"kernel {name}: speedup {speedup:.2f}x (above floor, below 1x)")
+    else:
+        ok(f"kernel {name}: speedup {speedup:.2f}x (floor {floor}x)")
+
+
+def check_pool_kernel(pk):
+    name = pk.get("name", "<unnamed>")
+    pa = int(pk.get("pooled_heap_allocs", -1))
+    ua = int(pk.get("unpooled_heap_allocs", -1))
+    if pa < 0 or ua < 0:
+        fail(f"pool_kernel {name}: missing alloc counts")
+        return
+    if pa * 2 > ua:
+        fail(f"pool_kernel {name}: pooled allocs {pa} not >= 2x fewer than "
+             f"unpooled {ua}")
+    else:
+        ok(f"pool_kernel {name}: heap allocs pooled={pa} unpooled={ua}")
+    if pa != 0:
+        warn(f"pool_kernel {name}: pooled steady state performed {pa} heap "
+             f"allocations (expected 0)")
+
+
+def check_baseline(doc, base):
+    base_scenes = {s.get("name"): s for s in base.get("scenes", [])}
+    for scene in doc.get("scenes", []):
+        name = scene.get("name")
+        if name not in base_scenes:
+            warn(f"scene {name}: not present in baseline, skipping")
+            continue
+        a_pooled, _ = variants_of(scene)
+        b_pooled, _ = variants_of(base_scenes[name])
+        if a_pooled is None or b_pooled is None:
+            continue
+        a = a_pooled.get("virtual_makespan_s")
+        b = b_pooled.get("virtual_makespan_s")
+        if a != b:
+            fail(f"scene {name}: virtual makespan drifted from baseline "
+                 f"({b!r} -> {a!r})")
+        else:
+            ok(f"scene {name}: makespan matches baseline ({a})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    chk = sub.add_parser("check", help="validate a BENCH_PR4.json")
+    chk.add_argument("file")
+    chk.add_argument("--baseline", help="previous BENCH_PR4.json to compare "
+                     "virtual makespans against")
+    args = ap.parse_args()
+
+    doc = load(args.file)
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema {doc.get('schema')!r} != {SCHEMA!r}")
+    scenes = doc.get("scenes", [])
+    kernels = doc.get("kernels", [])
+    if not scenes:
+        fail("no scenes section")
+    if not kernels:
+        fail("no kernels section")
+
+    for k in kernels:
+        check_kernel(k)
+    if "pool_kernel" in doc:
+        check_pool_kernel(doc["pool_kernel"])
+    else:
+        fail("no pool_kernel section")
+    for s in scenes:
+        check_scene(s)
+    if args.baseline:
+        check_baseline(doc, load(args.baseline))
+
+    print(f"\n{args.file}: {len(_failures)} failure(s), "
+          f"{len(_warnings)} warning(s)")
+    return 1 if _failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
