@@ -69,6 +69,13 @@ struct ObsSettings {
   /// re-emit it on restore (needs tracing on and a checkpoint policy).
   bool flight_recorder = false;
   std::size_t flight_capacity = 256;
+  /// Export the process-wide mp::BufferPool stat deltas sampled around this
+  /// run as psanim_mp_buffer_* counters. The pool is shared by every
+  /// runtime in the process, so the farm turns this off for co-scheduled
+  /// jobs (neighbor traffic would be misattributed) and exports one
+  /// farm-level delta instead. run_parallel also skips the export on its
+  /// own when it detects another run overlapped it in wall-clock.
+  bool pool_metrics = true;
 
   bool tracing() const { return trace != nullptr || !trace_json_path.empty(); }
 };

@@ -1,5 +1,6 @@
 #include "core/simulation.hpp"
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -80,6 +81,15 @@ void pool_metrics(obs::MetricsRegistry& reg,
       .add(delta(after.releases, before.releases));
 }
 
+// Concurrent-run detection for the pool export. mp::BufferPool is one
+// process-wide instance (thread-safe, but its counters are global), so a
+// per-run delta is only attributable when no other run_parallel overlapped
+// this one. The farm runs many jobs concurrently; their per-job exports are
+// disabled via ObsSettings::pool_metrics, and this guard additionally
+// protects ad-hoc concurrent callers.
+std::atomic<std::uint64_t> g_runs_started{0};
+std::atomic<int> g_runs_active{0};
+
 }  // namespace
 
 ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
@@ -147,6 +157,11 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
     rt_options.trace = trace;
   }
 
+  const std::uint64_t start_stamp = g_runs_started.fetch_add(1) + 1;
+  const bool entered_alone = g_runs_active.fetch_add(1) == 0;
+  struct ActiveGuard {
+    ~ActiveGuard() { g_runs_active.fetch_sub(1); }
+  } active_guard;
   const mp::BufferPool::Stats pool_before = mp::BufferPool::global().stats();
 
   mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
@@ -219,7 +234,15 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
       trace->write_chrome_json(eff.obs.trace_json_path);
     }
   }
-  pool_metrics(result.metrics, pool_before, mp::BufferPool::global().stats());
+  const mp::BufferPool::Stats pool_after = mp::BufferPool::global().stats();
+  // Exclusive iff nothing was active at entry and no run started since.
+  const bool exclusive =
+      entered_alone && g_runs_started.load() == start_stamp;
+  if (eff.obs.pool_metrics && exclusive) {
+    pool_metrics(result.metrics, pool_before, pool_after);
+  } else if (eff.obs.pool_metrics) {
+    result.metrics.counter("psanim_mp_buffer_stats_skipped_shared").inc();
+  }
   return result;
 }
 

@@ -1,0 +1,514 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "mp/buffer_pool.hpp"
+#include "obs/trace.hpp"
+#include "render/compare.hpp"
+
+namespace psanim::farm {
+
+namespace detail {
+
+/// One mutex + condvar for the whole farm: handle queries are rare and
+/// driver writes are batched per scheduling event, so a single lock keeps
+/// the state machine trivially consistent. Held in a shared_ptr so handles
+/// outlive the Farm.
+struct SharedState {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+};
+
+struct JobRecord {
+  JobSpec spec;   // immutable after submit
+  int seq = 0;    // submission sequence (deterministic tiebreak)
+  double est = 0; // SJF ranking key
+  std::shared_ptr<SharedState> ss;
+  JobResult result;  // guarded by ss->mu (state field is the job state)
+};
+
+}  // namespace detail
+
+using detail::JobRecord;
+
+// --- JobHandle ------------------------------------------------------------
+
+const std::string& JobHandle::name() const { return rec_->spec.name; }
+
+JobState JobHandle::poll() const {
+  const std::scoped_lock lock(rec_->ss->mu);
+  return rec_->result.state;
+}
+
+namespace {
+bool terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+}  // namespace
+
+const JobResult& JobHandle::await() const {
+  std::unique_lock lock(rec_->ss->mu);
+  rec_->ss->cv.wait(lock, [&] { return terminal(rec_->result.state); });
+  return rec_->result;
+}
+
+bool JobHandle::cancel() {
+  const std::scoped_lock lock(rec_->ss->mu);
+  if (rec_->result.state != JobState::kQueued) return false;
+  rec_->result.state = JobState::kCancelled;
+  rec_->ss->cv.notify_all();
+  return true;
+}
+
+// --- Farm: admission ------------------------------------------------------
+
+Farm::Farm(cluster::ClusterSpec shared, FarmOptions options)
+    : shared_(std::move(shared)), options_(std::move(options)) {
+  if (shared_.node_count() == 0) {
+    throw std::invalid_argument("Farm: shared cluster has no nodes");
+  }
+  for (const auto& n : shared_.nodes) {
+    if (n.cpus < 1) {
+      throw std::invalid_argument("Farm: every node needs >= 1 CPU slot");
+    }
+    total_slots_ += n.cpus;
+  }
+  ss_ = std::make_shared<detail::SharedState>();
+  occupancy_.assign(shared_.node_count(), 0);
+  usage_.assign(shared_.node_count(), NodeUsage{});
+}
+
+Farm::~Farm() {
+  if (driver_.joinable()) {
+    driver_.join();
+  } else {
+    // Never started: unblock any await()ers by cancelling the queue.
+    const std::scoped_lock lock(ss_->mu);
+    for (auto& rec : jobs_) {
+      if (rec->result.state == JobState::kQueued) {
+        rec->result.state = JobState::kCancelled;
+      }
+    }
+    ss_->cv.notify_all();
+  }
+}
+
+JobHandle Farm::submit(JobSpec spec) {
+  const auto reject = [](const std::string& why) {
+    throw std::invalid_argument("Farm::submit: " + why);
+  };
+  const std::scoped_lock lock(ss_->mu);
+  if (started_) {
+    reject("the queue is sealed — submit every job before start()");
+  }
+  spec.settings.validate();  // zero-frame jobs etc. fail here, with context
+  if (spec.submit_time_s < 0.0) {
+    reject("submit_time_s must be >= 0, got " +
+           std::to_string(spec.submit_time_s));
+  }
+  const int world = spec.world_size();
+  if (world > total_slots_) {
+    reject("job needs " + std::to_string(world) + " ranks (ncalc " +
+           std::to_string(spec.settings.ncalc) +
+           " + manager + image generator) but the shared cluster has only " +
+           std::to_string(total_slots_) +
+           " CPU slots — it can never be scheduled");
+  }
+  // Cross-job isolation: per-job checkpoints, traces and event logs. Two
+  // jobs writing one vault/trace/log would race and entangle recoveries.
+  for (const auto& other : jobs_) {
+    if (spec.settings.ckpt_vault != nullptr &&
+        spec.settings.ckpt_vault == other->spec.settings.ckpt_vault) {
+      reject("job '" + spec.name + "' shares a ckpt vault with job '" +
+             other->spec.name + "' — checkpoints are per-job");
+    }
+    if (spec.settings.obs.trace != nullptr &&
+        spec.settings.obs.trace == other->spec.settings.obs.trace) {
+      reject("job '" + spec.name + "' shares an obs::Trace with job '" +
+             other->spec.name + "' — traces are per-job");
+    }
+    if (spec.settings.events != nullptr &&
+        spec.settings.events == other->spec.settings.events) {
+      reject("job '" + spec.name + "' shares an EventLog with job '" +
+             other->spec.name + "' — event logs are per-job");
+    }
+  }
+  auto rec = std::make_shared<JobRecord>();
+  rec->seq = static_cast<int>(jobs_.size());
+  if (spec.name.empty()) spec.name = "job" + std::to_string(rec->seq);
+  rec->spec = std::move(spec);
+  rec->est = estimate_virtual_cost(rec->spec);
+  rec->ss = ss_;
+  jobs_.push_back(rec);
+  return JobHandle(rec);
+}
+
+void Farm::start() {
+  {
+    const std::scoped_lock lock(ss_->mu);
+    if (started_) return;
+    started_ = true;
+  }
+  driver_ = std::thread([this] { drive(); });
+}
+
+void Farm::wait() {
+  start();
+  if (driver_.joinable()) driver_.join();
+  waited_ = true;
+}
+
+Report Farm::run() {
+  wait();
+  return report_;
+}
+
+const Report& Farm::report() const {
+  if (!waited_) {
+    throw std::logic_error("Farm::report: call wait() (or run()) first");
+  }
+  return report_;
+}
+
+// --- Farm: the discrete-event driver --------------------------------------
+
+struct Farm::Running {
+  std::shared_ptr<JobRecord> rec;
+  Assignment assignment;  // driver-owned copy (no lock needed)
+  double start = 0.0;
+  double duration = 0.0;  ///< standalone virtual makespan
+  double progress = 0.0;  ///< standalone-equivalent seconds completed
+  double stretch = 1.0;   ///< current slowdown (>= 1)
+  double finish_est = 0.0;
+};
+
+namespace {
+
+std::string sanitize_filename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out.empty() ? "job" : out;
+}
+
+/// What one launched job produced (worker-thread output; the driver merges
+/// it under the lock after joining).
+struct LaunchOut {
+  std::shared_ptr<JobRecord> rec;
+  Assignment assignment;
+  std::unique_ptr<obs::Trace> own_trace;  // must outlive the run
+  std::string trace_path;
+  core::ParallelResult res;
+  bool ok = false;
+  std::string error;
+};
+
+}  // namespace
+
+void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
+                        double now, std::vector<Running>& running,
+                        std::vector<int>& free_slots) {
+  if (batch.empty()) return;
+  std::vector<LaunchOut> outs(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto& out = outs[i];
+    out.rec = batch[i];
+    out.assignment =
+        assign_slots(shared_, free_slots, out.rec->spec.world_size());
+    for (std::size_t k = 0; k < out.assignment.shared_nodes.size(); ++k) {
+      const auto n = static_cast<std::size_t>(out.assignment.shared_nodes[k]);
+      free_slots[n] -= out.assignment.ranks_per_node[k];
+      occupancy_[n] += out.assignment.ranks_per_node[k];
+      usage_[n].peak_ranks = std::max(usage_[n].peak_ranks, occupancy_[n]);
+    }
+    if (!options_.obs_dir.empty() && !out.rec->spec.settings.obs.tracing()) {
+      out.own_trace = std::make_unique<obs::Trace>();
+      out.own_trace->set_rank_namespace(out.rec->spec.name);
+      out.trace_path = options_.obs_dir + "/" +
+                       sanitize_filename(out.rec->spec.name) + ".trace.json";
+    }
+    const std::scoped_lock lock(ss_->mu);
+    out.rec->result.state = JobState::kRunning;
+    out.rec->result.start_s = now;
+    out.rec->result.assignment = out.assignment;
+  }
+
+  // Execute the batch concurrently in wall-clock (each job is its own
+  // mp::Runtime with instance-isolated mailboxes/clocks; the only shared
+  // mutable substrate is the thread-safe global BufferPool). Results are
+  // virtual-time quantities, so the wall-clock interleaving — and the
+  // max_parallel_launches cap — cannot change them.
+  const std::size_t cap =
+      options_.max_parallel_launches > 0
+          ? static_cast<std::size_t>(options_.max_parallel_launches)
+          : batch.size();
+  const auto run_one = [this](LaunchOut& out) {
+    try {
+      core::SimSettings eff = out.rec->spec.settings;
+      eff.obs.pool_metrics = false;  // pool is process-global; see Report
+      if (out.own_trace != nullptr) eff.obs.trace = out.own_trace.get();
+      mp::RuntimeOptions rt;
+      rt.recv_timeout_s = options_.recv_timeout_s;
+      out.res = core::run_parallel(out.rec->spec.scene, eff,
+                                   out.assignment.sub_spec,
+                                   out.assignment.placement, options_.cost,
+                                   rt);
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    } catch (...) {
+      out.error = "unknown exception";
+    }
+  };
+  for (std::size_t base = 0; base < outs.size(); base += cap) {
+    std::vector<std::thread> workers;
+    const std::size_t end = std::min(outs.size(), base + cap);
+    workers.reserve(end - base);
+    for (std::size_t i = base; i < end; ++i) {
+      workers.emplace_back([&run_one, &outs, i] { run_one(outs[i]); });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  for (auto& out : outs) {
+    if (out.ok && !out.trace_path.empty()) {
+      out.own_trace->write_chrome_json(out.trace_path);
+    }
+    if (out.ok) {
+      Running r;
+      r.rec = out.rec;
+      r.assignment = out.assignment;
+      r.start = now;
+      r.duration = out.res.animation_s;
+      const std::scoped_lock lock(ss_->mu);
+      out.rec->result.standalone_makespan_s = out.res.animation_s;
+      out.rec->result.fb_hash =
+          render::hash_framebuffer(out.res.final_frame);
+      out.rec->result.result = std::move(out.res);
+      running.push_back(std::move(r));
+    } else {
+      // Failed during launch: the job completes (failed) at its start
+      // time and its slots free immediately — neighbors are unaffected.
+      for (std::size_t k = 0; k < out.assignment.shared_nodes.size(); ++k) {
+        const auto n =
+            static_cast<std::size_t>(out.assignment.shared_nodes[k]);
+        free_slots[n] += out.assignment.ranks_per_node[k];
+        occupancy_[n] -= out.assignment.ranks_per_node[k];
+      }
+      const std::scoped_lock lock(ss_->mu);
+      out.rec->result.state = JobState::kFailed;
+      out.rec->result.finish_s = now;
+      out.rec->result.error = std::move(out.error);
+      report_.completion_order.push_back(out.rec->spec.name);
+      ++report_.jobs_failed;
+      ss_->cv.notify_all();
+    }
+  }
+}
+
+void Farm::recompute_stretch(std::vector<Running>& running) const {
+  const double smp = options_.cost.smp_contention;
+  for (auto& r : running) {
+    double worst = 1.0;
+    for (std::size_t k = 0; k < r.assignment.shared_nodes.size(); ++k) {
+      const auto n = static_cast<std::size_t>(r.assignment.shared_nodes[k]);
+      const int own = r.assignment.ranks_per_node[k];
+      // The in-job rate model already charges smp_contention when the job
+      // itself shares the node; the farm adds the penalty only when
+      // *neighbor* jobs turn an exclusive node into a shared one. Slots
+      // are never oversubscribed, so bus sharing is the whole contention.
+      if (own == 1 && occupancy_[n] > 1 && smp > 0.0 && smp < 1.0) {
+        worst = std::max(worst, 1.0 / smp);
+      }
+    }
+    r.stretch = worst;
+  }
+}
+
+void Farm::drive() {
+  const mp::BufferPool::Stats pool_before = mp::BufferPool::global().stats();
+
+  // Submission set is sealed; specs/seq/est are immutable. Sort arrivals.
+  std::vector<std::shared_ptr<JobRecord>> pending = jobs_;
+  std::sort(pending.begin(), pending.end(), [](const auto& a, const auto& b) {
+    if (a->spec.submit_time_s != b->spec.submit_time_s) {
+      return a->spec.submit_time_s < b->spec.submit_time_s;
+    }
+    return a->seq < b->seq;
+  });
+  std::size_t next_arrival = 0;
+
+  std::vector<std::shared_ptr<JobRecord>> queued;
+  std::vector<Running> running;
+  std::vector<int> free_slots(shared_.node_count());
+  for (std::size_t n = 0; n < shared_.node_count(); ++n) {
+    free_slots[n] = shared_.nodes[n].cpus;
+  }
+
+  double t = 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (;;) {
+    // Arrivals up to now.
+    while (next_arrival < pending.size() &&
+           pending[next_arrival]->spec.submit_time_s <= t) {
+      queued.push_back(pending[next_arrival++]);
+    }
+
+    // Drop cancellations, then admit in policy order with backfill: one
+    // ordered pass starts every job that fits the remaining free slots
+    // (work conservation — capacity never idles while a runnable job
+    // waits; FIFO order is (arrival, seq), SJF order (est, seq)).
+    {
+      const std::scoped_lock lock(ss_->mu);
+      std::erase_if(queued, [](const auto& rec) {
+        return rec->result.state != JobState::kQueued;
+      });
+    }
+    std::vector<std::shared_ptr<JobRecord>> order = queued;
+    if (options_.policy == Policy::kSjf) {
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) {
+                  if (a->est != b->est) return a->est < b->est;
+                  return a->seq < b->seq;
+                });
+    }
+    int total_free = 0;
+    for (const int f : free_slots) total_free += f;
+    std::vector<std::shared_ptr<JobRecord>> batch;
+    for (const auto& rec : order) {
+      const int world = rec->spec.world_size();
+      if (world <= total_free) {
+        batch.push_back(rec);
+        total_free -= world;
+      }
+    }
+    for (const auto& rec : batch) {
+      queued.erase(std::find(queued.begin(), queued.end(), rec));
+    }
+    launch_batch(std::move(batch), t, running, free_slots);
+
+    // Occupancy is now stable until the next event: refresh stretches and
+    // projected finishes.
+    recompute_stretch(running);
+    for (auto& r : running) {
+      r.finish_est = t + (r.duration - r.progress) * r.stretch;
+    }
+
+    double t_next = kInf;
+    if (next_arrival < pending.size()) {
+      t_next = pending[next_arrival]->spec.submit_time_s;
+    }
+    for (const auto& r : running) t_next = std::min(t_next, r.finish_est);
+    if (t_next == kInf) break;  // nothing running, nothing arriving
+
+    // Advance the farm clock: every running job drains standalone-
+    // equivalent work at 1/stretch, every shared node clock accumulates
+    // its resident ranks.
+    const double dt = t_next - t;
+    if (dt > 0.0) {
+      for (auto& r : running) r.progress += dt / r.stretch;
+      for (std::size_t n = 0; n < usage_.size(); ++n) {
+        usage_[n].busy_rank_s += static_cast<double>(occupancy_[n]) * dt;
+      }
+    }
+    t = t_next;
+
+    // Complete every job projected to finish now (iteration order is
+    // admission order — deterministic tiebreak for simultaneous
+    // finishes).
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->finish_est <= t) {
+        for (std::size_t k = 0; k < it->assignment.shared_nodes.size();
+             ++k) {
+          const auto n =
+              static_cast<std::size_t>(it->assignment.shared_nodes[k]);
+          free_slots[n] += it->assignment.ranks_per_node[k];
+          occupancy_[n] -= it->assignment.ranks_per_node[k];
+        }
+        const std::scoped_lock lock(ss_->mu);
+        auto& res = it->rec->result;
+        res.state = JobState::kDone;
+        res.finish_s = t;
+        res.stretch =
+            it->duration > 0.0 ? (t - it->start) / it->duration : 1.0;
+        report_.completion_order.push_back(it->rec->spec.name);
+        ++report_.jobs_done;
+        report_.makespan_s = std::max(report_.makespan_s, t);
+        report_.total_flow_s += t - it->rec->spec.submit_time_s;
+        ss_->cv.notify_all();
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Anything still queued was cancelled (admission guarantees every
+  // admitted job fits an empty farm, so the queue always drains).
+  {
+    const std::scoped_lock lock(ss_->mu);
+    for (const auto& rec : jobs_) {
+      if (rec->result.state == JobState::kCancelled) {
+        ++report_.jobs_cancelled;
+      }
+    }
+    ss_->cv.notify_all();
+  }
+
+  report_.policy = options_.policy;
+  report_.nodes = usage_;
+  report_.mean_turnaround_s =
+      report_.jobs_done > 0
+          ? report_.total_flow_s / static_cast<double>(report_.jobs_done)
+          : 0.0;
+
+  auto& m = report_.metrics;
+  m.counter("psanim_farm_jobs_submitted_total")
+      .add(static_cast<double>(jobs_.size()));
+  m.counter("psanim_farm_jobs_done_total")
+      .add(static_cast<double>(report_.jobs_done));
+  m.counter("psanim_farm_jobs_failed_total")
+      .add(static_cast<double>(report_.jobs_failed));
+  m.counter("psanim_farm_jobs_cancelled_total")
+      .add(static_cast<double>(report_.jobs_cancelled));
+  m.gauge("psanim_farm_makespan_seconds").set(report_.makespan_s);
+  m.counter("psanim_farm_flow_seconds_total").add(report_.total_flow_s);
+  int peak = 0;
+  for (const auto& u : usage_) peak = std::max(peak, u.peak_ranks);
+  m.gauge("psanim_farm_peak_node_ranks").set(static_cast<double>(peak));
+  const mp::BufferPool::Stats pool_after = mp::BufferPool::global().stats();
+  m.counter("psanim_farm_buffer_acquires_total")
+      .add(static_cast<double>(pool_after.acquires - pool_before.acquires));
+  m.counter("psanim_farm_buffer_pool_hits_total")
+      .add(static_cast<double>(pool_after.hits - pool_before.hits));
+  m.counter("psanim_farm_buffer_heap_allocs_total")
+      .add(static_cast<double>(pool_after.misses - pool_before.misses));
+  m.counter("psanim_farm_buffer_releases_total")
+      .add(static_cast<double>(pool_after.releases - pool_before.releases));
+}
+
+// --- standalone oracle ----------------------------------------------------
+
+core::ParallelResult standalone_run(const JobSpec& spec,
+                                    const Assignment& assignment,
+                                    const cluster::CostModel& cost,
+                                    double recv_timeout_s) {
+  core::SimSettings eff = spec.settings;
+  eff.obs.trace = nullptr;  // pure re-run: no shared observers, no files
+  eff.obs.trace_json_path.clear();
+  mp::RuntimeOptions rt;
+  rt.recv_timeout_s = recv_timeout_s;
+  return core::run_parallel(spec.scene, eff, assignment.sub_spec,
+                            assignment.placement, cost, rt);
+}
+
+}  // namespace psanim::farm

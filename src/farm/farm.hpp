@@ -1,0 +1,189 @@
+#pragma once
+
+// psanim::farm — a multi-job simulation scheduler over one shared virtual
+// cluster.
+//
+// The paper runs one animation on the whole cluster; a production service
+// runs many at once. Farm accepts N independent jobs (each its own scene +
+// settings), admission-checks them against the shared ClusterSpec, and
+// schedules them with a deterministic work-conserving policy (FIFO or
+// shortest-virtual-job-first, both with backfill). Every job executes as
+// its own mp::Runtime — real threads, instance-isolated mailboxes and
+// clocks — over the CPU slots it was granted, and co-scheduled jobs run
+// concurrently in wall-clock too.
+//
+// Two-level virtual time. Each job's *internal* virtual time is exactly
+// what a standalone run on its granted sub-cluster would measure — the
+// farm never alters a job's inputs, so results (framebuffer, particles,
+// makespan) are bit-identical to standalone. The *farm-level* timeline is
+// a discrete-event simulation over job arrivals and completions: every
+// shared node carries a virtual clock tracking resident ranks, and a job
+// co-scheduled with neighbors on an SMP node drains its work slower by the
+// bus-sharing factor its standalone run did not have to pay
+// (cost.smp_contention, the same constant the in-job rate model uses).
+// A job's farm completion time therefore stretches under contention while
+// its simulation output does not — contention is modeled, not ignored,
+// and determinism survives (the DES depends only on virtual quantities,
+// never on wall-clock interleaving).
+//
+// Capacity is never oversubscribed: a job starts only when every granted
+// node has a free CPU slot per rank, so the only cross-job slowdown is the
+// SMP bus-sharing penalty of co-residency within a node's slot budget.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "farm/job.hpp"
+#include "obs/metrics.hpp"
+
+namespace psanim::farm {
+
+struct FarmOptions {
+  Policy policy = Policy::kFifo;
+  /// Cost model forwarded to every job's run (and the source of the
+  /// cross-job SMP contention factor).
+  cluster::CostModel cost;
+  /// Wall-clock receive timeout forwarded to every job's runtime.
+  double recv_timeout_s = 60.0;
+  /// When set, every job gets a per-job Chrome trace written to
+  /// `<obs_dir>/<job name>.trace.json`, with rank names namespaced by job
+  /// ("jobname/manager", ...). Jobs that configured their own obs settings
+  /// keep them.
+  std::string obs_dir;
+  /// Cap on jobs launched concurrently in wall-clock per scheduling event
+  /// (0 = no cap). Virtual-time results are identical either way.
+  int max_parallel_launches = 0;
+};
+
+/// Per-shared-node usage over the whole farm run, fed by the shared node
+/// clocks.
+struct NodeUsage {
+  int peak_ranks = 0;       ///< max resident ranks at any farm-virtual instant
+  double busy_rank_s = 0.0; ///< integral of resident ranks over farm time
+};
+
+struct Report {
+  Policy policy = Policy::kFifo;
+  double makespan_s = 0.0;        ///< last job finish (farm virtual time)
+  double total_flow_s = 0.0;      ///< sum over jobs of finish - submit
+  double mean_turnaround_s = 0.0; ///< total_flow / completed jobs
+  std::size_t jobs_done = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_cancelled = 0;
+  /// Job names in completion order — deterministic for a fixed submission
+  /// set (ordered by finish time, submission sequence as tiebreak).
+  std::vector<std::string> completion_order;
+  std::vector<NodeUsage> nodes;  ///< indexed by shared-spec node
+  /// Farm-level aggregates: job counts, makespan/flow, per-run buffer-pool
+  /// deltas (sampled farm-wide — per-job pool metrics are disabled because
+  /// the pool is process-global; see ObsSettings::pool_metrics).
+  obs::MetricsRegistry metrics;
+};
+
+namespace detail {
+struct JobRecord;
+struct SharedState;
+}  // namespace detail
+
+/// Async handle returned by Farm::submit. Valid (and non-blocking to
+/// query) even after the Farm is destroyed.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  const std::string& name() const;
+  /// Current state; never blocks.
+  JobState poll() const;
+  /// Block until the job reaches a terminal state; returns the result.
+  /// The reference stays valid as long as any handle to this job lives.
+  const JobResult& await() const;
+  /// Cancel a job that is still queued. Returns true if this call
+  /// cancelled it; false if it already started, finished or was cancelled.
+  /// Running jobs are never aborted — their slots drain normally.
+  bool cancel();
+
+ private:
+  friend class Farm;
+  explicit JobHandle(std::shared_ptr<detail::JobRecord> rec)
+      : rec_(std::move(rec)) {}
+  std::shared_ptr<detail::JobRecord> rec_;
+};
+
+/// The scheduler. Lifecycle: construct over a shared spec, submit jobs
+/// (admission-checked), start() to seal the queue and launch the driver,
+/// await handles or wait(), then read report(). run() does the last three
+/// in one call.
+class Farm {
+ public:
+  explicit Farm(cluster::ClusterSpec shared, FarmOptions options = {});
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  /// Admission controller. Rejects (throws std::invalid_argument, with an
+  /// actionable message) jobs whose settings fail SimSettings::validate(),
+  /// whose world (ncalc + 2) exceeds the shared cluster's total CPU slots,
+  /// that share a ckpt vault with an already-admitted job (checkpoints are
+  /// per-job so one job's recovery cannot stall a neighbor), or that
+  /// arrive after start() sealed the queue.
+  JobHandle submit(JobSpec spec);
+
+  /// Seal the queue and launch the driver thread. Idempotent submit-side:
+  /// further submits throw.
+  void start();
+
+  /// Block until every admitted job is terminal. Implies start().
+  void wait();
+
+  /// start() + wait() + report().
+  Report run();
+
+  /// Aggregate report; valid after wait() returned.
+  const Report& report() const;
+
+  const cluster::ClusterSpec& spec() const { return shared_; }
+  const FarmOptions& options() const { return options_; }
+
+ private:
+  struct Running;
+
+  void drive();  // driver thread body
+  void launch_batch(std::vector<std::shared_ptr<detail::JobRecord>> batch,
+                    double now, std::vector<Running>& running,
+                    std::vector<int>& free_slots);
+  void recompute_stretch(std::vector<Running>& running) const;
+
+  cluster::ClusterSpec shared_;
+  FarmOptions options_;
+  int total_slots_ = 0;
+
+  std::shared_ptr<detail::SharedState> ss_;
+  std::vector<std::shared_ptr<detail::JobRecord>> jobs_;
+  bool started_ = false;
+  bool waited_ = false;
+  std::thread driver_;
+  Report report_;
+
+  // Occupancy by shared node, maintained by the driver only (farm virtual
+  // time); Report::nodes is derived from it.
+  std::vector<int> occupancy_;
+  std::vector<NodeUsage> usage_;
+};
+
+/// Re-run a finished job exactly as the farm ran it, outside the farm:
+/// same sub-cluster, same placement, same settings. The returned result is
+/// bit-identical to JobResult::result — the demo and the property tests
+/// use this as the standalone oracle.
+core::ParallelResult standalone_run(const JobSpec& spec,
+                                    const Assignment& assignment,
+                                    const cluster::CostModel& cost = {},
+                                    double recv_timeout_s = 60.0);
+
+}  // namespace psanim::farm

@@ -1,0 +1,93 @@
+#include "farm/job.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace psanim::farm {
+
+std::string to_string(Policy p) {
+  switch (p) {
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kSjf:
+      return "sjf";
+  }
+  return "?";
+}
+
+std::string to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+double estimate_virtual_cost(const JobSpec& spec) {
+  if (spec.sjf_cost_hint > 0.0) return spec.sjf_cost_hint;
+  // Shape proxy: total frame-system passes. Good enough to rank "30-frame
+  // clip" under "600-frame sequence"; tenants with better knowledge pass a
+  // hint (e.g. a measured makespan of a previous run of the same scene).
+  return static_cast<double>(spec.settings.frames) *
+         static_cast<double>(std::max<std::size_t>(spec.scene.systems.size(),
+                                                   1));
+}
+
+Assignment assign_slots(const cluster::ClusterSpec& shared,
+                        const std::vector<int>& free_slots, int world) {
+  if (free_slots.size() != shared.node_count()) {
+    throw std::invalid_argument(
+        "assign_slots: free_slots must have one entry per shared node");
+  }
+  if (world < 1) {
+    throw std::invalid_argument("assign_slots: world must be >= 1");
+  }
+  // Fastest-first scan order: rate desc, then index for determinism.
+  std::vector<std::size_t> order(shared.node_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = shared.node_rate(a);
+    const double rb = shared.node_rate(b);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  Assignment a;
+  int remaining = world;
+  for (const std::size_t n : order) {
+    if (remaining == 0) break;
+    const int take = std::min(remaining, free_slots[n]);
+    if (take <= 0) continue;
+    a.shared_nodes.push_back(static_cast<int>(n));
+    a.ranks_per_node.push_back(take);
+    a.sub_spec.nodes.push_back(shared.nodes[n]);
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    throw std::invalid_argument(
+        "assign_slots: not enough free CPU slots for " +
+        std::to_string(world) + " ranks (short by " +
+        std::to_string(remaining) + ")");
+  }
+  a.sub_spec.preferred = shared.preferred;
+  a.sub_spec.compiler = shared.compiler;
+  // Ranks fill each granted node's slots in turn: rank 0 (manager) on the
+  // fastest node, the image generator right after it, calculators onward.
+  for (std::size_t i = 0; i < a.ranks_per_node.size(); ++i) {
+    for (int s = 0; s < a.ranks_per_node[i]; ++s) {
+      a.placement.node_of_rank.push_back(static_cast<int>(i));
+    }
+  }
+  return a;
+}
+
+}  // namespace psanim::farm

@@ -1,0 +1,106 @@
+#pragma once
+
+// psanim::farm job model: what a tenant submits (JobSpec), which slice of
+// the shared cluster the scheduler granted it (Assignment), and what came
+// back (JobResult).
+//
+// A job is one complete animation — scene + settings — that runs as its
+// own mp runtime over a subset of the shared cluster's CPU slots. The
+// assignment is self-contained: re-running `run_parallel` with the
+// assignment's sub_spec/placement outside the farm reproduces the job's
+// simulation bit-for-bit (the farm never perturbs a job's inputs, only
+// stretches its *farm-level* completion time when neighbors contend).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "cluster/placement.hpp"
+#include "core/simulation.hpp"
+#include "core/wire.hpp"
+
+namespace psanim::farm {
+
+/// Queue disciplines. Both are work-conserving with backfill: the queue is
+/// scanned in policy order and every job that fits the free slots starts,
+/// so capacity never idles while a runnable job waits.
+enum class Policy {
+  kFifo,  ///< submission order (arrival time, then submission sequence)
+  kSjf,   ///< shortest-virtual-job-first by estimated virtual cost
+};
+
+std::string to_string(Policy p);
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for slots
+  kRunning,    ///< occupying slots on the shared cluster
+  kDone,       ///< finished; JobResult::result is valid
+  kFailed,     ///< run_parallel threw; JobResult::error holds the message
+  kCancelled,  ///< cancelled while still queued
+};
+
+std::string to_string(JobState s);
+
+/// One tenant's request: run `settings.frames` frames of `scene` with
+/// `settings.ncalc` calculator ranks (plus manager and image generator).
+struct JobSpec {
+  std::string name;
+  core::Scene scene;
+  core::SimSettings settings;
+  /// Virtual arrival time at the farm; jobs are invisible to the
+  /// scheduler before this.
+  double submit_time_s = 0.0;
+  /// SJF ranking key; <= 0 derives a default from frames x systems.
+  double sjf_cost_hint = 0.0;
+
+  int world_size() const { return core::world_size_for(settings.ncalc); }
+};
+
+/// Deterministic SJF ranking key: the hint when given, else a shape proxy
+/// (frames x systems). Only the *ordering* matters — ties break on
+/// submission sequence.
+double estimate_virtual_cost(const JobSpec& spec);
+
+/// The slots a job was granted: `shared_nodes[i]` is the shared-spec index
+/// of sub_spec node i, `ranks_per_node[i]` how many of the job's ranks run
+/// there. `placement` maps the job's world (manager, image generator,
+/// calculators) onto sub_spec nodes.
+struct Assignment {
+  std::vector<int> shared_nodes;
+  std::vector<int> ranks_per_node;
+  cluster::ClusterSpec sub_spec;
+  cluster::Placement placement;
+
+  int world_size() const { return placement.world_size(); }
+};
+
+/// Grant `world` CPU slots out of `free_slots` (per shared node), packing
+/// the fastest free nodes first (rate desc, index asc — deterministic).
+/// Ranks fill a node's granted slots before spilling to the next node;
+/// rank 0 (manager) lands on the fastest granted node, rank 1 (image
+/// generator) next to it. Throws std::invalid_argument if the free slots
+/// cannot hold `world` ranks.
+Assignment assign_slots(const cluster::ClusterSpec& shared,
+                        const std::vector<int>& free_slots, int world);
+
+/// Everything known about a job after the farm ran it.
+struct JobResult {
+  JobState state = JobState::kQueued;
+  /// Farm virtual times. start - submit is queueing delay; finish - start
+  /// is the contention-stretched service time.
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  /// The job's own virtual makespan (== result.animation_s), bit-identical
+  /// to a standalone run on assignment.sub_spec/placement.
+  double standalone_makespan_s = 0.0;
+  /// (finish - start) / standalone makespan: exactly 1.0 on an idle farm,
+  /// > 1 when SMP-sharing neighbors slowed this job down.
+  double stretch = 1.0;
+  Assignment assignment;
+  core::ParallelResult result;
+  std::uint64_t fb_hash = 0;  ///< render::hash_framebuffer(result.final_frame)
+  std::string error;          ///< non-empty iff state == kFailed
+};
+
+}  // namespace psanim::farm

@@ -99,7 +99,13 @@ const MetricsRegistry& Trace::metrics(int r) const {
 }
 
 void Trace::set_rank_name(int r, std::string name) {
-  rank_names_[r] = std::move(name);
+  rank_names_[r] = rank_namespace_.empty()
+                       ? std::move(name)
+                       : rank_namespace_ + "/" + std::move(name);
+}
+
+void Trace::set_rank_namespace(std::string ns) {
+  rank_namespace_ = std::move(ns);
 }
 
 void Trace::name_tag(int tag, std::string name) {

@@ -61,7 +61,15 @@ class Trace final : public mp::TraceHook {
   const LabelTable& labels() const { return labels_; }
 
   /// Display name for a rank's Perfetto "process" ("manager", "calc 2"...).
+  /// A registered namespace (see set_rank_namespace) is prepended.
   void set_rank_name(int r, std::string name);
+
+  /// Prefix every subsequently registered rank name with `ns` + "/". The
+  /// farm sets a per-job namespace before handing the trace to
+  /// run_parallel, so traces of co-scheduled jobs stay distinguishable
+  /// ("job7/manager", "job7/calc 0", ...). Must be set before the run.
+  void set_rank_namespace(std::string ns);
+  const std::string& rank_namespace() const { return rank_namespace_; }
 
   /// Human name for a message tag; flow records on both ends use it, so it
   /// must be registered before the run (both threads read it).
@@ -106,6 +114,7 @@ class Trace final : public mp::TraceHook {
   std::vector<std::unique_ptr<RankState>> ranks_;
   std::map<int, std::uint32_t> tag_labels_;  // tag -> interned label id
   std::map<int, std::string> rank_names_;
+  std::string rank_namespace_;
 };
 
 }  // namespace psanim::obs

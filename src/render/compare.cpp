@@ -37,4 +37,22 @@ bool images_match(const Framebuffer& a, const Framebuffer& b, double tol) {
   return d.same_dims && d.max_abs <= tol;
 }
 
+namespace {
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t hash_framebuffer(const Framebuffer& fb) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, fb.colors().data(), fb.colors().size() * sizeof(Color));
+  h = fnv1a(h, fb.depths().data(), fb.depths().size() * sizeof(float));
+  return h;
+}
+
 }  // namespace psanim::render

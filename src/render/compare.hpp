@@ -4,6 +4,8 @@
 // produces the same image as the sequential one, and by the distributed
 // image-generation ablation.
 
+#include <cstdint>
+
 #include "render/framebuffer.hpp"
 
 namespace psanim::render {
@@ -20,5 +22,10 @@ ImageDiff compare(const Framebuffer& a, const Framebuffer& b);
 /// Convenience: true when images match within `tol` per channel.
 bool images_match(const Framebuffer& a, const Framebuffer& b,
                   double tol = 1e-5);
+
+/// FNV-1a over the raw color and depth planes: the bit-exactness
+/// fingerprint the determinism corpus, the farm and the wall-clock bench
+/// compare. Equal hashes == byte-identical images.
+std::uint64_t hash_framebuffer(const Framebuffer& fb);
 
 }  // namespace psanim::render

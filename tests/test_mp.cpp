@@ -490,6 +490,57 @@ TEST(Runtime, MakespanIsDeterministicAcrossRuns) {
   }
 }
 
+// --- cross-runtime BufferPool safety ---
+
+TEST(BufferPool, ConcurrentRuntimesShareThePoolSafely) {
+  // The pool is process-global by design (one mutex-guarded free list per
+  // size class — see src/mp/buffer_pool.cpp), and the farm runs whole
+  // runtimes side by side, so several worlds hammer it here at once. Under
+  // -DPSANIM_SANITIZE=thread this is the data-race proof; in a normal
+  // build it still checks that sharing the pool never leaks into virtual
+  // time and that the stats ledger stays consistent.
+  auto& pool = BufferPool::global();
+  const auto before = pool.stats();
+  const auto body = [](Endpoint& ep) {
+    for (int round = 0; round < 50; ++round) {
+      const std::size_t words = std::size_t{8} << (round % 6);
+      for (int dst = 0; dst < ep.world_size(); ++dst) {
+        if (dst != ep.rank()) {
+          Writer w;  // Writer buffers come from (and return to) the pool
+          for (std::size_t i = 0; i < words; ++i) {
+            w.put<std::uint64_t>(i);
+          }
+          ep.send(dst, round, std::move(w));
+        }
+      }
+      for (int src = 0; src < ep.world_size(); ++src) {
+        if (src != ep.rank()) ep.recv(src, round);
+      }
+    }
+  };
+  const auto run_world = [&body] {
+    Runtime rt(3, zero_cost_fn());
+    const auto res = rt.run(body);
+    double makespan = 0.0;
+    for (const auto& r : res) makespan = std::max(makespan, r.finish_time);
+    return makespan;
+  };
+  const double solo = run_world();  // baseline: the process to ourselves
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> drivers;
+  for (int i = 0; i < 4; ++i) {
+    drivers.emplace_back([&] {
+      if (run_world() != solo) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto after = pool.stats();
+  EXPECT_GT(after.acquires, before.acquires);
+  EXPECT_EQ(after.acquires - before.acquires,
+            (after.hits - before.hits) + (after.misses - before.misses));
+}
+
 // --- collectives ---
 
 class CollectivesTest : public ::testing::TestWithParam<int> {};

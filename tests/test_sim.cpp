@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "render/compare.hpp"
 #include "sim/report.hpp"
 #include "sim/run_config.hpp"
 #include "sim/runner.hpp"
@@ -144,6 +145,30 @@ TEST(Runner, MeasuredSequentialScalesWithBaselineRate) {
   const double t_slow = measure_sequential(scene, settings, slow);
   const double t_fast = measure_sequential(scene, settings, fast);
   EXPECT_NEAR(t_slow / t_fast, 1.0 / 0.55, 1e-6);
+}
+
+TEST(Runner, CachedBaselineLeavesParallelRunUntouched) {
+  // The cache only skips the sequential measurement: the parallel half and
+  // every derived quantity must be bit-identical to the measured-baseline
+  // run when the cached value equals the measurement.
+  ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 500;
+  p.frames = 6;
+  const auto scene = make_snow_scene(p);
+  core::SimSettings settings;
+  settings.frames = p.frames;
+  RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 2, 2}};
+
+  const auto measured = run_speedup(scene, settings, cfg);
+  const auto cached = run_speedup(scene, settings, cfg, measured.seq_s);
+  EXPECT_EQ(cached.seq_s, measured.seq_s);
+  EXPECT_EQ(cached.par_s, measured.par_s);  // exact doubles
+  EXPECT_EQ(cached.speedup, measured.speedup);
+  EXPECT_EQ(cached.time_reduction, measured.time_reduction);
+  EXPECT_EQ(render::hash_framebuffer(cached.parallel.final_frame),
+            render::hash_framebuffer(measured.parallel.final_frame));
 }
 
 TEST(Report, SummarizeAndFormat) {

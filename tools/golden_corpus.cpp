@@ -1,0 +1,182 @@
+// Golden determinism corpus: per-seed framebuffer fingerprints over a
+// 16-seed x {snow, fountain} x {static, dynamic-pairwise} grid of small
+// parallel runs.
+//
+// The corpus file is committed (tests/golden/determinism_corpus.txt) and
+// pins the simulation's bit-exact behavior: any change to RNG streams,
+// decomposition, exchange ordering, balancing decisions or the renderer
+// shows up as a hash mismatch against the checked-in values. CI replays a
+// 4-run subset in the fast tier; `check` replays everything.
+//
+// Usage:
+//   golden_corpus generate <corpus-file>
+//   golden_corpus check    <corpus-file> [--subset N]
+//
+// `generate` is only rerun deliberately, when a change is *supposed* to
+// alter results (new RNG layout, renderer change); the diff then documents
+// exactly which cells moved.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "render/compare.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace psanim;
+
+constexpr int kSeeds = 16;
+constexpr std::uint64_t kSeedBase = 0x5eedULL;
+
+struct Cell {
+  std::string scene;  // "snow" | "fountain"
+  std::string lb;     // "slb" | "dlb"
+  std::uint64_t seed = 0;
+};
+
+std::vector<Cell> grid() {
+  std::vector<Cell> cells;
+  for (const char* scene : {"snow", "fountain"}) {
+    for (const char* lb : {"slb", "dlb"}) {
+      for (int s = 0; s < kSeeds; ++s) {
+        cells.push_back({scene, lb, kSeedBase + static_cast<std::uint64_t>(s)});
+      }
+    }
+  }
+  return cells;
+}
+
+struct RunOut {
+  std::uint64_t fb_hash = 0;
+  double makespan_s = 0.0;
+};
+
+RunOut run_cell(const Cell& cell) {
+  sim::ScenarioParams p;
+  p.systems = 2;
+  p.particles_per_system = 400;
+  p.frames = 6;
+  const core::Scene scene = cell.scene == "snow" ? sim::make_snow_scene(p)
+                                                 : sim::make_fountain_scene(p);
+  core::SimSettings settings;
+  settings.ncalc = 3;
+  settings.frames = p.frames;
+  settings.seed = cell.seed;
+  settings.image_width = 64;
+  settings.image_height = 48;
+  settings.lb =
+      cell.lb == "slb" ? core::LbMode::kStatic : core::LbMode::kDynamicPairwise;
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 3, settings.ncalc}};
+  cfg.network = net::Interconnect::kMyrinet;
+  const auto built = sim::build_cluster(cfg);
+  const auto r =
+      core::run_parallel(scene, settings, built.spec, built.placement, {},
+                         mp::RuntimeOptions{.recv_timeout_s = 30.0});
+  return {render::hash_framebuffer(r.final_frame), r.animation_s};
+}
+
+std::string line_for(const Cell& cell, const RunOut& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "scene=%s lb=%s seed=%" PRIu64 " fb=%016" PRIx64
+                " makespan=%.17g",
+                cell.scene.c_str(), cell.lb.c_str(), cell.seed, out.fb_hash,
+                out.makespan_s);
+  return buf;
+}
+
+int generate(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "golden_corpus: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  out << "# psanim golden determinism corpus\n"
+      << "# 16 seeds x {snow, fountain} x {slb, dlb}; 2 systems, 400\n"
+      << "# particles/system, 6 frames, ncalc 3, 64x48 frame. Regenerate\n"
+      << "# with: golden_corpus generate <this file>\n";
+  for (const Cell& cell : grid()) {
+    out << line_for(cell, run_cell(cell)) << "\n";
+  }
+  std::printf("golden_corpus: wrote %zu cells to %s\n", grid().size(),
+              path.c_str());
+  return 0;
+}
+
+int check(const std::string& path, int subset) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "golden_corpus: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<std::string> want;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') want.push_back(line);
+  }
+  const auto cells = grid();
+  if (want.size() != cells.size()) {
+    std::fprintf(stderr,
+                 "golden_corpus: corpus has %zu cells, the grid has %zu — "
+                 "regenerate it\n",
+                 want.size(), cells.size());
+    return 2;
+  }
+  // A subset of N spreads across the grid (every stride-th cell), so even
+  // N=4 touches both scenes and both balancing modes.
+  const std::size_t n = subset > 0
+                            ? std::min<std::size_t>(
+                                  static_cast<std::size_t>(subset),
+                                  cells.size())
+                            : cells.size();
+  const std::size_t stride = cells.size() / n;
+  int mismatches = 0;
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < cells.size(); i += stride) {
+    if (replayed >= n) break;
+    ++replayed;
+    const std::string got = line_for(cells[i], run_cell(cells[i]));
+    if (got != want[i]) {
+      ++mismatches;
+      std::fprintf(stderr, "MISMATCH cell %zu\n  want: %s\n  got:  %s\n", i,
+                   want[i].c_str(), got.c_str());
+    }
+  }
+  std::printf("golden_corpus: replayed %zu/%zu cells, %d mismatches\n",
+              replayed, cells.size(), mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: golden_corpus generate <file>\n"
+                 "       golden_corpus check <file> [--subset N]\n");
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+  if (mode == "generate") return generate(path);
+  if (mode == "check") {
+    int subset = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--subset") == 0 && i + 1 < argc) {
+        subset = std::atoi(argv[++i]);
+      }
+    }
+    return check(path, subset);
+  }
+  return usage();
+}
