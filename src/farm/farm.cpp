@@ -36,31 +36,46 @@ using detail::JobRecord;
 
 // --- JobHandle ------------------------------------------------------------
 
-const std::string& JobHandle::name() const { return rec_->spec.name; }
-
-JobState JobHandle::poll() const {
-  const std::scoped_lock lock(rec_->ss->mu);
-  return rec_->result.state;
-}
-
 namespace {
+
 bool terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed ||
          s == JobState::kCancelled;
 }
+
+/// Accessor guard: a default-constructed handle refers to no job.
+JobRecord& deref(const std::shared_ptr<JobRecord>& rec) {
+  if (rec == nullptr) {
+    throw std::logic_error(
+        "JobHandle: empty handle — only handles returned by Farm::submit "
+        "refer to a job");
+  }
+  return *rec;
+}
+
 }  // namespace
 
+const std::string& JobHandle::name() const { return deref(rec_).spec.name; }
+
+JobState JobHandle::poll() const {
+  auto& rec = deref(rec_);
+  const std::scoped_lock lock(rec.ss->mu);
+  return rec.result.state;
+}
+
 const JobResult& JobHandle::await() const {
-  std::unique_lock lock(rec_->ss->mu);
-  rec_->ss->cv.wait(lock, [&] { return terminal(rec_->result.state); });
-  return rec_->result;
+  auto& rec = deref(rec_);
+  std::unique_lock lock(rec.ss->mu);
+  rec.ss->cv.wait(lock, [&] { return terminal(rec.result.state); });
+  return rec.result;
 }
 
 bool JobHandle::cancel() {
-  const std::scoped_lock lock(rec_->ss->mu);
-  if (rec_->result.state != JobState::kQueued) return false;
-  rec_->result.state = JobState::kCancelled;
-  rec_->ss->cv.notify_all();
+  auto& rec = deref(rec_);
+  const std::scoped_lock lock(rec.ss->mu);
+  if (rec.result.state != JobState::kQueued) return false;
+  rec.result.state = JobState::kCancelled;
+  rec.ss->cv.notify_all();
   return true;
 }
 
@@ -148,6 +163,11 @@ JobHandle Farm::submit(JobSpec spec) {
 }
 
 void Farm::start() {
+  // lifecycle_mu_ serializes thread launch and join: without it two
+  // concurrent wait()ers could both see driver_.joinable() and both
+  // join() (UB), or a second start() could return before the first
+  // assigned driver_.
+  const std::scoped_lock lifecycle(lifecycle_mu_);
   {
     const std::scoped_lock lock(ss_->mu);
     if (started_) return;
@@ -158,8 +178,11 @@ void Farm::start() {
 
 void Farm::wait() {
   start();
-  if (driver_.joinable()) driver_.join();
-  waited_ = true;
+  {
+    const std::scoped_lock lifecycle(lifecycle_mu_);
+    if (driver_.joinable()) driver_.join();
+  }
+  waited_.store(true, std::memory_order_release);
 }
 
 Report Farm::run() {
@@ -168,7 +191,7 @@ Report Farm::run() {
 }
 
 const Report& Farm::report() const {
-  if (!waited_) {
+  if (!waited_.load(std::memory_order_acquire)) {
     throw std::logic_error("Farm::report: call wait() (or run()) first");
   }
   return report_;
@@ -207,20 +230,35 @@ struct LaunchOut {
   std::unique_ptr<obs::Trace> own_trace;  // must outlive the run
   std::string trace_path;
   core::ParallelResult res;
+  bool skipped = false;  ///< cancel() won the launch race; never ran
   bool ok = false;
   std::string error;
 };
 
 }  // namespace
 
-void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
+bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
                         double now, std::vector<Running>& running,
                         std::vector<int>& free_slots) {
-  if (batch.empty()) return;
+  if (batch.empty()) return false;
+  bool slots_freed = false;
   std::vector<LaunchOut> outs(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     auto& out = outs[i];
     out.rec = batch[i];
+    {
+      // Claim the job kQueued -> kRunning atomically: a handle may have
+      // cancelled it between the driver's queue sweep and here. If
+      // cancel() won, honor it — skip the job, never taking its slots.
+      const std::scoped_lock lock(ss_->mu);
+      if (out.rec->result.state != JobState::kQueued) {
+        out.skipped = true;
+        slots_freed = true;  // its budgeted slots stay free: reschedule
+        continue;
+      }
+      out.rec->result.state = JobState::kRunning;
+      out.rec->result.start_s = now;
+    }
     out.assignment =
         assign_slots(shared_, free_slots, out.rec->spec.world_size());
     for (std::size_t k = 0; k < out.assignment.shared_nodes.size(); ++k) {
@@ -236,8 +274,6 @@ void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
                        sanitize_filename(out.rec->spec.name) + ".trace.json";
     }
     const std::scoped_lock lock(ss_->mu);
-    out.rec->result.state = JobState::kRunning;
-    out.rec->result.start_s = now;
     out.rec->result.assignment = out.assignment;
   }
 
@@ -251,6 +287,7 @@ void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
           ? static_cast<std::size_t>(options_.max_parallel_launches)
           : batch.size();
   const auto run_one = [this](LaunchOut& out) {
+    if (out.skipped) return;
     try {
       core::SimSettings eff = out.rec->spec.settings;
       eff.obs.pool_metrics = false;  // pool is process-global; see Report
@@ -279,6 +316,7 @@ void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
   }
 
   for (auto& out : outs) {
+    if (out.skipped) continue;
     if (out.ok && !out.trace_path.empty()) {
       out.own_trace->write_chrome_json(out.trace_path);
     }
@@ -303,6 +341,7 @@ void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
         free_slots[n] += out.assignment.ranks_per_node[k];
         occupancy_[n] -= out.assignment.ranks_per_node[k];
       }
+      slots_freed = true;
       const std::scoped_lock lock(ss_->mu);
       out.rec->result.state = JobState::kFailed;
       out.rec->result.finish_s = now;
@@ -312,6 +351,7 @@ void Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
       ss_->cv.notify_all();
     }
   }
+  return slots_freed;
 }
 
 void Farm::recompute_stretch(std::vector<Running>& running) const {
@@ -394,7 +434,15 @@ void Farm::drive() {
     for (const auto& rec : batch) {
       queued.erase(std::find(queued.begin(), queued.end(), rec));
     }
-    launch_batch(std::move(batch), t, running, free_slots);
+    if (launch_batch(std::move(batch), t, running, free_slots)) {
+      // A launch failed (or a cancel won the race), so slots the
+      // scheduling pass budgeted are free again at this same instant.
+      // Re-run the pass before picking t_next: otherwise, with nothing
+      // running and nothing arriving, still-queued jobs that now fit
+      // would be stranded kQueued forever (await() deadlock). Each
+      // re-pass consumes queued jobs, so this terminates.
+      continue;
+    }
 
     // Occupancy is now stable until the next event: refresh stretches and
     // projected finishes.
@@ -453,12 +501,23 @@ void Farm::drive() {
   }
 
   // Anything still queued was cancelled (admission guarantees every
-  // admitted job fits an empty farm, so the queue always drains).
+  // admitted job fits an empty farm, so the queue always drains). The
+  // kQueued branch is a safety net: no job may stay non-terminal after
+  // the driver exits, or await() would deadlock — if the invariant ever
+  // breaks, fail the job loudly instead.
   {
     const std::scoped_lock lock(ss_->mu);
     for (const auto& rec : jobs_) {
       if (rec->result.state == JobState::kCancelled) {
         ++report_.jobs_cancelled;
+      } else if (rec->result.state == JobState::kQueued) {
+        rec->result.state = JobState::kFailed;
+        rec->result.finish_s = t;
+        rec->result.error =
+            "farm driver exited with the job still queued (scheduler "
+            "invariant violation — please report)";
+        report_.completion_order.push_back(rec->spec.name);
+        ++report_.jobs_failed;
       }
     }
     ss_->cv.notify_all();

@@ -30,6 +30,7 @@
 // node has a free CPU slot per rank, so the only cross-job slowdown is the
 // SMP bus-sharing penalty of co-residency within a node's slot budget.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -95,7 +96,12 @@ struct SharedState;
 /// query) even after the Farm is destroyed.
 class JobHandle {
  public:
+  /// An empty handle referring to no job; every accessor below throws
+  /// std::logic_error until a real handle (from Farm::submit) is assigned.
   JobHandle() = default;
+
+  /// True iff this handle refers to a job (came from Farm::submit).
+  bool valid() const noexcept { return rec_ != nullptr; }
 
   const std::string& name() const;
   /// Current state; never blocks.
@@ -155,7 +161,10 @@ class Farm {
   struct Running;
 
   void drive();  // driver thread body
-  void launch_batch(std::vector<std::shared_ptr<detail::JobRecord>> batch,
+  /// Returns true when slots the scheduling pass budgeted came back free
+  /// (a launch failed or a cancel won the race) — the driver must re-run
+  /// the pass at the same instant before advancing time.
+  bool launch_batch(std::vector<std::shared_ptr<detail::JobRecord>> batch,
                     double now, std::vector<Running>& running,
                     std::vector<int>& free_slots);
   void recompute_stretch(std::vector<Running>& running) const;
@@ -166,8 +175,9 @@ class Farm {
 
   std::shared_ptr<detail::SharedState> ss_;
   std::vector<std::shared_ptr<detail::JobRecord>> jobs_;
-  bool started_ = false;
-  bool waited_ = false;
+  bool started_ = false;               // guarded by ss_->mu
+  std::atomic<bool> waited_{false};
+  std::mutex lifecycle_mu_;  ///< serializes driver_ launch/join across threads
   std::thread driver_;
   Report report_;
 

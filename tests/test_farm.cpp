@@ -329,6 +329,58 @@ TEST(FarmHandles, CancelQueuedButNotFinished) {
   EXPECT_FALSE(keep.cancel());  // done jobs can't be cancelled
 }
 
+TEST(FarmHandles, DefaultConstructedHandleThrowsInsteadOfCrashing) {
+  farm::JobHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_THROW(h.name(), std::logic_error);
+  EXPECT_THROW(h.poll(), std::logic_error);
+  EXPECT_THROW(h.await(), std::logic_error);
+  EXPECT_THROW(h.cancel(), std::logic_error);
+}
+
+TEST(FarmHandles, CancelRacingLaunchNeverRunsACancelledJob) {
+  // cancel() fires from this thread while the driver is sweeping/launching:
+  // any cancel() that reports success must stick — the job terminates
+  // kCancelled and never runs, and the report's tallies agree with what
+  // the handles observed (TOCTOU regression: a cancel landing between the
+  // driver's queue sweep and the launch used to be overwritten by
+  // kRunning).
+  Farm f(flat_cluster(1, 3), fast_opts());
+  std::vector<farm::JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(f.submit(tiny_job("r" + std::to_string(i), 1, 4)));
+  }
+  f.start();
+  std::size_t reported = 0;
+  for (auto& h : handles) reported += h.cancel() ? 1u : 0u;
+  f.wait();
+  std::size_t cancelled = 0, done = 0;
+  for (auto& h : handles) {
+    const auto s = h.await().state;
+    if (s == JobState::kCancelled) {
+      ++cancelled;
+    } else {
+      EXPECT_EQ(s, JobState::kDone) << h.name() << ": " << h.await().error;
+      ++done;
+    }
+  }
+  EXPECT_EQ(cancelled, reported);
+  EXPECT_EQ(f.report().jobs_cancelled, reported);
+  EXPECT_EQ(f.report().jobs_done, done);
+}
+
+TEST(FarmHandles, ConcurrentWaitersAreSafe) {
+  // Two threads wait() on the same farm: exactly one joins the driver, the
+  // other must not double-join (UB) — both return with the queue drained.
+  Farm f(flat_cluster(2, 2), fast_opts());
+  auto h = f.submit(tiny_job("w", 1, 4));
+  std::thread other([&] { f.wait(); });
+  f.wait();
+  other.join();
+  EXPECT_EQ(h.poll(), JobState::kDone);
+  EXPECT_EQ(f.report().jobs_done, 1u);
+}
+
 TEST(FarmHandles, HandlesOutliveTheFarm) {
   farm::JobHandle h;
   {
@@ -338,6 +390,33 @@ TEST(FarmHandles, HandlesOutliveTheFarm) {
   }
   EXPECT_EQ(h.poll(), JobState::kDone);
   EXPECT_GT(h.await().fb_hash, 0u);
+}
+
+// --- liveness when launches fail ----------------------------------------
+
+TEST(FarmLiveness, FailedLaunchDoesNotStrandQueuedJobs) {
+  // Regression: "bad" (world 3) passes admission but run_parallel throws
+  // at launch (its fault plan crashes a calculator the job doesn't have —
+  // validated only at run time). On a 4-slot cluster "good" (world 3)
+  // can't co-run, so it is queued when the whole first batch fails; the
+  // driver must re-run the scheduling pass on the freed slots instead of
+  // seeing nothing running/arriving and exiting with "good" stuck kQueued
+  // (which deadlocked await()).
+  Farm f(flat_cluster(1, 4), fast_opts());
+  auto bad_spec = tiny_job("bad", 1, 4);
+  bad_spec.settings.fault_plan.crashes = {{.calc = 7, .at_frame = 0}};
+  auto bad = f.submit(std::move(bad_spec));
+  auto good = f.submit(tiny_job("good", 1, 4));
+  const auto report = f.run();
+
+  EXPECT_EQ(bad.await().state, JobState::kFailed);
+  EXPECT_FALSE(bad.await().error.empty());
+  ASSERT_EQ(good.await().state, JobState::kDone) << good.await().error;
+  EXPECT_GT(good.await().fb_hash, 0u);
+  EXPECT_EQ(report.jobs_failed, 1u);
+  EXPECT_EQ(report.jobs_done, 1u);
+  ASSERT_EQ(report.completion_order.size(), 2u);
+  EXPECT_EQ(report.completion_order.front(), "bad");
 }
 
 // --- isolation: crash recovery stays per-job ----------------------------
