@@ -1,0 +1,120 @@
+// Rank-count scaling of the execution cores (EXPERIMENTS.md "Execution
+// core scaling"): wall-clock cost of driving W-rank worlds through a
+// fixed message-passing workload (a two-lap accumulating ring plus one
+// allgather), for the fiber scheduler at several worker counts and the
+// thread-per-rank oracle where it still applies (W <= 256).
+//
+// The virtual makespan column is the cross-check: every configuration of
+// the same world must report the *same* virtual finish time — scheduling
+// is a wall-clock knob, never a result knob. The bench aborts on a
+// mismatch.
+//
+// Usage: rank_scaling [--laps N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mp/collectives.hpp"
+#include "mp/communicator.hpp"
+#include "mp/message.hpp"
+#include "mp/runtime.hpp"
+
+namespace {
+
+using namespace psanim;
+
+struct Measured {
+  double wall_ms = 0.0;
+  double makespan_s = 0.0;  ///< max virtual finish over ranks
+};
+
+Measured run_world(int world, mp::ExecMode mode, int workers, int laps) {
+  auto cost = [](int, int, std::size_t bytes) {
+    return mp::MsgCost{.send_cpu_s = 1e-6,
+                       .wire_s = 1e-5 + static_cast<double>(bytes) * 1e-9,
+                       .recv_cpu_s = 2e-6};
+  };
+  mp::Runtime rt(world, cost,
+                 mp::RuntimeOptions{.exec_mode = mode, .workers = workers});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = rt.run([world, laps](mp::Endpoint& ep) {
+    const int rank = ep.rank();
+    const int right = (rank + 1) % world;
+    const int left = (rank + world - 1) % world;
+    for (int lap = 0; lap < laps; ++lap) {
+      if (rank == 0) {
+        mp::Writer w;
+        w.put<std::uint64_t>(1);
+        ep.send(right, 1, std::move(w));
+        ep.recv(left, 1);
+      } else {
+        mp::Reader r(ep.recv(left, 1));
+        mp::Writer w;
+        w.put<std::uint64_t>(r.get<std::uint64_t>() + 1);
+        ep.send(right, 1, std::move(w));
+      }
+    }
+    mp::Writer w;
+    w.put<std::int32_t>(rank);
+    mp::allgather(ep, w.take());
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Measured m;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (const auto& r : results) {
+    if (r.finish_time > m.makespan_s) m.makespan_s = r.finish_time;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int laps = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--laps") == 0 && i + 1 < argc) {
+      laps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--laps N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("# execution-core scaling: ring x%d + allgather\n", laps);
+  std::printf("%6s  %-16s  %10s  %18s\n", "world", "core", "wall_ms",
+              "virtual_makespan_s");
+  for (const int world : {64, 256, 512, 1000}) {
+    double reference = -1.0;
+    const auto emit = [&](const char* label, const Measured& m) {
+      std::printf("%6d  %-16s  %10.2f  %18.9f\n", world, label, m.wall_ms,
+                  m.makespan_s);
+      if (reference < 0.0) {
+        reference = m.makespan_s;
+      } else if (m.makespan_s != reference) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverged at world %d (%.17g != %.17g)\n",
+                     label, world, m.makespan_s, reference);
+        std::exit(1);
+      }
+    };
+    for (const int workers : {1, 2, 8}) {
+      const std::string label = "fibers/w" + std::to_string(workers);
+      emit(label.c_str(),
+           run_world(world, mp::ExecMode::kFibers, workers, laps));
+    }
+    if (world <= mp::Runtime::kMaxThreadRanks) {
+      emit("threads", run_world(world, mp::ExecMode::kThreads, 0, laps));
+    } else {
+      std::printf("%6d  %-16s  %10s  %18s\n", world, "threads", "refused",
+                  "-");
+    }
+  }
+  std::printf("# every row of a world must share one virtual makespan\n");
+  return 0;
+}

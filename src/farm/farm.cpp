@@ -286,7 +286,18 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
       options_.max_parallel_launches > 0
           ? static_cast<std::size_t>(options_.max_parallel_launches)
           : batch.size();
-  const auto run_one = [this](LaunchOut& out) {
+  // Each concurrently-running job gets an even share of the machine's
+  // worker-thread budget for its fiber scheduler (workers never affect
+  // virtual-time results, only wall-clock drain rate).
+  int per_job_workers = options_.workers_per_job;
+  if (per_job_workers <= 0) {
+    const auto hw = std::max(1u, std::thread::hardware_concurrency());
+    const auto concurrent =
+        std::max<std::size_t>(1, std::min(cap, batch.size()));
+    per_job_workers =
+        std::max<int>(1, static_cast<int>(hw / concurrent));
+  }
+  const auto run_one = [this, per_job_workers](LaunchOut& out) {
     if (out.skipped) return;
     try {
       core::SimSettings eff = out.rec->spec.settings;
@@ -294,6 +305,8 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
       if (out.own_trace != nullptr) eff.obs.trace = out.own_trace.get();
       mp::RuntimeOptions rt;
       rt.recv_timeout_s = options_.recv_timeout_s;
+      rt.exec_mode = options_.exec_mode;
+      rt.workers = per_job_workers;
       out.res = core::run_parallel(out.rec->spec.scene, eff,
                                    out.assignment.sub_spec,
                                    out.assignment.placement, options_.cost,

@@ -41,6 +41,7 @@
 
 #include "cluster/cost_model.hpp"
 #include "farm/job.hpp"
+#include "mp/runtime.hpp"
 #include "obs/metrics.hpp"
 
 namespace psanim::farm {
@@ -60,6 +61,15 @@ struct FarmOptions {
   /// Cap on jobs launched concurrently in wall-clock per scheduling event
   /// (0 = no cap). Virtual-time results are identical either way.
   int max_parallel_launches = 0;
+  /// Execution core forwarded to every job's runtime (kDefault resolves
+  /// through PSANIM_EXEC_MODE, exactly like a standalone run).
+  mp::ExecMode exec_mode = mp::ExecMode::kDefault;
+  /// Fiber scheduler workers per concurrently-launched job. <= 0 splits
+  /// the hardware budget evenly across the wall-clock batch (at least one
+  /// each), so a farm draining hundreds of jobs shares one machine's worth
+  /// of worker threads instead of spawning a full-size pool per job.
+  /// Worker counts never change virtual-time results. Ignored by kThreads.
+  int workers_per_job = 0;
 };
 
 /// Per-shared-node usage over the whole farm run, fed by the shared node

@@ -78,7 +78,9 @@ Message Endpoint::recv_within(int src, int tag, double timeout_s) {
   const double limit =
       timeout_s > 0.0 ? timeout_s : rt_.options().recv_timeout_s;
   for (;;) {
-    Message m = rt_.mailbox(rank_).pop_match(src, tag, limit);
+    // Routed through the runtime: under the fiber core an empty mailbox
+    // suspends this rank's fiber instead of parking an OS thread.
+    Message m = rt_.pop_match_blocking(rank_, src, tag, limit, clock_.now());
     clock_.advance_to(m.arrive_time);
     if (m.duplicate) {
       // Fault-injected copy: the transport layer recognizes and drops it,

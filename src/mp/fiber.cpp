@@ -1,0 +1,519 @@
+#include "mp/fiber.hpp"
+
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "mp/mailbox.hpp"
+
+// --- sanitizer fiber annotations -------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define PSANIM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PSANIM_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PSANIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PSANIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PSANIM_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+#if defined(PSANIM_ASAN_FIBERS)
+#include <pthread.h>
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace psanim::mp {
+
+namespace {
+
+constexpr bool sanitizer_build() {
+#if defined(PSANIM_TSAN_FIBERS) || defined(PSANIM_ASAN_FIBERS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t page_size() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t ps = page_size();
+  return (bytes + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+std::size_t default_fiber_stack_bytes() {
+  // 256 KiB holds the deepest role frames (Calculator + render splat path)
+  // with an order of magnitude to spare; instrumented builds get double
+  // for redzones and fatter frames. Stacks are lazily committed anonymous
+  // pages, so a 1000-rank world reserves virtual space only.
+  return sanitizer_build() ? 512u * 1024u : 256u * 1024u;
+}
+
+/// One rank's execution context: a guard-paged mmap stack plus the
+/// ucontext it is suspended in.
+struct Fiber {
+  enum class State : std::uint8_t {
+    kReady,     ///< in the ready queue (or being handed to a worker)
+    kRunning,   ///< executing on some worker right now
+    kBlocked,   ///< suspended in pop_match, waiting for a mailbox push
+    kFinished,  ///< rank_main returned; never scheduled again
+  };
+
+  int rank = 0;
+  State state = State::kReady;  // guarded by the scheduler mutex
+  ucontext_t ctx{};
+
+  // Block metadata, written by the fiber right before it suspends and
+  // published to other threads by the worker's post-switch bookkeeping
+  // (same OS thread) under the scheduler mutex.
+  int blk_src = kAny;
+  int blk_tag = kAny;
+  double blk_timeout_s = 0.0;
+  double blk_vtime = 0.0;
+  bool want_block = false;  ///< fiber asked to suspend (vs finished)
+  bool timed_out = false;   ///< set by the deadlock victim pick
+  /// Sticky wake token: a push arrived while the fiber was not (yet)
+  /// parked; the next suspension attempt re-checks the mailbox instead.
+  bool wake_pending = false;
+
+  // mmap'd stack: [guard page][usable stack...]
+  std::byte* map_base = nullptr;
+  std::size_t map_bytes = 0;
+  std::byte* stack_lo = nullptr;  ///< above the guard page
+  std::size_t stack_bytes = 0;
+
+  const std::function<void(int)>* entry = nullptr;
+  FiberScheduler::Impl* sched = nullptr;
+
+#if defined(PSANIM_TSAN_FIBERS)
+  void* tsan_fiber = nullptr;
+#endif
+#if defined(PSANIM_ASAN_FIBERS)
+  void* asan_fake_stack = nullptr;
+#endif
+};
+
+namespace {
+
+/// The fiber currently executing on this worker thread (null outside the
+/// scheduler). Set around every context switch into a fiber.
+thread_local Fiber* tl_current_fiber = nullptr;
+
+struct ReadyKey {
+  double vtime = 0.0;
+  int rank = 0;
+  std::uint64_t seq = 0;
+
+  bool operator<(const ReadyKey& o) const {
+    if (vtime != o.vtime) return vtime < o.vtime;
+    if (rank != o.rank) return rank < o.rank;
+    return seq < o.seq;
+  }
+};
+
+struct ReadyEntry {
+  ReadyKey key;
+  Fiber* fiber = nullptr;
+};
+
+struct ReadyLater {
+  // priority_queue pops the *largest*; invert to get the smallest key.
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    return b.key < a.key;
+  }
+};
+
+}  // namespace
+
+struct FiberScheduler::Impl {
+  const int world;
+  const std::size_t stack_bytes;
+  int workers = 1;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready;
+  std::uint64_t ready_seq = 0;  ///< monotone enqueue ordinal (guarded by mu)
+  int running = 0;   ///< popped from ready, not yet re-parked/finished
+  int finished = 0;  ///< fibers whose rank_main returned
+
+  std::vector<Fiber> fibers;
+
+  explicit Impl(int world_size, std::size_t stack)
+      : world(world_size), stack_bytes(round_up_pages(stack)) {}
+
+  // --- stack + context plumbing --------------------------------------------
+
+  void allocate(Fiber& f) {
+    const std::size_t guard = page_size();
+    f.map_bytes = guard + stack_bytes;
+#if defined(MAP_STACK)
+    constexpr int extra_flags = MAP_STACK;
+#else
+    constexpr int extra_flags = 0;
+#endif
+    void* base = ::mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | extra_flags, -1, 0);
+    if (base == MAP_FAILED) {
+      throw std::system_error(errno, std::generic_category(),
+                              "FiberScheduler: mmap of a fiber stack failed "
+                              "(lower RuntimeOptions::fiber_stack_bytes or "
+                              "the world size)");
+    }
+    f.map_base = static_cast<std::byte*>(base);
+    // Guard page at the low end: stack overflow faults loudly instead of
+    // silently corrupting the neighboring fiber's stack.
+    if (::mprotect(f.map_base, guard, PROT_NONE) != 0) {
+      const int err = errno;
+      ::munmap(f.map_base, f.map_bytes);
+      f.map_base = nullptr;
+      throw std::system_error(err, std::generic_category(),
+                              "FiberScheduler: mprotect of a fiber stack "
+                              "guard page failed");
+    }
+    f.stack_lo = f.map_base + guard;
+    f.stack_bytes = stack_bytes;
+  }
+
+  void release(Fiber& f) {
+    if (f.map_base != nullptr) {
+      ::munmap(f.map_base, f.map_bytes);
+      f.map_base = nullptr;
+    }
+#if defined(PSANIM_TSAN_FIBERS)
+    if (f.tsan_fiber != nullptr) {
+      __tsan_destroy_fiber(f.tsan_fiber);
+      f.tsan_fiber = nullptr;
+    }
+#endif
+  }
+
+  static void trampoline(unsigned hi, unsigned lo);
+
+  void prepare(Fiber& f, const std::function<void(int)>& rank_main) {
+    allocate(f);
+    f.entry = &rank_main;
+    f.sched = this;
+#if defined(PSANIM_TSAN_FIBERS)
+    f.tsan_fiber = __tsan_create_fiber(0);
+#endif
+    if (::getcontext(&f.ctx) != 0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "FiberScheduler: getcontext failed");
+    }
+    f.ctx.uc_stack.ss_sp = f.stack_lo;
+    f.ctx.uc_stack.ss_size = f.stack_bytes;
+    // No uc_link: a fiber may finish on a different worker thread than the
+    // one that created it, so the return context is always the *current*
+    // worker's, reached explicitly through switch_out_of_fiber.
+    f.ctx.uc_link = nullptr;
+    const auto p = reinterpret_cast<std::uintptr_t>(&f);
+    // makecontext's int-args contract: smuggle the Fiber* as two unsigned
+    // halves (the void* hop silences -Wcast-function-type).
+    ::makecontext(&f.ctx,
+                  reinterpret_cast<void (*)()>(
+                      reinterpret_cast<void*>(&trampoline)),
+                  2, static_cast<unsigned>(p >> 32),
+                  static_cast<unsigned>(p & 0xffffffffu));
+  }
+
+  // Per-worker return context (the worker's own stack). tl lifetime spans
+  // the worker's whole loop, so fibers can always switch back to it.
+  struct WorkerCtx {
+    ucontext_t ctx{};
+#if defined(PSANIM_TSAN_FIBERS)
+    void* tsan_fiber = nullptr;
+#endif
+#if defined(PSANIM_ASAN_FIBERS)
+    const void* stack_bottom = nullptr;
+    std::size_t stack_size = 0;
+    void* fake_stack = nullptr;
+#endif
+  };
+  static thread_local WorkerCtx* tl_worker;
+
+  /// Worker side: run `f` until it suspends or finishes.
+  void switch_into(Fiber* f, WorkerCtx& w) {
+    tl_current_fiber = f;
+#if defined(PSANIM_ASAN_FIBERS)
+    __sanitizer_start_switch_fiber(&w.fake_stack, f->stack_lo,
+                                   f->stack_bytes);
+#endif
+#if defined(PSANIM_TSAN_FIBERS)
+    __tsan_switch_to_fiber(f->tsan_fiber, 0);
+#endif
+    ::swapcontext(&w.ctx, &f->ctx);
+#if defined(PSANIM_ASAN_FIBERS)
+    __sanitizer_finish_switch_fiber(w.fake_stack, nullptr, nullptr);
+#endif
+    tl_current_fiber = nullptr;
+  }
+
+  /// Fiber side: suspend back to the owning worker. `dying` frees the
+  /// ASan fake stack (the fiber never runs again).
+  static void switch_out_of_fiber(Fiber* f, bool dying) {
+    WorkerCtx& w = *tl_worker;
+#if defined(PSANIM_ASAN_FIBERS)
+    __sanitizer_start_switch_fiber(dying ? nullptr : &f->asan_fake_stack,
+                                   w.stack_bottom, w.stack_size);
+#else
+    (void)dying;
+#endif
+#if defined(PSANIM_TSAN_FIBERS)
+    __tsan_switch_to_fiber(w.tsan_fiber, 0);
+#endif
+    ::swapcontext(&f->ctx, &w.ctx);
+    // Resumed (possibly on a different worker thread).
+#if defined(PSANIM_ASAN_FIBERS)
+    __sanitizer_finish_switch_fiber(f->asan_fake_stack, nullptr, nullptr);
+#endif
+  }
+
+  // --- scheduling ----------------------------------------------------------
+
+  /// Caller holds mu.
+  void make_ready(Fiber* f, double vtime) {
+    f->state = Fiber::State::kReady;
+    ready.push(ReadyEntry{ReadyKey{vtime, f->rank, ready_seq++}, f});
+    cv.notify_one();
+  }
+
+  /// All live fibers are suspended and nothing is ready: no push can ever
+  /// arrive, so the protocol is deadlocked. Elect the blocked fiber with
+  /// the earliest virtual deadline (block-time clock + receive timeout,
+  /// rank as tiebreak) and resume it with the timeout flag set — it
+  /// throws the same RecvTimeout wall-clock expiry used to. Caller holds
+  /// mu. Repeated idles drain the remaining victims one by one.
+  void time_out_victim() {
+    Fiber* victim = nullptr;
+    for (auto& f : fibers) {
+      if (f.state != Fiber::State::kBlocked) continue;
+      if (victim == nullptr) {
+        victim = &f;
+        continue;
+      }
+      const double fd = f.blk_vtime + f.blk_timeout_s;
+      const double vd = victim->blk_vtime + victim->blk_timeout_s;
+      if (fd < vd || (fd == vd && f.rank < victim->rank)) victim = &f;
+    }
+    // Invariant: running == 0 && ready.empty() && finished < world implies
+    // at least one blocked fiber exists (kReady fibers are always in the
+    // queue). A null victim would mean scheduler state corruption.
+    if (victim == nullptr) std::abort();
+    victim->timed_out = true;
+    make_ready(victim, victim->blk_vtime);
+  }
+
+  /// Post-switch bookkeeping for a fiber that just yielded back. Caller
+  /// holds mu. The fiber has fully switched off its stack by now, so it is
+  /// safe for another worker to resume it the moment it turns kReady.
+  void park_or_finish(Fiber* f) {
+    if (!f->want_block) {
+      f->state = Fiber::State::kFinished;
+      ++finished;
+      if (finished == world) cv.notify_all();
+      return;
+    }
+    f->want_block = false;
+    if (f->wake_pending) {
+      // A push raced the suspension: don't park, re-run the mailbox check.
+      f->wake_pending = false;
+      make_ready(f, f->blk_vtime);
+      return;
+    }
+    f->state = Fiber::State::kBlocked;
+  }
+
+  void worker_main() {
+    WorkerCtx w;
+#if defined(PSANIM_TSAN_FIBERS)
+    w.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(PSANIM_ASAN_FIBERS)
+    // ASan needs the worker's real stack bounds to switch back onto it.
+    {
+      pthread_attr_t attr;
+      if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+        void* base = nullptr;
+        std::size_t size = 0;
+        pthread_attr_getstack(&attr, &base, &size);
+        w.stack_bottom = base;
+        w.stack_size = size;
+        pthread_attr_destroy(&attr);
+      }
+    }
+#endif
+    tl_worker = &w;
+
+    std::unique_lock lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] {
+        return !ready.empty() || running == 0 || finished == world;
+      });
+      if (!ready.empty()) {
+        Fiber* f = ready.top().fiber;
+        ready.pop();
+        f->state = Fiber::State::kRunning;
+        ++running;
+        lock.unlock();
+        switch_into(f, w);
+        lock.lock();
+        --running;
+        park_or_finish(f);
+        continue;
+      }
+      if (finished == world) return;
+      // ready empty, running == 0, fibers remain: protocol deadlock.
+      time_out_victim();
+    }
+  }
+
+  void run(const std::function<void(int)>& rank_main) {
+    fibers.resize(static_cast<std::size_t>(world));
+    try {
+      for (int r = 0; r < world; ++r) {
+        Fiber& f = fibers[static_cast<std::size_t>(r)];
+        f.rank = r;
+        prepare(f, rank_main);
+      }
+    } catch (...) {
+      for (auto& f : fibers) release(f);
+      throw;
+    }
+    {
+      const std::scoped_lock lock(mu);
+      for (auto& f : fibers) make_ready(&f, 0.0);
+    }
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int i = 0; i < workers; ++i) {
+        pool.emplace_back([this] { worker_main(); });
+      }
+    }
+    for (auto& f : fibers) release(f);
+  }
+
+  Message pop_match(Mailbox& mbox, int src, int tag, double timeout_s,
+                    double vnow) {
+    Fiber* f = tl_current_fiber;
+    for (;;) {
+      if (auto m = mbox.try_pop_match(src, tag)) return std::move(*m);
+      f->blk_src = src;
+      f->blk_tag = tag;
+      f->blk_timeout_s = timeout_s;
+      f->blk_vtime = vnow;
+      f->want_block = true;
+      switch_out_of_fiber(f, /*dying=*/false);
+      if (f->timed_out) {
+        f->timed_out = false;
+        throw_recv_timeout(src, tag);
+      }
+    }
+  }
+
+  void notify_push(int rank) {
+    const std::scoped_lock lock(mu);
+    Fiber& f = fibers[static_cast<std::size_t>(rank)];
+    if (f.state == Fiber::State::kBlocked) {
+      // Resume at its block-time virtual clock: the ready queue stays
+      // ordered by how far each rank's own timeline has advanced.
+      make_ready(&f, f.blk_vtime);
+    } else if (f.state != Fiber::State::kFinished) {
+      f.wake_pending = true;
+    }
+  }
+};
+
+thread_local FiberScheduler::Impl::WorkerCtx* FiberScheduler::Impl::tl_worker =
+    nullptr;
+
+void FiberScheduler::Impl::trampoline(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                     static_cast<std::uintptr_t>(lo));
+#if defined(PSANIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  (*f->entry)(f->rank);
+  // Suspend for the last time; park_or_finish sees want_block == false and
+  // retires the fiber. Never returns.
+  f->want_block = false;
+  switch_out_of_fiber(f, /*dying=*/true);
+  std::abort();  // unreachable: finished fibers are never rescheduled
+}
+
+FiberScheduler::FiberScheduler(int world_size, FiberSchedulerOptions options)
+    : impl_(nullptr) {
+  if (world_size <= 0) {
+    throw std::invalid_argument("FiberScheduler: world_size must be positive");
+  }
+  const std::size_t stack =
+      options.stack_bytes > 0 ? options.stack_bytes
+                              : default_fiber_stack_bytes();
+  impl_ = new Impl(world_size, stack);
+  int w = options.workers;
+  if (w <= 0) {
+    w = static_cast<int>(std::thread::hardware_concurrency());
+    if (w <= 0) w = 1;
+  }
+  // More workers than ranks just park on the condition variable.
+  impl_->workers = std::clamp(w, 1, world_size);
+  workers_count_ = impl_->workers;
+}
+
+FiberScheduler::~FiberScheduler() { delete impl_; }
+
+void FiberScheduler::run(const std::function<void(int)>& rank_main) {
+  impl_->run(rank_main);
+}
+
+Message FiberScheduler::pop_match(Mailbox& mbox, int src, int tag,
+                                  double timeout_s, double vnow) {
+  return impl_->pop_match(mbox, src, tag, timeout_s, vnow);
+}
+
+void FiberScheduler::notify_push(int rank) { impl_->notify_push(rank); }
+
+bool FiberScheduler::on_fiber() { return tl_current_fiber != nullptr; }
+
+}  // namespace psanim::mp

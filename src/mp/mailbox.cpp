@@ -58,6 +58,12 @@ void override_timeout_scale(double scale) {
   g_timeout_scale.store(scale, std::memory_order_relaxed);
 }
 
+void throw_recv_timeout(int src, int tag) {
+  throw RecvTimeout("psanim::mp: receive timed out (src=" +
+                    std::to_string(src) + ", tag=" + std::to_string(tag) +
+                    ") — likely a missing end-of-transmission marker");
+}
+
 // --- Ring -----------------------------------------------------------------
 
 namespace {
@@ -128,6 +134,11 @@ void Mailbox::push(Message m) {
     ++total_;
   }
   cv_.notify_all();
+  if (push_signal_) push_signal_();
+}
+
+void Mailbox::set_push_signal(std::function<void()> signal) {
+  push_signal_ = std::move(signal);
 }
 
 const Mailbox::Ring* Mailbox::find_match(int src, int tag) const {
@@ -203,11 +214,7 @@ Message Mailbox::pop_match(int src, int tag, double timeout_s) {
     ring = find_match(src, tag);
     return ring != nullptr;
   });
-  if (!ok) {
-    throw RecvTimeout("psanim::mp: receive timed out (src=" +
-                      std::to_string(src) + ", tag=" + std::to_string(tag) +
-                      ") — likely a missing end-of-transmission marker");
-  }
+  if (!ok) throw_recv_timeout(src, tag);
   return pop_from(*ring);
 }
 

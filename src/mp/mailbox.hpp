@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -49,6 +50,12 @@ double timeout_scale();
 /// the environment-derived default).
 void override_timeout_scale(double scale);
 
+/// Throw the canonical receive-timeout error for a (src, tag) filter.
+/// Shared by the wall-clock expiry path (Mailbox::pop_match) and the
+/// fiber scheduler's protocol-deadlock detection, so both execution modes
+/// fail with the identical message.
+[[noreturn]] void throw_recv_timeout(int src, int tag);
+
 class Mailbox {
  public:
   /// Enqueue a message (called from the sender's thread).
@@ -68,6 +75,13 @@ class Mailbox {
 
   /// Number of queued messages (any filter).
   std::size_t size() const;
+
+  /// Fiber-runtime integration: called (outside the internal lock) after
+  /// every push, so a cooperative scheduler can wake the owning rank's
+  /// suspended fiber instead of relying on the condition variable. Set
+  /// before the run's first send and cleared after the last rank returns;
+  /// an empty function restores pure condition-variable wakeups.
+  void set_push_signal(std::function<void()> signal);
 
  private:
   struct Item {
@@ -109,6 +123,7 @@ class Mailbox {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::function<void()> push_signal_;  ///< immutable while ranks are live
   std::map<Key, Ring> rings_;
   std::size_t empty_rings_ = 0;
   std::size_t total_ = 0;

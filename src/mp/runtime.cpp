@@ -1,10 +1,31 @@
 #include "mp/runtime.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "mp/fiber.hpp"
+
 namespace psanim::mp {
+
+namespace {
+
+/// PSANIM_EXEC_MODE env default, read once ("threads" | "fibers"; anything
+/// else — including unset — means fibers, the production core).
+ExecMode env_exec_mode() {
+  static const ExecMode mode = [] {
+    if (const char* env = std::getenv("PSANIM_EXEC_MODE")) {
+      if (std::strcmp(env, "threads") == 0) return ExecMode::kThreads;
+    }
+    return ExecMode::kFibers;
+  }();
+  return mode;
+}
+
+}  // namespace
 
 Runtime::Runtime(int world_size, LinkCostFn cost_fn, RuntimeOptions options)
     : world_size_(world_size),
@@ -25,7 +46,36 @@ Runtime::Runtime(int world_size, LinkCostFn cost_fn, RuntimeOptions options)
                        0.0);
 }
 
+ExecMode Runtime::resolved_exec_mode() const {
+  return options_.exec_mode == ExecMode::kDefault ? env_exec_mode()
+                                                  : options_.exec_mode;
+}
+
+Message Runtime::pop_match_blocking(int rank, int src, int tag,
+                                    double timeout_s, double vnow) {
+  Mailbox& mbox = mailbox(rank);
+  if (sched_ != nullptr && FiberScheduler::on_fiber()) {
+    return sched_->pop_match(mbox, src, tag, timeout_s, vnow);
+  }
+  return mbox.pop_match(src, tag, timeout_s);
+}
+
 std::vector<ProcessResult> Runtime::run(
+    const std::function<void(Endpoint&)>& body) {
+  if (resolved_exec_mode() == ExecMode::kThreads) {
+    if (world_size_ > kMaxThreadRanks) {
+      throw std::invalid_argument(
+          "Runtime: thread-per-rank execution refuses world_size " +
+          std::to_string(world_size_) + " (> " +
+          std::to_string(kMaxThreadRanks) +
+          " OS threads) — use ExecMode::kFibers for large worlds");
+    }
+    return run_threads(body);
+  }
+  return run_fibers(body);
+}
+
+std::vector<ProcessResult> Runtime::run_threads(
     const std::function<void(Endpoint&)>& body) {
   const auto n = static_cast<std::size_t>(world_size_);
   std::vector<ProcessResult> results(n);
@@ -56,6 +106,60 @@ std::vector<ProcessResult> Runtime::run(
     }
     // jthread joins on scope exit; all process threads are done past here.
   }
+
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+std::vector<ProcessResult> Runtime::run_fibers(
+    const std::function<void(Endpoint&)>& body) {
+  const auto n = static_cast<std::size_t>(world_size_);
+  std::vector<ProcessResult> results(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  FiberScheduler sched(
+      world_size_, FiberSchedulerOptions{.workers = options_.workers,
+                                         .stack_bytes =
+                                             options_.fiber_stack_bytes});
+
+  // Route every mailbox push into the scheduler so a blocked fiber wakes,
+  // and every blocking receive into the scheduler's yield point. Cleared
+  // on all exit paths — after run() the mailboxes go back to pure
+  // condition-variable behavior (direct-push tests rely on it).
+  sched_ = &sched;
+  for (int r = 0; r < world_size_; ++r) {
+    mailbox(r).set_push_signal([this, r] { sched_->notify_push(r); });
+  }
+  struct Unhook {
+    Runtime* rt;
+    ~Unhook() {
+      for (int r = 0; r < rt->world_size_; ++r) {
+        rt->mailbox(r).set_push_signal({});
+      }
+      rt->sched_ = nullptr;
+    }
+  } unhook{this};
+
+  sched.run([this, &body, &results, &errors](int r) {
+    const auto i = static_cast<std::size_t>(r);
+    Endpoint ep(*this, r);
+    try {
+      body(ep);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+    results[i] = ProcessResult{
+        .rank = r,
+        .finish_time = ep.clock().now(),
+        .compute_s = ep.clock().compute_seconds(),
+        .comm_s = ep.clock().comm_seconds(),
+        .wait_s = ep.clock().wait_seconds(),
+        .restarts = ep.restarts(),
+        .traffic = ep.traffic(),
+    };
+  });
 
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);

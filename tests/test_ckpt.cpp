@@ -22,6 +22,7 @@
 #include "ckpt/vault.hpp"
 #include "core/simulation.hpp"
 #include "core/wire.hpp"
+#include "mp/runtime.hpp"
 #include "sim/run_config.hpp"
 #include "sim/scenario.hpp"
 #include "trace/event_log.hpp"
@@ -329,14 +330,17 @@ SimSettings chaos_settings() {
   return s;
 }
 
-core::ParallelResult run(const Scene& scene, const SimSettings& settings) {
+core::ParallelResult run(const Scene& scene, const SimSettings& settings,
+                         mp::ExecMode exec_mode = mp::ExecMode::kDefault) {
   sim::RunConfig cfg;
   cfg.groups = {{cluster::NodeType::e800(), std::min(settings.ncalc, 8),
                  settings.ncalc}};
   cfg.network = net::Interconnect::kMyrinet;
   const auto built = sim::build_cluster(cfg);
   return core::run_parallel(scene, settings, built.spec, built.placement,
-                            {}, mp::RuntimeOptions{.recv_timeout_s = 15.0});
+                            {},
+                            mp::RuntimeOptions{.recv_timeout_s = 15.0,
+                                               .exec_mode = exec_mode});
 }
 
 bool same_image(const render::Framebuffer& a, const render::Framebuffer& b) {
@@ -396,6 +400,39 @@ TEST_P(RestartRecovery, CrashedRunMatchesFaultFreeRunBitExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenes, RestartRecovery, ::testing::Bool());
+
+TEST(RestartRecovery, FiberCoreRestartMatchesFaultFreeAndThreadedCore) {
+  // The restart path under the fiber scheduler, pinned explicitly: the
+  // crashed rank's fiber unwinds, the respawned role re-enters on the
+  // same fiber infrastructure, rolls back to the snapshot and replays.
+  // Recovered output must be bit-identical to the fault-free fiber run,
+  // and the whole recovered run bit-identical to the threaded oracle.
+  const Scene scene = chaos_scene(/*snow=*/true);
+  SimSettings settings = chaos_settings();
+  const auto clean = run(scene, settings, mp::ExecMode::kFibers);
+
+  settings.ckpt.interval = 2;
+  settings.fault_plan.crashes = {{.calc = 1, .at_frame = 5}};
+  const auto recovered = run(scene, settings, mp::ExecMode::kFibers);
+
+  ASSERT_EQ(recovered.telemetry.image_frames().size(), settings.frames);
+  EXPECT_TRUE(same_image(recovered.final_frame, clean.final_frame));
+  EXPECT_EQ(recovered.fault_stats.restart_recoveries, 1u);
+  EXPECT_EQ(
+      recovered.procs[static_cast<std::size_t>(core::calc_rank(1))].restarts,
+      1u);
+
+  const auto threaded = run(scene, settings, mp::ExecMode::kThreads);
+  EXPECT_EQ(recovered.animation_s, threaded.animation_s);
+  EXPECT_TRUE(same_image(recovered.final_frame, threaded.final_frame));
+  ASSERT_EQ(recovered.procs.size(), threaded.procs.size());
+  for (std::size_t r = 0; r < recovered.procs.size(); ++r) {
+    EXPECT_EQ(recovered.procs[r].finish_time, threaded.procs[r].finish_time)
+        << "rank " << r;
+    EXPECT_EQ(recovered.procs[r].restarts, threaded.procs[r].restarts)
+        << "rank " << r;
+  }
+}
 
 TEST(RestartRecovery, SurvivesMessageChaosOnTop) {
   // Drops, duplicates and delay spikes perturb wire times but not frame

@@ -59,14 +59,17 @@ SimSettings chaos_settings() {
   return s;
 }
 
-core::ParallelResult run(const Scene& scene, const SimSettings& settings) {
+core::ParallelResult run(const Scene& scene, const SimSettings& settings,
+                         mp::ExecMode exec_mode = mp::ExecMode::kDefault) {
   sim::RunConfig cfg;
   cfg.groups = {{cluster::NodeType::e800(), std::min(settings.ncalc, 8),
                  settings.ncalc}};
   cfg.network = net::Interconnect::kMyrinet;
   const auto built = sim::build_cluster(cfg);
   return core::run_parallel(scene, settings, built.spec, built.placement,
-                            {}, mp::RuntimeOptions{.recv_timeout_s = 15.0});
+                            {},
+                            mp::RuntimeOptions{.recv_timeout_s = 15.0,
+                                               .exec_mode = exec_mode});
 }
 
 bool same_image(const render::Framebuffer& a, const render::Framebuffer& b) {
@@ -352,6 +355,31 @@ TEST(CrashRecovery, ChaosPlusCrashIsReproducible) {
   const auto second = run(scene, settings);
   expect_identical_procs(first.procs, second.procs);
   EXPECT_TRUE(same_image(first.final_frame, second.final_frame));
+}
+
+TEST(CrashRecovery, FiberCoreCrashAndMergeMatchesThreadedCore) {
+  // Fail-stop crash + merge recovery under the fiber scheduler, pinned
+  // explicitly so this covers fibers even when CI's differential leg
+  // exports PSANIM_EXEC_MODE=threads. The dying rank unwinds its fiber
+  // stack mid-protocol; survivors renegotiate the domain — and every
+  // proc stat and pixel matches the thread-per-rank oracle bit for bit.
+  const Scene scene = chaos_scene(/*snow=*/false);
+  SimSettings settings = chaos_settings();
+  settings.fault_plan = message_chaos_plan(777);
+  settings.fault_plan.crashes = {{.calc = 1, .at_frame = 3}};
+
+  const auto fibers = run(scene, settings, mp::ExecMode::kFibers);
+  ASSERT_EQ(fibers.telemetry.image_frames().size(), settings.frames);
+  EXPECT_EQ(fibers.fault_stats.merge_recoveries, 1u);
+
+  const auto fibers2 = run(scene, settings, mp::ExecMode::kFibers);
+  expect_identical_procs(fibers.procs, fibers2.procs);
+  EXPECT_TRUE(same_image(fibers.final_frame, fibers2.final_frame));
+
+  const auto threads = run(scene, settings, mp::ExecMode::kThreads);
+  expect_identical_procs(fibers.procs, threads.procs);
+  EXPECT_EQ(fibers.animation_s, threads.animation_s);
+  EXPECT_TRUE(same_image(fibers.final_frame, threads.final_frame));
 }
 
 // --- slowdowns and degradation ----------------------------------------

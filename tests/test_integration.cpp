@@ -20,6 +20,9 @@
 
 #include "core/simulation.hpp"
 #include "core/wire.hpp"
+#include "mp/collectives.hpp"
+#include "mp/message.hpp"
+#include "mp/runtime.hpp"
 #include "render/compare.hpp"
 #include "sim/run_config.hpp"
 #include "sim/scenario.hpp"
@@ -365,6 +368,59 @@ TEST(Integration, ImageGeneratorWritesFrames) {
     std::string magic;
     in >> magic;
     EXPECT_EQ(magic, "P6");
+  }
+}
+
+// --- fiber core at scale: 1000-rank collectives ---
+
+// All-to-all data movement at a scale the thread-per-rank core refuses:
+// every rank contributes its rank id, allgather hands everyone the whole
+// table, and an allreduce cross-checks the sum — repeated across worker
+// counts, which must not perturb a single virtual-time bit.
+TEST(Integration, ThousandRankCollectivesMatchAcrossWorkerCounts) {
+  constexpr int kWorld = 1000;
+  auto cost = [](int, int, std::size_t bytes) {
+    return mp::MsgCost{.send_cpu_s = 5e-7,
+                       .wire_s = 2e-6 + static_cast<double>(bytes) * 1e-9,
+                       .recv_cpu_s = 1e-6};
+  };
+  const double expect_sum = kWorld * (kWorld - 1) / 2.0;
+
+  std::vector<std::vector<mp::ProcessResult>> runs;
+  for (const int workers : {1, 2, 8}) {
+    mp::Runtime rt(kWorld, cost,
+                   mp::RuntimeOptions{.exec_mode = mp::ExecMode::kFibers,
+                                      .workers = workers});
+    runs.push_back(rt.run([&](mp::Endpoint& ep) {
+      mp::barrier(ep);
+      mp::Writer w;
+      w.put<std::int32_t>(ep.rank());
+      const auto table = mp::allgather(ep, w.take());
+      ASSERT_EQ(static_cast<int>(table.size()), kWorld);
+      for (int i = 0; i < kWorld; ++i) {
+        mp::Reader r{std::span<const std::byte>(
+            table[static_cast<std::size_t>(i)])};
+        ASSERT_EQ(r.get<std::int32_t>(), i);
+      }
+      const double sum =
+          mp::allreduce_sum(ep, static_cast<double>(ep.rank()));
+      EXPECT_EQ(sum, expect_sum);
+    }));
+  }
+
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[0].size(), runs[v].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      const auto& a = runs[0][i];
+      const auto& b = runs[v][i];
+      EXPECT_EQ(a.finish_time, b.finish_time) << "rank " << a.rank;
+      EXPECT_EQ(a.compute_s, b.compute_s) << "rank " << a.rank;
+      EXPECT_EQ(a.comm_s, b.comm_s) << "rank " << a.rank;
+      EXPECT_EQ(a.traffic.msgs_sent, b.traffic.msgs_sent);
+      EXPECT_EQ(a.traffic.bytes_sent, b.traffic.bytes_sent);
+      EXPECT_EQ(a.traffic.msgs_recv, b.traffic.msgs_recv);
+      EXPECT_EQ(a.traffic.bytes_recv, b.traffic.bytes_recv);
+    }
   }
 }
 

@@ -621,5 +621,136 @@ TEST_P(CollectivesTest, AllreduceMaxAndSum) {
 INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesTest,
                          ::testing::Values(1, 2, 3, 5, 8));
 
+// --- fiber scheduler at scale ---
+//
+// These pin ExecMode::kFibers explicitly: they must pass even when CI's
+// differential leg exports PSANIM_EXEC_MODE=threads, and a 1000-rank
+// world is exactly what the threaded core refuses.
+
+// Every observable field of a ProcessResult, exact-compare. Doubles are
+// compared bitwise on purpose: the whole point is that scheduling cannot
+// perturb virtual-time arithmetic even in the last ulp.
+void expect_identical_results(const std::vector<ProcessResult>& a,
+                              const std::vector<ProcessResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rank, b[i].rank);
+    EXPECT_EQ(a[i].finish_time, b[i].finish_time) << "rank " << a[i].rank;
+    EXPECT_EQ(a[i].compute_s, b[i].compute_s) << "rank " << a[i].rank;
+    EXPECT_EQ(a[i].comm_s, b[i].comm_s) << "rank " << a[i].rank;
+    EXPECT_EQ(a[i].wait_s, b[i].wait_s) << "rank " << a[i].rank;
+    EXPECT_EQ(a[i].restarts, b[i].restarts) << "rank " << a[i].rank;
+    EXPECT_EQ(a[i].traffic.msgs_sent, b[i].traffic.msgs_sent);
+    EXPECT_EQ(a[i].traffic.bytes_sent, b[i].traffic.bytes_sent);
+    EXPECT_EQ(a[i].traffic.msgs_recv, b[i].traffic.msgs_recv);
+    EXPECT_EQ(a[i].traffic.bytes_recv, b[i].traffic.bytes_recv);
+  }
+}
+
+// A 1000-rank ring with real per-hop costs: each rank passes an
+// accumulating token to its right neighbor, twice around. Exercises long
+// blocked-fiber chains (at any instant almost every fiber is suspended in
+// recv) and the cross-rank wake path.
+std::vector<ProcessResult> run_ping_ring(int n, int workers) {
+  auto cost = [](int, int, std::size_t bytes) {
+    return MsgCost{.send_cpu_s = 1e-6,
+                   .wire_s = 1e-5 + static_cast<double>(bytes) * 1e-9,
+                   .recv_cpu_s = 2e-6};
+  };
+  Runtime rt(n, cost,
+             RuntimeOptions{.exec_mode = ExecMode::kFibers,
+                            .workers = workers});
+  return rt.run([n](Endpoint& ep) {
+    const int rank = ep.rank();
+    const int right = (rank + 1) % n;
+    const int left = (rank + n - 1) % n;
+    constexpr int kLaps = 2;
+    if (rank == 0) {
+      std::uint64_t token = 1;
+      for (int lap = 0; lap < kLaps; ++lap) {
+        Writer w;
+        w.put<std::uint64_t>(token);
+        ep.send(right, 100, std::move(w));
+        Reader r(ep.recv(left, 100));
+        token = r.get<std::uint64_t>();
+      }
+      EXPECT_EQ(token,
+                1u + static_cast<std::uint64_t>(kLaps) *
+                         static_cast<std::uint64_t>(n - 1));
+    } else {
+      for (int lap = 0; lap < kLaps; ++lap) {
+        Reader r(ep.recv(left, 100));
+        Writer w;
+        w.put<std::uint64_t>(r.get<std::uint64_t>() + 1);
+        ep.send(right, 100, std::move(w));
+      }
+    }
+  });
+}
+
+TEST(FiberScale, ThousandRankRingIdenticalAcrossWorkerCounts) {
+  constexpr int kWorld = 1000;
+  const auto one = run_ping_ring(kWorld, 1);
+  ASSERT_EQ(one.size(), static_cast<std::size_t>(kWorld));
+  // Ring makespan: the token crosses every hop, so nobody finishes at 0.
+  EXPECT_GT(one.back().finish_time, 0.0);
+  for (const int workers : {2, 8}) {
+    expect_identical_results(one, run_ping_ring(kWorld, workers));
+  }
+}
+
+TEST(FiberScale, ThreadPerRankRefusesThousandRanks) {
+  Runtime rt(1000, zero_cost_fn(),
+             RuntimeOptions{.exec_mode = ExecMode::kThreads});
+  EXPECT_THROW(rt.run([](Endpoint&) {}), std::invalid_argument);
+  // ...and the same world is fine one line later under fibers.
+  Runtime ok(1000, zero_cost_fn(),
+             RuntimeOptions{.exec_mode = ExecMode::kFibers});
+  const auto results = ok.run([](Endpoint&) {});
+  EXPECT_EQ(results.size(), 1000u);
+}
+
+TEST(FiberScale, BodyExceptionUnwindsFiberStacksLowestRankWins) {
+  // Several ranks throw; stack objects on the fiber stacks must be
+  // destroyed during capture, and the caller sees rank 3's message.
+  static std::atomic<int> destroyed{0};
+  struct OnStack {
+    ~OnStack() { destroyed.fetch_add(1); }
+  };
+  destroyed = 0;
+  Runtime rt(64, zero_cost_fn(),
+             RuntimeOptions{.exec_mode = ExecMode::kFibers, .workers = 4});
+  try {
+    rt.run([](Endpoint& ep) {
+      OnStack guard;
+      if (ep.rank() >= 3 && ep.rank() % 2 == 1) {
+        throw std::runtime_error("rank " + std::to_string(ep.rank()));
+      }
+    });
+    FAIL() << "expected the lowest-rank exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 3");
+  }
+  EXPECT_EQ(destroyed.load(), 64);
+}
+
+TEST(FiberScale, DeadlockVictimMatchesThreadedTimeoutText) {
+  // A wedged 100-rank protocol (everyone receives, nobody sends) must
+  // fail with the same RecvTimeout text the threaded core produces —
+  // without waiting out a wall-clock deadline.
+  Runtime rt(100, zero_cost_fn(),
+             RuntimeOptions{.recv_timeout_s = 30.0,
+                            .exec_mode = ExecMode::kFibers});
+  try {
+    rt.run([](Endpoint& ep) { ep.recv((ep.rank() + 1) % 100, 5); });
+    FAIL() << "expected RecvTimeout";
+  } catch (const RecvTimeout& e) {
+    // Lowest rank's exception wins; rank 0 was blocked on src 1, tag 5.
+    EXPECT_STREQ(e.what(),
+                 "psanim::mp: receive timed out (src=1, tag=5) — likely a "
+                 "missing end-of-transmission marker");
+  }
+}
+
 }  // namespace
 }  // namespace psanim::mp

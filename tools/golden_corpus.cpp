@@ -11,10 +11,17 @@
 // Usage:
 //   golden_corpus generate <corpus-file>
 //   golden_corpus check    <corpus-file> [--subset N]
+//                          [--exec-mode fibers|threads|both]
 //
 // `generate` is only rerun deliberately, when a change is *supposed* to
 // alter results (new RNG layout, renderer change); the diff then documents
 // exactly which cells moved.
+//
+// `--exec-mode both` is the execution-core differential: every replayed
+// cell runs under the fiber scheduler AND the thread-per-rank oracle, and
+// both emitted lines (framebuffer hash + %.17g makespan) must be
+// string-identical to each other and to the committed corpus. CI wires
+// this as the determinism.exec_mode_parity fast-tier test.
 
 #include <cinttypes>
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "mp/runtime.hpp"
 #include "render/compare.hpp"
 #include "sim/run_config.hpp"
 #include "sim/scenario.hpp"
@@ -59,7 +67,8 @@ struct RunOut {
   double makespan_s = 0.0;
 };
 
-RunOut run_cell(const Cell& cell) {
+RunOut run_cell(const Cell& cell,
+                mp::ExecMode exec_mode = mp::ExecMode::kDefault) {
   sim::ScenarioParams p;
   p.systems = 2;
   p.particles_per_system = 400;
@@ -81,7 +90,8 @@ RunOut run_cell(const Cell& cell) {
   const auto built = sim::build_cluster(cfg);
   const auto r =
       core::run_parallel(scene, settings, built.spec, built.placement, {},
-                         mp::RuntimeOptions{.recv_timeout_s = 30.0});
+                         mp::RuntimeOptions{.recv_timeout_s = 30.0,
+                                            .exec_mode = exec_mode});
   return {render::hash_framebuffer(r.final_frame), r.animation_s};
 }
 
@@ -113,7 +123,7 @@ int generate(const std::string& path) {
   return 0;
 }
 
-int check(const std::string& path, int subset) {
+int check(const std::string& path, int subset, const std::string& exec_mode) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "golden_corpus: cannot read %s\n", path.c_str());
@@ -139,20 +149,54 @@ int check(const std::string& path, int subset) {
                                   cells.size())
                             : cells.size();
   const std::size_t stride = cells.size() / n;
+  std::vector<mp::ExecMode> modes;
+  if (exec_mode == "fibers") {
+    modes = {mp::ExecMode::kFibers};
+  } else if (exec_mode == "threads") {
+    modes = {mp::ExecMode::kThreads};
+  } else if (exec_mode == "both") {
+    modes = {mp::ExecMode::kFibers, mp::ExecMode::kThreads};
+  } else if (exec_mode.empty()) {
+    modes = {mp::ExecMode::kDefault};
+  } else {
+    std::fprintf(stderr, "golden_corpus: unknown --exec-mode '%s'\n",
+                 exec_mode.c_str());
+    return 2;
+  }
   int mismatches = 0;
   std::size_t replayed = 0;
   for (std::size_t i = 0; i < cells.size(); i += stride) {
     if (replayed >= n) break;
     ++replayed;
-    const std::string got = line_for(cells[i], run_cell(cells[i]));
-    if (got != want[i]) {
-      ++mismatches;
-      std::fprintf(stderr, "MISMATCH cell %zu\n  want: %s\n  got:  %s\n", i,
-                   want[i].c_str(), got.c_str());
+    std::string first;
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      const char* mode_name = modes[m] == mp::ExecMode::kThreads ? "threads"
+                              : modes[m] == mp::ExecMode::kFibers
+                                  ? "fibers"
+                                  : "default";
+      const std::string got = line_for(cells[i], run_cell(cells[i], modes[m]));
+      if (got != want[i]) {
+        ++mismatches;
+        std::fprintf(stderr, "MISMATCH cell %zu (%s)\n  want: %s\n  got:  %s\n",
+                     i, mode_name, want[i].c_str(), got.c_str());
+      }
+      // Cross-core differential: the fiber line and the thread line must be
+      // the same *string*, not merely both corpus-clean.
+      if (m == 0) {
+        first = got;
+      } else if (got != first) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "EXEC-MODE DIVERGENCE cell %zu\n  fibers:  %s\n"
+                     "  threads: %s\n",
+                     i, first.c_str(), got.c_str());
+      }
     }
   }
-  std::printf("golden_corpus: replayed %zu/%zu cells, %d mismatches\n",
-              replayed, cells.size(), mismatches);
+  std::printf("golden_corpus: replayed %zu/%zu cells (%zu mode%s), "
+              "%d mismatches\n",
+              replayed, cells.size(), modes.size(),
+              modes.size() == 1 ? "" : "s", mismatches);
   return mismatches == 0 ? 0 : 1;
 }
 
@@ -162,7 +206,8 @@ int main(int argc, char** argv) {
   const auto usage = [] {
     std::fprintf(stderr,
                  "usage: golden_corpus generate <file>\n"
-                 "       golden_corpus check <file> [--subset N]\n");
+                 "       golden_corpus check <file> [--subset N]\n"
+                 "                          [--exec-mode fibers|threads|both]\n");
     return 2;
   };
   if (argc < 3) return usage();
@@ -171,12 +216,15 @@ int main(int argc, char** argv) {
   if (mode == "generate") return generate(path);
   if (mode == "check") {
     int subset = 0;
+    std::string exec_mode;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--subset") == 0 && i + 1 < argc) {
         subset = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--exec-mode") == 0 && i + 1 < argc) {
+        exec_mode = argv[++i];
       }
     }
-    return check(path, subset);
+    return check(path, subset, exec_mode);
   }
   return usage();
 }
