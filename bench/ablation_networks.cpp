@@ -5,6 +5,15 @@
 // Expected shape: snow (little exchange) degrades mildly from Myrinet to
 // Fast-Ethernet; fountain (7x the exchange volume) degrades hard — the
 // §5.3 conclusion that DLB needs a high-speed network.
+//
+// A second sweep re-runs the Table-2 heterogeneous mix (2*B(4P) + 2*C(2P),
+// Fast-Ethernet + ICC) under zone platforms — crossbar, slim fat-tree,
+// WAN-partitioned — against the flat per-pair model. The flat leg must
+// reproduce the legacy-path numbers bit-exactly (the sweep harness itself
+// may not perturb results); the zone legs show what shared-link contention
+// and long-haul uplinks cost the same workload.
+
+#include <cstdlib>
 
 #include "bench/bench_util.hpp"
 
@@ -33,5 +42,45 @@ int main(int argc, char** argv) {
                                                 : 0.0)});
   }
   bench::print_table(t);
+
+  // --- zone-platform sweep on the Table-2 hetero mix -------------------
+  auto hetero = [&] {
+    sim::RunConfig cfg;
+    cfg.groups = {{cluster::NodeType::e800(), 2, 4},
+                  {cluster::NodeType::zx2000(), 2, 2}};
+    cfg.network = net::Interconnect::kFastEthernet;
+    cfg.compiler = cluster::Compiler::kIcc;
+    cfg.space = core::SpaceMode::kFinite;
+    cfg.lb = core::LbMode::kDynamicPairwise;
+    cfg.baseline_node = cluster::NodeType::zx2000();
+    return cfg;
+  }();
+  const double seq_s = sim::measure_sequential(snow, settings, hetero);
+  // Today's numbers: the legacy path, before any platform machinery.
+  const auto legacy = sim::run_speedup(snow, settings, hetero, seq_s);
+
+  std::printf("Platform sweep: table-2 hetero mix (%s), snow\n",
+              hetero.label().c_str());
+  trace::Table pt({"Platform", "makespan s", "speedup", "vs flat"});
+  for (const char* plat :
+       {"flat", "crossbar", "fattree-slim", "wan2"}) {
+    auto cfg = hetero;
+    cfg.platform = plat;
+    const auto r = sim::run_speedup(snow, settings, cfg, seq_s);
+    if (std::string(plat) == "flat" &&
+        (r.parallel.animation_s != legacy.parallel.animation_s ||
+         r.speedup != legacy.speedup)) {
+      std::fprintf(stderr,
+                   "FATAL: flat platform leg drifted from the legacy path "
+                   "(%.17g != %.17g)\n",
+                   r.parallel.animation_s, legacy.parallel.animation_s);
+      return 1;
+    }
+    pt.add_row({plat, trace::Table::num(r.parallel.animation_s),
+                trace::Table::num(r.speedup),
+                trace::Table::num(r.parallel.animation_s /
+                                  legacy.parallel.animation_s)});
+  }
+  bench::print_table(pt);
   return 0;
 }

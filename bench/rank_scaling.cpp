@@ -9,7 +9,13 @@
 // is a wall-clock knob, never a result knob. The bench aborts on a
 // mismatch.
 //
-// Usage: rank_scaling [--laps N]
+// With --out FILE the bench also runs the platform-topology sweep (flat
+// vs crossbar/fat-tree/dragonfly/WAN on a fixed snow workload, every leg
+// twice) and writes BENCH_PR7.json: schema-versioned, every double
+// printed %.17g, validated by tools/bench_json.py. The virtual columns
+// are bit-reproducible; wall_ms is informational.
+//
+// Usage: rank_scaling [--laps N] [--out FILE]
 
 #include <chrono>
 #include <cstdio>
@@ -18,14 +24,24 @@
 #include <string>
 #include <vector>
 
+#include "core/simulation.hpp"
 #include "mp/collectives.hpp"
 #include "mp/communicator.hpp"
 #include "mp/message.hpp"
 #include "mp/runtime.hpp"
+#include "render/compare.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
 using namespace psanim;
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
 
 struct Measured {
   double wall_ms = 0.0;
@@ -52,7 +68,8 @@ Measured run_world(int world, mp::ExecMode mode, int workers, int laps) {
         ep.send(right, 1, std::move(w));
         ep.recv(left, 1);
       } else {
-        mp::Reader r(ep.recv(left, 1));
+        const mp::Message m = ep.recv(left, 1);
+        mp::Reader r(m);
         mp::Writer w;
         w.put<std::uint64_t>(r.get<std::uint64_t>() + 1);
         ep.send(right, 1, std::move(w));
@@ -73,18 +90,103 @@ Measured run_world(int world, mp::ExecMode mode, int workers, int laps) {
   return m;
 }
 
+/// One leg of the platform sweep: the fixed snow workload on 8 E800
+/// calculators over Fast-Ethernet, under `platform` (empty = flat).
+struct SweepLeg {
+  double makespan_s = 0.0;
+  std::uint64_t fb_hash = 0;
+};
+
+SweepLeg run_platform_leg(const std::string& platform) {
+  sim::ScenarioParams p;
+  p.systems = 4;
+  p.particles_per_system = 3'000;
+  p.frames = 10;
+  const core::Scene scene = sim::make_snow_scene(p);
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), 8, 8}};
+  cfg.network = net::Interconnect::kFastEthernet;
+  cfg.platform = platform;
+  const auto built = sim::build_cluster(cfg);
+
+  core::SimSettings settings;
+  settings.frames = p.frames;
+  settings.ncalc = built.ncalc;
+  settings.image_width = 64;
+  settings.image_height = 48;
+  const auto r =
+      core::run_parallel(scene, settings, built.spec, built.placement, {},
+                         mp::RuntimeOptions{.recv_timeout_s = 60.0});
+  return {r.animation_s, render::hash_framebuffer(r.final_frame)};
+}
+
+struct ScalingRow {
+  int world = 0;
+  std::string core;
+  double wall_ms = 0.0;
+  double makespan_s = 0.0;
+};
+
+struct SweepRow {
+  std::string platform;
+  SweepLeg run1, run2;
+};
+
+void write_json(const std::string& path,
+                const std::vector<ScalingRow>& scaling,
+                const std::vector<SweepRow>& sweep, int laps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs("{\n  \"schema\": \"psanim-bench-pr7-v1\",\n", f);
+  std::fprintf(f, "  \"workload\": {\"laps\": %d, \"sweep_scene\": "
+                  "\"snow 4x3000 x10f, 8*E800, fast-ethernet\"},\n", laps);
+  std::fputs("  \"rank_scaling\": [\n", f);
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& r = scaling[i];
+    std::fprintf(f,
+                 "    {\"world\": %d, \"core\": \"%s\", \"wall_ms\": %s, "
+                 "\"virtual_makespan_s\": %s}%s\n",
+                 r.world, r.core.c_str(), fmt17(r.wall_ms).c_str(),
+                 fmt17(r.makespan_s).c_str(),
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fputs("  ],\n  \"platform_sweep\": [\n", f);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    std::fprintf(f,
+                 "    {\"platform\": \"%s\", \"makespan_run1_s\": %s, "
+                 "\"makespan_run2_s\": %s, \"fb_hash\": \"%016llx\"}%s\n",
+                 r.platform.empty() ? "flat" : r.platform.c_str(),
+                 fmt17(r.run1.makespan_s).c_str(),
+                 fmt17(r.run2.makespan_s).c_str(),
+                 static_cast<unsigned long long>(r.run1.fb_hash),
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fputs("  ]\n}\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int laps = 2;
+  std::string out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--laps") == 0 && i + 1 < argc) {
       laps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--laps N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--laps N] [--out FILE]\n", argv[0]);
       return 2;
     }
   }
+  std::vector<ScalingRow> scaling;
 
   std::printf("# execution-core scaling: ring x%d + allgather\n", laps);
   std::printf("%6s  %-16s  %10s  %18s\n", "world", "core", "wall_ms",
@@ -102,6 +204,7 @@ int main(int argc, char** argv) {
                      label, world, m.makespan_s, reference);
         std::exit(1);
       }
+      scaling.push_back({world, label, m.wall_ms, m.makespan_s});
     };
     for (const int workers : {1, 2, 8}) {
       const std::string label = "fibers/w" + std::to_string(workers);
@@ -116,5 +219,58 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("# every row of a world must share one virtual makespan\n");
+
+  if (out.empty()) return 0;
+
+  // Platform-topology sweep: same scene on the flat model and on each zone
+  // platform, every leg twice. The two runs of a leg must agree bit-for-bit
+  // (contention is deterministic), every leg must render the flat leg's
+  // pixels (delivery times never change content), and the slim fat-tree
+  // must separate measurably from flat (shared uplinks cost time).
+  std::printf("\n# platform sweep: snow 4x3000 x10f, 8*E800, fast-ethernet\n");
+  std::printf("%-14s  %18s  %16s\n", "platform", "virtual_makespan_s",
+              "fb_hash");
+  std::vector<SweepRow> sweep;
+  for (const std::string plat :
+       {"", "crossbar", "fattree", "fattree-slim", "dragonfly", "wan2"}) {
+    SweepRow row;
+    row.platform = plat;
+    row.run1 = run_platform_leg(plat);
+    row.run2 = run_platform_leg(plat);
+    if (row.run1.makespan_s != row.run2.makespan_s ||
+        row.run1.fb_hash != row.run2.fb_hash) {
+      std::fprintf(stderr,
+                   "FATAL: platform '%s' is not reproducible "
+                   "(%.17g != %.17g)\n",
+                   plat.empty() ? "flat" : plat.c_str(),
+                   row.run1.makespan_s, row.run2.makespan_s);
+      return 1;
+    }
+    if (!sweep.empty() && row.run1.fb_hash != sweep.front().run1.fb_hash) {
+      std::fprintf(stderr,
+                   "FATAL: platform '%s' changed the rendered pixels\n",
+                   plat.c_str());
+      return 1;
+    }
+    std::printf("%-14s  %18.9f  %016llx\n",
+                plat.empty() ? "flat" : plat.c_str(), row.run1.makespan_s,
+                static_cast<unsigned long long>(row.run1.fb_hash));
+    sweep.push_back(std::move(row));
+  }
+  const auto find = [&](const char* name) -> const SweepRow& {
+    for (const auto& r : sweep) {
+      if (r.platform == name) return r;
+    }
+    std::fprintf(stderr, "FATAL: sweep missing platform '%s'\n", name);
+    std::exit(1);
+  };
+  if (find("fattree-slim").run1.makespan_s == find("").run1.makespan_s) {
+    std::fprintf(stderr,
+                 "FATAL: slim fat-tree did not separate from the flat "
+                 "model\n");
+    return 1;
+  }
+
+  write_json(out, scaling, sweep, laps);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "ckpt/vault.hpp"
 #include "fault/fault_plan.hpp"
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   using namespace psanim;
   const int procs = argc > 1 ? std::atoi(argv[1]) : 8;
   const std::string csv_path =
-      argc > 2 ? argv[2] : "fountain_imbalance.csv";
+      argc > 2 ? argv[2] : "bench/data/fountain_imbalance.csv";
 
   sim::ScenarioParams params;
   params.systems = 8;
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
     csv.add_row({std::to_string(f), std::to_string(s_series[f]),
                  std::to_string(d_series[f])});
   }
+  const auto parent = std::filesystem::path(csv_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
   csv.save(csv_path);
   std::printf("imbalance series written to %s\n", csv_path.c_str());
 

@@ -37,6 +37,11 @@ struct ClusterSpec {
   std::vector<NodeType> nodes;
   net::Interconnect preferred = net::Interconnect::kFastEthernet;
   Compiler compiler = Compiler::kGcc;
+  /// Topology platform description (platform::parse form: a preset name,
+  /// DSL, or JSON). Empty or "flat" keeps the legacy per-pair alpha-beta
+  /// model — no zone tree, no shared-link contention, bit-identical to
+  /// pre-platform behavior.
+  std::string platform;
 
   std::size_t node_count() const { return nodes.size(); }
   /// Effective per-CPU rate of node `i` under this spec's compiler.

@@ -63,4 +63,45 @@ mp::LinkCostFn make_link_cost_fn(const ClusterSpec& spec,
   };
 }
 
+mp::LinkCostFn make_link_cost_fn(const ClusterSpec& spec,
+                                 const Placement& placement,
+                                 const CostModel& cost,
+                                 const platform::Platform& platform) {
+  const auto rates = rank_rates(spec, placement, cost.smp_contention);
+  const auto node_of = placement.node_of_rank;
+  const CostModel cm = cost;
+  const platform::Platform* plat = &platform;
+
+  return [rates, node_of, cm, plat](int src, int dst,
+                                    std::size_t bytes) -> mp::MsgCost {
+    const auto sn =
+        static_cast<std::size_t>(node_of.at(static_cast<std::size_t>(src)));
+    const auto dn =
+        static_cast<std::size_t>(node_of.at(static_cast<std::size_t>(dst)));
+    double wire_s = 0.0;
+    net::Interconnect src_kind, dst_kind;
+    if (sn == dn) {
+      const auto lb = net::LinkModel::loopback();
+      wire_s = lb.cost_s(bytes);
+      src_kind = dst_kind = lb.kind;
+    } else {
+      const auto w = plat->wire(sn, dn);
+      wire_s = w.latency_s + static_cast<double>(bytes) / w.bottleneck_bps;
+      src_kind = w.src_kind;
+      dst_kind = w.dst_kind;
+    }
+    const double send_host =
+        cm.host_overhead_s(src_kind) +
+        static_cast<double>(bytes) / cm.host_bandwidth_bps(src_kind);
+    const double recv_host =
+        cm.host_overhead_s(dst_kind) +
+        static_cast<double>(bytes) / cm.host_bandwidth_bps(dst_kind);
+    return mp::MsgCost{
+        .send_cpu_s = send_host / rates.at(static_cast<std::size_t>(src)),
+        .wire_s = wire_s,
+        .recv_cpu_s = recv_host / rates.at(static_cast<std::size_t>(dst)),
+    };
+  };
+}
+
 }  // namespace psanim::cluster

@@ -14,6 +14,7 @@
 #include "cluster/placement.hpp"
 #include "mp/communicator.hpp"
 #include "net/network_model.hpp"
+#include "platform/platform.hpp"
 
 namespace psanim::cluster {
 
@@ -66,5 +67,16 @@ struct CostModel {
 mp::LinkCostFn make_link_cost_fn(const ClusterSpec& spec,
                                  const Placement& placement,
                                  const CostModel& cost);
+
+/// Topology-aware variant: wire time comes from the platform's route
+/// (additive latency, bottleneck bandwidth) instead of one resolved link,
+/// and host CPU overheads are charged by each endpoint's host-link kind.
+/// Same-node traffic stays loopback. `platform` is captured by pointer
+/// and must outlive the returned closure; shared-link *contention* is the
+/// Fabric's job, not the cost function's.
+mp::LinkCostFn make_link_cost_fn(const ClusterSpec& spec,
+                                 const Placement& placement,
+                                 const CostModel& cost,
+                                 const platform::Platform& platform);
 
 }  // namespace psanim::cluster

@@ -278,6 +278,8 @@ void Calculator::capture(mp::Endpoint& ep, std::uint32_t frame) {
   const auto bytes = static_cast<std::uint64_t>(image.size());
   const std::uint32_t crc =
       ckpt::crc32(std::span<const std::byte>(image.data(), image.size()));
+  // Writing the image to stable storage is part of the checkpoint's cost.
+  ep.charge_io(env_.disk.write_s(static_cast<std::size_t>(bytes)));
   set_.ckpt_vault->store(ep.rank(), frame, std::move(image));
   metrics_.on_snapshot(ep.clock().now() - capture_start,
                        static_cast<std::size_t>(bytes));
@@ -302,6 +304,7 @@ void Calculator::restore(mp::Endpoint& ep, std::uint32_t f0) {
                         ": no checkpoint image for frame " +
                         std::to_string(f0));
   }
+  ep.charge_io(env_.disk.read_s(image->size()));
   ckpt::SnapshotReader snap(*image);
   if (snap.header().role != ckpt::Role::kCalculator ||
       snap.header().rank != ep.rank() || snap.header().frame != f0) {

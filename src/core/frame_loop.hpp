@@ -18,6 +18,7 @@
 #include "lb/load_balancer.hpp"
 #include "lb/static_lb.hpp"
 #include "math/aabb.hpp"
+#include "platform/disk.hpp"
 #include "psys/system.hpp"
 #include "trace/event_log.hpp"
 
@@ -139,6 +140,11 @@ struct SimSettings {
   std::optional<std::uint32_t> resume_from;
   /// Observability: span tracing, metrics, flight recorder (psanim::obs).
   ObsSettings obs;
+  /// Topology platform selecting wire costs and shared-link contention
+  /// (platform::parse form: preset name, DSL, or JSON). Empty or "flat"
+  /// keeps the legacy per-pair alpha-beta model bit-identically. When both
+  /// this and the cluster spec's platform are set, this one wins.
+  std::string platform;
 
   /// Reject nonsensical settings (non-positive frame counts, negative
   /// timeouts or checkpoint intervals, ...) with actionable messages.
@@ -163,6 +169,10 @@ struct RoleEnv {
   /// This rank's metrics registry (null = metrics off). Owner-thread
   /// mutation only, like every per-rank obs buffer.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Storage model for this rank's checkpoint I/O: the platform's
+  /// per-node disk when non-free, else CkptPolicy::disk. Default free —
+  /// vault stores/fetches charge nothing, the pre-platform behavior.
+  platform::DiskModel disk{};
 };
 
 }  // namespace psanim::core

@@ -169,6 +169,7 @@ void ImageGenerator::capture(mp::Endpoint& ep, std::uint32_t frame) {
                              set_.obs.trace->labels());
   }
   std::vector<std::byte> image = snap.finish();
+  ep.charge_io(env_.disk.write_s(image.size()));
   metrics_.on_snapshot(ep.clock().now() - capture_start, image.size());
   const auto bytes = static_cast<std::uint64_t>(image.size());
   const std::uint32_t crc =
@@ -192,6 +193,7 @@ void ImageGenerator::restore(mp::Endpoint& ep, std::uint32_t f0) {
     throw ProtocolError("image generator: no checkpoint image for frame " +
                         std::to_string(f0));
   }
+  ep.charge_io(env_.disk.read_s(image->size()));
   ckpt::SnapshotReader snap(*image);
   if (snap.header().role != ckpt::Role::kImageGen ||
       snap.header().rank != ep.rank() || snap.header().frame != f0) {

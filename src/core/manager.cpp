@@ -178,6 +178,7 @@ void Manager::checkpoint_phase(mp::Endpoint& ep, std::uint32_t frame) {
                              set_.obs.trace->labels());
   }
   std::vector<std::byte> image = snap.finish();
+  ep.charge_io(env_.disk.write_s(image.size()));
   metrics_.on_snapshot(ep.clock().now() - capture_start, image.size());
   ckpt::Manifest man;
   man.frame = frame;
@@ -225,6 +226,7 @@ void Manager::restore(mp::Endpoint& ep, std::uint32_t f0) {
     throw ProtocolError("manager: no checkpoint image for frame " +
                         std::to_string(f0));
   }
+  ep.charge_io(env_.disk.read_s(image->size()));
   ckpt::SnapshotReader snap(*image);
   if (snap.header().role != ckpt::Role::kManager ||
       snap.header().rank != ep.rank() || snap.header().frame != f0) {

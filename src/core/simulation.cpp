@@ -11,6 +11,8 @@
 #include "core/image_generator.hpp"
 #include "core/manager.hpp"
 #include "obs/trace.hpp"
+#include "platform/fabric.hpp"
+#include "platform/parse.hpp"
 #include "psys/store.hpp"
 #include "render/objects.hpp"
 #include "render/splat.hpp"
@@ -157,6 +159,25 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
     rt_options.trace = trace;
   }
 
+  // Topology platform: the settings' description wins over the spec's.
+  // Flat (the default) keeps the legacy per-pair cost function and no
+  // contention hook — bit-identical to pre-platform behavior.
+  const std::string& plat_desc =
+      !platform::is_flat(eff.platform) ? eff.platform : spec.platform;
+  std::unique_ptr<platform::Platform> plat;
+  std::unique_ptr<platform::Fabric> fabric;
+  if (!platform::is_flat(plat_desc)) {
+    plat = std::make_unique<platform::Platform>(
+        platform::parse(plat_desc, spec.node_count()));
+    std::vector<std::size_t> node_of(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r) {
+      node_of[static_cast<std::size_t>(r)] = static_cast<std::size_t>(
+          placement.node_of_rank.at(static_cast<std::size_t>(r)));
+    }
+    fabric = std::make_unique<platform::Fabric>(*plat, std::move(node_of));
+    rt_options.contention = fabric.get();
+  }
+
   const std::uint64_t start_stamp = g_runs_started.fetch_add(1) + 1;
   const bool entered_alone = g_runs_active.fetch_add(1) == 0;
   struct ActiveGuard {
@@ -164,8 +185,11 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   } active_guard;
   const mp::BufferPool::Stats pool_before = mp::BufferPool::global().stats();
 
-  mp::Runtime runtime(world, cluster::make_link_cost_fn(spec, placement, cost),
-                      rt_options);
+  mp::Runtime runtime(
+      world,
+      plat ? cluster::make_link_cost_fn(spec, placement, cost, *plat)
+           : cluster::make_link_cost_fn(spec, placement, cost),
+      rt_options);
 
   // Per-rank output slots; each thread writes only its own index.
   std::vector<trace::Telemetry> tele(static_cast<std::size_t>(world));
@@ -175,8 +199,16 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
       static_cast<std::size_t>(world));
 
   const auto procs = runtime.run([&](mp::Endpoint& ep) {
+    // This rank's checkpoint storage: the platform's node disk when it
+    // charges anything, else whatever the checkpoint policy configured.
+    platform::DiskModel disk = eff.ckpt.disk;
+    if (plat) {
+      const auto node = static_cast<std::size_t>(
+          placement.node_of_rank.at(static_cast<std::size_t>(ep.rank())));
+      if (!plat->disk_of(node).free()) disk = plat->disk_of(node);
+    }
     const RoleEnv env{&cost, rates.at(static_cast<std::size_t>(ep.rank())),
-                      trace ? &trace->metrics(ep.rank()) : nullptr};
+                      trace ? &trace->metrics(ep.rank()) : nullptr, disk};
     if (ep.rank() == kManagerRank) {
       Manager m(eff, scene, env, calc_powers);
       m.run(ep);

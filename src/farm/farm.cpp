@@ -303,6 +303,7 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
       core::SimSettings eff = out.rec->spec.settings;
       eff.obs.pool_metrics = false;  // pool is process-global; see Report
       if (out.own_trace != nullptr) eff.obs.trace = out.own_trace.get();
+      if (eff.platform.empty()) eff.platform = options_.platform;
       mp::RuntimeOptions rt;
       rt.recv_timeout_s = options_.recv_timeout_s;
       rt.exec_mode = options_.exec_mode;

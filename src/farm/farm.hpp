@@ -64,6 +64,13 @@ struct FarmOptions {
   /// Execution core forwarded to every job's runtime (kDefault resolves
   /// through PSANIM_EXEC_MODE, exactly like a standalone run).
   mp::ExecMode exec_mode = mp::ExecMode::kDefault;
+  /// Default topology platform (platform::parse form) for jobs whose
+  /// settings leave `platform` empty — the farm-wide fabric every tenant
+  /// runs on unless a job selects its own. Written into the job's
+  /// effective settings before launch, so standalone_run on the recorded
+  /// assignment still reproduces the job bit-for-bit only when given the
+  /// same settings. Empty = legacy flat model.
+  std::string platform;
   /// Fiber scheduler workers per concurrently-launched job. <= 0 splits
   /// the hardware budget evenly across the wall-clock batch (at least one
   /// each), so a farm draining hundreds of jobs shares one machine's worth

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mp/contention_hook.hpp"
 #include "mp/fault_hook.hpp"
 #include "mp/runtime.hpp"
 #include "mp/trace_hook.hpp"
@@ -38,8 +39,15 @@ void Endpoint::send(int dst, int tag, std::vector<std::byte> payload) {
   }
 
   m.depart_time = clock_.now();
-  m.arrive_time =
-      m.depart_time + cost.wire_s + faults.extra_wire_s + cost.recv_cpu_s;
+  double egress_wait_s = 0.0;
+  if (ContentionHook* hook = rt_.options().contention) {
+    // Sender-side half of the platform's shared-link model: this rank's
+    // own transfers serialize through its host uplink. The sender does
+    // not block (buffered-send semantics); the wait pushes arrival out.
+    egress_wait_s = hook->on_send(rank_, dst, m.wire_bytes(), m.depart_time);
+  }
+  m.arrive_time = m.depart_time + egress_wait_s + cost.wire_s +
+                  faults.extra_wire_s + cost.recv_cpu_s;
   // Non-overtaking per ordered (src, dst) pair, as MPI guarantees.
   double& last = rt_.last_arrival(rank_, dst);
   if (m.arrive_time < last) m.arrive_time = last;
@@ -81,6 +89,12 @@ Message Endpoint::recv_within(int src, int tag, double timeout_s) {
     // Routed through the runtime: under the fiber core an empty mailbox
     // suspends this rank's fiber instead of parking an OS thread.
     Message m = rt_.pop_match_blocking(rank_, src, tag, limit, clock_.now());
+    if (ContentionHook* hook = rt_.options().contention) {
+      // Receiver-side half: queue behind other arrivals sharing this
+      // route's links, replayed in the deterministic consume order.
+      m.arrive_time +=
+          hook->on_recv(m.src, rank_, m.wire_bytes(), m.arrive_time);
+    }
     clock_.advance_to(m.arrive_time);
     if (m.duplicate) {
       // Fault-injected copy: the transport layer recognizes and drops it,

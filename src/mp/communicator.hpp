@@ -99,6 +99,11 @@ class Endpoint {
   /// charge (per-rank compute slowdown).
   void charge(double seconds);
 
+  /// Charge modeled storage I/O (checkpoint vault store/fetch under a
+  /// platform disk model). Lands in the comm bucket and is deliberately
+  /// not scaled by fault compute factors — a slow CPU does not slow DMA.
+  void charge_io(double seconds) { clock_.charge_comm(seconds); }
+
   /// Frame number stamped onto fault-hook callbacks so injected faults
   /// land in the event log against the right frame.
   void set_trace_frame(std::uint32_t frame) { trace_frame_ = frame; }

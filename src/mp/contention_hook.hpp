@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared-link contention hook: the seam through which a platform model
+// (src/platform) bends per-message wire time without the message-passing
+// substrate knowing about topologies (same pattern as FaultHook and
+// TraceHook). The runtime consults an optional hook once per send on the
+// sender's context and once per consumed message on the receiver's
+// context; both return extra virtual seconds folded into the message's
+// arrival time.
+//
+// Determinism contract: on_send may touch only state keyed by `src` (it
+// runs in the sender's program order), on_recv only state keyed by `dst`
+// (it runs in the receiver's deterministic (arrive_time, src, seq)
+// consume order). Under that contract two runs — any exec mode, any
+// worker count — replay identical ledger updates in identical order, so
+// contention delays are bit-reproducible.
+
+#include <cstddef>
+
+namespace psanim::mp {
+
+class ContentionHook {
+ public:
+  virtual ~ContentionHook() = default;
+
+  /// Sender-side egress queueing: called once per Endpoint::send, on the
+  /// sender's context, in program order, before the arrival stamp is
+  /// computed. Returns extra seconds the transfer waits to enter the wire
+  /// behind the sender's own earlier transfers on its uplink (>= 0).
+  virtual double on_send(int src, int dst, std::size_t wire_bytes,
+                         double depart_s) = 0;
+
+  /// Receiver-side ingress queueing: called once per popped message (real
+  /// or duplicate copy — both crossed the wire), on the receiver's
+  /// context, before the receiver's clock advances to the arrival.
+  /// Returns extra seconds of shared-link queueing to add to the arrival
+  /// time (>= 0).
+  virtual double on_recv(int src, int dst, std::size_t wire_bytes,
+                         double arrive_s) = 0;
+};
+
+}  // namespace psanim::mp

@@ -177,6 +177,12 @@ class Reader {
  public:
   explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
   explicit Reader(const Message& m) : bytes_(m.payload) {}
+  // A Reader is a non-owning view. Binding one to a temporary Message
+  // (`Reader r(ep.recv(...))`) would release the pooled payload buffer at
+  // the end of the declaration statement and leave the Reader dangling —
+  // the pool hands the block to a concurrent writer and reads race with
+  // its writes. Name the Message first.
+  explicit Reader(const Message&&) = delete;
 
   template <typename T>
   T get() {

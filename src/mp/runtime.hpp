@@ -47,6 +47,7 @@ struct ProcessResult {
   TrafficStats traffic;
 };
 
+class ContentionHook;
 class FaultHook;
 class TraceHook;
 class FiberScheduler;
@@ -72,6 +73,9 @@ struct RuntimeOptions {
   /// Optional message-trace hook (not owned; must outlive the runtime).
   /// Null means no per-message observability.
   TraceHook* trace = nullptr;
+  /// Optional shared-link contention hook (not owned; must outlive the
+  /// runtime). Null means contention-free links — the flat model.
+  ContentionHook* contention = nullptr;
   /// Execution core; see ExecMode.
   ExecMode exec_mode = ExecMode::kDefault;
   /// Worker threads driving the fiber scheduler; <= 0 means hardware

@@ -1,0 +1,80 @@
+#include "platform/fabric.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace psanim::platform {
+
+namespace {
+
+/// Seconds a transfer of `bytes` occupies `l`. A non-shared link is a fat
+/// pipe — transfers hold it for zero time, so nobody queues behind them.
+double hold_s(const Link& l, std::size_t bytes) {
+  if (!l.shared || l.bandwidth_bps <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / l.bandwidth_bps;
+}
+
+}  // namespace
+
+Fabric::Fabric(const Platform& platform, std::vector<std::size_t> node_of_rank)
+    : platform_(platform), node_of_(std::move(node_of_rank)) {
+  for (const std::size_t node : node_of_) {
+    if (node >= platform_.node_count()) {
+      throw std::invalid_argument(
+          "fabric: rank placed on node " + std::to_string(node) +
+          " but platform '" + platform_.name + "' has only " +
+          std::to_string(platform_.node_count()) + " nodes");
+    }
+  }
+  per_rank_.resize(node_of_.size());
+}
+
+double Fabric::on_send(int src, int dst, std::size_t wire_bytes,
+                       double depart_s) {
+  const std::size_t a = node_of(src);
+  const std::size_t b = node_of(dst);
+  if (a == b) return 0.0;  // loopback never touches the fabric
+
+  // Scratch reused across calls; safe because nothing below yields.
+  thread_local std::vector<LinkId> route;
+  platform_.route(a, b, route);
+  if (route.empty()) return 0.0;
+
+  PerRank& st = per_rank_[static_cast<std::size_t>(src)];
+  const double hold = hold_s(platform_.link(route.front()), wire_bytes);
+  const double start =
+      st.egress_free_at > depart_s ? st.egress_free_at : depart_s;
+  st.egress_free_at = start + hold;
+  const double wait = start - depart_s;
+  st.egress_wait_s += wait;
+  return wait;
+}
+
+double Fabric::on_recv(int src, int dst, std::size_t wire_bytes,
+                       double arrive_s) {
+  const std::size_t a = node_of(src);
+  const std::size_t b = node_of(dst);
+  if (a == b) return 0.0;
+
+  thread_local std::vector<LinkId> route;
+  platform_.route(a, b, route);
+  if (route.size() < 2) return 0.0;
+
+  PerRank& st = per_rank_[static_cast<std::size_t>(dst)];
+  double extra = 0.0;
+  // Skip the first hop: the sender's egress half already serialized it.
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const Link& l = platform_.link(route[i]);
+    const double hold = hold_s(l, wire_bytes);
+    if (hold <= 0.0) continue;
+    double& free_at = st.ingress_free_at[route[i]];
+    const double start = free_at > arrive_s ? free_at : arrive_s;
+    free_at = start + hold;
+    const double lag = start - arrive_s;
+    if (lag > extra) extra = lag;
+  }
+  st.ingress_wait_s += extra;
+  return extra;
+}
+
+}  // namespace psanim::platform

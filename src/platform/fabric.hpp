@@ -1,0 +1,90 @@
+#pragma once
+
+// Fabric: deterministic shared-link contention over a Platform.
+//
+// A Fabric implements the mp::ContentionHook seam with a store-and-share
+// fluid model: transfers crossing the same shared link in overlapping
+// virtual-time windows queue behind each other, each holding the link for
+// `bytes / bandwidth` seconds. Global link ledgers would make virtual
+// time depend on wall-clock interleaving (whichever OS thread updates a
+// ledger first wins), so the model is split into two halves that each
+// touch only rank-owned state:
+//
+//  * egress (on_send, sender's program order) — a rank's own transfers
+//    serialize through its host uplink: back-to-back sends of large
+//    frames cannot overlap on one NIC, no matter how the alpha-beta cost
+//    overlaps them.
+//  * ingress (on_recv, receiver's deterministic consume order) — each
+//    receiver keeps a busy-until ledger per shared link its inbound
+//    routes cross (excluding the sender-side uplink, which egress already
+//    charged). Concurrent arrivals funneling through a shared switch
+//    fabric, edge uplink, or the receiver's own host link queue behind
+//    each other: start = max(arrive, busy), busy = start + bytes/bw, and
+//    the transfer is delayed by the worst lag over its route.
+//
+// The split deliberately under-counts contention between flows that share
+// an interior link but end at *different* receivers — the price of
+// bit-reproducibility (see DESIGN key decision #9). It captures the
+// protocol's dominant hotspots exactly: a sender fanning frames out and
+// a receiver (image generator, manager) fanning results in.
+//
+// Delays shift virtual timestamps only; message content never depends on
+// delivery time (load balancing uses compute-only timings and receives
+// pull from known source sets), so a contended platform changes makespans
+// but not one pixel of the framebuffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mp/contention_hook.hpp"
+#include "platform/platform.hpp"
+
+namespace psanim::platform {
+
+class Fabric final : public mp::ContentionHook {
+ public:
+  /// `node_of_rank[r]` is the platform node hosting rank r; every entry
+  /// must be < platform.node_count(). The platform is not owned and must
+  /// outlive the fabric.
+  Fabric(const Platform& platform, std::vector<std::size_t> node_of_rank);
+
+  const Platform& platform() const { return platform_; }
+  std::size_t node_of(int rank) const {
+    return node_of_[static_cast<std::size_t>(rank)];
+  }
+
+  // --- mp::ContentionHook ---
+  double on_send(int src, int dst, std::size_t wire_bytes,
+                 double depart_s) override;
+  double on_recv(int src, int dst, std::size_t wire_bytes,
+                 double arrive_s) override;
+
+  /// Total egress/ingress queueing charged to `rank` so far. Per-rank
+  /// sums are deterministic; read them after Runtime::run returns.
+  double egress_wait_s(int rank) const {
+    return per_rank_[static_cast<std::size_t>(rank)].egress_wait_s;
+  }
+  double ingress_wait_s(int rank) const {
+    return per_rank_[static_cast<std::size_t>(rank)].ingress_wait_s;
+  }
+
+ private:
+  struct PerRank {
+    /// Virtual time this rank's host uplink finishes its last own send.
+    double egress_free_at = 0.0;
+    /// Busy-until per shared link crossed by this rank's inbound routes.
+    std::unordered_map<LinkId, double> ingress_free_at;
+    double egress_wait_s = 0.0;
+    double ingress_wait_s = 0.0;
+  };
+
+  const Platform& platform_;
+  std::vector<std::size_t> node_of_;
+  /// Indexed by rank; entry r is touched only from rank r's execution
+  /// context (egress fields on send, ingress fields on recv).
+  std::vector<PerRank> per_rank_;
+};
+
+}  // namespace psanim::platform

@@ -23,6 +23,7 @@ BuiltCluster build_cluster(const RunConfig& cfg) {
   BuiltCluster out;
   out.spec.preferred = cfg.network;
   out.spec.compiler = cfg.compiler;
+  out.spec.platform = cfg.platform;
   // Dedicated nodes for the manager and the image generator.
   out.spec.add(cfg.groups.front().type, 2);
   for (const auto& g : cfg.groups) {

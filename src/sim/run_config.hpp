@@ -30,6 +30,9 @@ struct RunConfig {
   /// Machine the sequential time is measured on (Table 1: E800+GCC,
   /// Table 2: Itanium+ICC — "the best performance" combination per table).
   cluster::NodeType baseline_node = cluster::NodeType::e800();
+  /// Topology platform description (platform::parse form), forwarded into
+  /// the built spec. Empty/"flat" = legacy per-pair model.
+  std::string platform;
 
   int total_procs() const {
     int n = 0;

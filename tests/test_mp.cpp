@@ -671,7 +671,8 @@ std::vector<ProcessResult> run_ping_ring(int n, int workers) {
         Writer w;
         w.put<std::uint64_t>(token);
         ep.send(right, 100, std::move(w));
-        Reader r(ep.recv(left, 100));
+        const Message m = ep.recv(left, 100);
+        Reader r(m);
         token = r.get<std::uint64_t>();
       }
       EXPECT_EQ(token,
@@ -679,7 +680,8 @@ std::vector<ProcessResult> run_ping_ring(int n, int workers) {
                          static_cast<std::uint64_t>(n - 1));
     } else {
       for (int lap = 0; lap < kLaps; ++lap) {
-        Reader r(ep.recv(left, 100));
+        const Message m = ep.recv(left, 100);
+        Reader r(m);
         Writer w;
         w.put<std::uint64_t>(r.get<std::uint64_t>() + 1);
         ep.send(right, 100, std::move(w));

@@ -1,8 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_PR4.json emitted by bench/wallclock_suite.
+"""Validate a BENCH_*.json emitted by the bench harnesses.
 
 Usage:
     bench_json.py check FILE [--baseline FILE]
+
+The file's "schema" field selects the rule set:
+
+psanim-bench-pr4-v1 (bench/wallclock_suite) — see below.
+
+psanim-bench-pr7-v1 (bench/rank_scaling --out):
+  - every rank-scaling row of one world size must report a bit-identical
+    virtual makespan (scheduling is a wall-clock knob, never a result
+    knob);
+  - every platform-sweep leg must be run twice with bit-identical
+    makespans (deterministic contention), all legs must share one
+    framebuffer hash (topology shifts clocks, never pixels), and the slim
+    fat-tree leg must separate from the flat leg (the contention model
+    actually bites).
+
+PR4 rules:
 
 Hard failures (exit 1):
   - schema mismatch or missing sections
@@ -31,6 +47,7 @@ import json
 import sys
 
 SCHEMA = "psanim-bench-pr4-v1"
+SCHEMA_PR7 = "psanim-bench-pr7-v1"
 
 _failures = []
 _warnings = []
@@ -150,16 +167,86 @@ def check_baseline(doc, base):
             ok(f"scene {name}: makespan matches baseline ({a})")
 
 
+def check_pr7(doc, baseline=None):
+    rows = doc.get("rank_scaling", [])
+    if not rows:
+        fail("no rank_scaling section")
+    by_world = {}
+    for r in rows:
+        by_world.setdefault(r.get("world"), set()).add(
+            r.get("virtual_makespan_s"))
+    for world, spans in sorted(by_world.items()):
+        if len(spans) != 1:
+            fail(f"world {world}: cores disagree on the virtual makespan "
+                 f"({sorted(spans)}) — scheduling leaked into results")
+        else:
+            ok(f"world {world}: {len([r for r in rows if r.get('world') == world])} "
+               f"cores share one makespan ({next(iter(spans))})")
+
+    sweep = doc.get("platform_sweep", [])
+    if not sweep:
+        fail("no platform_sweep section")
+        return
+    legs = {r.get("platform"): r for r in sweep}
+    hashes = set()
+    for r in sweep:
+        name = r.get("platform", "<unnamed>")
+        a, b = r.get("makespan_run1_s"), r.get("makespan_run2_s")
+        if a != b:
+            fail(f"platform {name}: two runs disagree ({a!r} vs {b!r}) — "
+                 f"contention is not deterministic")
+        else:
+            ok(f"platform {name}: reproducible makespan ({a})")
+        hashes.add(r.get("fb_hash"))
+    if len(hashes) != 1:
+        fail(f"platform sweep: framebuffer hashes differ across platforms "
+             f"({sorted(hashes)}) — topology changed pixels")
+    else:
+        ok(f"platform sweep: one framebuffer hash across "
+           f"{len(sweep)} platforms")
+    for required in ("flat", "fattree-slim"):
+        if required not in legs:
+            fail(f"platform sweep: missing required leg {required!r}")
+            return
+    if (legs["fattree-slim"]["makespan_run1_s"]
+            == legs["flat"]["makespan_run1_s"]):
+        fail("platform sweep: slim fat-tree makespan equals flat — the "
+             "contention model did not separate the topologies")
+    else:
+        ok(f"platform sweep: fattree-slim ({legs['fattree-slim']['makespan_run1_s']}) "
+           f"separates from flat ({legs['flat']['makespan_run1_s']})")
+
+    if baseline:
+        base_legs = {r.get("platform"): r
+                     for r in baseline.get("platform_sweep", [])}
+        for name, r in legs.items():
+            if name not in base_legs:
+                warn(f"platform {name}: not present in baseline, skipping")
+                continue
+            a = r.get("makespan_run1_s")
+            b = base_legs[name].get("makespan_run1_s")
+            if a != b:
+                fail(f"platform {name}: makespan drifted from baseline "
+                     f"({b!r} -> {a!r})")
+            else:
+                ok(f"platform {name}: makespan matches baseline ({a})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
-    chk = sub.add_parser("check", help="validate a BENCH_PR4.json")
+    chk = sub.add_parser("check", help="validate a BENCH_*.json")
     chk.add_argument("file")
-    chk.add_argument("--baseline", help="previous BENCH_PR4.json to compare "
+    chk.add_argument("--baseline", help="previous BENCH_*.json to compare "
                      "virtual makespans against")
     args = ap.parse_args()
 
     doc = load(args.file)
+    if doc.get("schema") == SCHEMA_PR7:
+        check_pr7(doc, load(args.baseline) if args.baseline else None)
+        print(f"\n{args.file}: {len(_failures)} failure(s), "
+              f"{len(_warnings)} warning(s)")
+        return 1 if _failures else 0
     if doc.get("schema") != SCHEMA:
         fail(f"schema {doc.get('schema')!r} != {SCHEMA!r}")
     scenes = doc.get("scenes", [])
