@@ -1,17 +1,21 @@
 // farm_throughput: FIFO vs SJF over a jobs x nodes sweep on the shared
-// virtual cluster, emitting BENCH_PR5.json.
+// virtual cluster, emitting BENCH_PR8_FARM.json.
 //
 // Every scenario runs the identical job mix under both policies; all
 // reported times are *virtual* (farm DES time), so the numbers are
-// bit-reproducible across hosts and runs. The headline scenario
-// ("hetero_strand") is the case where queue discipline changes makespan on
-// a heterogeneous cluster: FIFO dispatches the long job immediately — onto
-// the slow node, the only one free — while SJF keeps it queued behind the
-// shorts and it lands on the fast node, cutting the farm makespan. The
-// bench exits non-zero if SJF's makespan exceeds FIFO's there, so CI keeps
-// the scheduling win honest.
+// bit-reproducible across hosts and runs. Besides the mean-level columns,
+// every policy row now carries the scheduler SLO distribution from
+// farm::Report — exact-sample p50/p95/p99 of wait, p99 turnaround, p99
+// slowdown, and the peak queue depth — validated by tools/bench_json.py
+// (percentile monotonicity, non-negativity, slowdown >= 1). The headline
+// scenario ("hetero_strand") is the case where queue discipline changes
+// makespan on a heterogeneous cluster: FIFO dispatches the long job
+// immediately — onto the slow node, the only one free — while SJF keeps it
+// queued behind the shorts and it lands on the fast node, cutting the farm
+// makespan. The bench exits non-zero if SJF's makespan exceeds FIFO's
+// there, so CI keeps the scheduling win honest.
 //
-// Usage: farm_throughput [--full] [--out BENCH_PR5.json]
+// Usage: farm_throughput [--full] [--out BENCH_PR8_FARM.json]
 
 #include <cstdio>
 #include <cstring>
@@ -48,6 +52,11 @@ struct PolicyOut {
   double mean_turnaround_s = 0.0;
   std::size_t jobs_done = 0;
   std::vector<std::string> completion_order;
+  // Exact-sample SLO percentiles over completed jobs (farm::Report).
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+  double turnaround_p99 = 0.0;
+  double slowdown_p50 = 0.0, slowdown_p99 = 0.0;
+  int queue_depth_peak = 0;
 };
 
 farm::JobSpec make_job(const JobShape& shape, std::size_t scale_particles) {
@@ -98,6 +107,16 @@ PolicyOut run_policy(const Scenario& sc, farm::Policy policy,
   out.mean_turnaround_s = r.mean_turnaround_s;
   out.jobs_done = r.jobs_done;
   out.completion_order = r.completion_order;
+  out.wait_p50 = r.wait_q.quantile(0.5);
+  out.wait_p95 = r.wait_q.quantile(0.95);
+  out.wait_p99 = r.wait_q.quantile(0.99);
+  out.turnaround_p99 = r.turnaround_q.quantile(0.99);
+  out.slowdown_p50 = r.slowdown_q.quantile(0.5);
+  out.slowdown_p99 = r.slowdown_q.quantile(0.99);
+  for (const auto& [t, depth] : r.queue_depth) {
+    (void)t;
+    if (depth > out.queue_depth_peak) out.queue_depth_peak = depth;
+  }
   return out;
 }
 
@@ -178,10 +197,16 @@ void jpolicy(std::FILE* f, const char* key, const PolicyOut& p,
              const char* suffix) {
   std::fprintf(f,
                "      \"%s\": {\"makespan_s\": %.17g, \"total_flow_s\": "
-               "%.17g, \"mean_turnaround_s\": %.17g, \"jobs_done\": %zu, "
-               "\"completion_order\": ",
+               "%.17g, \"mean_turnaround_s\": %.17g, \"jobs_done\": %zu,\n"
+               "        \"wait_p50_s\": %.17g, \"wait_p95_s\": %.17g, "
+               "\"wait_p99_s\": %.17g,\n"
+               "        \"turnaround_p99_s\": %.17g, \"slowdown_p50\": "
+               "%.17g, \"slowdown_p99\": %.17g, \"queue_depth_peak\": %d,\n"
+               "        \"completion_order\": ",
                key, p.makespan_s, p.total_flow_s, p.mean_turnaround_s,
-               p.jobs_done);
+               p.jobs_done, p.wait_p50, p.wait_p95, p.wait_p99,
+               p.turnaround_p99, p.slowdown_p50, p.slowdown_p99,
+               p.queue_depth_peak);
   jstr_list(f, p.completion_order);
   std::fprintf(f, "}%s\n", suffix);
 }
@@ -191,7 +216,7 @@ void jpolicy(std::FILE* f, const char* key, const PolicyOut& p,
 int main(int argc, char** argv) {
   bool full = false;
   bool verbose = false;
-  const char* out_path = "BENCH_PR5.json";
+  const char* out_path = "BENCH_PR8_FARM.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
@@ -207,7 +232,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
     return 2;
   }
-  std::fprintf(f, "{\n  \"schema\": \"psanim-bench-pr5-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"psanim-bench-pr8-farm-v1\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", full ? "full" : "quick");
   std::fprintf(f, "  \"scenarios\": [\n");
 
@@ -241,8 +266,10 @@ int main(int argc, char** argv) {
                  sc.jobs.size());
     jpolicy(f, "fifo", fifo, ",");
     jpolicy(f, "sjf", sjf, ",");
-    std::fprintf(f, "      \"sjf_le_fifo_makespan\": %s,\n",
-                 sjf_le ? "true" : "false");
+    std::fprintf(f, "      \"sjf_le_fifo_makespan\": %s, "
+                    "\"sjf_makespan_gate\": %s,\n",
+                 sjf_le ? "true" : "false",
+                 sc.assert_sjf_le_fifo ? "true" : "false");
     std::fprintf(f, "      \"sjf_flow_improvement\": %.17g}%s\n",
                  fifo.total_flow_s > 0.0
                      ? 1.0 - sjf.total_flow_s / fifo.total_flow_s

@@ -11,9 +11,14 @@
 //
 // With --out FILE the bench also runs the platform-topology sweep (flat
 // vs crossbar/fat-tree/dragonfly/WAN on a fixed snow workload, every leg
-// twice) and writes BENCH_PR7.json: schema-versioned, every double
-// printed %.17g, validated by tools/bench_json.py. The virtual columns
-// are bit-reproducible; wall_ms is informational.
+// twice, each leg traced and fed through obs::analysis for its
+// critical-path compute/wire split) and a FIFO-vs-SJF farm SLO scenario
+// (exact-sample wait/turnaround/slowdown percentiles from farm::Report),
+// then writes BENCH_PR8.json: schema-versioned, every double printed
+// %.17g, validated by tools/bench_json.py — which gates on the
+// critical-path wire share rising from flat to wan2 and on SJF's p99 wait
+// staying inside the FIFO-makespan sanity bound. The virtual columns are
+// bit-reproducible; wall_ms is informational.
 //
 // Usage: rank_scaling [--laps N] [--out FILE]
 
@@ -25,10 +30,14 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "farm/farm.hpp"
+#include "farm/job.hpp"
 #include "mp/collectives.hpp"
 #include "mp/communicator.hpp"
 #include "mp/message.hpp"
 #include "mp/runtime.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
 #include "render/compare.hpp"
 #include "sim/run_config.hpp"
 #include "sim/scenario.hpp"
@@ -91,10 +100,20 @@ Measured run_world(int world, mp::ExecMode mode, int workers, int laps) {
 }
 
 /// One leg of the platform sweep: the fixed snow workload on 8 E800
-/// calculators over Fast-Ethernet, under `platform` (empty = flat).
+/// calculators over Fast-Ethernet, under `platform` (empty = flat). Each
+/// leg is traced and fed through obs::analysis, so the sweep reports not
+/// just *that* a topology is slower but *where* the extra time sits on
+/// the critical path (compute vs wire).
 struct SweepLeg {
-  double makespan_s = 0.0;
+  double makespan_s = 0.0;  ///< animation_s — image-generator finish
   std::uint64_t fb_hash = 0;
+  /// Trace makespan: latest record over all ranks. >= makespan_s, because
+  /// the calculators do post-frame bookkeeping (final exchange) after the
+  /// image generator has already finished; the critical path tiles *this*.
+  double cp_makespan_s = 0.0;
+  double cp_compute_s = 0.0;
+  double cp_wire_s = 0.0;
+  double cp_wire_share = 0.0;
 };
 
 SweepLeg run_platform_leg(const std::string& platform) {
@@ -110,15 +129,26 @@ SweepLeg run_platform_leg(const std::string& platform) {
   cfg.platform = platform;
   const auto built = sim::build_cluster(cfg);
 
+  obs::Trace trace;
   core::SimSettings settings;
   settings.frames = p.frames;
   settings.ncalc = built.ncalc;
   settings.image_width = 64;
   settings.image_height = 48;
+  settings.obs.trace = &trace;
   const auto r =
       core::run_parallel(scene, settings, built.spec, built.placement, {},
                          mp::RuntimeOptions{.recv_timeout_s = 60.0});
-  return {r.animation_s, render::hash_framebuffer(r.final_frame)};
+
+  const obs::Analysis analysis = obs::analyze(trace);
+  SweepLeg leg;
+  leg.makespan_s = r.animation_s;
+  leg.fb_hash = render::hash_framebuffer(r.final_frame);
+  leg.cp_makespan_s = analysis.critical_path.makespan_s;
+  leg.cp_compute_s = analysis.critical_path.compute_s;
+  leg.cp_wire_s = analysis.critical_path.wire_s;
+  leg.cp_wire_share = analysis.critical_path.wire_share();
+  return leg;
 }
 
 struct ScalingRow {
@@ -133,15 +163,101 @@ struct SweepRow {
   SweepLeg run1, run2;
 };
 
+/// Farm SLO leg: the hetero FIFO-vs-SJF scenario (fast quad + slow quad,
+/// one long job submitted adversarially early among five shorts), reduced
+/// to the exact-sample wait/turnaround/slowdown percentiles farm::Report
+/// now carries. SJF trades the long job's wait for farm makespan; the
+/// sanity bound (gated by bench_json.py) is that its p99 wait never
+/// exceeds the *FIFO* schedule's makespan — the whole schedule it beat.
+struct FarmSloOut {
+  double makespan_s = 0.0;
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+  double turnaround_p99 = 0.0;
+  double slowdown_p50 = 0.0, slowdown_p99 = 0.0;
+  std::size_t jobs_done = 0;
+  int queue_depth_peak = 0;
+};
+
+FarmSloOut run_farm_slo(farm::Policy policy) {
+  cluster::ClusterSpec spec;
+  spec.add(cluster::NodeType::generic(1.0, 4));
+  spec.add(cluster::NodeType::generic(0.5, 4));
+  farm::FarmOptions opts;
+  opts.policy = policy;
+  opts.recv_timeout_s = 60.0;
+  farm::Farm f(spec, opts);
+  const struct {
+    const char* name;
+    const char* scene;
+    std::uint32_t frames;
+    std::uint64_t seed;
+  } shapes[] = {{"short0", "snow", 4, 0xE0},
+                {"long0", "fountain", 36, 0xE1},
+                {"short1", "snow", 4, 0xE2},
+                {"short2", "fountain", 4, 0xE3},
+                {"short3", "snow", 4, 0xE4},
+                {"short4", "fountain", 4, 0xE5}};
+  for (const auto& shape : shapes) {
+    sim::ScenarioParams p;
+    p.systems = 2;
+    p.particles_per_system = 600;
+    p.frames = shape.frames;
+    farm::JobSpec j;
+    j.name = shape.name;
+    j.scene = std::strcmp(shape.scene, "snow") == 0
+                  ? sim::make_snow_scene(p)
+                  : sim::make_fountain_scene(p);
+    j.settings.ncalc = 2;
+    j.settings.frames = shape.frames;
+    j.settings.seed = shape.seed;
+    j.settings.image_width = 64;
+    j.settings.image_height = 48;
+    f.submit(std::move(j));
+  }
+  const farm::Report r = f.run();
+  FarmSloOut out;
+  out.makespan_s = r.makespan_s;
+  out.wait_p50 = r.wait_q.quantile(0.5);
+  out.wait_p95 = r.wait_q.quantile(0.95);
+  out.wait_p99 = r.wait_q.quantile(0.99);
+  out.turnaround_p99 = r.turnaround_q.quantile(0.99);
+  out.slowdown_p50 = r.slowdown_q.quantile(0.5);
+  out.slowdown_p99 = r.slowdown_q.quantile(0.99);
+  out.jobs_done = r.jobs_done;
+  for (const auto& [t, depth] : r.queue_depth) {
+    (void)t;
+    if (depth > out.queue_depth_peak) out.queue_depth_peak = depth;
+  }
+  return out;
+}
+
+void jfarm(std::FILE* f, const char* key, const FarmSloOut& p,
+           const char* suffix) {
+  std::fprintf(f,
+               "    \"%s\": {\"makespan_s\": %s, \"jobs_done\": %zu, "
+               "\"queue_depth_peak\": %d,\n"
+               "      \"wait_p50_s\": %s, \"wait_p95_s\": %s, "
+               "\"wait_p99_s\": %s,\n"
+               "      \"turnaround_p99_s\": %s, \"slowdown_p50\": %s, "
+               "\"slowdown_p99\": %s}%s\n",
+               key, fmt17(p.makespan_s).c_str(), p.jobs_done,
+               p.queue_depth_peak, fmt17(p.wait_p50).c_str(),
+               fmt17(p.wait_p95).c_str(), fmt17(p.wait_p99).c_str(),
+               fmt17(p.turnaround_p99).c_str(),
+               fmt17(p.slowdown_p50).c_str(), fmt17(p.slowdown_p99).c_str(),
+               suffix);
+}
+
 void write_json(const std::string& path,
                 const std::vector<ScalingRow>& scaling,
-                const std::vector<SweepRow>& sweep, int laps) {
+                const std::vector<SweepRow>& sweep, const FarmSloOut& fifo,
+                const FarmSloOut& sjf, int laps) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fputs("{\n  \"schema\": \"psanim-bench-pr7-v1\",\n", f);
+  std::fputs("{\n  \"schema\": \"psanim-bench-pr8-v1\",\n", f);
   std::fprintf(f, "  \"workload\": {\"laps\": %d, \"sweep_scene\": "
                   "\"snow 4x3000 x10f, 8*E800, fast-ethernet\"},\n", laps);
   std::fputs("  \"rank_scaling\": [\n", f);
@@ -159,14 +275,23 @@ void write_json(const std::string& path,
     const auto& r = sweep[i];
     std::fprintf(f,
                  "    {\"platform\": \"%s\", \"makespan_run1_s\": %s, "
-                 "\"makespan_run2_s\": %s, \"fb_hash\": \"%016llx\"}%s\n",
+                 "\"makespan_run2_s\": %s, \"fb_hash\": \"%016llx\",\n"
+                 "     \"cp_makespan_s\": %s, \"cp_compute_s\": %s, "
+                 "\"cp_wire_s\": %s, \"cp_wire_share\": %s}%s\n",
                  r.platform.empty() ? "flat" : r.platform.c_str(),
                  fmt17(r.run1.makespan_s).c_str(),
                  fmt17(r.run2.makespan_s).c_str(),
                  static_cast<unsigned long long>(r.run1.fb_hash),
+                 fmt17(r.run1.cp_makespan_s).c_str(),
+                 fmt17(r.run1.cp_compute_s).c_str(),
+                 fmt17(r.run1.cp_wire_s).c_str(),
+                 fmt17(r.run1.cp_wire_share).c_str(),
                  i + 1 < sweep.size() ? "," : "");
   }
-  std::fputs("  ]\n}\n", f);
+  std::fputs("  ],\n  \"farm_slo\": {\n", f);
+  jfarm(f, "fifo", fifo, ",");
+  jfarm(f, "sjf", sjf, "");
+  std::fputs("  }\n}\n", f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -228,8 +353,8 @@ int main(int argc, char** argv) {
   // pixels (delivery times never change content), and the slim fat-tree
   // must separate measurably from flat (shared uplinks cost time).
   std::printf("\n# platform sweep: snow 4x3000 x10f, 8*E800, fast-ethernet\n");
-  std::printf("%-14s  %18s  %16s\n", "platform", "virtual_makespan_s",
-              "fb_hash");
+  std::printf("%-14s  %18s  %16s  %10s\n", "platform", "virtual_makespan_s",
+              "fb_hash", "wire_share");
   std::vector<SweepRow> sweep;
   for (const std::string plat :
        {"", "crossbar", "fattree", "fattree-slim", "dragonfly", "wan2"}) {
@@ -238,12 +363,15 @@ int main(int argc, char** argv) {
     row.run1 = run_platform_leg(plat);
     row.run2 = run_platform_leg(plat);
     if (row.run1.makespan_s != row.run2.makespan_s ||
-        row.run1.fb_hash != row.run2.fb_hash) {
+        row.run1.fb_hash != row.run2.fb_hash ||
+        row.run1.cp_compute_s != row.run2.cp_compute_s ||
+        row.run1.cp_wire_s != row.run2.cp_wire_s) {
       std::fprintf(stderr,
                    "FATAL: platform '%s' is not reproducible "
-                   "(%.17g != %.17g)\n",
+                   "(%.17g != %.17g, cp wire %.17g != %.17g)\n",
                    plat.empty() ? "flat" : plat.c_str(),
-                   row.run1.makespan_s, row.run2.makespan_s);
+                   row.run1.makespan_s, row.run2.makespan_s,
+                   row.run1.cp_wire_s, row.run2.cp_wire_s);
       return 1;
     }
     if (!sweep.empty() && row.run1.fb_hash != sweep.front().run1.fb_hash) {
@@ -252,9 +380,10 @@ int main(int argc, char** argv) {
                    plat.c_str());
       return 1;
     }
-    std::printf("%-14s  %18.9f  %016llx\n",
+    std::printf("%-14s  %18.9f  %016llx  %9.1f%%\n",
                 plat.empty() ? "flat" : plat.c_str(), row.run1.makespan_s,
-                static_cast<unsigned long long>(row.run1.fb_hash));
+                static_cast<unsigned long long>(row.run1.fb_hash),
+                100.0 * row.run1.cp_wire_share);
     sweep.push_back(std::move(row));
   }
   const auto find = [&](const char* name) -> const SweepRow& {
@@ -270,7 +399,40 @@ int main(int argc, char** argv) {
                  "model\n");
     return 1;
   }
+  // The observability acceptance gate: congested/long-haul topologies must
+  // surface as critical-path *wire* time, not as mystery compute. The flat
+  // model's wire share must sit strictly below the two-site WAN's.
+  if (!(find("").run1.cp_wire_share < find("wan2").run1.cp_wire_share)) {
+    std::fprintf(stderr,
+                 "FATAL: critical-path wire share did not rise from flat "
+                 "(%.17g) to wan2 (%.17g)\n",
+                 find("").run1.cp_wire_share,
+                 find("wan2").run1.cp_wire_share);
+    return 1;
+  }
 
-  write_json(out, scaling, sweep, laps);
+  // Farm SLO leg: FIFO vs SJF on the hetero scenario, reduced to the new
+  // exact-sample percentiles. SJF may delay the long job (that is the
+  // trade), but never past the FIFO schedule's own makespan.
+  std::printf("\n# farm SLO: fast quad + slow quad, 1 long + 5 short jobs\n");
+  const FarmSloOut fifo = run_farm_slo(farm::Policy::kFifo);
+  const FarmSloOut sjf = run_farm_slo(farm::Policy::kSjf);
+  std::printf("%-6s  %12s  %12s  %12s  %12s  %12s\n", "policy", "makespan_s",
+              "wait_p50_s", "wait_p99_s", "turn_p99_s", "slowdown_p99");
+  std::printf("%-6s  %12.6f  %12.6f  %12.6f  %12.6f  %12.4f\n", "fifo",
+              fifo.makespan_s, fifo.wait_p50, fifo.wait_p99,
+              fifo.turnaround_p99, fifo.slowdown_p99);
+  std::printf("%-6s  %12.6f  %12.6f  %12.6f  %12.6f  %12.4f\n", "sjf",
+              sjf.makespan_s, sjf.wait_p50, sjf.wait_p99, sjf.turnaround_p99,
+              sjf.slowdown_p99);
+  if (sjf.wait_p99 > fifo.makespan_s + 1e-12) {
+    std::fprintf(stderr,
+                 "FATAL: SJF p99 wait %.17g exceeds the FIFO makespan "
+                 "%.17g — the latency trade went past its bound\n",
+                 sjf.wait_p99, fifo.makespan_s);
+    return 1;
+  }
+
+  write_json(out, scaling, sweep, fifo, sjf, laps);
   return 0;
 }

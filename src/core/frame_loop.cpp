@@ -94,6 +94,22 @@ void SimSettings::validate() const {
            "' does not exist — create it before the run");
     }
   }
+  if (obs.analyzing() && !obs.tracing()) {
+    fail("obs.analysis needs tracing on — supply obs.trace or set "
+         "obs.trace_json_path");
+  }
+  if (!obs.analysis_json_path.empty()) {
+    const std::filesystem::path p(obs.analysis_json_path);
+    if (std::filesystem::is_directory(p)) {
+      fail("obs.analysis_json_path '" + obs.analysis_json_path +
+           "' is a directory — give a file path for the report JSON");
+    }
+    const std::filesystem::path dir = p.parent_path();
+    if (!dir.empty() && !std::filesystem::is_directory(dir)) {
+      fail("obs.analysis_json_path parent directory '" + dir.string() +
+           "' does not exist — create it before the run");
+    }
+  }
 }
 
 std::string to_string(SpaceMode m) {

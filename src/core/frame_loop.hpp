@@ -70,6 +70,14 @@ struct ObsSettings {
   /// re-emit it on restore (needs tracing on and a checkpoint policy).
   bool flight_recorder = false;
   std::size_t flight_capacity = 256;
+  /// Run obs::analyze over the trace at run end and fold the headline
+  /// numbers (critical-path compute/wire split, wire share, per-frame
+  /// imbalance quantiles) into ParallelResult::metrics as
+  /// psanim_obs_cp_* / psanim_obs_frame_* series. Needs tracing on.
+  bool analysis = false;
+  /// Also write the full schema-versioned analysis report JSON here
+  /// ("" = don't write; a non-empty path implies `analysis`).
+  std::string analysis_json_path;
   /// Export the process-wide mp::BufferPool stat deltas sampled around this
   /// run as psanim_mp_buffer_* counters. The pool is shared by every
   /// runtime in the process, so the farm turns this off for co-scheduled
@@ -79,6 +87,7 @@ struct ObsSettings {
   bool pool_metrics = true;
 
   bool tracing() const { return trace != nullptr || !trace_json_path.empty(); }
+  bool analyzing() const { return analysis || !analysis_json_path.empty(); }
 };
 
 /// The scene: the systems of Algorithm 1 plus the space they play in.

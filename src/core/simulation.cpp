@@ -10,6 +10,7 @@
 #include "mp/buffer_pool.hpp"
 #include "core/image_generator.hpp"
 #include "core/manager.hpp"
+#include "obs/analysis.hpp"
 #include "obs/trace.hpp"
 #include "platform/fabric.hpp"
 #include "platform/parse.hpp"
@@ -264,6 +265,16 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
     fault_metrics(result.metrics, result.fault_stats);
     if (!eff.obs.trace_json_path.empty()) {
       trace->write_chrome_json(eff.obs.trace_json_path);
+    }
+    if (eff.obs.analyzing()) {
+      // Post-hoc critical-path / straggler attribution over the records
+      // this run produced. A pure function of the per-rank streams, so the
+      // exported numbers inherit the run's bit-determinism.
+      const obs::Analysis analysis = obs::analyze(*trace);
+      obs::fold_summary(analysis, result.metrics);
+      if (!eff.obs.analysis_json_path.empty()) {
+        obs::write_analysis_json(analysis, eff.obs.analysis_json_path);
+      }
     }
   }
   const mp::BufferPool::Stats pool_after = mp::BufferPool::global().stats();

@@ -229,6 +229,7 @@ struct LaunchOut {
   Assignment assignment;
   std::unique_ptr<obs::Trace> own_trace;  // must outlive the run
   std::string trace_path;
+  std::string analysis_path;
   core::ParallelResult res;
   bool skipped = false;  ///< cancel() won the launch race; never ran
   bool ok = false;
@@ -272,6 +273,9 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
       out.own_trace->set_rank_namespace(out.rec->spec.name);
       out.trace_path = options_.obs_dir + "/" +
                        sanitize_filename(out.rec->spec.name) + ".trace.json";
+      out.analysis_path = options_.obs_dir + "/" +
+                          sanitize_filename(out.rec->spec.name) +
+                          ".analysis.json";
     }
     const std::scoped_lock lock(ss_->mu);
     out.rec->result.assignment = out.assignment;
@@ -302,7 +306,13 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
     try {
       core::SimSettings eff = out.rec->spec.settings;
       eff.obs.pool_metrics = false;  // pool is process-global; see Report
-      if (out.own_trace != nullptr) eff.obs.trace = out.own_trace.get();
+      if (out.own_trace != nullptr) {
+        eff.obs.trace = out.own_trace.get();
+        // Farm-provided tracing brings the in-process analysis along:
+        // per-job critical-path/straggler reports land next to the trace
+        // and the cp summary metrics in the job's ParallelResult.
+        eff.obs.analysis_json_path = out.analysis_path;
+      }
       if (eff.platform.empty()) eff.platform = options_.platform;
       mp::RuntimeOptions rt;
       rt.recv_timeout_s = options_.recv_timeout_s;
@@ -458,6 +468,19 @@ void Farm::drive() {
       continue;
     }
 
+    // The scheduling pass has settled: record the queue-depth breakpoint
+    // (overwriting an earlier sample at this same instant — steps within
+    // one event collapse to the final depth).
+    {
+      const int depth = static_cast<int>(queued.size());
+      auto& qd = report_.queue_depth;
+      if (!qd.empty() && qd.back().first == t) {
+        qd.back().second = depth;
+      } else if (qd.empty() || qd.back().second != depth) {
+        qd.emplace_back(t, depth);
+      }
+    }
+
     // Occupancy is now stable until the next event: refresh stretches and
     // projected finishes.
     recompute_stretch(running);
@@ -506,6 +529,18 @@ void Farm::drive() {
         ++report_.jobs_done;
         report_.makespan_s = std::max(report_.makespan_s, t);
         report_.total_flow_s += t - it->rec->spec.submit_time_s;
+        // SLO samples (completed jobs only). Slowdown compares against
+        // the job's own standalone makespan — its ideal contention-free
+        // run; a zero ideal (defensive: no real job has one) records the
+        // neutral 1.0 instead of dividing.
+        const double submit = it->rec->spec.submit_time_s;
+        const double turnaround = t - submit;
+        report_.wait_q.observe(it->start - submit);
+        report_.turnaround_q.observe(turnaround);
+        report_.slowdown_q.observe(res.standalone_makespan_s > 0.0
+                                       ? turnaround /
+                                             res.standalone_makespan_s
+                                       : 1.0);
         ss_->cv.notify_all();
         it = running.erase(it);
       } else {
@@ -558,6 +593,18 @@ void Farm::drive() {
   int peak = 0;
   for (const auto& u : usage_) peak = std::max(peak, u.peak_ranks);
   m.gauge("psanim_farm_peak_node_ranks").set(static_cast<double>(peak));
+  // SLO quantile series (exported as _p50/_p95/_p99 gauges + sum/count in
+  // the Prometheus dump). Empty on an all-cancelled farm — quantile()
+  // answers 0.0, never NaN.
+  m.quantiles("psanim_farm_wait_seconds").merge(report_.wait_q);
+  m.quantiles("psanim_farm_turnaround_seconds").merge(report_.turnaround_q);
+  m.quantiles("psanim_farm_slowdown").merge(report_.slowdown_q);
+  int depth_peak = 0;
+  for (const auto& [when, depth] : report_.queue_depth) {
+    depth_peak = std::max(depth_peak, depth);
+  }
+  m.gauge("psanim_farm_queue_depth_peak")
+      .set(static_cast<double>(depth_peak));
   const mp::BufferPool::Stats pool_after = mp::BufferPool::global().stats();
   m.counter("psanim_farm_buffer_acquires_total")
       .add(static_cast<double>(pool_after.acquires - pool_before.acquires));

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/cost_model.hpp"
@@ -54,9 +55,11 @@ struct FarmOptions {
   /// Wall-clock receive timeout forwarded to every job's runtime.
   double recv_timeout_s = 60.0;
   /// When set, every job gets a per-job Chrome trace written to
-  /// `<obs_dir>/<job name>.trace.json`, with rank names namespaced by job
-  /// ("jobname/manager", ...). Jobs that configured their own obs settings
-  /// keep them.
+  /// `<obs_dir>/<job name>.trace.json` plus an in-process obs::analysis
+  /// report (critical path / straggler attribution) at
+  /// `<obs_dir>/<job name>.analysis.json`, with rank names namespaced by
+  /// job ("jobname/manager", ...). Jobs that configured their own obs
+  /// settings keep them.
   std::string obs_dir;
   /// Cap on jobs launched concurrently in wall-clock per scheduling event
   /// (0 = no cap). Virtual-time results are identical either way.
@@ -98,6 +101,17 @@ struct Report {
   /// set (ordered by finish time, submission sequence as tiebreak).
   std::vector<std::string> completion_order;
   std::vector<NodeUsage> nodes;  ///< indexed by shared-spec node
+  /// Scheduler SLO distributions over *completed* jobs, exact-sample
+  /// (obs::Quantiles): wait = start - submit, turnaround = finish -
+  /// submit, slowdown = turnaround / the job's standalone makespan (its
+  /// ideal contention-free run; 1.0 recorded when the ideal is unknown).
+  /// Empty when jobs_done == 0 — quantile() then answers 0.0, never NaN.
+  obs::Quantiles wait_q;
+  obs::Quantiles turnaround_q;
+  obs::Quantiles slowdown_q;
+  /// Queued-job count breakpoints (farm time, depth) — a step series
+  /// sampled after every scheduling pass settles; deterministic.
+  std::vector<std::pair<double, int>> queue_depth;
   /// Farm-level aggregates: job counts, makespan/flow, per-run buffer-pool
   /// deltas (sampled farm-wide — per-job pool metrics are disabled because
   /// the pool is process-global; see ObsSettings::pool_metrics).

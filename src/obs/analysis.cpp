@@ -1,0 +1,547 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace psanim::obs {
+
+namespace {
+
+/// A rank idled here: the latest locally witnessed activity was at
+/// `begin_v`, the unblocking message arrived at `end_v`.
+struct Blocked {
+  double begin_v = 0.0;
+  double end_v = 0.0;
+  double depart = 0.0;  ///< send time on the sender (when matched)
+  int from_rank = -1;
+  std::uint32_t label = 0;  ///< tag label id of the flow
+  std::uint32_t frame = 0;  ///< recv end's frame
+  bool matched = false;
+};
+
+/// An innermost-span interval: the part of a span not covered by children.
+struct Leaf {
+  double begin_v = 0.0;
+  double end_v = 0.0;
+  std::uint32_t label = 0;
+  std::uint32_t frame = 0;
+};
+
+struct SpanInfo {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  double begin_v = 0.0;
+  double end_eff = 0.0;  ///< max(end_v, children) — truncated spans extend
+  std::uint32_t label = 0;
+  std::uint32_t frame = 0;
+  std::vector<std::size_t> children;  // indices, in time order
+};
+
+struct RankView {
+  std::vector<Blocked> blocked;  // disjoint, increasing in time
+  std::vector<Leaf> leaves;      // disjoint, increasing in time
+  std::vector<SpanInfo> spans;   // open order
+  double last_record = 0.0;      // latest fresh record time on this rank
+  bool simulating = false;       // has a "simulate" span — a calculator
+};
+
+struct FlowSend {
+  int rank = -1;
+  double depart = 0.0;
+};
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Build the per-rank view: spans with effective ends, innermost-leaf
+/// intervals, and blocked intervals from the witness pass.
+RankView build_view(const Trace& trace, int rank,
+                    const std::unordered_map<std::uint64_t, FlowSend>& sends,
+                    std::uint32_t simulate_label, bool have_simulate) {
+  RankView view;
+  const auto& records = trace.rank(rank).records();
+
+  // Pass 1: collect fresh spans, map id -> span index, attach children.
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  for (const auto& r : records) {
+    if (r.replayed || r.kind != RecordKind::kSpan) continue;
+    SpanInfo s;
+    s.id = r.id;
+    s.parent = r.parent;
+    s.begin_v = r.begin_v;
+    s.end_eff = r.end_v;
+    s.label = r.label;
+    s.frame = r.frame;
+    by_id.emplace(r.id, view.spans.size());
+    view.spans.push_back(std::move(s));
+    if (have_simulate && r.label == simulate_label) view.simulating = true;
+  }
+  for (std::size_t i = 0; i < view.spans.size(); ++i) {
+    const auto it = by_id.find(view.spans[i].parent);
+    if (it != by_id.end()) view.spans[it->second].children.push_back(i);
+  }
+  // Children open after their parent, so a reverse sweep sees every
+  // child's effective end before its parent needs it (truncated spans —
+  // crash left them open with end_v == begin_v — stretch over their
+  // children).
+  for (std::size_t i = view.spans.size(); i-- > 0;) {
+    auto& s = view.spans[i];
+    for (const std::size_t c : s.children) {
+      s.end_eff = std::max(s.end_eff, view.spans[c].end_eff);
+    }
+  }
+  // Leaf carving: each span minus its children, children in time order.
+  for (const auto& s : view.spans) {
+    double lo = s.begin_v;
+    for (const std::size_t c : s.children) {
+      const auto& child = view.spans[c];
+      if (child.begin_v > lo) {
+        view.leaves.push_back({lo, child.begin_v, s.label, s.frame});
+      }
+      lo = std::max(lo, child.end_eff);
+    }
+    if (s.end_eff > lo) view.leaves.push_back({lo, s.end_eff, s.label, s.frame});
+  }
+  std::sort(view.leaves.begin(), view.leaves.end(),
+            [](const Leaf& a, const Leaf& b) { return a.begin_v < b.begin_v; });
+
+  // Pass 2 (witness): records are in begin-time order on one virtual
+  // clock. The witness is the latest activity the trace proves happened —
+  // the running max of record begins plus every span close at or before
+  // the current record. A recv consumed later than the witness means the
+  // rank idled for the message.
+  std::priority_queue<double, std::vector<double>, std::greater<>> closes;
+  double witness = 0.0;
+  for (const auto& r : records) {
+    if (r.replayed) continue;
+    view.last_record = std::max({view.last_record, r.begin_v, r.end_v});
+    while (!closes.empty() && closes.top() <= r.begin_v) {
+      witness = std::max(witness, closes.top());
+      closes.pop();
+    }
+    if (r.kind == RecordKind::kFlowRecv && r.begin_v > witness) {
+      Blocked b;
+      b.begin_v = witness;
+      b.end_v = r.begin_v;
+      b.label = r.label;
+      b.frame = r.frame;
+      const auto it = sends.find(r.flow);
+      if (it != sends.end()) {
+        b.matched = true;
+        b.from_rank = it->second.rank;
+        b.depart = it->second.depart;
+      }
+      view.blocked.push_back(b);
+    }
+    witness = std::max(witness, r.begin_v);
+    if (r.kind == RecordKind::kSpan && r.end_v > r.begin_v) {
+      closes.push(r.end_v);
+    }
+  }
+  return view;
+}
+
+constexpr const char* kUntraced = "(untraced)";
+
+/// Builds the path chain backward (latest segment first); reverse at end.
+class PathBuilder {
+ public:
+  PathBuilder(const std::vector<RankView>& views, const LabelTable& labels)
+      : views_(views), labels_(labels) {}
+
+  /// Attribute [lo, hi] on `rank` as compute, split at innermost-leaf
+  /// boundaries. Every emitted endpoint is one of {lo, hi, a leaf bound},
+  /// so the chain telescopes with exact doubles.
+  void compute(int rank, double lo, double hi) {
+    if (!(hi > lo)) return;
+    const auto& leaves = views_[static_cast<std::size_t>(rank)].leaves;
+    double cur_hi = hi;
+    auto it = std::lower_bound(
+        leaves.begin(), leaves.end(), hi,
+        [](const Leaf& l, double v) { return l.begin_v < v; });
+    for (auto i = static_cast<std::ptrdiff_t>(it - leaves.begin()) - 1;
+         i >= 0; --i) {
+      const Leaf& leaf = leaves[static_cast<std::size_t>(i)];
+      if (leaf.end_v <= lo) break;
+      const double leaf_hi = std::min(cur_hi, leaf.end_v);
+      if (leaf_hi < cur_hi) {
+        push(cur_hi, leaf_hi, rank, -1, 0, SegmentKind::kCompute, kUntraced);
+      }
+      const double leaf_lo = std::max(lo, leaf.begin_v);
+      if (leaf_hi > leaf_lo) {
+        push(leaf_hi, leaf_lo, rank, -1, leaf.frame, SegmentKind::kCompute,
+             labels_.name(leaf.label));
+      }
+      cur_hi = leaf_lo;
+      if (!(cur_hi > lo)) break;
+    }
+    if (cur_hi > lo) {
+      push(cur_hi, lo, rank, -1, 0, SegmentKind::kCompute, kUntraced);
+    }
+  }
+
+  void wire(int rank, int from_rank, double lo, double hi,
+            std::uint32_t label, std::uint32_t frame) {
+    if (!(hi > lo)) return;
+    push(hi, lo, rank, from_rank, frame, SegmentKind::kWire,
+         labels_.name(label));
+  }
+
+  std::vector<PathSegment> take() {
+    std::reverse(segments_.begin(), segments_.end());
+    return std::move(segments_);
+  }
+
+ private:
+  void push(double hi, double lo, int rank, int from_rank,
+            std::uint32_t frame, SegmentKind kind, std::string label) {
+    PathSegment s;
+    s.begin_v = lo;
+    s.end_v = hi;
+    s.rank = rank;
+    s.from_rank = from_rank;
+    s.frame = frame;
+    s.kind = kind;
+    s.label = std::move(label);
+    segments_.push_back(std::move(s));
+  }
+
+  const std::vector<RankView>& views_;
+  const LabelTable& labels_;
+  std::vector<PathSegment> segments_;
+};
+
+CriticalPath critical_path(const std::vector<RankView>& views,
+                           const LabelTable& labels,
+                           std::size_t total_records) {
+  CriticalPath cp;
+  for (std::size_t r = 0; r < views.size(); ++r) {
+    double last = views[r].last_record;
+    for (const auto& s : views[r].spans) last = std::max(last, s.end_eff);
+    if (last > cp.makespan_s) {
+      cp.makespan_s = last;
+      cp.end_rank = static_cast<int>(r);
+    }
+  }
+  if (cp.makespan_s == 0.0) cp.end_rank = -1;  // records only at t == 0
+  if (cp.end_rank < 0) return cp;  // empty trace
+
+  PathBuilder path(views, labels);
+  int rank = cp.end_rank;
+  double cur = cp.makespan_s;
+  // Strict progress is guaranteed while message times are positive; the
+  // cap is a backstop against degenerate zero-cost models so a malformed
+  // trace degrades to a truncated attribution instead of a hang.
+  std::size_t iters_left = 2 * total_records + 64;
+  while (cur > 0.0) {
+    const auto& blocked = views[static_cast<std::size_t>(rank)].blocked;
+    auto it = std::upper_bound(
+        blocked.begin(), blocked.end(), cur,
+        [](double v, const Blocked& b) { return v < b.end_v; });
+    if (it == blocked.begin() || iters_left-- == 0) {
+      path.compute(rank, 0.0, cur);
+      break;
+    }
+    const Blocked& b = *std::prev(it);
+    path.compute(rank, b.end_v, cur);
+    if (b.matched && b.depart >= b.begin_v) {
+      // The message departed after the receiver stalled: the whole wait is
+      // wire, and the chain continues on the sender at the send.
+      path.wire(rank, b.from_rank, b.depart, b.end_v, b.label, b.frame);
+      rank = b.from_rank;
+      cur = b.depart;
+    } else {
+      // Either the send end is missing (crashed sender) or the message was
+      // already in flight when the receiver stalled — the receiver's own
+      // earlier work bounds the join, so stay on this rank.
+      path.wire(rank, b.matched ? b.from_rank : -1, b.begin_v, b.end_v,
+                b.label, b.frame);
+      cur = b.begin_v;
+    }
+  }
+  cp.segments = path.take();
+
+  // The chain must tile [0, makespan] with exact doubles — this is the
+  // structural form of "summed span costs equal the run makespan".
+  double expect = 0.0;
+  for (const auto& s : cp.segments) {
+    if (s.begin_v != expect || !(s.end_v > s.begin_v)) {
+      throw std::logic_error("obs::analysis: critical path chain broke");
+    }
+    expect = s.end_v;
+  }
+  if (!cp.segments.empty() && expect != cp.makespan_s) {
+    throw std::logic_error("obs::analysis: critical path missed makespan");
+  }
+
+  std::map<std::string, double> phase;
+  std::map<int, double> ranks;
+  for (const auto& s : cp.segments) {
+    const double d = s.end_v - s.begin_v;
+    ranks[s.rank] += d;
+    if (s.kind == SegmentKind::kCompute) {
+      cp.compute_s += d;
+      phase[s.label] += d;
+    } else {
+      cp.wire_s += d;
+    }
+  }
+  for (auto& [label, seconds] : phase) cp.by_phase.push_back({label, seconds});
+  for (auto& [r, seconds] : ranks) cp.by_rank.push_back({r, seconds});
+  return cp;
+}
+
+std::vector<FrameAttribution> attribute_frames(
+    const std::vector<RankView>& views, const LabelTable& labels,
+    std::uint32_t frame_label, bool have_frame) {
+  std::vector<FrameAttribution> out;
+  if (!have_frame) return out;
+
+  struct FrameOnRank {
+    double begin_v = 0.0;
+    double end_v = 0.0;
+    std::map<std::string, double> phases;  // direct children by label
+  };
+  // frame -> rank -> span; std::map keeps frames and ranks ordered.
+  std::map<std::uint32_t, std::map<int, FrameOnRank>> grid;
+  for (std::size_t r = 0; r < views.size(); ++r) {
+    if (!views[r].simulating) continue;
+    for (const auto& s : views[r].spans) {
+      if (s.label != frame_label) continue;
+      auto& cell = grid[s.frame][static_cast<int>(r)];
+      cell.begin_v = s.begin_v;
+      cell.end_v = s.end_eff;
+      for (const std::size_t c : s.children) {
+        const auto& child = views[r].spans[c];
+        cell.phases[labels.name(child.label)] +=
+            child.end_eff - child.begin_v;
+      }
+    }
+  }
+
+  for (const auto& [frame, by_rank] : grid) {
+    FrameAttribution fa;
+    fa.frame = frame;
+    double total = 0.0;
+    for (const auto& [rank, cell] : by_rank) {
+      const double dur = cell.end_v - cell.begin_v;
+      total += dur;
+      if (dur > fa.slowest_s) {
+        fa.slowest_s = dur;
+        fa.gating_rank = rank;
+      }
+    }
+    if (fa.gating_rank < 0) continue;
+    fa.mean_s = total / static_cast<double>(by_rank.size());
+    fa.imbalance = fa.mean_s > 0.0 ? fa.slowest_s / fa.mean_s : 1.0;
+    const FrameOnRank& gating = by_rank.at(fa.gating_rank);
+    fa.end_s = gating.end_v;
+
+    // The gating phase: where the slowest rank lost the most time
+    // relative to the fastest rank that ran the same phase this frame.
+    double worst_loss = 0.0;
+    for (const auto& [label, dur] : gating.phases) {
+      double fastest = dur;
+      for (const auto& [rank, cell] : by_rank) {
+        const auto it = cell.phases.find(label);
+        if (it != cell.phases.end()) fastest = std::min(fastest, it->second);
+      }
+      if (dur - fastest > worst_loss) {
+        worst_loss = dur - fastest;
+        fa.gating_phase = label;
+      }
+    }
+
+    // Compute / wait / wire decomposition of the gating rank's frame span:
+    // blocked intervals split into the part the message was still on the
+    // wire and the part it idled for other reasons; the rest is compute.
+    double blocked_s = 0.0;
+    for (const auto& b :
+         views[static_cast<std::size_t>(fa.gating_rank)].blocked) {
+      const double lo = std::max(b.begin_v, gating.begin_v);
+      const double hi = std::min(b.end_v, gating.end_v);
+      if (!(hi > lo)) continue;
+      blocked_s += hi - lo;
+      const double wire_from = b.matched ? std::max(b.begin_v, b.depart)
+                                         : b.begin_v;
+      const double wlo = std::max(lo, wire_from);
+      if (hi > wlo) fa.wire_s += hi - wlo;
+    }
+    fa.wait_s = blocked_s - fa.wire_s;
+    fa.compute_s = (gating.end_v - gating.begin_v) - blocked_s;
+    out.push_back(std::move(fa));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SegmentKind k) {
+  return k == SegmentKind::kWire ? "wire" : "compute";
+}
+
+Analysis analyze(const Trace& trace) {
+  const LabelTable& labels = trace.labels();
+  // Resolve the two structural label names once. LabelTable has no
+  // reverse lookup; probing every id is fine post-run (label sets are
+  // tiny) and never observes interning order.
+  std::uint32_t simulate_label = 0, frame_label = 0;
+  bool have_simulate = false, have_frame = false;
+  for (std::uint32_t id = 0; id < labels.size(); ++id) {
+    const std::string name = labels.name(id);
+    if (name == "simulate") {
+      simulate_label = id;
+      have_simulate = true;
+    } else if (name == "frame") {
+      frame_label = id;
+      have_frame = true;
+    }
+  }
+
+  // Flow index: send end of every fresh flow, keyed by the runtime-wide
+  // message seq. Rank-order iteration keeps duplicate keys (possible only
+  // in multi-epoch traces, which analyze() does not claim to support)
+  // resolving deterministically to the first-seen send.
+  std::unordered_map<std::uint64_t, FlowSend> sends;
+  std::size_t total_records = 0;
+  for (int r = 0; r < trace.world_size(); ++r) {
+    const auto& records = trace.rank(r).records();
+    total_records += records.size();
+    for (const auto& rec : records) {
+      if (rec.replayed || rec.kind != RecordKind::kFlowSend) continue;
+      sends.emplace(rec.flow, FlowSend{r, rec.begin_v});
+    }
+  }
+
+  std::vector<RankView> views;
+  views.reserve(static_cast<std::size_t>(trace.world_size()));
+  for (int r = 0; r < trace.world_size(); ++r) {
+    views.push_back(
+        build_view(trace, r, sends, simulate_label, have_simulate));
+  }
+
+  Analysis a;
+  a.critical_path = critical_path(views, labels, total_records);
+  a.frames = attribute_frames(views, labels, frame_label, have_frame);
+  return a;
+}
+
+std::string analysis_json(const Analysis& a) {
+  const CriticalPath& cp = a.critical_path;
+  std::string out;
+  out.reserve(4096 + cp.segments.size() * 128 + a.frames.size() * 160);
+  out += "{\n  \"schema\": \"psanim-obs-report-v1\",\n";
+  out += "  \"makespan_s\": " + fmt17(cp.makespan_s) + ",\n";
+  out += "  \"critical_path\": {\n";
+  out += "    \"end_rank\": " + std::to_string(cp.end_rank) + ",\n";
+  out += "    \"compute_s\": " + fmt17(cp.compute_s) + ",\n";
+  out += "    \"wire_s\": " + fmt17(cp.wire_s) + ",\n";
+  out += "    \"wire_share\": " + fmt17(cp.wire_share()) + ",\n";
+  out += "    \"segments\": [\n";
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    const PathSegment& s = cp.segments[i];
+    out += "      {\"begin_s\": " + fmt17(s.begin_v) +
+           ", \"end_s\": " + fmt17(s.end_v) +
+           ", \"rank\": " + std::to_string(s.rank) + ", \"kind\": \"" +
+           to_string(s.kind) + "\"";
+    if (s.kind == SegmentKind::kWire) {
+      out += ", \"from_rank\": " + std::to_string(s.from_rank);
+    }
+    out += ", \"label\": \"" + json_escape(s.label) +
+           "\", \"frame\": " + std::to_string(s.frame) + "}";
+    out += i + 1 < cp.segments.size() ? ",\n" : "\n";
+  }
+  out += "    ],\n    \"by_phase\": [\n";
+  for (std::size_t i = 0; i < cp.by_phase.size(); ++i) {
+    out += "      {\"label\": \"" + json_escape(cp.by_phase[i].label) +
+           "\", \"seconds\": " + fmt17(cp.by_phase[i].seconds) + "}";
+    out += i + 1 < cp.by_phase.size() ? ",\n" : "\n";
+  }
+  out += "    ],\n    \"by_rank\": [\n";
+  for (std::size_t i = 0; i < cp.by_rank.size(); ++i) {
+    out += "      {\"rank\": " + std::to_string(cp.by_rank[i].rank) +
+           ", \"seconds\": " + fmt17(cp.by_rank[i].seconds) + "}";
+    out += i + 1 < cp.by_rank.size() ? ",\n" : "\n";
+  }
+  out += "    ]\n  },\n  \"frames\": [\n";
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    const FrameAttribution& f = a.frames[i];
+    out += "    {\"frame\": " + std::to_string(f.frame) +
+           ", \"gating_rank\": " + std::to_string(f.gating_rank) +
+           ", \"gating_phase\": \"" + json_escape(f.gating_phase) +
+           "\", \"end_s\": " + fmt17(f.end_s) +
+           ", \"slowest_s\": " + fmt17(f.slowest_s) +
+           ", \"mean_s\": " + fmt17(f.mean_s) +
+           ", \"imbalance\": " + fmt17(f.imbalance) +
+           ", \"compute_s\": " + fmt17(f.compute_s) +
+           ", \"wait_s\": " + fmt17(f.wait_s) +
+           ", \"wire_s\": " + fmt17(f.wire_s) + "}";
+    out += i + 1 < a.frames.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_analysis_json(const Analysis& a, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    throw std::runtime_error("obs::write_analysis_json: cannot open " + path);
+  }
+  const std::string text = analysis_json(a);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+void fold_summary(const Analysis& a, MetricsRegistry& m) {
+  const CriticalPath& cp = a.critical_path;
+  m.counter("psanim_obs_cp_compute_seconds_total").add(cp.compute_s);
+  m.counter("psanim_obs_cp_wire_seconds_total").add(cp.wire_s);
+  m.counter("psanim_obs_cp_segments_total")
+      .add(static_cast<double>(cp.segments.size()));
+  m.gauge("psanim_obs_cp_makespan_seconds").set(cp.makespan_s);
+  m.gauge("psanim_obs_cp_wire_share").set(cp.wire_share());
+  auto& imbalance = m.quantiles("psanim_obs_frame_imbalance");
+  double worst = 0.0;
+  for (const auto& f : a.frames) {
+    imbalance.observe(f.imbalance);
+    worst = std::max(worst, f.imbalance);
+  }
+  m.gauge("psanim_obs_frame_imbalance_max").set(worst);
+}
+
+}  // namespace psanim::obs

@@ -1,0 +1,126 @@
+#pragma once
+
+// psanim::obs::analysis — turn a recorded Trace into answers.
+//
+// PR 3 gave the repo raw telemetry: per-rank span stacks in virtual time
+// and paired send/recv flow records. This engine consumes that stream
+// post-run (or in-process, behind ObsSettings::analysis) and computes
+//
+//  (a) the critical path through the cross-rank happens-before DAG
+//      (span nesting + matched flows): an ordered chain of segments that
+//      tiles [0, makespan] exactly, each attributed to a rank and either
+//      compute (innermost covering span) or wire (a message in flight),
+//      plus per-phase / per-rank cost rollups and the wire share;
+//  (b) per-frame straggler and imbalance attribution: which rank's frame
+//      span gated each frame, which phase it lost the most time in
+//      relative to its fastest peer, and the gating rank's
+//      compute / wait / wire decomposition inside the frame;
+//
+// all as a pure function of the per-rank record streams, so the output is
+// bit-identical across ExecMode fibers/threads and worker counts — the
+// same determinism contract as the simulation itself.
+//
+// The blocked-interval detector is conservative: a rank's clock position
+// between records is invisible to the trace, so the "witness" time (latest
+// record begin plus latest span close at or before the recv) is a lower
+// bound on when the rank actually stalled, and wait intervals are upper
+// bounds. Wire overlapped by local compute is charged to compute (the
+// standard blame rule: hiding communication under computation is free).
+// See DESIGN.md key decision #10.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psanim::obs {
+
+class MetricsRegistry;
+class Trace;
+
+enum class SegmentKind : std::uint8_t {
+  kCompute = 0,  ///< the rank was (as far as the trace shows) working
+  kWire = 1,     ///< the rank idled on a message in flight
+};
+
+const char* to_string(SegmentKind k);
+
+/// One link of the critical-path chain. Consecutive segments share their
+/// boundary time bit-for-bit: every endpoint is a double copied from a
+/// record (or 0.0), never re-derived arithmetically, so the chain
+/// telescopes from 0 to the makespan with exact doubles.
+struct PathSegment {
+  double begin_v = 0.0;
+  double end_v = 0.0;
+  int rank = -1;       ///< rank the cost is attributed to (wire: receiver)
+  int from_rank = -1;  ///< wire only: sender; -1 when the send end is missing
+  std::uint32_t frame = 0;
+  SegmentKind kind = SegmentKind::kCompute;
+  std::string label;  ///< compute: innermost span (or "(untraced)"); wire: tag
+};
+
+struct PhaseCost {
+  std::string label;
+  double seconds = 0.0;
+};
+
+struct RankCost {
+  int rank = -1;
+  double seconds = 0.0;
+};
+
+struct CriticalPath {
+  /// Latest record time across ranks (fresh records only). The chain tiles
+  /// [0, makespan_s]; for a traced run_parallel run this equals the image
+  /// generator's last span end.
+  double makespan_s = 0.0;
+  int end_rank = -1;
+  double compute_s = 0.0;
+  double wire_s = 0.0;
+  std::vector<PathSegment> segments;  ///< time-ordered, contiguous
+  std::vector<PhaseCost> by_phase;    ///< compute seconds per label, sorted
+  std::vector<RankCost> by_rank;      ///< on-path seconds per rank
+  double wire_share() const {
+    return makespan_s > 0.0 ? wire_s / makespan_s : 0.0;
+  }
+};
+
+/// Straggler attribution for one frame, over the simulating ranks (those
+/// that record a "simulate" span — calculators). One entry per frame makes
+/// the vector itself the imbalance-ratio time series.
+struct FrameAttribution {
+  std::uint32_t frame = 0;
+  int gating_rank = -1;       ///< slowest frame span (ties: lowest rank)
+  std::string gating_phase;   ///< child phase with the largest loss vs the
+                              ///< fastest rank ("" when spans have no children)
+  double end_s = 0.0;         ///< gating rank's frame-span end
+  double slowest_s = 0.0;     ///< gating rank's frame-span duration
+  double mean_s = 0.0;        ///< mean frame-span duration across ranks
+  double imbalance = 1.0;     ///< slowest / mean (1.0 when mean is 0)
+  double compute_s = 0.0;     ///< gating rank, inside its frame span
+  double wait_s = 0.0;        ///< blocked on a message, wire already gone
+  double wire_s = 0.0;        ///< blocked on a message still on the wire
+};
+
+struct Analysis {
+  CriticalPath critical_path;
+  std::vector<FrameAttribution> frames;
+};
+
+/// Analyze a single-run trace. Replayed (flight-recorder) records are
+/// ignored; records of a crashed rank simply truncate — a recv whose send
+/// end is missing is attributed as wire from an unknown sender. Pure
+/// function of the per-rank record streams (label ids resolved to strings,
+/// interning order never observed).
+Analysis analyze(const Trace& trace);
+
+/// Schema-versioned report JSON ("psanim-obs-report-v1"); every double is
+/// printed %.17g so byte-equality of two reports is value-equality.
+std::string analysis_json(const Analysis& a);
+void write_analysis_json(const Analysis& a, const std::string& path);
+
+/// Fold the headline numbers into a metrics registry (psanim_obs_cp_* and
+/// psanim_obs_frame_* series) — what run_parallel exports when
+/// ObsSettings::analysis is on.
+void fold_summary(const Analysis& a, MetricsRegistry& m);
+
+}  // namespace psanim::obs

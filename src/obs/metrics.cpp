@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <stdexcept>
 
 namespace psanim::obs {
@@ -38,6 +39,48 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+void Quantiles::observe(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  if (samples_.size() > 1 && samples_[samples_.size() - 2] > v) {
+    sorted_ = false;
+  }
+}
+
+void Quantiles::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+const std::vector<double>& Quantiles::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+double Quantiles::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const double n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // 1-based nearest rank -> 0-based index
+  if (rank >= samples_.size()) rank = samples_.size() - 1;
+  return samples_[rank];
+}
+
+void Quantiles::merge(const Quantiles& other) {
+  ensure_sorted();
+  other.ensure_sorted();
+  std::vector<double> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged));
+  samples_ = std::move(merged);
+  sorted_ = true;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   if (const auto it = counters_.find(name); it != counters_.end()) {
     return it->second;
@@ -62,6 +105,13 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
       .first->second;
 }
 
+Quantiles& MetricsRegistry::quantiles(std::string_view name) {
+  if (const auto it = quantiles_.find(name); it != quantiles_.end()) {
+    return it->second;
+  }
+  return quantiles_.emplace(std::string(name), Quantiles{}).first->second;
+}
+
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
@@ -75,6 +125,11 @@ const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const Quantiles* MetricsRegistry::find_quantiles(std::string_view name) const {
+  const auto it = quantiles_.find(name);
+  return it == quantiles_.end() ? nullptr : &it->second;
 }
 
 double MetricsRegistry::counter_value(std::string_view name) const {
@@ -93,6 +148,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     histogram(name, h.upper_bounds()).merge(h);
   }
+  for (const auto& [name, q] : other.quantiles_) quantiles(name).merge(q);
 }
 
 std::string format_metric_value(double v) {
@@ -111,6 +167,12 @@ namespace {
 std::string le_label(double bound, bool inf) {
   return inf ? std::string("+Inf") : format_metric_value(bound);
 }
+
+/// The exported percentile points of a Quantiles series (SLO convention).
+constexpr struct {
+  double q;
+  const char* suffix;
+} kQuantilePoints[] = {{0.5, "_p50"}, {0.95, "_p95"}, {0.99, "_p99"}};
 
 }  // namespace
 
@@ -132,6 +194,13 @@ std::vector<MetricSample> MetricsRegistry::samples() const {
     }
     out.push_back({name + "_sum", h.sum()});
     out.push_back({name + "_count", static_cast<double>(h.count())});
+  }
+  for (const auto& [name, q] : quantiles_) {
+    for (const auto& p : kQuantilePoints) {
+      out.push_back({name + p.suffix, q.quantile(p.q)});
+    }
+    out.push_back({name + "_sum", q.sum()});
+    out.push_back({name + "_count", static_cast<double>(q.count())});
   }
   return out;
 }
@@ -160,6 +229,18 @@ std::string MetricsRegistry::prometheus() const {
     out += name + "_sum " + format_metric_value(h.sum()) + "\n";
     out += name + "_count " +
            format_metric_value(static_cast<double>(h.count())) + "\n";
+  }
+  for (const auto& [name, q] : quantiles_) {
+    for (const auto& p : kQuantilePoints) {
+      out += "# TYPE " + name + p.suffix + " gauge\n";
+      out += name + p.suffix + " " + format_metric_value(q.quantile(p.q)) +
+             "\n";
+    }
+    out += "# TYPE " + name + "_sum counter\n";
+    out += name + "_sum " + format_metric_value(q.sum()) + "\n";
+    out += "# TYPE " + name + "_count counter\n";
+    out += name + "_count " +
+           format_metric_value(static_cast<double>(q.count())) + "\n";
   }
   return out;
 }

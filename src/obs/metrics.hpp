@@ -69,6 +69,39 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// Deterministic exact-sample quantile series. Every observation is kept
+/// and percentiles are answered from the sorted sample with the
+/// nearest-rank rule (the ceil(q*n)-th smallest, 1-based), so two runs
+/// that observe the same multiset report bit-identical p50/p95/p99 — which
+/// a fixed-bucket Histogram cannot promise (a p99 inside a bucket is a
+/// guess). The cost is O(n) memory; SLO series (per-job waits, per-frame
+/// imbalance) are small enough that honesty wins. Empty series answer 0.0,
+/// never NaN.
+class Quantiles {
+ public:
+  void observe(double v);
+
+  std::uint64_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+
+  /// Exact nearest-rank quantile for q in [0, 1]; 0.0 on an empty series.
+  double quantile(double q) const;
+
+  /// Samples in ascending order (sorted lazily, cached).
+  const std::vector<double>& sorted_samples() const;
+
+  /// Stable merge: interleaves both sorted sample sets with std::merge, so
+  /// the merged series is independent of merge grouping/order.
+  void merge(const Quantiles& other);
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
 /// One flattened sample for csv/report output. Histograms flatten to
 /// cumulative `name_bucket{le="..."}` rows plus `name_sum` / `name_count`.
 struct MetricSample {
@@ -84,10 +117,12 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_bounds);
+  Quantiles& quantiles(std::string_view name);
 
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
+  const Quantiles* find_quantiles(std::string_view name) const;
 
   double counter_value(std::string_view name) const;
   double gauge_value(std::string_view name) const;
@@ -105,13 +140,15 @@ class MetricsRegistry {
   std::string prometheus() const;
 
   bool empty() const {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           quantiles_.empty();
   }
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Quantiles, std::less<>> quantiles_;
 };
 
 /// Format a metric value the way both the Prometheus dump and the csv dump

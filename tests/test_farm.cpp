@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -526,6 +527,95 @@ TEST(FarmReport, ExportsAggregateMetrics) {
   EXPECT_NE(text.find("psanim_farm_makespan_seconds"), std::string::npos);
   // The farm samples the process-global buffer pool around the whole run.
   EXPECT_NE(text.find("psanim_farm_buffer_acquires_total"), std::string::npos);
+  // The scheduler SLO distributions ride along as quantile series.
+  EXPECT_NE(text.find("psanim_farm_wait_seconds_p99"), std::string::npos);
+  EXPECT_NE(text.find("psanim_farm_turnaround_seconds_p50"),
+            std::string::npos);
+  EXPECT_NE(text.find("psanim_farm_queue_depth_peak"), std::string::npos);
+}
+
+// --- scheduler SLO quantiles -------------------------------------------
+
+TEST(FarmReport, SloQuantilesMatchTheJobRecords) {
+  // One 4-slot node, ncalc-1 jobs (world 3): only one job fits at a time,
+  // so waits accumulate deterministically behind the serial bottleneck.
+  Farm f(flat_cluster(1, 4), fast_opts());
+  std::vector<farm::JobHandle> handles;
+  handles.push_back(f.submit(tiny_job("s0", 1, 6, 1)));
+  handles.push_back(f.submit(tiny_job("s1", 1, 4, 2)));
+  handles.push_back(f.submit(tiny_job("s2", 1, 8, 3)));
+  const auto report = f.run();
+  ASSERT_EQ(report.jobs_done, 3u);
+
+  std::vector<double> waits, turnarounds, slowdowns;
+  for (auto& h : handles) {
+    const auto& jr = h.await();
+    waits.push_back(jr.start_s);        // every submit_time_s is 0
+    turnarounds.push_back(jr.finish_s);
+    ASSERT_GT(jr.standalone_makespan_s, 0.0);
+    slowdowns.push_back(jr.finish_s / jr.standalone_makespan_s);
+  }
+  std::sort(waits.begin(), waits.end());
+  std::sort(turnarounds.begin(), turnarounds.end());
+  std::sort(slowdowns.begin(), slowdowns.end());
+
+  EXPECT_EQ(report.wait_q.sorted_samples(), waits);
+  EXPECT_EQ(report.turnaround_q.sorted_samples(), turnarounds);
+  EXPECT_EQ(report.slowdown_q.sorted_samples(), slowdowns);
+  // Nearest-rank on n=3: p50 is the 2nd smallest, p99 the maximum.
+  EXPECT_DOUBLE_EQ(report.wait_q.quantile(0.5), waits[1]);
+  EXPECT_DOUBLE_EQ(report.wait_q.quantile(0.99), waits[2]);
+  EXPECT_DOUBLE_EQ(report.turnaround_q.quantile(0.99), turnarounds[2]);
+  // Behind a serial bottleneck every job but the first waits.
+  EXPECT_GT(report.wait_q.quantile(0.99), 0.0);
+  EXPECT_GE(report.slowdown_q.quantile(0.5), 1.0);
+}
+
+TEST(FarmReport, QueueDepthSeriesPeaksThenDrains) {
+  Farm f(flat_cluster(1, 4), fast_opts());
+  f.submit(tiny_job("q0", 1, 4, 1));
+  f.submit(tiny_job("q1", 1, 4, 2));
+  f.submit(tiny_job("q2", 1, 4, 3));
+  const auto report = f.run();
+
+  ASSERT_FALSE(report.queue_depth.empty());
+  int peak = 0;
+  double prev_t = -1.0;
+  for (const auto& [t, depth] : report.queue_depth) {
+    EXPECT_GE(depth, 0);
+    EXPECT_GT(t, prev_t) << "breakpoints must strictly advance";
+    prev_t = t;
+    peak = std::max(peak, depth);
+  }
+  // Three serial jobs arrive at once: two must queue behind the first.
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(report.queue_depth.back().second, 0) << "the queue must drain";
+  EXPECT_DOUBLE_EQ(
+      report.metrics.gauge_value("psanim_farm_queue_depth_peak"), 2.0);
+}
+
+TEST(FarmReport, AllCancelledRunLeavesFiniteReport) {
+  // Guard regression: with zero completed jobs every aggregate — means and
+  // the new quantile series — must answer 0, never NaN from a 0/0.
+  Farm f(flat_cluster(1, 4), fast_opts());
+  auto h0 = f.submit(tiny_job("c0", 1, 4, 1));
+  auto h1 = f.submit(tiny_job("c1", 1, 4, 2));
+  EXPECT_TRUE(h0.cancel());
+  EXPECT_TRUE(h1.cancel());
+  const auto report = f.run();
+
+  EXPECT_EQ(report.jobs_done, 0u);
+  EXPECT_EQ(report.jobs_cancelled, 2u);
+  EXPECT_DOUBLE_EQ(report.mean_turnaround_s, 0.0);
+  EXPECT_EQ(report.wait_q.count(), 0u);
+  for (const double p : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(report.wait_q.quantile(p), 0.0);
+    EXPECT_DOUBLE_EQ(report.turnaround_q.quantile(p), 0.0);
+    EXPECT_DOUBLE_EQ(report.slowdown_q.quantile(p), 0.0);
+  }
+  const auto text = report.metrics.prometheus();
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "ckpt/vault.hpp"
 #include "core/simulation.hpp"
 #include "core/wire.hpp"
+#include "obs/analysis.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -569,6 +570,379 @@ TEST(FlightRecorder, RingRecordsSurviveIntoAResumedRunsTrace) {
 
   // And the export keeps them loadable: replay category in the JSON.
   EXPECT_NE(t2.chrome_json().find("\"replay\""), std::string::npos);
+}
+
+// --- quantiles ---------------------------------------------------------
+
+TEST(Quantiles, ExactNearestRankPercentiles) {
+  obs::Quantiles q;
+  // Out of order on purpose: the series sorts lazily.
+  for (const double v : {7.0, 1.0, 9.0, 3.0, 5.0, 2.0, 8.0, 4.0, 10.0, 6.0}) {
+    q.observe(v);
+  }
+  EXPECT_EQ(q.count(), 10u);
+  EXPECT_DOUBLE_EQ(q.sum(), 55.0);
+  // Nearest-rank on n=10: p50 is the 5th smallest, p95/p99 the 10th.
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 10.0);
+  EXPECT_TRUE(std::is_sorted(q.sorted_samples().begin(),
+                             q.sorted_samples().end()));
+
+  obs::Quantiles four;
+  for (const double v : {4.0, 2.0, 3.0, 1.0}) four.observe(v);
+  EXPECT_DOUBLE_EQ(four.quantile(0.5), 2.0);   // ceil(0.5 * 4) = 2nd
+  EXPECT_DOUBLE_EQ(four.quantile(0.25), 1.0);  // ceil(0.25 * 4) = 1st
+}
+
+TEST(Quantiles, MergeEqualsObservingTheUnion) {
+  obs::Quantiles a, b, all;
+  for (const double v : {1.0, 3.0, 5.0}) {
+    a.observe(v);
+    all.observe(v);
+  }
+  for (const double v : {2.0, 4.0}) {
+    b.observe(v);
+    all.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.sorted_samples(), all.sorted_samples());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 3.0);
+}
+
+TEST(Quantiles, EmptySeriesAnswersZeroNeverNan) {
+  obs::Quantiles q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.sum(), 0.0);
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(q.quantile(p), 0.0);
+  }
+}
+
+TEST(Quantiles, RegistryExportsPercentileGaugesAndTotals) {
+  obs::MetricsRegistry m;
+  auto& q = m.quantiles("psanim_test_wait_seconds");
+  for (int i = 1; i <= 100; ++i) q.observe(static_cast<double>(i));
+
+  const std::string prom = m.prometheus();
+  EXPECT_NE(prom.find("# TYPE psanim_test_wait_seconds_p50 gauge\n"
+                      "psanim_test_wait_seconds_p50 50\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("psanim_test_wait_seconds_p95 95\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("psanim_test_wait_seconds_p99 99\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("psanim_test_wait_seconds_sum 5050\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("psanim_test_wait_seconds_count 100\n"),
+            std::string::npos);
+
+  // Registry merge folds quantile series sample-by-sample.
+  obs::MetricsRegistry other;
+  other.quantiles("psanim_test_wait_seconds").observe(1000.0);
+  m.merge(other);
+  EXPECT_EQ(m.quantiles("psanim_test_wait_seconds").count(), 101u);
+  EXPECT_DOUBLE_EQ(m.quantiles("psanim_test_wait_seconds").quantile(1.0),
+                   1000.0);
+}
+
+// --- analysis: hand-built DAG fixtures ---------------------------------
+
+TEST(Analysis, SingleRankChainSplitsAtLeafBoundaries) {
+  obs::Trace t;
+  t.begin_run(1);
+  const std::uint32_t frame = t.labels().intern("frame");
+  const std::uint32_t simulate = t.labels().intern("simulate");
+  auto& r0 = t.rank(0);
+  r0.open_span(frame, 0, 0.0);
+  r0.open_span(simulate, 0, 1.0);
+  r0.close_span(4.0);
+  r0.close_span(5.0);
+
+  const obs::Analysis a = obs::analyze(t);
+  const obs::CriticalPath& cp = a.critical_path;
+  EXPECT_DOUBLE_EQ(cp.makespan_s, 5.0);
+  EXPECT_EQ(cp.end_rank, 0);
+  EXPECT_DOUBLE_EQ(cp.compute_s, 5.0);
+  EXPECT_DOUBLE_EQ(cp.wire_s, 0.0);
+  // The child carves the parent: frame [0,1], simulate [1,4], frame [4,5].
+  ASSERT_EQ(cp.segments.size(), 3u);
+  EXPECT_EQ(cp.segments[0].label, "frame");
+  EXPECT_DOUBLE_EQ(cp.segments[0].begin_v, 0.0);
+  EXPECT_DOUBLE_EQ(cp.segments[0].end_v, 1.0);
+  EXPECT_EQ(cp.segments[1].label, "simulate");
+  EXPECT_DOUBLE_EQ(cp.segments[1].end_v, 4.0);
+  EXPECT_EQ(cp.segments[2].label, "frame");
+  EXPECT_DOUBLE_EQ(cp.segments[2].end_v, 5.0);
+  ASSERT_EQ(cp.by_phase.size(), 2u);  // label-sorted: frame, simulate
+  EXPECT_EQ(cp.by_phase[0].label, "frame");
+  EXPECT_DOUBLE_EQ(cp.by_phase[0].seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cp.by_phase[1].seconds, 3.0);
+
+  // The rank records a "simulate" span, so it is a calculator and gets a
+  // frame-attribution row: alone it is its own straggler, imbalance 1.
+  ASSERT_EQ(a.frames.size(), 1u);
+  EXPECT_EQ(a.frames[0].gating_rank, 0);
+  EXPECT_DOUBLE_EQ(a.frames[0].imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(a.frames[0].compute_s, 5.0);
+  EXPECT_DOUBLE_EQ(a.frames[0].wait_s, 0.0);
+}
+
+TEST(Analysis, UncoveredTimeBecomesUntracedSegments) {
+  obs::Trace t;
+  t.begin_run(1);
+  const std::uint32_t work = t.labels().intern("work");
+  t.rank(0).open_span(work, 0, 2.0);
+  t.rank(0).close_span(5.0);
+
+  const obs::CriticalPath cp = obs::analyze(t).critical_path;
+  ASSERT_EQ(cp.segments.size(), 2u);
+  EXPECT_EQ(cp.segments[0].label, "(untraced)");
+  EXPECT_DOUBLE_EQ(cp.segments[0].begin_v, 0.0);
+  EXPECT_DOUBLE_EQ(cp.segments[0].end_v, 2.0);
+  EXPECT_EQ(cp.segments[1].label, "work");
+}
+
+TEST(Analysis, CrossRankFlowBecomesWireSegment) {
+  obs::Trace t;
+  t.begin_run(2);
+  const std::uint32_t produce = t.labels().intern("produce");
+  const std::uint32_t consume = t.labels().intern("consume");
+  const std::uint32_t msg = t.labels().intern("msg");
+
+  // rank 0 computes [0,5] and sends at 5; the message is on the wire
+  // until 6, when rank 1 — idle since 0 — consumes it and works to 8.
+  t.rank(0).open_span(produce, 0, 0.0);
+  t.rank(0).close_span(5.0);
+  t.rank(0).flow(obs::RecordKind::kFlowSend, 1, msg, 0, 5.0);
+  t.rank(1).open_span(consume, 0, 0.0);
+  t.rank(1).flow(obs::RecordKind::kFlowRecv, 1, msg, 0, 6.0);
+  t.rank(1).close_span(8.0);
+
+  const obs::CriticalPath cp = obs::analyze(t).critical_path;
+  EXPECT_DOUBLE_EQ(cp.makespan_s, 8.0);
+  EXPECT_EQ(cp.end_rank, 1);
+  ASSERT_EQ(cp.segments.size(), 3u);
+
+  EXPECT_EQ(cp.segments[0].kind, obs::SegmentKind::kCompute);
+  EXPECT_EQ(cp.segments[0].rank, 0);
+  EXPECT_EQ(cp.segments[0].label, "produce");
+  EXPECT_DOUBLE_EQ(cp.segments[0].end_v, 5.0);
+
+  EXPECT_EQ(cp.segments[1].kind, obs::SegmentKind::kWire);
+  EXPECT_EQ(cp.segments[1].rank, 1);       // receiver owns the wait
+  EXPECT_EQ(cp.segments[1].from_rank, 0);  // sender attribution
+  EXPECT_EQ(cp.segments[1].label, "msg");
+  EXPECT_DOUBLE_EQ(cp.segments[1].begin_v, 5.0);
+  EXPECT_DOUBLE_EQ(cp.segments[1].end_v, 6.0);
+
+  EXPECT_EQ(cp.segments[2].kind, obs::SegmentKind::kCompute);
+  EXPECT_EQ(cp.segments[2].rank, 1);
+  EXPECT_EQ(cp.segments[2].label, "consume");
+  EXPECT_DOUBLE_EQ(cp.segments[2].end_v, 8.0);
+
+  EXPECT_DOUBLE_EQ(cp.compute_s, 7.0);
+  EXPECT_DOUBLE_EQ(cp.wire_s, 1.0);
+  EXPECT_DOUBLE_EQ(cp.wire_share(), 1.0 / 8.0);
+  // rank 1's pre-recv idle [0,5) is NOT on the path: the sender's compute
+  // covers it. by_rank: rank 0 owns 5s, rank 1 owns wire + compute = 3s.
+  ASSERT_EQ(cp.by_rank.size(), 2u);
+  EXPECT_DOUBLE_EQ(cp.by_rank[0].seconds, 5.0);
+  EXPECT_DOUBLE_EQ(cp.by_rank[1].seconds, 3.0);
+}
+
+TEST(Analysis, DiamondJoinFollowsTheLaterArrival) {
+  obs::Trace t;
+  t.begin_run(3);
+  const std::uint32_t early = t.labels().intern("early");
+  const std::uint32_t late = t.labels().intern("late");
+  const std::uint32_t join = t.labels().intern("join");
+  const std::uint32_t msg = t.labels().intern("msg");
+
+  // Two senders into one join: rank 0 sends at 2 (arrives 3), rank 1
+  // sends at 4 (arrives 6). The join waits for BOTH; the critical path
+  // must run through rank 1, the later arrival, and never touch rank 0.
+  t.rank(0).open_span(early, 0, 0.0);
+  t.rank(0).close_span(2.0);
+  t.rank(0).flow(obs::RecordKind::kFlowSend, 100, msg, 0, 2.0);
+  t.rank(1).open_span(late, 0, 0.0);
+  t.rank(1).close_span(4.0);
+  t.rank(1).flow(obs::RecordKind::kFlowSend, 101, msg, 0, 4.0);
+  t.rank(2).open_span(join, 0, 0.0);
+  t.rank(2).flow(obs::RecordKind::kFlowRecv, 100, msg, 0, 3.0);
+  t.rank(2).flow(obs::RecordKind::kFlowRecv, 101, msg, 0, 6.0);
+  t.rank(2).close_span(7.0);
+
+  const obs::CriticalPath cp = obs::analyze(t).critical_path;
+  EXPECT_DOUBLE_EQ(cp.makespan_s, 7.0);
+  EXPECT_EQ(cp.end_rank, 2);
+  for (const auto& s : cp.segments) {
+    EXPECT_NE(s.rank, 0) << "the early sender must not be on the path";
+  }
+  bool wire_from_late = false;
+  for (const auto& s : cp.segments) {
+    if (s.kind == obs::SegmentKind::kWire) {
+      EXPECT_EQ(s.from_rank, 1);
+      EXPECT_DOUBLE_EQ(s.begin_v, 4.0);
+      EXPECT_DOUBLE_EQ(s.end_v, 6.0);
+      wire_from_late = true;
+    }
+  }
+  EXPECT_TRUE(wire_from_late);
+  EXPECT_DOUBLE_EQ(cp.compute_s, 5.0);  // late [0,4] + join [6,7]
+  EXPECT_DOUBLE_EQ(cp.wire_s, 2.0);
+}
+
+TEST(Analysis, UnmatchedRecvAttributesWireFromUnknownSender) {
+  obs::Trace t;
+  t.begin_run(2);
+  const std::uint32_t alive = t.labels().intern("alive");
+  const std::uint32_t msg = t.labels().intern("msg");
+
+  // rank 0 crashed before its send was traced; rank 1 still consumed a
+  // message at 5. The wait must be attributed as wire with no sender.
+  t.rank(0).open_span(alive, 0, 0.0);
+  t.rank(0).close_span(1.0);
+  t.rank(1).open_span(alive, 0, 0.0);
+  t.rank(1).flow(obs::RecordKind::kFlowRecv, 9, msg, 0, 5.0);
+  t.rank(1).close_span(6.0);
+
+  const obs::CriticalPath cp = obs::analyze(t).critical_path;
+  EXPECT_DOUBLE_EQ(cp.makespan_s, 6.0);
+  ASSERT_EQ(cp.segments.size(), 2u);
+  EXPECT_EQ(cp.segments[0].kind, obs::SegmentKind::kWire);
+  EXPECT_EQ(cp.segments[0].from_rank, -1);
+  EXPECT_DOUBLE_EQ(cp.segments[0].begin_v, 0.0);
+  EXPECT_DOUBLE_EQ(cp.segments[0].end_v, 5.0);
+  EXPECT_EQ(cp.segments[1].kind, obs::SegmentKind::kCompute);
+  EXPECT_DOUBLE_EQ(cp.segments[1].end_v, 6.0);
+}
+
+TEST(Analysis, EmptyTraceYieldsEmptyPath) {
+  obs::Trace t;
+  t.begin_run(2);
+  const obs::Analysis a = obs::analyze(t);
+  EXPECT_DOUBLE_EQ(a.critical_path.makespan_s, 0.0);
+  EXPECT_EQ(a.critical_path.end_rank, -1);
+  EXPECT_TRUE(a.critical_path.segments.empty());
+  EXPECT_TRUE(a.frames.empty());
+  EXPECT_DOUBLE_EQ(a.critical_path.wire_share(), 0.0);  // no NaN
+  EXPECT_NE(obs::analysis_json(a).find("psanim-obs-report-v1"),
+            std::string::npos);
+}
+
+TEST(Analysis, FrameAttributionNamesTheStragglerAndItsPhase) {
+  obs::Trace t;
+  t.begin_run(2);
+  const std::uint32_t frame = t.labels().intern("frame");
+  const std::uint32_t simulate = t.labels().intern("simulate");
+  const std::uint32_t render = t.labels().intern("render");
+
+  // Frame 3 on two calculators: rank 1 is the straggler, and its loss is
+  // concentrated in "simulate" (3.0 vs 1.0) rather than "render" (equal).
+  auto emit = [&](int rank, double sim_end, double end) {
+    auto& r = t.rank(rank);
+    r.open_span(frame, 3, 0.0);
+    r.open_span(simulate, 3, 0.0);
+    r.close_span(sim_end);
+    r.open_span(render, 3, sim_end);
+    r.close_span(sim_end + 1.0);
+    r.close_span(end);
+  };
+  emit(0, 1.0, 2.0);
+  emit(1, 3.0, 4.0);
+
+  const obs::Analysis a = obs::analyze(t);
+  ASSERT_EQ(a.frames.size(), 1u);
+  const obs::FrameAttribution& f = a.frames[0];
+  EXPECT_EQ(f.frame, 3u);
+  EXPECT_EQ(f.gating_rank, 1);
+  EXPECT_EQ(f.gating_phase, "simulate");
+  EXPECT_DOUBLE_EQ(f.slowest_s, 4.0);
+  EXPECT_DOUBLE_EQ(f.mean_s, 3.0);
+  EXPECT_DOUBLE_EQ(f.imbalance, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f.compute_s, 4.0);  // no blocked intervals
+  EXPECT_DOUBLE_EQ(f.wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(f.wire_s, 0.0);
+}
+
+// --- analysis: end-to-end on real runs ---------------------------------
+
+TEST(Analysis, ReportIsByteIdenticalAcrossExecutionCores) {
+  const Scene scene = obs_scene();
+
+  const auto report = [&](mp::ExecMode mode, int workers) {
+    SimSettings settings = obs_settings();
+    obs::Trace trace;
+    settings.obs.trace = &trace;
+    sim::RunConfig cfg;
+    cfg.groups = {{cluster::NodeType::e800(), settings.ncalc,
+                   settings.ncalc}};
+    cfg.network = net::Interconnect::kMyrinet;
+    const auto built = sim::build_cluster(cfg);
+    mp::RuntimeOptions rt;
+    rt.recv_timeout_s = 15.0;
+    rt.exec_mode = mode;
+    rt.workers = workers;
+    core::run_parallel(scene, settings, built.spec, built.placement, {}, rt);
+    return obs::analysis_json(obs::analyze(trace));
+  };
+
+  const std::string fibers1 = report(mp::ExecMode::kFibers, 1);
+  const std::string fibers8 = report(mp::ExecMode::kFibers, 8);
+  const std::string threads = report(mp::ExecMode::kThreads, 0);
+  EXPECT_EQ(fibers1, fibers8);
+  EXPECT_EQ(fibers1, threads);
+  // And the report is structurally alive: a path and per-frame rows.
+  EXPECT_NE(fibers1.find("\"segments\""), std::string::npos);
+  EXPECT_NE(fibers1.find("\"gating_rank\""), std::string::npos);
+}
+
+TEST(Analysis, RunParallelKnobFoldsSummaryIntoMetrics) {
+  const Scene scene = obs_scene();
+  SimSettings settings = obs_settings();
+  obs::Trace trace;
+  settings.obs.trace = &trace;
+  settings.obs.analysis = true;
+  const auto r = run(scene, settings);
+
+  EXPECT_GT(r.metrics.gauge_value("psanim_obs_cp_makespan_seconds"), 0.0);
+  EXPECT_GT(r.metrics.counter_value("psanim_obs_cp_segments_total"), 0.0);
+  const double compute =
+      r.metrics.counter_value("psanim_obs_cp_compute_seconds_total");
+  const double wire =
+      r.metrics.counter_value("psanim_obs_cp_wire_seconds_total");
+  EXPECT_DOUBLE_EQ(compute + wire,
+                   r.metrics.gauge_value("psanim_obs_cp_makespan_seconds"));
+  const obs::Quantiles* imb =
+      r.metrics.find_quantiles("psanim_obs_frame_imbalance");
+  ASSERT_NE(imb, nullptr);
+  EXPECT_EQ(imb->count(), static_cast<std::uint64_t>(settings.frames));
+  EXPECT_NE(r.metrics.prometheus().find("psanim_obs_frame_imbalance_p99"),
+            std::string::npos);
+}
+
+TEST(Analysis, ValidateRejectsAnalysisWithoutTracing) {
+  SimSettings s;
+  s.obs.analysis = true;  // analysis needs a span stream to consume
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  obs::Trace trace;
+  s.obs.trace = &trace;
+  EXPECT_NO_THROW(s.validate());
+
+  s.obs.analysis = false;
+  s.obs.analysis_json_path = "report.json";  // implies analysis; needs trace
+  s.obs.trace = nullptr;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.obs.trace = &trace;
+  EXPECT_NO_THROW(s.validate());
+  s.obs.analysis_json_path = ".";  // a directory, not a file
+  EXPECT_THROW(s.validate(), std::invalid_argument);
 }
 
 }  // namespace

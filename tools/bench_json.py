@@ -8,7 +8,7 @@ The file's "schema" field selects the rule set:
 
 psanim-bench-pr4-v1 (bench/wallclock_suite) — see below.
 
-psanim-bench-pr7-v1 (bench/rank_scaling --out):
+psanim-bench-pr7-v1 (bench/rank_scaling --out, superseded by pr8):
   - every rank-scaling row of one world size must report a bit-identical
     virtual makespan (scheduling is a wall-clock knob, never a result
     knob);
@@ -17,6 +17,26 @@ psanim-bench-pr7-v1 (bench/rank_scaling --out):
     framebuffer hash (topology shifts clocks, never pixels), and the slim
     fat-tree leg must separate from the flat leg (the contention model
     actually bites).
+
+psanim-bench-pr8-v1 (bench/rank_scaling --out) — all pr7 rules, plus the
+observability gates:
+  - every platform-sweep leg carries its critical-path decomposition
+    (cp_compute_s + cp_wire_s must cover cp_makespan_s — the trace
+    makespan, which itself must not undercut the animation finish — and
+    cp_wire_share must land in [0, 1]);
+  - the flat leg's critical-path wire share must sit strictly below the
+    two-site WAN leg's (a slower fabric must surface as attributed wire
+    time, not mystery compute);
+  - the farm_slo section's percentiles are monotone (p50 <= p95 <= p99),
+    non-negative, slowdowns >= 1, and SJF's p99 wait must not exceed the
+    FIFO schedule's makespan (the bound on the latency trade).
+
+psanim-bench-pr8-farm-v1 (bench/farm_throughput --out):
+  - per scenario and policy: wait percentiles monotone and non-negative,
+    p99 turnaround >= p99 wait, slowdowns >= 1, queue_depth_peak >= 0;
+  - scenarios whose sjf_makespan_gate flag is set must report
+    sjf_le_fifo_makespan true (the scheduling win the bench itself
+    asserts, re-checked from the artifact).
 
 PR4 rules:
 
@@ -48,6 +68,8 @@ import sys
 
 SCHEMA = "psanim-bench-pr4-v1"
 SCHEMA_PR7 = "psanim-bench-pr7-v1"
+SCHEMA_PR8 = "psanim-bench-pr8-v1"
+SCHEMA_PR8_FARM = "psanim-bench-pr8-farm-v1"
 
 _failures = []
 _warnings = []
@@ -232,6 +254,114 @@ def check_pr7(doc, baseline=None):
                 ok(f"platform {name}: makespan matches baseline ({a})")
 
 
+def _percentiles_sane(tag, block, kind="seconds"):
+    """Monotone, non-negative wait percentiles; p99 turnaround covers p99
+    wait; slowdown percentiles >= 1 (a job can never beat its own
+    contention-free standalone run)."""
+    try:
+        w50 = float(block["wait_p50_s"])
+        w95 = float(block["wait_p95_s"])
+        w99 = float(block["wait_p99_s"])
+        t99 = float(block["turnaround_p99_s"])
+        s50 = float(block["slowdown_p50"])
+        s99 = float(block["slowdown_p99"])
+    except (KeyError, ValueError) as e:
+        fail(f"{tag}: missing or malformed SLO percentile ({e})")
+        return None
+    if not (0.0 <= w50 <= w95 <= w99):
+        fail(f"{tag}: wait percentiles not monotone "
+             f"(p50={w50} p95={w95} p99={w99})")
+    elif t99 < w99:
+        fail(f"{tag}: p99 turnaround {t99} below p99 wait {w99}")
+    elif not (s50 <= s99):
+        fail(f"{tag}: slowdown percentiles not monotone ({s50} > {s99})")
+    elif int(block.get("jobs_done", 0)) > 0 and not (s50 >= 1.0 - 1e-9):
+        fail(f"{tag}: slowdown p50 {s50} below 1 — a job outran its "
+             f"standalone self")
+    else:
+        ok(f"{tag}: wait p50/p95/p99 = {w50}/{w95}/{w99} {kind}, "
+           f"slowdown p99 = {s99}")
+    return w99
+
+
+def check_pr8(doc, baseline=None):
+    check_pr7(doc, baseline)
+
+    for r in doc.get("platform_sweep", []):
+        name = r.get("platform", "<unnamed>")
+        try:
+            animation = float(r["makespan_run1_s"])
+            makespan = float(r["cp_makespan_s"])
+            compute = float(r["cp_compute_s"])
+            wire = float(r["cp_wire_s"])
+            share = float(r["cp_wire_share"])
+        except (KeyError, ValueError) as e:
+            fail(f"platform {name}: missing critical-path fields ({e})")
+            continue
+        if abs(compute + wire - makespan) > 1e-9 * max(1.0, makespan):
+            fail(f"platform {name}: cp_compute_s + cp_wire_s = "
+                 f"{compute + wire} does not cover the trace makespan "
+                 f"{makespan}")
+        elif makespan < animation - 1e-9 * max(1.0, animation):
+            fail(f"platform {name}: trace makespan {makespan} below the "
+                 f"animation finish {animation} — the trace missed records")
+        elif not 0.0 <= share <= 1.0:
+            fail(f"platform {name}: cp_wire_share {share} outside [0, 1]")
+        else:
+            ok(f"platform {name}: critical path covers the makespan "
+               f"({100.0 * share:.1f}% wire)")
+    legs = {r.get("platform"): r for r in doc.get("platform_sweep", [])}
+    if "flat" in legs and "wan2" in legs:
+        flat = float(legs["flat"].get("cp_wire_share", "0"))
+        wan = float(legs["wan2"].get("cp_wire_share", "0"))
+        if not flat < wan:
+            fail(f"critical-path wire share did not rise from flat ({flat}) "
+                 f"to wan2 ({wan}) — the slower fabric hid in compute")
+        else:
+            ok(f"wire share rises flat -> wan2 ({flat} < {wan})")
+    else:
+        fail("platform sweep missing the flat or wan2 leg")
+
+    slo = doc.get("farm_slo")
+    if not isinstance(slo, dict) or "fifo" not in slo or "sjf" not in slo:
+        fail("no farm_slo section with fifo + sjf legs")
+        return
+    for policy in ("fifo", "sjf"):
+        block = slo[policy]
+        if int(block.get("jobs_done", 0)) <= 0:
+            fail(f"farm_slo {policy}: no completed jobs")
+        _percentiles_sane(f"farm_slo {policy}", block)
+    sjf_w99 = float(slo["sjf"].get("wait_p99_s", "inf"))
+    fifo_makespan = float(slo["fifo"].get("makespan_s", "0"))
+    if sjf_w99 > fifo_makespan + 1e-9:
+        fail(f"farm_slo: SJF p99 wait {sjf_w99} exceeds the FIFO makespan "
+             f"{fifo_makespan} — the latency trade went past its bound")
+    else:
+        ok(f"farm_slo: SJF p99 wait {sjf_w99} within the FIFO makespan "
+           f"{fifo_makespan}")
+
+
+def check_pr8_farm(doc):
+    scenarios = doc.get("scenarios", [])
+    if not scenarios:
+        fail("no scenarios section")
+        return
+    for sc in scenarios:
+        name = sc.get("name", "<unnamed>")
+        for policy in ("fifo", "sjf"):
+            block = sc.get(policy)
+            if not isinstance(block, dict):
+                fail(f"scenario {name}: missing {policy} block")
+                continue
+            if int(block.get("queue_depth_peak", -1)) < 0:
+                fail(f"scenario {name} {policy}: bad queue_depth_peak")
+            _percentiles_sane(f"scenario {name} {policy}", block)
+        if (sc.get("sjf_makespan_gate") is True
+                and sc.get("sjf_le_fifo_makespan") is not True):
+            fail(f"scenario {name}: SJF makespan exceeded FIFO's — the "
+                 f"scheduling win regressed")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -242,8 +372,15 @@ def main():
     args = ap.parse_args()
 
     doc = load(args.file)
-    if doc.get("schema") == SCHEMA_PR7:
-        check_pr7(doc, load(args.baseline) if args.baseline else None)
+    dispatch = {SCHEMA_PR7: check_pr7, SCHEMA_PR8: check_pr8}
+    if doc.get("schema") in dispatch:
+        dispatch[doc.get("schema")](
+            doc, load(args.baseline) if args.baseline else None)
+        print(f"\n{args.file}: {len(_failures)} failure(s), "
+              f"{len(_warnings)} warning(s)")
+        return 1 if _failures else 0
+    if doc.get("schema") == SCHEMA_PR8_FARM:
+        check_pr8_farm(doc)
         print(f"\n{args.file}: {len(_failures)} failure(s), "
               f"{len(_warnings)} warning(s)")
         return 1 if _failures else 0

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a psanim Chrome trace-event JSON export.
+"""Validate a psanim observability JSON artifact.
 
-Checks that the file tools/obs_trace_export (or any run with
-obs.trace_json_path set) produced is structurally sound and causally
-consistent:
+Two dialects, dispatched on document shape:
+
+Chrome trace-event exports (tools/obs_trace_export, or any run with
+obs.trace_json_path set) — structural and causal soundness:
 
   - well-formed JSON with a traceEvents array;
   - every rank (pid) has a process_name metadata event;
@@ -12,9 +13,20 @@ consistent:
     finish never precedes its start, and no flow dangles;
   - every event's timestamp is non-negative.
 
+Analysis reports (tools/obs_report, or obs.analysis_json_path — a dict
+with "schema": "psanim-obs-report-v1"):
+
+  - the critical-path segment chain telescopes from 0 to the makespan with
+    *string-identical* endpoints (doubles are printed %.17g, so string
+    equality is bit equality: summed span costs equal the makespan
+    exactly);
+  - compute_s + wire_s covers the makespan, wire_share is consistent;
+  - per-frame rows are sane (imbalance >= 1, decompositions non-negative,
+    frames strictly increasing).
+
 Exit status 0 on success; prints the first failure and exits 1 otherwise.
 
-Usage: check_trace.py trace.json [--expect-replay]
+Usage: check_trace.py artifact.json [--expect-replay]
 """
 
 import json
@@ -24,6 +36,89 @@ import sys
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_report(path):
+    """Validate a psanim-obs-report-v1 analysis report.
+
+    Floats are kept as their literal strings (parse_float=str) so the
+    telescoping check compares the %.17g text itself — string equality of
+    consecutive endpoints is bit-level equality of the doubles.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_float=str)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    def lit(v):
+        # Integer-valued doubles print %.17g without a decimal point, so
+        # json parses them as int despite parse_float=str; str() restores
+        # the literal exactly.
+        return v if isinstance(v, str) else str(v)
+
+    cp = doc.get("critical_path")
+    if not isinstance(cp, dict):
+        fail("critical_path missing")
+    makespan = lit(doc.get("makespan_s"))
+    segments = cp.get("segments")
+    if not isinstance(segments, list) or not segments:
+        fail("critical_path.segments missing or empty")
+
+    expect = "0"
+    total = 0.0
+    wire = 0.0
+    for i, s in enumerate(segments):
+        if lit(s.get("begin_s")) != expect:
+            fail(f"segment {i}: begin_s {s.get('begin_s')!r} != previous "
+                 f"end {expect!r} — the chain must telescope bit-exactly")
+        begin, end = float(s["begin_s"]), float(s["end_s"])
+        if not end > begin:
+            fail(f"segment {i}: empty or negative span [{begin}, {end}]")
+        kind = s.get("kind")
+        if kind not in ("compute", "wire"):
+            fail(f"segment {i}: unknown kind {kind!r}")
+        if kind == "wire":
+            wire += end - begin
+            if not isinstance(s.get("from_rank"), int):
+                fail(f"segment {i}: wire segment without from_rank")
+        if not isinstance(s.get("rank"), int) or s["rank"] < 0:
+            fail(f"segment {i}: bad rank {s.get('rank')!r}")
+        total += end - begin
+        expect = lit(s["end_s"])
+    if expect != makespan:
+        fail(f"chain ends at {expect!r}, makespan is {makespan!r} — summed "
+             f"span costs must equal the run makespan exactly")
+    makespan_f = float(makespan)
+    if abs(total - makespan_f) > 1e-9 * max(1.0, makespan_f):
+        fail(f"segment durations sum to {total}, makespan {makespan_f}")
+    cover = float(cp.get("compute_s", "0")) + float(cp.get("wire_s", "0"))
+    if abs(cover - makespan_f) > 1e-9 * max(1.0, makespan_f):
+        fail(f"compute_s + wire_s = {cover} does not cover the makespan")
+    share = float(cp.get("wire_share", "0"))
+    if not 0.0 <= share <= 1.0:
+        fail(f"wire_share {share} outside [0, 1]")
+    if makespan_f > 0 and abs(share - wire / makespan_f) > 1e-9:
+        fail(f"wire_share {share} inconsistent with segments ({wire})")
+
+    last_frame = -1
+    for i, fr in enumerate(doc.get("frames", [])):
+        if fr.get("frame") is None or fr["frame"] <= last_frame:
+            fail(f"frame row {i}: frames must be strictly increasing")
+        last_frame = fr["frame"]
+        if float(fr.get("imbalance", "0")) < 1.0 - 1e-12:
+            fail(f"frame {fr['frame']}: imbalance below 1 "
+                 f"({fr.get('imbalance')})")
+        for key in ("compute_s", "wait_s", "wire_s", "slowest_s", "mean_s"):
+            if float(fr.get(key, "0")) < -1e-12:
+                fail(f"frame {fr['frame']}: negative {key}")
+        if not isinstance(fr.get("gating_rank"), int):
+            fail(f"frame {fr['frame']}: gating_rank missing")
+
+    print(f"check_trace: OK: report with {len(segments)} critical-path "
+          f"segments ({100.0 * share:.1f}% wire), "
+          f"{len(doc.get('frames', []))} frame rows, chain exact")
+    return 0
 
 
 def main(argv):
@@ -38,6 +133,9 @@ def main(argv):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {path}: {e}")
+
+    if isinstance(doc, dict) and doc.get("schema") == "psanim-obs-report-v1":
+        return check_report(path)
 
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:

@@ -1,0 +1,188 @@
+// Acceptance artifact for the obs::analysis layer: run the fountain scene
+// with span tracing on, analyze the trace in-process, and
+//   - print the critical path as a human-readable attribution table
+//     (per-phase/per-rank cost, wire share, per-frame gating rank/phase),
+//   - write the schema-versioned report JSON ("psanim-obs-report-v1",
+//     validated by tools/check_trace.py),
+//   - verify the chain *tiles* [0, makespan] with exact doubles (summed
+//     segment costs equal the run makespan by telescoping).
+// With --selfcheck the same run is repeated under fibers/w1, fibers/w8
+// and the thread-per-rank oracle, and the three report JSONs must be
+// byte-identical — the analysis inherits the simulation's determinism
+// contract.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+#include "sim/run_config.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace psanim;
+
+struct RunOut {
+  obs::Analysis analysis;
+  std::string json;
+  double animation_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scene_name = "fountain";
+  std::string platform;
+  std::string out_path;
+  std::size_t systems = 3;
+  std::size_t particles = 2'000;
+  std::uint32_t frames = 8;
+  int ncalc = 4;
+  bool selfcheck = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (arg("--scene")) {
+      scene_name = argv[++i];
+    } else if (arg("--platform")) {
+      platform = argv[++i];
+    } else if (arg("--out")) {
+      out_path = argv[++i];
+    } else if (arg("--systems")) {
+      systems = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg("--particles")) {
+      particles = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg("--frames")) {
+      frames = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (arg("--ncalc")) {
+      ncalc = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--selfcheck") == 0) {
+      selfcheck = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scene fountain|snow] [--systems N] "
+                   "[--particles N] [--frames N] [--ncalc N] "
+                   "[--platform NAME] [--out report.json] [--selfcheck]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  sim::ScenarioParams p;
+  p.systems = systems;
+  p.particles_per_system = particles;
+  p.frames = frames;
+  const core::Scene scene = scene_name == "snow" ? sim::make_snow_scene(p)
+                                                 : sim::make_fountain_scene(p);
+
+  sim::RunConfig cfg;
+  cfg.groups = {{cluster::NodeType::e800(), ncalc, ncalc}};
+  cfg.network = net::Interconnect::kMyrinet;
+  cfg.platform = platform;
+  const auto built = sim::build_cluster(cfg);
+
+  core::SimSettings settings;
+  settings.frames = p.frames;
+  settings.dt = p.dt;
+  settings.ncalc = built.ncalc;
+  settings.image_width = 64;
+  settings.image_height = 48;
+
+  const auto run = [&](mp::ExecMode mode, int workers) {
+    obs::Trace trace;
+    core::SimSettings eff = settings;
+    eff.obs.trace = &trace;
+    mp::RuntimeOptions rt;
+    rt.recv_timeout_s = 60.0;
+    rt.exec_mode = mode;
+    rt.workers = workers;
+    const auto r = core::run_parallel(scene, eff, built.spec,
+                                      built.placement, {}, rt);
+    RunOut out;
+    out.analysis = obs::analyze(trace);
+    out.json = obs::analysis_json(out.analysis);
+    out.animation_s = r.animation_s;
+    return out;
+  };
+
+  const RunOut base = run(mp::ExecMode::kDefault, 0);
+  const obs::CriticalPath& cp = base.analysis.critical_path;
+
+  // The structural acceptance invariant: the chain telescopes from 0 to
+  // the makespan with exact doubles, so the summed segment costs equal
+  // the makespan by construction (analyze() itself throws if any link
+  // breaks — re-verify the endpoints here where a human can see it).
+  if (cp.segments.empty() || cp.segments.front().begin_v != 0.0 ||
+      cp.segments.back().end_v != cp.makespan_s) {
+    std::fprintf(stderr, "FATAL: critical path does not tile the run\n");
+    return 1;
+  }
+
+  std::printf("# obs_report: %s %zux%zu x%uf, ncalc=%d, platform=%s\n",
+              scene_name.c_str(), systems, particles, frames, ncalc,
+              platform.empty() ? "flat" : platform.c_str());
+  std::printf("trace makespan     : %.9f s (animation %.9f s)\n",
+              cp.makespan_s, base.animation_s);
+  std::printf("critical path      : %zu segments, ends on rank %d\n",
+              cp.segments.size(), cp.end_rank);
+  std::printf("  compute on path  : %.9f s (%.1f%%)\n", cp.compute_s,
+              100.0 * cp.compute_s / cp.makespan_s);
+  std::printf("  wire on path     : %.9f s (%.1f%% wire share)\n", cp.wire_s,
+              100.0 * cp.wire_share());
+  std::printf("%-18s  %14s  %6s\n", "phase", "on-path_s", "share");
+  // by_phase is label-sorted for determinism; present it cost-sorted.
+  std::vector<obs::PhaseCost> phases = cp.by_phase;
+  std::sort(phases.begin(), phases.end(),
+            [](const obs::PhaseCost& a, const obs::PhaseCost& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.label < b.label;
+            });
+  for (const auto& ph : phases) {
+    std::printf("%-18s  %14.9f  %5.1f%%\n", ph.label.c_str(), ph.seconds,
+                100.0 * ph.seconds / cp.makespan_s);
+  }
+  std::printf("%-6s  %4s  %-14s  %10s  %10s  %10s  %9s\n", "frame", "rank",
+              "gating_phase", "compute_s", "wait_s", "wire_s", "imbalance");
+  for (const auto& f : base.analysis.frames) {
+    std::printf("%6u  %4d  %-14s  %10.6f  %10.6f  %10.6f  %9.4f\n", f.frame,
+                f.gating_rank, f.gating_phase.c_str(), f.compute_s, f.wait_s,
+                f.wire_s, f.imbalance);
+  }
+
+  if (selfcheck) {
+    // The analysis must be a pure function of the record streams: same
+    // scene, any execution core, any worker count -> byte-identical JSON.
+    const struct {
+      const char* name;
+      mp::ExecMode mode;
+      int workers;
+    } legs[] = {{"fibers/w1", mp::ExecMode::kFibers, 1},
+                {"fibers/w8", mp::ExecMode::kFibers, 8},
+                {"threads", mp::ExecMode::kThreads, 0}};
+    for (const auto& leg : legs) {
+      const RunOut again = run(leg.mode, leg.workers);
+      if (again.json != base.json) {
+        std::fprintf(stderr,
+                     "FATAL: analysis diverged under %s (report JSON is "
+                     "not byte-identical)\n",
+                     leg.name);
+        return 1;
+      }
+    }
+    std::printf("selfcheck          : fibers/w1 == fibers/w8 == threads "
+                "(report byte-identical)\n");
+  }
+
+  if (!out_path.empty()) {
+    obs::write_analysis_json(base.analysis, out_path);
+    std::printf("report             : %s\n", out_path.c_str());
+  }
+  return 0;
+}

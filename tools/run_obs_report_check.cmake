@@ -1,0 +1,18 @@
+# Test driver for obs.report_roundtrip: run the analysis reporter with the
+# cross-core selfcheck, then validate the report JSON's schema and the
+# exact critical-path tiling with the Python checker. Variables: REPORTER,
+# CHECKER, PYTHON, WORK_DIR.
+
+execute_process(
+  COMMAND ${REPORTER} --selfcheck --out ${WORK_DIR}/obs_report.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_report failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${WORK_DIR}/obs_report.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the analysis report")
+endif()
