@@ -1,0 +1,358 @@
+// farm_arrivals: preemptive-scheduling stress bench (PR 9), emitting
+// BENCH_PR9_FARM.json.
+//
+// One heavy-tailed multi-tenant job stream — an "interactive" tenant
+// submitting short high-priority clips into a "batch" tenant's long-job
+// background, open-loop Poisson arrivals plus closed-loop think-delay
+// chains — replayed under FIFO, preemptive priority and preemptive
+// fair-share on the same 8-node shared cluster. All reported times are
+// farm-virtual, so every number is bit-reproducible; the priority leg runs
+// twice and the artifact records both so tools/bench_json.py can assert
+// determinism from the JSON alone.
+//
+// The headline gate (re-checked by tools/bench_json.py check): the
+// interactive tenant's p99 wait under the preemptive priority policy must
+// sit strictly below its FIFO p99 wait — preemption exists to buy exactly
+// that — with both preemptive legs actually exercising eviction
+// (preemption_events > 0) and every leg draining all jobs.
+//
+// Usage: farm_arrivals [--full] [--out BENCH_PR9_FARM.json]
+//   quick (default): a few hundred jobs — the CI/perf-tier scale;
+//   --full: 10k+ jobs, the committed-artifact scale.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "farm/farm.hpp"
+#include "farm/job.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scenario.hpp"
+
+using namespace psanim;
+
+namespace {
+
+// splitmix64: tiny, seedable, stdlib-free (std::exponential_distribution
+// is implementation-defined, and this artifact must be bit-reproducible).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // (0, 1]
+    return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+  double exponential(double mean) { return -std::log(uniform()) * mean; }
+};
+
+/// One job of the stream. chain_parent >= 0 makes it closed-loop: it
+/// arrives `think_s` after that job terminates instead of at an absolute
+/// instant.
+struct JobShape {
+  std::string tenant;
+  int priority = 0;
+  std::uint32_t frames = 4;
+  double submit_s = 0.0;  ///< absolute arrival (roots) or think delay
+  int chain_parent = -1;
+  std::uint64_t seed = 0;
+};
+
+/// Heavy-tailed batch sizes: mostly 4-frame clips, a thin tail of
+/// 120-frame sequences that dominates total work.
+std::uint32_t sample_frames(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.80) return 4;
+  if (u < 0.95) return 12;
+  if (u < 0.99) return 40;
+  return 120;
+}
+
+std::vector<JobShape> make_stream(std::size_t jobs, double interarrival_mean) {
+  Rng rng{.state = 0x5EEDFA51ull};
+  std::vector<JobShape> out;
+  out.reserve(jobs);
+  double clock = 0.0;
+  while (out.size() < jobs) {
+    clock += rng.exponential(interarrival_mean);
+    JobShape s;
+    s.submit_s = clock;
+    s.seed = 0x1000 + out.size();
+    // One arrival in five is the interactive tenant: short clip, high
+    // priority. The rest is batch work carrying the heavy tail.
+    if (rng.uniform() < 0.20) {
+      s.tenant = "interactive";
+      s.priority = 5;
+      s.frames = 4;
+    } else {
+      s.tenant = "batch";
+      s.priority = 0;
+      s.frames = sample_frames(rng);
+    }
+    out.push_back(s);
+    // Every 10th job spawns a closed-loop follow-up: same tenant, arrives
+    // a think delay after its parent terminates.
+    if (out.size() % 10 == 0 && out.size() < jobs) {
+      JobShape follow = out.back();
+      follow.chain_parent = static_cast<int>(out.size() - 1);
+      follow.submit_s = 0.5 * interarrival_mean;  // think delay
+      follow.frames = 4;
+      follow.seed = 0x2000 + out.size();
+      out.push_back(follow);
+    }
+  }
+  return out;
+}
+
+farm::JobSpec make_job(const JobShape& shape, std::size_t idx) {
+  sim::ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 40;
+  p.frames = shape.frames;
+  farm::JobSpec j;
+  j.name = "j" + std::to_string(idx);
+  j.scene = sim::make_fountain_scene(p);
+  j.settings.ncalc = 1;  // world 3: manager + imgen + one calculator
+  j.settings.frames = shape.frames;
+  j.settings.seed = shape.seed;
+  j.settings.image_width = 32;
+  j.settings.image_height = 24;
+  j.tenant = shape.tenant;
+  j.priority = shape.priority;
+  j.submit_time_s = shape.submit_s;
+  j.after_seq = shape.chain_parent;
+  return j;
+}
+
+struct TenantSlo {
+  double wait_p50 = 0.0, wait_p99 = 0.0;
+  double slowdown_p99 = 0.0;
+  std::size_t jobs = 0;
+};
+
+struct LegOut {
+  double makespan_s = 0.0;
+  std::size_t jobs_done = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_preempted = 0;
+  long preemption_events = 0;
+  long migrations = 0;
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+  double turnaround_p99 = 0.0;
+  double slowdown_p50 = 0.0, slowdown_p99 = 0.0;
+  int queue_depth_peak = 0;
+  std::map<std::string, TenantSlo> tenants;
+  std::map<std::string, double> tenant_rank_s;
+};
+
+LegOut run_leg(const std::vector<JobShape>& stream, farm::Policy policy) {
+  cluster::ClusterSpec spec;
+  spec.add(cluster::NodeType::generic(1.0, 4), 8);  // 32 slots
+  farm::FarmOptions opts;
+  opts.policy = policy;
+  opts.recv_timeout_s = 60.0;
+  opts.preempt_interval = 4;  // 4-frame clips stay unpreemptible
+  opts.keep_results = false;  // 10k framebuffers would not fit
+  farm::Farm f(std::move(spec), opts);
+  std::vector<farm::JobHandle> handles;
+  handles.reserve(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    handles.push_back(f.submit(make_job(stream[i], i)));
+  }
+  const farm::Report r = f.run();
+
+  LegOut out;
+  out.makespan_s = r.makespan_s;
+  out.jobs_done = r.jobs_done;
+  out.jobs_failed = r.jobs_failed;
+  out.jobs_preempted = r.jobs_preempted;
+  out.wait_p50 = r.wait_q.quantile(0.5);
+  out.wait_p95 = r.wait_q.quantile(0.95);
+  out.wait_p99 = r.wait_q.quantile(0.99);
+  out.turnaround_p99 = r.turnaround_q.quantile(0.99);
+  out.slowdown_p50 = r.slowdown_q.quantile(0.5);
+  out.slowdown_p99 = r.slowdown_q.quantile(0.99);
+  out.tenant_rank_s = r.tenant_rank_s;
+  for (const auto& [t, depth] : r.queue_depth) {
+    (void)t;
+    out.queue_depth_peak = std::max(out.queue_depth_peak, depth);
+  }
+
+  // Per-tenant SLOs, from the job records. Arrival instants: roots carry
+  // theirs in the shape; closed-loop jobs arrive a think delay after the
+  // parent's terminal instant.
+  std::map<std::string, obs::Quantiles> waits, slows;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto& jr = handles[i].await();
+    if (jr.state != farm::JobState::kDone) continue;
+    double arrive = stream[i].submit_s;
+    if (stream[i].chain_parent >= 0) {
+      arrive = handles[static_cast<std::size_t>(stream[i].chain_parent)]
+                   .await()
+                   .finish_s +
+               stream[i].submit_s;
+    }
+    waits[stream[i].tenant].observe(jr.start_s - arrive);
+    if (jr.standalone_makespan_s > 0.0) {
+      slows[stream[i].tenant].observe((jr.finish_s - arrive) /
+                                      jr.standalone_makespan_s);
+    }
+    out.preemption_events += jr.preemptions;
+    if (jr.migrated) ++out.migrations;
+  }
+  for (auto& [tenant, q] : waits) {
+    TenantSlo slo;
+    slo.jobs = q.count();
+    slo.wait_p50 = q.quantile(0.5);
+    slo.wait_p99 = q.quantile(0.99);
+    slo.slowdown_p99 = slows[tenant].quantile(0.99);
+    out.tenants[tenant] = slo;
+  }
+  return out;
+}
+
+void jleg(std::FILE* f, const char* key, const LegOut& l, const char* suffix) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\"makespan_s\": %.17g, \"jobs_done\": %zu, "
+      "\"jobs_failed\": %zu,\n"
+      "      \"jobs_preempted\": %zu, \"preemption_events\": %ld, "
+      "\"migrations\": %ld,\n"
+      "      \"wait_p50_s\": %.17g, \"wait_p95_s\": %.17g, \"wait_p99_s\": "
+      "%.17g,\n"
+      "      \"turnaround_p99_s\": %.17g, \"slowdown_p50\": %.17g, "
+      "\"slowdown_p99\": %.17g,\n"
+      "      \"queue_depth_peak\": %d,\n"
+      "      \"tenants\": {",
+      key, l.makespan_s, l.jobs_done, l.jobs_failed, l.jobs_preempted,
+      l.preemption_events, l.migrations, l.wait_p50, l.wait_p95, l.wait_p99,
+      l.turnaround_p99, l.slowdown_p50, l.slowdown_p99, l.queue_depth_peak);
+  std::size_t i = 0;
+  for (const auto& [tenant, slo] : l.tenants) {
+    std::fprintf(f,
+                 "\"%s\": {\"jobs\": %zu, \"wait_p50_s\": %.17g, "
+                 "\"wait_p99_s\": %.17g, \"slowdown_p99\": %.17g}%s",
+                 tenant.c_str(), slo.jobs, slo.wait_p50, slo.wait_p99,
+                 slo.slowdown_p99, ++i < l.tenants.size() ? ", " : "");
+  }
+  std::fprintf(f, "},\n      \"tenant_rank_s\": {");
+  i = 0;
+  for (const auto& [tenant, rank_s] : l.tenant_rank_s) {
+    std::fprintf(f, "\"%s\": %.17g%s", tenant.c_str(), rank_s,
+                 ++i < l.tenant_rank_s.size() ? ", " : "");
+  }
+  std::fprintf(f, "}}%s\n", suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  const char* out_path = "BENCH_PR9_FARM.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const std::size_t jobs = full ? 10'000 : 300;
+
+  // Calibrate the arrival rate off one 4-frame probe job so offered load
+  // stays ~0.9 across cost-model changes: with mean frames ~7.8 and world
+  // 3 on 32 slots, interarrival = duration_4f * (7.8 / 4) * 3 / (32 * 0.9).
+  const auto probe_shape = JobShape{.tenant = "probe", .frames = 4};
+  const auto probe_assign = farm::assign_slots(
+      [] {
+        cluster::ClusterSpec s;
+        s.add(cluster::NodeType::generic(1.0, 4), 8);
+        return s;
+      }(),
+      std::vector<int>(8, 4), 3);
+  const double probe_s =
+      farm::standalone_run(make_job(probe_shape, 0), probe_assign)
+          .animation_s;
+  const double interarrival = probe_s * (7.8 / 4.0) * 3.0 / (32.0 * 0.9);
+  std::printf("probe 4-frame job: %.6f virtual s -> interarrival %.6f s\n",
+              probe_s, interarrival);
+
+  const auto stream = make_stream(jobs, interarrival);
+  std::size_t n_interactive = 0;
+  for (const auto& s : stream) n_interactive += s.tenant == "interactive";
+  std::printf("stream: %zu jobs (%zu interactive, %zu batch)\n",
+              stream.size(), n_interactive, stream.size() - n_interactive);
+
+  const LegOut fifo = run_leg(stream, farm::Policy::kFifo);
+  const LegOut prio = run_leg(stream, farm::Policy::kPriority);
+  const LegOut prio2 = run_leg(stream, farm::Policy::kPriority);
+  const LegOut fair = run_leg(stream, farm::Policy::kFairShare);
+
+  const auto show = [](const char* name, const LegOut& l) {
+    const auto it = l.tenants.find("interactive");
+    std::printf("%-10s makespan=%.3f done=%zu preempted=%zu events=%ld "
+                "migrations=%ld | wait p99=%.4f | interactive p99=%.4f\n",
+                name, l.makespan_s, l.jobs_done, l.jobs_preempted,
+                l.preemption_events, l.migrations, l.wait_p99,
+                it != l.tenants.end() ? it->second.wait_p99 : -1.0);
+  };
+  show("fifo", fifo);
+  show("priority", prio);
+  show("fair-share", fair);
+
+  // The gates, asserted here AND re-checked from the artifact by
+  // tools/bench_json.py (so a stale JSON cannot hide a regression).
+  int violations = 0;
+  const double fifo_i99 = fifo.tenants.at("interactive").wait_p99;
+  const double prio_i99 = prio.tenants.at("interactive").wait_p99;
+  if (!(prio_i99 < fifo_i99)) {
+    std::fprintf(stderr,
+                 "VIOLATION: priority interactive p99 wait %.17g not below "
+                 "FIFO's %.17g\n",
+                 prio_i99, fifo_i99);
+    ++violations;
+  }
+  if (prio.preemption_events <= 0 || fair.preemption_events <= 0) {
+    std::fprintf(stderr, "VIOLATION: a preemptive leg never preempted\n");
+    ++violations;
+  }
+  for (const auto* l : {&fifo, &prio, &prio2, &fair}) {
+    if (l->jobs_done != stream.size()) {
+      std::fprintf(stderr, "VIOLATION: leg drained %zu of %zu jobs\n",
+                   l->jobs_done, stream.size());
+      ++violations;
+    }
+  }
+  if (prio.makespan_s != prio2.makespan_s ||
+      prio.wait_p99 != prio2.wait_p99 ||
+      prio.preemption_events != prio2.preemption_events) {
+    std::fprintf(stderr, "VIOLATION: priority legs disagree — the DES "
+                         "leaked nondeterminism\n");
+    ++violations;
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"psanim-bench-pr9-farm-v1\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", full ? "full" : "quick");
+  std::fprintf(f, "  \"jobs\": %zu,\n  \"slots\": 32,\n", stream.size());
+  std::fprintf(f, "  \"interarrival_mean_s\": %.17g,\n", interarrival);
+  std::fprintf(f, "  \"legs\": {\n");
+  jleg(f, "fifo", fifo, ",");
+  jleg(f, "priority", prio, ",");
+  jleg(f, "priority_rerun", prio2, ",");
+  jleg(f, "fair_share", fair, "");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return violations == 0 ? 0 : 1;
+}

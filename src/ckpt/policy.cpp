@@ -2,6 +2,18 @@
 
 namespace psanim::ckpt {
 
+std::vector<std::uint32_t> CkptPolicy::snapshot_frames(
+    std::uint32_t frames, std::optional<std::uint32_t> after) const {
+  std::vector<std::uint32_t> out;
+  if (!enabled()) return out;
+  const auto iv = static_cast<std::uint32_t>(interval);
+  for (std::uint32_t f = iv - 1; f + 1 < frames; f += iv) {
+    if (after && f <= *after) continue;
+    out.push_back(f);
+  }
+  return out;
+}
+
 bool calc_dead_at(const fault::FaultPlan& plan, const CkptPolicy& policy,
                   int calc, std::uint32_t frame) {
   const auto cf = plan.crash_frame(calc);

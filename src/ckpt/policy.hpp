@@ -68,6 +68,16 @@ struct CkptPolicy {
     return recovery == RecoveryMode::kRestart &&
            latest_snapshot_before(crash_frame).has_value();
   }
+
+  /// Ascending snapshot frames usable as suspend points for an animation
+  /// of `frames` frames: every f with due_after(f) and f + 1 < frames
+  /// (the final frame's snapshot leaves nothing to resume), restricted to
+  /// f > after when `after` is set (a run resumed from `after` can only
+  /// suspend at a later snapshot). The farm walks this list to pick the
+  /// earliest vacate point not yet passed by a job being preempted.
+  std::vector<std::uint32_t> snapshot_frames(
+      std::uint32_t frames,
+      std::optional<std::uint32_t> after = std::nullopt) const;
 };
 
 /// Recovery-aware membership: is `calc` permanently dead at the start of

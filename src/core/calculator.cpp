@@ -81,7 +81,11 @@ void Calculator::run(mp::Endpoint& ep) {
     epoch_start_ = f0 + 1;
     frame = f0 + 1;
   }
-  while (frame < set_.frames) {
+  // Suspend bound (see Manager::run): capture the stop_after snapshot,
+  // then exit. Snapshot/ack gates stay on set_.frames.
+  const std::uint32_t end =
+      set_.stop_after ? *set_.stop_after + 1 : set_.frames;
+  while (frame < end) {
     ep.set_trace_frame(frame);
     switch (handle_crashes(ep, frame)) {
       case CrashOutcome::kNone:

@@ -56,6 +56,28 @@ void SimSettings::validate() const {
            std::to_string(ckpt.interval));
     }
   }
+  if (stop_after) {
+    if (!ckpt.enabled()) {
+      fail("stop_after requires checkpointing enabled (ckpt.interval > 0) "
+           "— suspending means sealing a checkpoint to resume from");
+    }
+    if (*stop_after + 1 >= frames) {
+      fail("stop_after frame " + std::to_string(*stop_after) +
+           " leaves nothing to resume (frames = " + std::to_string(frames) +
+           ") — run to completion instead");
+    }
+    if (!ckpt.due_after(*stop_after)) {
+      fail("stop_after frame " + std::to_string(*stop_after) +
+           " is not a snapshot frame for interval " +
+           std::to_string(ckpt.interval) +
+           " — the suspend point must seal a checkpoint");
+    }
+    if (resume_from && *stop_after <= *resume_from) {
+      fail("stop_after frame " + std::to_string(*stop_after) +
+           " must lie strictly after resume_from frame " +
+           std::to_string(*resume_from));
+    }
+  }
   if (obs.flight_recorder) {
     if (obs.flight_capacity == 0) {
       fail("obs.flight_recorder with obs.flight_capacity == 0 records "

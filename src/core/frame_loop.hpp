@@ -147,6 +147,15 @@ struct SimSettings {
   /// sealed checkpoint at `resume_from` in `ckpt_vault` instead — the
   /// Replayer's entry point.
   std::optional<std::uint32_t> resume_from;
+  /// Coordinated suspend: execute frames only up to `stop_after` — which
+  /// must be a snapshot frame, so its sealed checkpoint is the last thing
+  /// the run produces — then return. A later run with
+  /// `resume_from = stop_after` over the same vault continues the
+  /// animation bit-identically, possibly on different nodes (the farm's
+  /// preemption mechanism). The executed prefix is bit-identical to the
+  /// same frames of an uninterrupted run: nothing but the loop bound
+  /// depends on this knob.
+  std::optional<std::uint32_t> stop_after;
   /// Observability: span tracing, metrics, flight recorder (psanim::obs).
   ObsSettings obs;
   /// Topology platform selecting wire costs and shared-link contention

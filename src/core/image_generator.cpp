@@ -57,7 +57,11 @@ void ImageGenerator::run(mp::Endpoint& ep) {
     restore(ep, f0);
     frame = f0 + 1;
   }
-  while (frame < set_.frames) {
+  // Suspend bound (see Manager::run): capture the stop_after snapshot,
+  // then exit. Snapshot/ack gates stay on set_.frames.
+  const std::uint32_t end =
+      set_.stop_after ? *set_.stop_after + 1 : set_.frames;
+  while (frame < end) {
     ep.set_trace_frame(frame);
     if (handle_crashes(ep, frame)) continue;  // rolled back; frame rewound
     // Membership under the shared fault plan + recovery policy: gather

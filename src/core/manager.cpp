@@ -53,7 +53,13 @@ void Manager::run(mp::Endpoint& ep) {
     restore(ep, f0);
     frame = f0 + 1;
   }
-  while (frame < set_.frames) {
+  // Suspend bound: validate() guarantees stop_after is a snapshot frame,
+  // so the last iteration seals the manifest to resume from. All other
+  // gates stay on set_.frames — the executed prefix is bit-identical to
+  // the same frames of an uninterrupted run.
+  const std::uint32_t end =
+      set_.stop_after ? *set_.stop_after + 1 : set_.frames;
+  while (frame < end) {
     ep.set_trace_frame(frame);
     ep.charge(env_.cost->frame_overhead_s / env_.rate);
     if (handle_crashes(ep, frame)) continue;  // rolled back; frame rewound

@@ -123,6 +123,11 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
         "run_parallel: resume_from requires a supplied vault holding a "
         "sealed checkpoint for frame " + std::to_string(*eff.resume_from));
   }
+  if (eff.stop_after && own_vault) {
+    throw std::invalid_argument(
+        "run_parallel: stop_after seals a checkpoint to resume from later "
+        "— supply a vault that outlives the run (settings.ckpt_vault)");
+  }
 
   const auto rates = cluster::rank_rates(spec, placement, cost.smp_contention);
 
@@ -246,6 +251,7 @@ ParallelResult run_parallel(const Scene& scene, const SimSettings& settings,
   // or before a resume point were already recovered in the original run.
   for (const auto& c : eff.fault_plan.crashes) {
     if (eff.resume_from && c.at_frame <= *eff.resume_from) continue;
+    if (eff.stop_after && c.at_frame > *eff.stop_after) continue;
     if (eff.ckpt.restarts(c.at_frame)) {
       ++result.fault_stats.restart_recoveries;
     } else {

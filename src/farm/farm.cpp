@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +27,10 @@ struct JobRecord {
   JobSpec spec;   // immutable after submit
   int seq = 0;    // submission sequence (deterministic tiebreak)
   double est = 0; // SJF ranking key
+  /// Effective arrival: submit_time_s for root jobs, predecessor finish +
+  /// think delay for after_seq jobs. Driver-written; SLO waits measure
+  /// from here.
+  double arrive_s = 0;
   std::shared_ptr<SharedState> ss;
   JobResult result;  // guarded by ss->mu (state field is the job state)
 };
@@ -92,6 +97,12 @@ Farm::Farm(cluster::ClusterSpec shared, FarmOptions options)
     }
     total_slots_ += n.cpus;
   }
+  preemptive_ = (options_.policy == Policy::kPriority ||
+                 options_.policy == Policy::kFairShare) &&
+                options_.preempt_interval > 0;
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<JournalWriter>(options_.journal_path);
+  }
   ss_ = std::make_shared<detail::SharedState>();
   occupancy_.assign(shared_.node_count(), 0);
   usage_.assign(shared_.node_count(), NodeUsage{});
@@ -112,6 +123,21 @@ Farm::~Farm() {
   }
 }
 
+void Farm::journal(JournalType type, const JobRecord& rec, double time_s,
+                   std::uint32_t frame) {
+  if (journal_ == nullptr) return;
+  JournalRecord r;
+  r.type = type;
+  r.seq = rec.seq;
+  r.time_s = time_s;
+  r.frame = frame;
+  r.state = rec.result.state;
+  r.fb_hash = rec.result.fb_hash;
+  r.name = rec.spec.name;
+  r.tenant = rec.spec.tenant;
+  journal_->append(r);
+}
+
 JobHandle Farm::submit(JobSpec spec) {
   const auto reject = [](const std::string& why) {
     throw std::invalid_argument("Farm::submit: " + why);
@@ -125,6 +151,11 @@ JobHandle Farm::submit(JobSpec spec) {
     reject("submit_time_s must be >= 0, got " +
            std::to_string(spec.submit_time_s));
   }
+  if (spec.after_seq >= static_cast<int>(jobs_.size())) {
+    reject("after_seq " + std::to_string(spec.after_seq) +
+           " must reference an earlier submission (only " +
+           std::to_string(jobs_.size()) + " so far)");
+  }
   const int world = spec.world_size();
   if (world > total_slots_) {
     reject("job needs " + std::to_string(world) + " ranks (ncalc " +
@@ -135,7 +166,13 @@ JobHandle Farm::submit(JobSpec spec) {
   }
   // Cross-job isolation: per-job checkpoints, traces and event logs. Two
   // jobs writing one vault/trace/log would race and entangle recoveries.
+  // Jobs carrying none of the shared pointers skip the scan, keeping a
+  // 10k-job submission burst linear.
+  const bool shares_anything = spec.settings.ckpt_vault != nullptr ||
+                               spec.settings.obs.trace != nullptr ||
+                               spec.settings.events != nullptr;
   for (const auto& other : jobs_) {
+    if (!shares_anything) break;
     if (spec.settings.ckpt_vault != nullptr &&
         spec.settings.ckpt_vault == other->spec.settings.ckpt_vault) {
       reject("job '" + spec.name + "' shares a ckpt vault with job '" +
@@ -157,8 +194,10 @@ JobHandle Farm::submit(JobSpec spec) {
   if (spec.name.empty()) spec.name = "job" + std::to_string(rec->seq);
   rec->spec = std::move(spec);
   rec->est = estimate_virtual_cost(rec->spec);
+  rec->arrive_s = rec->spec.submit_time_s;
   rec->ss = ss_;
   jobs_.push_back(rec);
+  journal(JournalType::kSubmit, *rec, rec->spec.submit_time_s);
   return JobHandle(rec);
 }
 
@@ -202,11 +241,39 @@ const Report& Farm::report() const {
 struct Farm::Running {
   std::shared_ptr<JobRecord> rec;
   Assignment assignment;  // driver-owned copy (no lock needed)
-  double start = 0.0;
-  double duration = 0.0;  ///< standalone virtual makespan
-  double progress = 0.0;  ///< standalone-equivalent seconds completed
+  double start = 0.0;     ///< this segment's launch instant
+  double duration = 0.0;  ///< this segment's virtual makespan
+  double progress = 0.0;  ///< segment virtual seconds completed
   double stretch = 1.0;   ///< current slowdown (>= 1)
   double finish_est = 0.0;
+
+  // Preemption machinery (preemptive policies only).
+  bool preempting = false;        ///< marked; draining to the vacate frame
+  std::uint32_t preempt_frame = 0;
+  double vacate_progress = 0.0;   ///< segment virtual time of that frame
+  double vacate_est = 0.0;
+  /// (frame, completion virtual time) of every frame this segment
+  /// executed, ascending — where candidate vacate points sit in time.
+  std::vector<std::pair<std::uint32_t, double>> timeline;
+  std::vector<std::uint32_t> ckpt_frames;  ///< candidate vacate frames
+  std::shared_ptr<ckpt::Vault> vault;      ///< holds the sealed snapshots
+  ckpt::CkptPolicy ckpt;                   ///< effective policy at launch
+  std::optional<std::uint32_t> resume_base;
+};
+
+/// One launch the scheduling pass budgeted: which job, onto which slots,
+/// and — under a preemptive policy — the checkpoint plumbing (effective
+/// policy, the vault that outlives the segment, and the resume frame when
+/// this is a restore of a suspended job).
+struct Farm::LaunchReq {
+  std::shared_ptr<JobRecord> rec;
+  Assignment assignment;
+  bool restore = false;
+  bool migrated = false;  ///< restore landed on different shared nodes
+  std::optional<std::uint32_t> resume;
+  bool preempt_capable = false;
+  ckpt::CkptPolicy ckpt;
+  std::shared_ptr<ckpt::Vault> vault;
 };
 
 namespace {
@@ -225,12 +292,11 @@ std::string sanitize_filename(const std::string& name) {
 /// What one launched job produced (worker-thread output; the driver merges
 /// it under the lock after joining).
 struct LaunchOut {
-  std::shared_ptr<JobRecord> rec;
-  Assignment assignment;
   std::unique_ptr<obs::Trace> own_trace;  // must outlive the run
   std::string trace_path;
   std::string analysis_path;
   core::ParallelResult res;
+  std::uint64_t fb_hash = 0;  ///< of res.final_frame, on success
   bool skipped = false;  ///< cancel() won the launch race; never ran
   bool ok = false;
   std::string error;
@@ -238,47 +304,52 @@ struct LaunchOut {
 
 }  // namespace
 
-bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
-                        double now, std::vector<Running>& running,
+bool Farm::launch_batch(std::vector<LaunchReq> batch, double now,
+                        std::vector<Running>& running,
                         std::vector<int>& free_slots) {
   if (batch.empty()) return false;
   bool slots_freed = false;
   std::vector<LaunchOut> outs(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto& req = batch[i];
     auto& out = outs[i];
-    out.rec = batch[i];
     {
-      // Claim the job kQueued -> kRunning atomically: a handle may have
-      // cancelled it between the driver's queue sweep and here. If
-      // cancel() won, honor it — skip the job, never taking its slots.
+      // Claim the job atomically: a handle may have cancelled a queued job
+      // between the driver's queue sweep and here. If cancel() won, honor
+      // it — skip the job (its budgeted slots unwind in the merge).
+      // Suspended jobs cannot be cancelled, so a restore claim never
+      // loses this race.
       const std::scoped_lock lock(ss_->mu);
-      if (out.rec->result.state != JobState::kQueued) {
+      const JobState expect =
+          req.restore ? JobState::kSuspended : JobState::kQueued;
+      if (req.rec->result.state != expect) {
         out.skipped = true;
-        slots_freed = true;  // its budgeted slots stay free: reschedule
+        slots_freed = true;
         continue;
       }
-      out.rec->result.state = JobState::kRunning;
-      out.rec->result.start_s = now;
+      req.rec->result.state = JobState::kRunning;
+      if (!req.restore) req.rec->result.start_s = now;
+      req.rec->result.assignment = req.assignment;
     }
-    out.assignment =
-        assign_slots(shared_, free_slots, out.rec->spec.world_size());
-    for (std::size_t k = 0; k < out.assignment.shared_nodes.size(); ++k) {
-      const auto n = static_cast<std::size_t>(out.assignment.shared_nodes[k]);
-      free_slots[n] -= out.assignment.ranks_per_node[k];
-      occupancy_[n] += out.assignment.ranks_per_node[k];
-      usage_[n].peak_ranks = std::max(usage_[n].peak_ranks, occupancy_[n]);
+    if (req.restore) {
+      journal(JournalType::kRestore, *req.rec, now, *req.resume);
+    } else {
+      journal(JournalType::kLaunch, *req.rec, now);
     }
-    if (!options_.obs_dir.empty() && !out.rec->spec.settings.obs.tracing()) {
+    if (!req.restore && !options_.obs_dir.empty() &&
+        !req.rec->spec.settings.obs.tracing()) {
       out.own_trace = std::make_unique<obs::Trace>();
-      out.own_trace->set_rank_namespace(out.rec->spec.name);
-      out.trace_path = options_.obs_dir + "/" +
-                       sanitize_filename(out.rec->spec.name) + ".trace.json";
-      out.analysis_path = options_.obs_dir + "/" +
-                          sanitize_filename(out.rec->spec.name) +
-                          ".analysis.json";
+      out.own_trace->set_rank_namespace(req.rec->spec.name);
+      // Two jobs whose names sanitize identically must not overwrite each
+      // other's files: suffix later claimants with their (unique) seq,
+      // repeating if a tenant literally named a job "a-5".
+      std::string base = sanitize_filename(req.rec->spec.name);
+      while (!used_obs_names_.insert(base).second) {
+        base += "-" + std::to_string(req.rec->seq);
+      }
+      out.trace_path = options_.obs_dir + "/" + base + ".trace.json";
+      out.analysis_path = options_.obs_dir + "/" + base + ".analysis.json";
     }
-    const std::scoped_lock lock(ss_->mu);
-    out.rec->result.assignment = out.assignment;
   }
 
   // Execute the batch concurrently in wall-clock (each job is its own
@@ -301,27 +372,48 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
     per_job_workers =
         std::max<int>(1, static_cast<int>(hw / concurrent));
   }
-  const auto run_one = [this, per_job_workers](LaunchOut& out) {
+  const auto run_one = [this, per_job_workers](const LaunchReq& req,
+                                               LaunchOut& out) {
     if (out.skipped) return;
     try {
-      core::SimSettings eff = out.rec->spec.settings;
+      core::SimSettings eff = req.rec->spec.settings;
       eff.obs.pool_metrics = false;  // pool is process-global; see Report
-      if (out.own_trace != nullptr) {
+      if (req.restore) {
+        // Restore segments are pure continuations: the first launch
+        // already produced the job's trace/analysis/event stream, so a
+        // resumed run records nothing (re-appending would double-count
+        // frames the DES says were never lost).
+        eff.obs = core::ObsSettings{};
+        eff.obs.pool_metrics = false;
+        eff.events = nullptr;
+      } else if (out.own_trace != nullptr) {
         eff.obs.trace = out.own_trace.get();
         // Farm-provided tracing brings the in-process analysis along:
         // per-job critical-path/straggler reports land next to the trace
         // and the cp summary metrics in the job's ParallelResult.
         eff.obs.analysis_json_path = out.analysis_path;
       }
+      if (req.preempt_capable) {
+        // The preemption contract: snapshots of every candidate vacate
+        // frame land in a vault that outlives this segment, and restores
+        // pick up from the suspend frame. A job with its own ckpt policy
+        // keeps it; one without gets options_.preempt_interval imposed
+        // (fb output is checkpoint-invariant, so its results are
+        // unchanged — only candidate vacate points appear).
+        eff.ckpt = req.ckpt;
+        eff.ckpt_vault = req.vault.get();
+        eff.resume_from = req.resume;
+      }
       if (eff.platform.empty()) eff.platform = options_.platform;
       mp::RuntimeOptions rt;
       rt.recv_timeout_s = options_.recv_timeout_s;
       rt.exec_mode = options_.exec_mode;
       rt.workers = per_job_workers;
-      out.res = core::run_parallel(out.rec->spec.scene, eff,
-                                   out.assignment.sub_spec,
-                                   out.assignment.placement, options_.cost,
+      out.res = core::run_parallel(req.rec->spec.scene, eff,
+                                   req.assignment.sub_spec,
+                                   req.assignment.placement, options_.cost,
                                    rt);
+      out.fb_hash = render::hash_framebuffer(out.res.final_frame);
       out.ok = true;
     } catch (const std::exception& e) {
       out.error = e.what();
@@ -334,46 +426,113 @@ bool Farm::launch_batch(std::vector<std::shared_ptr<JobRecord>> batch,
     const std::size_t end = std::min(outs.size(), base + cap);
     workers.reserve(end - base);
     for (std::size_t i = base; i < end; ++i) {
-      workers.emplace_back([&run_one, &outs, i] { run_one(outs[i]); });
+      workers.emplace_back(
+          [&run_one, &batch, &outs, i] { run_one(batch[i], outs[i]); });
     }
     for (auto& w : workers) w.join();
   }
 
-  for (auto& out : outs) {
-    if (out.skipped) continue;
-    if (out.ok && !out.trace_path.empty()) {
-      out.own_trace->write_chrome_json(out.trace_path);
+  const auto unwind = [&](const Assignment& a) {
+    for (std::size_t k = 0; k < a.shared_nodes.size(); ++k) {
+      const auto n = static_cast<std::size_t>(a.shared_nodes[k]);
+      free_slots[n] += a.ranks_per_node[k];
+      occupancy_[n] -= a.ranks_per_node[k];
     }
-    if (out.ok) {
-      Running r;
-      r.rec = out.rec;
-      r.assignment = out.assignment;
-      r.start = now;
-      r.duration = out.res.animation_s;
+  };
+
+  // Merge skips and failures first so node peaks (below) are computed
+  // from settled occupancy: a launch that never ran must leave zero
+  // residency footprint.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto& req = batch[i];
+    auto& out = outs[i];
+    if (out.skipped) {
+      unwind(req.assignment);
+      release_dependents(req.rec->seq, now);
+      continue;
+    }
+    if (out.ok && req.restore && out.fb_hash != req.rec->result.fb_hash) {
+      // The whole point of checkpoint-based preemption is that this can
+      // never fire; treat a divergence as a loud failure, not a silent
+      // wrong answer.
+      out.ok = false;
+      out.error =
+          "restored run diverged from the pre-preemption framebuffer hash "
+          "(determinism violation — please report)";
+    }
+    if (out.ok) continue;
+    // Failed during launch: the job completes (failed) at its start
+    // time and its slots free immediately — neighbors are unaffected.
+    unwind(req.assignment);
+    slots_freed = true;
+    {
       const std::scoped_lock lock(ss_->mu);
-      out.rec->result.standalone_makespan_s = out.res.animation_s;
-      out.rec->result.fb_hash =
-          render::hash_framebuffer(out.res.final_frame);
-      out.rec->result.result = std::move(out.res);
-      running.push_back(std::move(r));
-    } else {
-      // Failed during launch: the job completes (failed) at its start
-      // time and its slots free immediately — neighbors are unaffected.
-      for (std::size_t k = 0; k < out.assignment.shared_nodes.size(); ++k) {
-        const auto n =
-            static_cast<std::size_t>(out.assignment.shared_nodes[k]);
-        free_slots[n] += out.assignment.ranks_per_node[k];
-        occupancy_[n] -= out.assignment.ranks_per_node[k];
-      }
-      slots_freed = true;
-      const std::scoped_lock lock(ss_->mu);
-      out.rec->result.state = JobState::kFailed;
-      out.rec->result.finish_s = now;
-      out.rec->result.error = std::move(out.error);
-      report_.completion_order.push_back(out.rec->spec.name);
+      req.rec->result.state = JobState::kFailed;
+      req.rec->result.finish_s = now;
+      req.rec->result.error = std::move(out.error);
+      report_.completion_order.push_back(req.rec->spec.name);
       ++report_.jobs_failed;
       ss_->cv.notify_all();
     }
+    journal(JournalType::kFinish, *req.rec, now);
+    release_dependents(req.rec->seq, now);
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto& req = batch[i];
+    auto& out = outs[i];
+    if (out.skipped || !out.ok) continue;
+    if (!out.trace_path.empty()) {
+      out.own_trace->write_chrome_json(out.trace_path);
+    }
+    for (std::size_t k = 0; k < req.assignment.shared_nodes.size(); ++k) {
+      const auto n = static_cast<std::size_t>(req.assignment.shared_nodes[k]);
+      usage_[n].peak_ranks = std::max(usage_[n].peak_ranks, occupancy_[n]);
+    }
+    Running r;
+    r.rec = req.rec;
+    r.assignment = req.assignment;
+    r.start = now;
+    r.duration = out.res.animation_s;
+    if (req.preempt_capable) {
+      r.vault = req.vault;
+      r.ckpt = req.ckpt;
+      r.resume_base = req.resume;
+      r.ckpt_frames = req.ckpt.snapshot_frames(
+          req.rec->spec.settings.frames, req.resume);
+      // Per-frame completion timeline — where in segment-virtual time each
+      // candidate vacate frame's snapshot becomes available. Rollback
+      // replays re-emit frames; the last emission is the surviving one.
+      std::map<std::uint32_t, double> fd;
+      for (const auto& is : out.res.telemetry.image_frames()) {
+        fd[is.frame] = is.frame_complete_time;
+      }
+      r.timeline.assign(fd.begin(), fd.end());
+      if (req.restore) {
+        // Restored frames are replayed from the snapshot, not recomputed:
+        // the job re-enters farm time at the checkpoint's virtual instant
+        // and owes only duration - progress from here.
+        const auto it = fd.find(*req.resume);
+        if (it != fd.end()) r.progress = it->second;
+      }
+    }
+    {
+      const std::scoped_lock lock(ss_->mu);
+      auto& res = req.rec->result;
+      if (req.restore) {
+        res.migrated = res.migrated || req.migrated;
+        if (options_.keep_results) res.result = std::move(out.res);
+      } else {
+        res.standalone_makespan_s = out.res.animation_s;
+        res.fb_hash = out.fb_hash;
+        if (options_.keep_results) res.result = std::move(out.res);
+      }
+    }
+    if (req.restore) {
+      ++restores_;
+      if (req.migrated) ++migrations_;
+    }
+    running.push_back(std::move(r));
   }
   return slots_freed;
 }
@@ -397,18 +556,115 @@ void Farm::recompute_stretch(std::vector<Running>& running) const {
   }
 }
 
+void Farm::release_dependents(int seq, double at) {
+  const auto it = dependents_.find(seq);
+  if (it == dependents_.end()) return;
+  for (auto& dep : it->second) {
+    dep->arrive_s = at + dep->spec.submit_time_s;
+    arrivals_.emplace_back(dep->arrive_s, dep);
+    std::push_heap(arrivals_.begin(), arrivals_.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second->seq > b.second->seq;
+                   });
+  }
+  dependents_.erase(it);
+}
+
+void Farm::mark_victims(const std::shared_ptr<JobRecord>& blocked,
+                        std::vector<Running>& running, int total_free,
+                        double /*now*/) {
+  const int needed = blocked->spec.world_size();
+  int avail = total_free;
+  for (const auto& r : running) {
+    if (r.preempting) avail += r.assignment.world_size();
+  }
+  if (avail >= needed) return;  // enough vacates already in flight
+
+  const auto tu = [&](const std::string& tenant) {
+    const auto it = tenant_used_.find(tenant);
+    return it == tenant_used_.end() ? 0.0 : it->second;
+  };
+  // The earliest checkpoint frame this segment has not yet passed: the
+  // job drains there (sealing that snapshot) and vacates. Jobs beyond
+  // their last snapshot frame finish naturally instead.
+  const auto pick_vacate =
+      [](const Running& r) -> std::optional<std::pair<std::uint32_t, double>> {
+    for (const std::uint32_t f : r.ckpt_frames) {
+      const auto it = std::lower_bound(
+          r.timeline.begin(), r.timeline.end(), f,
+          [](const auto& p, std::uint32_t v) { return p.first < v; });
+      if (it == r.timeline.end() || it->first != f) continue;
+      if (it->second >= r.progress) return std::make_pair(f, it->second);
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Running*> cands;
+  for (auto& r : running) {
+    if (r.preempting) continue;
+    if (r.rec->result.preemptions >= options_.max_preemptions_per_job) {
+      continue;  // starvation guard: this job keeps its slots
+    }
+    bool eligible = false;
+    if (options_.policy == Policy::kPriority) {
+      eligible = r.rec->spec.priority < blocked->spec.priority;
+    } else {  // kFairShare: evict over-served tenants for under-served ones
+      eligible = r.rec->spec.tenant != blocked->spec.tenant &&
+                 tu(r.rec->spec.tenant) > tu(blocked->spec.tenant);
+    }
+    if (!eligible) continue;
+    if (!pick_vacate(r)) continue;
+    cands.push_back(&r);
+  }
+  // Evict the least deserving first: lowest priority / most over-served
+  // tenant, then the youngest segment (least sunk work re-queued).
+  std::sort(cands.begin(), cands.end(), [&](const Running* a,
+                                            const Running* b) {
+    if (options_.policy == Policy::kPriority) {
+      if (a->rec->spec.priority != b->rec->spec.priority) {
+        return a->rec->spec.priority < b->rec->spec.priority;
+      }
+    } else {
+      const double ua = tu(a->rec->spec.tenant);
+      const double ub = tu(b->rec->spec.tenant);
+      if (ua != ub) return ua > ub;
+    }
+    if (a->start != b->start) return a->start > b->start;
+    return a->rec->seq > b->rec->seq;
+  });
+  for (Running* c : cands) {
+    const auto v = pick_vacate(*c);
+    c->preempting = true;
+    c->preempt_frame = v->first;
+    c->vacate_progress = v->second;
+    {
+      const std::scoped_lock lock(ss_->mu);
+      c->rec->result.state = JobState::kPreempting;
+    }
+    avail += c->assignment.world_size();
+    if (avail >= needed) break;
+  }
+}
+
 void Farm::drive() {
   const mp::BufferPool::Stats pool_before = mp::BufferPool::global().stats();
 
-  // Submission set is sealed; specs/seq/est are immutable. Sort arrivals.
-  std::vector<std::shared_ptr<JobRecord>> pending = jobs_;
-  std::sort(pending.begin(), pending.end(), [](const auto& a, const auto& b) {
-    if (a->spec.submit_time_s != b->spec.submit_time_s) {
-      return a->spec.submit_time_s < b->spec.submit_time_s;
+  const auto arrival_later = [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->seq > b.second->seq;
+  };
+  // Submission set is sealed; specs/seq/est are immutable. Root jobs
+  // arrive at their submit time; closed-loop jobs (after_seq) are parked
+  // until their predecessor terminates.
+  for (const auto& rec : jobs_) {
+    if (rec->spec.after_seq >= 0) {
+      dependents_[rec->spec.after_seq].push_back(rec);
+    } else {
+      arrivals_.emplace_back(rec->spec.submit_time_s, rec);
     }
-    return a->seq < b->seq;
-  });
-  std::size_t next_arrival = 0;
+  }
+  std::make_heap(arrivals_.begin(), arrivals_.end(), arrival_later);
 
   std::vector<std::shared_ptr<JobRecord>> queued;
   std::vector<Running> running;
@@ -420,43 +676,133 @@ void Farm::drive() {
   double t = 0.0;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  for (;;) {
-    // Arrivals up to now.
-    while (next_arrival < pending.size() &&
-           pending[next_arrival]->spec.submit_time_s <= t) {
-      queued.push_back(pending[next_arrival++]);
-    }
-
-    // Drop cancellations, then admit in policy order with backfill: one
-    // ordered pass starts every job that fits the remaining free slots
-    // (work conservation — capacity never idles while a runnable job
-    // waits; FIFO order is (arrival, seq), SJF order (est, seq)).
+  // Drop handle-cancelled jobs from the wait queue; a cancelled
+  // predecessor releases its closed-loop dependents at the sweep instant.
+  const auto sweep = [&](double at) {
+    std::vector<std::shared_ptr<JobRecord>> dropped;
     {
       const std::scoped_lock lock(ss_->mu);
-      std::erase_if(queued, [](const auto& rec) {
-        return rec->result.state != JobState::kQueued;
+      std::erase_if(queued, [&](const auto& rec) {
+        const JobState st = rec->result.state;
+        if (st == JobState::kQueued || st == JobState::kSuspended) {
+          return false;
+        }
+        dropped.push_back(rec);
+        return true;
       });
     }
-    std::vector<std::shared_ptr<JobRecord>> order = queued;
-    if (options_.policy == Policy::kSjf) {
-      std::sort(order.begin(), order.end(),
-                [](const auto& a, const auto& b) {
-                  if (a->est != b->est) return a->est < b->est;
-                  return a->seq < b->seq;
-                });
+    for (const auto& rec : dropped) release_dependents(rec->seq, at);
+  };
+
+  for (;;) {
+    // Arrivals up to now.
+    while (!arrivals_.empty() && arrivals_.front().first <= t) {
+      std::pop_heap(arrivals_.begin(), arrivals_.end(), arrival_later);
+      queued.push_back(std::move(arrivals_.back().second));
+      arrivals_.pop_back();
     }
+
+    sweep(t);
+
+    // Admit in policy order. kFifo/kSjf backfill: every job that fits
+    // starts (work conservation). Preemptive policies reserve strictly:
+    // the pass stops at the first job that does not fit, after marking
+    // eviction victims for it — nothing may jump the blocked head.
+    std::vector<std::shared_ptr<JobRecord>> order = queued;
+    const auto tu = [&](const std::string& tenant) {
+      const auto it = tenant_used_.find(tenant);
+      return it == tenant_used_.end() ? 0.0 : it->second;
+    };
+    std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+      switch (options_.policy) {
+        case Policy::kSjf:
+          if (a->est != b->est) return a->est < b->est;
+          break;
+        case Policy::kPriority:
+          if (a->spec.priority != b->spec.priority) {
+            return a->spec.priority > b->spec.priority;
+          }
+          break;
+        case Policy::kFairShare: {
+          const double ua = tu(a->spec.tenant);
+          const double ub = tu(b->spec.tenant);
+          if (ua != ub) return ua < ub;
+          break;
+        }
+        case Policy::kFifo:
+          break;
+      }
+      if (a->arrive_s != b->arrive_s) return a->arrive_s < b->arrive_s;
+      return a->seq < b->seq;
+    });
     int total_free = 0;
     for (const int f : free_slots) total_free += f;
-    std::vector<std::shared_ptr<JobRecord>> batch;
+    const auto budget = [&](const Assignment& a) {
+      for (std::size_t k = 0; k < a.shared_nodes.size(); ++k) {
+        const auto n = static_cast<std::size_t>(a.shared_nodes[k]);
+        free_slots[n] -= a.ranks_per_node[k];
+        occupancy_[n] += a.ranks_per_node[k];
+      }
+    };
+    std::vector<LaunchReq> batch;
     for (const auto& rec : order) {
+      const auto sit = suspended_.find(rec->seq);
+      if (sit != suspended_.end()) {
+        // A suspended job re-enters only onto nodes matching its original
+        // grant (bit-exactness needs identical rates); anywhere such
+        // nodes are free, not necessarily where it ran before.
+        auto m = match_assignment(shared_, free_slots, sit->second.original);
+        if (!m) {
+          if (preemptive_) break;  // head-of-line: wait, don't evict for it
+          continue;
+        }
+        LaunchReq req;
+        req.rec = rec;
+        req.restore = true;
+        req.migrated =
+            m->shared_nodes != sit->second.original.shared_nodes;
+        req.resume = sit->second.resume_frame;
+        req.preempt_capable = true;
+        req.ckpt = sit->second.ckpt;
+        req.vault = sit->second.vault;
+        budget(*m);
+        total_free -= rec->spec.world_size();
+        req.assignment = std::move(*m);
+        batch.push_back(std::move(req));
+        suspended_.erase(sit);
+        continue;
+      }
       const int world = rec->spec.world_size();
       if (world <= total_free) {
-        batch.push_back(rec);
+        LaunchReq req;
+        req.rec = rec;
+        req.assignment = assign_slots(shared_, free_slots, world);
+        budget(req.assignment);
         total_free -= world;
+        if (preemptive_) {
+          req.preempt_capable = true;
+          req.resume = rec->spec.settings.resume_from;
+          req.ckpt = rec->spec.settings.ckpt;
+          if (!req.ckpt.enabled()) {
+            req.ckpt.interval = options_.preempt_interval;
+          }
+          if (rec->spec.settings.ckpt_vault != nullptr) {
+            // Non-owning alias: the tenant's vault outlives the farm run.
+            req.vault = std::shared_ptr<ckpt::Vault>(
+                std::shared_ptr<void>(), rec->spec.settings.ckpt_vault);
+          } else {
+            req.vault = std::make_shared<ckpt::Vault>();
+          }
+        }
+        batch.push_back(std::move(req));
+      } else if (preemptive_) {
+        mark_victims(rec, running, total_free, t);
+        break;
       }
+      // kFifo/kSjf: backfill past the blocked job.
     }
-    for (const auto& rec : batch) {
-      queued.erase(std::find(queued.begin(), queued.end(), rec));
+    for (const auto& req : batch) {
+      queued.erase(std::find(queued.begin(), queued.end(), req.rec));
     }
     if (launch_batch(std::move(batch), t, running, free_slots)) {
       // A launch failed (or a cancel won the race), so slots the
@@ -468,9 +814,11 @@ void Farm::drive() {
       continue;
     }
 
-    // The scheduling pass has settled: record the queue-depth breakpoint
-    // (overwriting an earlier sample at this same instant — steps within
-    // one event collapse to the final depth).
+    // The scheduling pass has settled: drop cancellations that landed
+    // during it, then record the queue-depth breakpoint (overwriting an
+    // earlier sample at this same instant — steps within one event
+    // collapse to the final depth).
+    sweep(t);
     {
       const int depth = static_cast<int>(queued.size());
       auto& qd = report_.queue_depth;
@@ -482,25 +830,32 @@ void Farm::drive() {
     }
 
     // Occupancy is now stable until the next event: refresh stretches and
-    // projected finishes.
+    // projected finish/vacate instants.
     recompute_stretch(running);
     for (auto& r : running) {
       r.finish_est = t + (r.duration - r.progress) * r.stretch;
+      if (r.preempting) {
+        r.vacate_est = t + (r.vacate_progress - r.progress) * r.stretch;
+      }
     }
 
     double t_next = kInf;
-    if (next_arrival < pending.size()) {
-      t_next = pending[next_arrival]->spec.submit_time_s;
+    if (!arrivals_.empty()) t_next = arrivals_.front().first;
+    for (const auto& r : running) {
+      t_next = std::min(t_next, r.preempting ? r.vacate_est : r.finish_est);
     }
-    for (const auto& r : running) t_next = std::min(t_next, r.finish_est);
     if (t_next == kInf) break;  // nothing running, nothing arriving
 
     // Advance the farm clock: every running job drains standalone-
     // equivalent work at 1/stretch, every shared node clock accumulates
-    // its resident ranks.
+    // its resident ranks, every tenant its rank-seconds of service.
     const double dt = t_next - t;
     if (dt > 0.0) {
-      for (auto& r : running) r.progress += dt / r.stretch;
+      for (auto& r : running) {
+        r.progress += dt / r.stretch;
+        tenant_used_[r.rec->spec.tenant] +=
+            static_cast<double>(r.assignment.world_size()) * dt;
+      }
       for (std::size_t n = 0; n < usage_.size(); ++n) {
         usage_[n].busy_rank_s += static_cast<double>(occupancy_[n]) * dt;
       }
@@ -509,9 +864,9 @@ void Farm::drive() {
 
     // Complete every job projected to finish now (iteration order is
     // admission order — deterministic tiebreak for simultaneous
-    // finishes).
+    // finishes). Preempting jobs never finish — they vacate first.
     for (auto it = running.begin(); it != running.end();) {
-      if (it->finish_est <= t) {
+      if (!it->preempting && it->finish_est <= t) {
         for (std::size_t k = 0; k < it->assignment.shared_nodes.size();
              ++k) {
           const auto n =
@@ -519,29 +874,71 @@ void Farm::drive() {
           free_slots[n] += it->assignment.ranks_per_node[k];
           occupancy_[n] -= it->assignment.ranks_per_node[k];
         }
-        const std::scoped_lock lock(ss_->mu);
-        auto& res = it->rec->result;
-        res.state = JobState::kDone;
-        res.finish_s = t;
-        res.stretch =
-            it->duration > 0.0 ? (t - it->start) / it->duration : 1.0;
-        report_.completion_order.push_back(it->rec->spec.name);
-        ++report_.jobs_done;
-        report_.makespan_s = std::max(report_.makespan_s, t);
-        report_.total_flow_s += t - it->rec->spec.submit_time_s;
-        // SLO samples (completed jobs only). Slowdown compares against
-        // the job's own standalone makespan — its ideal contention-free
-        // run; a zero ideal (defensive: no real job has one) records the
-        // neutral 1.0 instead of dividing.
-        const double submit = it->rec->spec.submit_time_s;
-        const double turnaround = t - submit;
-        report_.wait_q.observe(it->start - submit);
-        report_.turnaround_q.observe(turnaround);
-        report_.slowdown_q.observe(res.standalone_makespan_s > 0.0
-                                       ? turnaround /
-                                             res.standalone_makespan_s
-                                       : 1.0);
-        ss_->cv.notify_all();
+        const double arrive = it->rec->arrive_s;
+        {
+          const std::scoped_lock lock(ss_->mu);
+          auto& res = it->rec->result;
+          res.state = JobState::kDone;
+          res.finish_s = t;
+          // Whole-job slowdown: farm residency (first launch to final
+          // finish, suspended epochs included) over the uninterrupted
+          // standalone makespan.
+          res.stretch = res.standalone_makespan_s > 0.0
+                            ? (t - res.start_s) / res.standalone_makespan_s
+                            : 1.0;
+          report_.completion_order.push_back(it->rec->spec.name);
+          ++report_.jobs_done;
+          report_.makespan_s = std::max(report_.makespan_s, t);
+          report_.total_flow_s += t - arrive;
+          // SLO samples (completed jobs only). Slowdown compares against
+          // the job's own standalone makespan — its ideal contention-free
+          // run; a zero ideal (defensive: no real job has one) records
+          // the neutral 1.0 instead of dividing.
+          const double turnaround = t - arrive;
+          report_.wait_q.observe(res.start_s - arrive);
+          report_.turnaround_q.observe(turnaround);
+          report_.slowdown_q.observe(res.standalone_makespan_s > 0.0
+                                         ? turnaround /
+                                               res.standalone_makespan_s
+                                         : 1.0);
+          ss_->cv.notify_all();
+        }
+        journal(JournalType::kFinish, *it->rec, t);
+        release_dependents(it->rec->seq, t);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Vacate every preempting job whose checkpoint frame is now sealed:
+    // free its slots, remember how to restore it, and re-queue it.
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->preempting && it->vacate_est <= t) {
+        for (std::size_t k = 0; k < it->assignment.shared_nodes.size();
+             ++k) {
+          const auto n =
+              static_cast<std::size_t>(it->assignment.shared_nodes[k]);
+          free_slots[n] += it->assignment.ranks_per_node[k];
+          occupancy_[n] -= it->assignment.ranks_per_node[k];
+        }
+        SuspendInfo info;
+        info.vault = it->vault;
+        info.ckpt = it->ckpt;
+        info.resume_frame = it->preempt_frame;
+        info.original = it->assignment;
+        suspended_[it->rec->seq] = std::move(info);
+        {
+          const std::scoped_lock lock(ss_->mu);
+          auto& res = it->rec->result;
+          res.state = JobState::kSuspended;
+          ++res.preemptions;
+          res.preempt_frames.push_back(it->preempt_frame);
+          if (res.preemptions == 1) ++report_.jobs_preempted;
+        }
+        ++preempt_events_;
+        journal(JournalType::kPreempt, *it->rec, t, it->preempt_frame);
+        queued.push_back(it->rec);
         it = running.erase(it);
       } else {
         ++it;
@@ -551,15 +948,16 @@ void Farm::drive() {
 
   // Anything still queued was cancelled (admission guarantees every
   // admitted job fits an empty farm, so the queue always drains). The
-  // kQueued branch is a safety net: no job may stay non-terminal after
-  // the driver exits, or await() would deadlock — if the invariant ever
-  // breaks, fail the job loudly instead.
+  // kQueued/kSuspended branch is a safety net: no job may stay
+  // non-terminal after the driver exits, or await() would deadlock — if
+  // the invariant ever breaks, fail the job loudly instead.
   {
     const std::scoped_lock lock(ss_->mu);
     for (const auto& rec : jobs_) {
       if (rec->result.state == JobState::kCancelled) {
         ++report_.jobs_cancelled;
-      } else if (rec->result.state == JobState::kQueued) {
+      } else if (rec->result.state == JobState::kQueued ||
+                 rec->result.state == JobState::kSuspended) {
         rec->result.state = JobState::kFailed;
         rec->result.finish_s = t;
         rec->result.error =
@@ -571,9 +969,33 @@ void Farm::drive() {
     }
     ss_->cv.notify_all();
   }
+  for (const auto& rec : jobs_) {
+    if (terminal(rec->result.state) && rec->result.state != JobState::kDone &&
+        rec->result.finish_s == 0.0 &&
+        rec->result.state == JobState::kCancelled) {
+      journal(JournalType::kFinish, *rec, t);
+    }
+  }
+
+  // The queue-depth series ends at zero by construction of the loop above
+  // — except when the safety net just failed stranded jobs, or an
+  // all-cancelled farm never sampled at all. Close the step series either
+  // way (overwriting a same-instant sample keeps timestamps strictly
+  // increasing).
+  {
+    auto& qd = report_.queue_depth;
+    if (qd.empty() || qd.back().second != 0) {
+      if (!qd.empty() && qd.back().first == t) {
+        qd.back().second = 0;
+      } else {
+        qd.emplace_back(t, 0);
+      }
+    }
+  }
 
   report_.policy = options_.policy;
   report_.nodes = usage_;
+  report_.tenant_rank_s = tenant_used_;
   report_.mean_turnaround_s =
       report_.jobs_done > 0
           ? report_.total_flow_s / static_cast<double>(report_.jobs_done)
@@ -588,6 +1010,12 @@ void Farm::drive() {
       .add(static_cast<double>(report_.jobs_failed));
   m.counter("psanim_farm_jobs_cancelled_total")
       .add(static_cast<double>(report_.jobs_cancelled));
+  m.counter("psanim_farm_preemptions_total")
+      .add(static_cast<double>(preempt_events_));
+  m.counter("psanim_farm_restores_total")
+      .add(static_cast<double>(restores_));
+  m.counter("psanim_farm_migrations_total")
+      .add(static_cast<double>(migrations_));
   m.gauge("psanim_farm_makespan_seconds").set(report_.makespan_s);
   m.counter("psanim_farm_flow_seconds_total").add(report_.total_flow_s);
   int peak = 0;

@@ -29,19 +29,37 @@
 // Capacity is never oversubscribed: a job starts only when every granted
 // node has a free CPU slot per rank, so the only cross-job slowdown is the
 // SMP bus-sharing penalty of co-residency within a node's slot budget.
+//
+// Preemption (kPriority / kFairShare). The vault is the preemption
+// mechanism: to evict a running job the driver picks the earliest
+// checkpoint frame the job has not yet passed, lets it drain there, seals
+// that snapshot in the job's per-job vault, frees its slots
+// (kPreempting -> kSuspended), and later relaunches it with
+// `resume_from = that frame` — on any free nodes whose types match the
+// original grant, not necessarily the same ones. Because the resumed run
+// reuses the original sub_spec/placement verbatim (only the shared-node
+// identities change), its inputs are literally identical and the restored
+// animation is bit-identical to the uninterrupted run — the same guarantee
+// the Replayer proves for crash recovery, now exercised across nodes.
+// There is deliberately no in-memory freeze path; see DESIGN.md.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "ckpt/policy.hpp"
+#include "ckpt/vault.hpp"
 #include "cluster/cost_model.hpp"
 #include "farm/job.hpp"
+#include "farm/journal.hpp"
 #include "mp/runtime.hpp"
 #include "obs/metrics.hpp"
 
@@ -80,6 +98,24 @@ struct FarmOptions {
   /// of worker threads instead of spawning a full-size pool per job.
   /// Worker counts never change virtual-time results. Ignored by kThreads.
   int workers_per_job = 0;
+  /// Checkpoint cadence (frames) imposed on jobs launched under a
+  /// preemptive policy whose own settings leave checkpointing off — the
+  /// grid of candidate vacate points. <= 0 disables preemption entirely
+  /// (kPriority/kFairShare then order the queue but never evict). Jobs
+  /// with their own ckpt policy keep it.
+  int preempt_interval = 8;
+  /// A job checkpointed out this many times is never evicted again
+  /// (starvation guard for low-priority tenants under hostile load).
+  int max_preemptions_per_job = 4;
+  /// When set, every scheduling decision (submit/launch/preempt/restore/
+  /// finish) is appended — versioned, CRC-framed, flushed per record — to
+  /// this file, so a crashed farm process can rebuild its queue with
+  /// recover_journal(). Empty = no journal.
+  std::string journal_path;
+  /// Keep each job's full ParallelResult payload in JobResult::result.
+  /// Off, only the scalars survive (fb hash, makespan, SLO inputs) — a
+  /// 10k-job stress run would otherwise hold every framebuffer at once.
+  bool keep_results = true;
 };
 
 /// Per-shared-node usage over the whole farm run, fed by the shared node
@@ -97,6 +133,9 @@ struct Report {
   std::size_t jobs_done = 0;
   std::size_t jobs_failed = 0;
   std::size_t jobs_cancelled = 0;
+  /// Jobs evicted at least once (preemption *events* are the
+  /// psanim_farm_preemptions_total counter in `metrics`).
+  std::size_t jobs_preempted = 0;
   /// Job names in completion order — deterministic for a fixed submission
   /// set (ordered by finish time, submission sequence as tiebreak).
   std::vector<std::string> completion_order;
@@ -110,8 +149,13 @@ struct Report {
   obs::Quantiles turnaround_q;
   obs::Quantiles slowdown_q;
   /// Queued-job count breakpoints (farm time, depth) — a step series
-  /// sampled after every scheduling pass settles; deterministic.
+  /// sampled after every scheduling pass settles (suspended jobs count:
+  /// they are waiting for slots too); deterministic, and always ends at
+  /// depth 0 when the driver exits.
   std::vector<std::pair<double, int>> queue_depth;
+  /// Per-tenant service: integral of resident ranks over farm time — the
+  /// quantity kFairShare equalizes. Keyed by JobSpec::tenant.
+  std::map<std::string, double> tenant_rank_s;
   /// Farm-level aggregates: job counts, makespan/flow, per-run buffer-pool
   /// deltas (sampled farm-wide — per-job pool metrics are disabled because
   /// the pool is process-global; see ObsSettings::pool_metrics).
@@ -190,19 +234,28 @@ class Farm {
 
  private:
   struct Running;
+  struct LaunchReq;
 
   void drive();  // driver thread body
   /// Returns true when slots the scheduling pass budgeted came back free
   /// (a launch failed or a cancel won the race) — the driver must re-run
   /// the pass at the same instant before advancing time.
-  bool launch_batch(std::vector<std::shared_ptr<detail::JobRecord>> batch,
-                    double now, std::vector<Running>& running,
+  bool launch_batch(std::vector<LaunchReq> batch, double now,
+                    std::vector<Running>& running,
                     std::vector<int>& free_slots);
   void recompute_stretch(std::vector<Running>& running) const;
+  /// Mark enough lower-ranked running jobs kPreempting that, once they
+  /// vacate, `blocked` fits. Never exceeds max_preemptions_per_job.
+  void mark_victims(const std::shared_ptr<detail::JobRecord>& blocked,
+                    std::vector<Running>& running, int total_free, double now);
+  void release_dependents(int seq, double at);
+  void journal(JournalType type, const detail::JobRecord& rec, double time_s,
+               std::uint32_t frame = 0);
 
   cluster::ClusterSpec shared_;
   FarmOptions options_;
   int total_slots_ = 0;
+  bool preemptive_ = false;  ///< policy preempts and preempt_interval > 0
 
   std::shared_ptr<detail::SharedState> ss_;
   std::vector<std::shared_ptr<detail::JobRecord>> jobs_;
@@ -211,11 +264,30 @@ class Farm {
   std::mutex lifecycle_mu_;  ///< serializes driver_ launch/join across threads
   std::thread driver_;
   Report report_;
+  std::unique_ptr<JournalWriter> journal_;
 
-  // Occupancy by shared node, maintained by the driver only (farm virtual
-  // time); Report::nodes is derived from it.
+  // Everything below is driver-owned state (farm virtual time): occupancy
+  // by shared node (Report::nodes derives from it), per-tenant service,
+  // suspended-job restore info, closed-loop arrival releases, and the
+  // obs-file names already handed out (collision suffixing).
   std::vector<int> occupancy_;
   std::vector<NodeUsage> usage_;
+  std::map<std::string, double> tenant_used_;
+  struct SuspendInfo {
+    /// Farm-owned, or a non-owning alias of the tenant's own vault.
+    std::shared_ptr<ckpt::Vault> vault;
+    ckpt::CkptPolicy ckpt;  ///< effective policy at launch
+    std::uint32_t resume_frame = 0;
+    Assignment original;
+  };
+  std::map<int, SuspendInfo> suspended_;
+  int preempt_events_ = 0;  ///< vacates (a job may contribute several)
+  int restores_ = 0;
+  int migrations_ = 0;  ///< restores onto a different shared-node set
+  std::map<int, std::vector<std::shared_ptr<detail::JobRecord>>> dependents_;
+  std::vector<std::pair<double, std::shared_ptr<detail::JobRecord>>>
+      arrivals_;  ///< min-heap by (time, seq)
+  std::set<std::string> used_obs_names_;
 };
 
 /// Re-run a finished job exactly as the farm ran it, outside the farm:

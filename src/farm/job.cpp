@@ -12,6 +12,10 @@ std::string to_string(Policy p) {
       return "fifo";
     case Policy::kSjf:
       return "sjf";
+    case Policy::kPriority:
+      return "priority";
+    case Policy::kFairShare:
+      return "fair-share";
   }
   return "?";
 }
@@ -22,6 +26,10 @@ std::string to_string(JobState s) {
       return "queued";
     case JobState::kRunning:
       return "running";
+    case JobState::kPreempting:
+      return "preempting";
+    case JobState::kSuspended:
+      return "suspended";
     case JobState::kDone:
       return "done";
     case JobState::kFailed:
@@ -87,6 +95,68 @@ Assignment assign_slots(const cluster::ClusterSpec& shared,
       a.placement.node_of_rank.push_back(static_cast<int>(i));
     }
   }
+  return a;
+}
+
+namespace {
+
+/// Same hardware as far as the rate model and memory sizing care: rank
+/// rates depend on (cpu rate under the spec compiler, cpus,
+/// smp_contention), so two nodes agreeing on these (and name/ram, for
+/// honesty) are interchangeable hosts for a resumed rank.
+bool same_node_type(const cluster::ClusterSpec& spec, std::size_t a,
+                    const cluster::NodeType& want, double want_rate) {
+  const cluster::NodeType& have = spec.nodes[a];
+  return have.name == want.name && have.cpus == want.cpus &&
+         have.ram_mb == want.ram_mb && spec.node_rate(a) == want_rate;
+}
+
+}  // namespace
+
+std::optional<Assignment> match_assignment(const cluster::ClusterSpec& shared,
+                                           const std::vector<int>& free_slots,
+                                           const Assignment& original) {
+  if (free_slots.size() != shared.node_count()) {
+    throw std::invalid_argument(
+        "match_assignment: free_slots must have one entry per shared node");
+  }
+  const std::size_t k = original.shared_nodes.size();
+  // Largest rank counts first: they are the hardest to place, and a
+  // fixed order keeps the matching deterministic.
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (original.ranks_per_node[a] != original.ranks_per_node[b]) {
+      return original.ranks_per_node[a] > original.ranks_per_node[b];
+    }
+    return a < b;
+  });
+
+  std::vector<int> remaining = free_slots;
+  std::vector<int> matched(k, -1);
+  for (const std::size_t pos : order) {
+    const int need = original.ranks_per_node[pos];
+    const cluster::NodeType& want = original.sub_spec.nodes[pos];
+    const double want_rate =
+        want.cpu.rate(original.sub_spec.compiler);
+    int best = -1;
+    for (std::size_t n = 0; n < shared.node_count(); ++n) {
+      if (remaining[n] < need) continue;
+      if (!same_node_type(shared, n, want, want_rate)) continue;
+      // Best fit: tightest free count keeps big nodes open for big
+      // positions of *other* jobs; index breaks ties.
+      if (best < 0 ||
+          remaining[n] < remaining[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(n);
+      }
+    }
+    if (best < 0) return std::nullopt;
+    matched[pos] = best;
+    remaining[static_cast<std::size_t>(best)] -= need;
+  }
+
+  Assignment a = original;
+  a.shared_nodes.assign(matched.begin(), matched.end());
   return a;
 }
 

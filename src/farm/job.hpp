@@ -12,6 +12,7 @@
 // stretches its *farm-level* completion time when neighbors contend).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,22 +23,30 @@
 
 namespace psanim::farm {
 
-/// Queue disciplines. Both are work-conserving with backfill: the queue is
-/// scanned in policy order and every job that fits the free slots starts,
-/// so capacity never idles while a runnable job waits.
+/// Queue disciplines. kFifo/kSjf are work-conserving with backfill: the
+/// queue is scanned in policy order and every job that fits the free slots
+/// starts, so capacity never idles while a runnable job waits.
+/// kPriority/kFairShare are *preemptive* (when FarmOptions::preempt_interval
+/// is positive): the head of the policy order reserves capacity strictly —
+/// no backfill past a blocked head — and may evict running jobs by
+/// checkpointing them into their vault (see the Farm header).
 enum class Policy {
-  kFifo,  ///< submission order (arrival time, then submission sequence)
-  kSjf,   ///< shortest-virtual-job-first by estimated virtual cost
+  kFifo,       ///< submission order (arrival time, then submission sequence)
+  kSjf,        ///< shortest-virtual-job-first by estimated virtual cost
+  kPriority,   ///< JobSpec::priority desc, then arrival; preempts lower
+  kFairShare,  ///< least-served tenant first (per-tenant busy_rank_s)
 };
 
 std::string to_string(Policy p);
 
 enum class JobState {
-  kQueued,     ///< admitted, waiting for slots
-  kRunning,    ///< occupying slots on the shared cluster
-  kDone,       ///< finished; JobResult::result is valid
-  kFailed,     ///< run_parallel threw; JobResult::error holds the message
-  kCancelled,  ///< cancelled while still queued
+  kQueued,      ///< admitted, waiting for slots
+  kRunning,     ///< occupying slots on the shared cluster
+  kPreempting,  ///< marked for eviction; draining to its vacate checkpoint
+  kSuspended,   ///< checkpointed out; waiting to be restored
+  kDone,        ///< finished; JobResult::result is valid
+  kFailed,      ///< run_parallel threw; JobResult::error holds the message
+  kCancelled,   ///< cancelled while still queued
 };
 
 std::string to_string(JobState s);
@@ -49,10 +58,22 @@ struct JobSpec {
   core::Scene scene;
   core::SimSettings settings;
   /// Virtual arrival time at the farm; jobs are invisible to the
-  /// scheduler before this.
+  /// scheduler before this. When `after_seq` >= 0 this is instead a
+  /// *think delay*: the job arrives that many virtual seconds after its
+  /// predecessor reaches a terminal state (closed-loop arrivals).
   double submit_time_s = 0.0;
   /// SJF ranking key; <= 0 derives a default from frames x systems.
   double sjf_cost_hint = 0.0;
+  /// Multi-tenancy: which tenant owns this job. kFairShare balances
+  /// busy_rank_s across tenants; empty string is a tenant like any other.
+  std::string tenant;
+  /// kPriority ranking: higher runs first and may preempt lower. Ties
+  /// break on arrival time, then submission sequence.
+  int priority = 0;
+  /// Closed-loop chaining: when >= 0, this job arrives only after the
+  /// job with that submission sequence terminates (submit_time_s then
+  /// acts as the think delay). Must reference an earlier submission.
+  int after_seq = -1;
 
   int world_size() const { return core::world_size_for(settings.ncalc); }
 };
@@ -84,6 +105,19 @@ struct Assignment {
 Assignment assign_slots(const cluster::ClusterSpec& shared,
                         const std::vector<int>& free_slots, int world);
 
+/// Re-grant a suspended job's original assignment onto whatever free slots
+/// exist now: every original position needs one free node of the *same
+/// type* (name, cpus, rate, ram) with enough free slots, found best-fit
+/// (fewest free slots, then lowest index; positions matched largest rank
+/// count first). The returned assignment reuses the original's
+/// sub_spec/ranks_per_node/placement verbatim — only shared_nodes may
+/// differ — so rank rates, splits and every other simulation input are
+/// identical and the resumed run is bit-exact even across a node
+/// migration. Returns nullopt when the free slots cannot host it yet.
+std::optional<Assignment> match_assignment(const cluster::ClusterSpec& shared,
+                                           const std::vector<int>& free_slots,
+                                           const Assignment& original);
+
 /// Everything known about a job after the farm ran it.
 struct JobResult {
   JobState state = JobState::kQueued;
@@ -101,6 +135,13 @@ struct JobResult {
   core::ParallelResult result;
   std::uint64_t fb_hash = 0;  ///< render::hash_framebuffer(result.final_frame)
   std::string error;          ///< non-empty iff state == kFailed
+  /// How many times the farm checkpointed this job out of its slots.
+  int preemptions = 0;
+  /// True when any restore landed on a different shared-node set than the
+  /// segment it resumed (the vault's cross-node bit-exactness in action).
+  bool migrated = false;
+  /// The checkpoint frame of each preemption, in order.
+  std::vector<std::uint32_t> preempt_frames;
 };
 
 }  // namespace psanim::farm

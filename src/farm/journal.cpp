@@ -1,0 +1,247 @@
+#include "farm/journal.hpp"
+
+#include <cstring>
+#include <map>
+#include <span>
+#include <stdexcept>
+
+#include "ckpt/format.hpp"
+
+namespace psanim::farm {
+
+std::string to_string(JournalType t) {
+  switch (t) {
+    case JournalType::kSubmit:
+      return "submit";
+    case JournalType::kLaunch:
+      return "launch";
+    case JournalType::kPreempt:
+      return "preempt";
+    case JournalType::kRestore:
+      return "restore";
+    case JournalType::kFinish:
+      return "finish";
+  }
+  return "?";
+}
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian cursor; `ok` goes false instead of
+/// throwing so a torn tail reads as a clean end-of-journal.
+struct Cursor {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || pos + n > buf.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, buf.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4] = {};
+    take(b, 4);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || pos + n > buf.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(buf, pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+std::string encode(const JournalRecord& rec) {
+  std::string p;
+  p.push_back(static_cast<char>(rec.type));
+  put_u32(p, static_cast<std::uint32_t>(rec.seq));
+  put_f64(p, rec.time_s);
+  put_u32(p, rec.frame);
+  p.push_back(static_cast<char>(rec.state));
+  put_u64(p, rec.fb_hash);
+  put_str(p, rec.name);
+  put_str(p, rec.tenant);
+  return p;
+}
+
+std::uint32_t payload_crc(const std::string& p) {
+  return ckpt::crc32(
+      std::span(reinterpret_cast<const std::byte*>(p.data()), p.size()));
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(const std::string& path) : path_(path) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("JournalWriter: cannot create '" + path + "'");
+  }
+  std::string hdr;
+  put_u32(hdr, kJournalMagic);
+  put_u16(hdr, kJournalVersion);
+  out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  out_.flush();
+}
+
+void JournalWriter::append(const JournalRecord& rec) {
+  const std::string p = encode(rec);
+  std::string frame;
+  put_u32(frame, static_cast<std::uint32_t>(p.size()));
+  put_u32(frame, payload_crc(p));
+  frame.append(p);
+  const std::scoped_lock lock(mu_);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("JournalWriter: write to '" + path_ +
+                             "' failed");
+  }
+}
+
+std::vector<JournalRecord> read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_journal: cannot open '" + path + "'");
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  Cursor c{buf};
+  const std::uint32_t magic = c.u32();
+  std::uint8_t vb[2] = {};
+  c.take(vb, 2);
+  if (!c.ok) {
+    throw std::runtime_error("read_journal: '" + path +
+                             "' is too short to hold a journal header");
+  }
+  if (magic != kJournalMagic) {
+    throw std::runtime_error("read_journal: '" + path +
+                             "' is not a farm journal (bad magic)");
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(vb[0] | (vb[1] << 8));
+  if (version != kJournalVersion) {
+    throw std::runtime_error(
+        "read_journal: '" + path + "' has journal version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(kJournalVersion));
+  }
+
+  std::vector<JournalRecord> out;
+  for (;;) {
+    const std::size_t frame_start = c.pos;
+    const std::uint32_t len = c.u32();
+    const std::uint32_t crc = c.u32();
+    if (!c.ok || c.pos + len > buf.size()) break;  // torn tail: clean end
+    const std::string payload(buf, c.pos, len);
+    if (payload_crc(payload) != crc) break;  // corrupt tail frame
+    c.pos += len;
+    Cursor pc{payload};
+    JournalRecord rec;
+    rec.type = static_cast<JournalType>(pc.u8());
+    rec.seq = static_cast<int>(pc.u32());
+    rec.time_s = pc.f64();
+    rec.frame = pc.u32();
+    rec.state = static_cast<JobState>(pc.u8());
+    rec.fb_hash = pc.u64();
+    rec.name = pc.str();
+    rec.tenant = pc.str();
+    if (!pc.ok) {
+      // CRC passed but the payload doesn't decode: stop where we are —
+      // everything before frame_start is intact.
+      c.pos = frame_start;
+      break;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery rc;
+  rc.records = read_journal(path);
+  std::map<int, JournalRecovery::PendingJob> pending;
+  for (const auto& r : rc.records) {
+    switch (r.type) {
+      case JournalType::kSubmit: {
+        auto& p = pending[r.seq];
+        p.seq = r.seq;
+        p.name = r.name;
+        p.tenant = r.tenant;
+        break;
+      }
+      case JournalType::kPreempt: {
+        auto it = pending.find(r.seq);
+        if (it != pending.end()) it->second.resume_frame = r.frame;
+        break;
+      }
+      case JournalType::kFinish:
+        pending.erase(r.seq);
+        break;
+      case JournalType::kLaunch:
+      case JournalType::kRestore:
+        break;
+    }
+  }
+  rc.pending.reserve(pending.size());
+  for (auto& [seq, p] : pending) rc.pending.push_back(std::move(p));
+  return rc;
+}
+
+}  // namespace psanim::farm

@@ -1,0 +1,93 @@
+#pragma once
+
+// psanim::farm job journal — a persistent, versioned, append-only record
+// of every scheduling decision (submit / launch / preempt / restore /
+// finish), so a farm process that crashes mid-run can recover its queue:
+// which jobs were pending, and — for jobs checkpointed out by preemption —
+// the snapshot frame their vault can resume them from.
+//
+// Format, versioned like the snapshot format: a fixed header
+// (magic "PSFJ", format version), then framed records
+// [u32 payload_len][u32 crc32(payload)][payload]. Each append is flushed,
+// so a crash leaves at most one torn record at the tail; the reader stops
+// cleanly at the first short or corrupt frame (torn tail == clean end)
+// but fails loudly on a bad magic or a version skew, exactly like a
+// snapshot image from another build.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "farm/job.hpp"
+
+namespace psanim::farm {
+
+/// Journal format magic ("PSFJ" as little-endian bytes).
+inline constexpr std::uint32_t kJournalMagic = 0x4A465350u;
+/// Bump on any incompatible record-layout change.
+inline constexpr std::uint16_t kJournalVersion = 1;
+
+enum class JournalType : std::uint8_t {
+  kSubmit = 0,   ///< job admitted (time = its submit_time_s / think delay)
+  kLaunch = 1,   ///< first launch onto slots
+  kPreempt = 2,  ///< vacated its slots; `frame` is the sealed ckpt frame
+  kRestore = 3,  ///< relaunched; `frame` is the resume_from frame
+  kFinish = 4,   ///< terminal; `state` says done/failed/cancelled
+};
+
+std::string to_string(JournalType t);
+
+struct JournalRecord {
+  JournalType type = JournalType::kSubmit;
+  int seq = 0;
+  double time_s = 0.0;      ///< farm virtual time of the event
+  std::uint32_t frame = 0;  ///< preempt/restore checkpoint frame, else 0
+  JobState state = JobState::kQueued;
+  std::uint64_t fb_hash = 0;  ///< finish(done) only
+  std::string name;
+  std::string tenant;
+};
+
+/// Append-only writer. Thread-safe (submit runs on the caller's thread,
+/// everything else on the driver); every append is flushed to disk.
+class JournalWriter {
+ public:
+  /// Opens (truncating) `path` and writes the header. Throws
+  /// std::runtime_error when the file cannot be created.
+  explicit JournalWriter(const std::string& path);
+
+  void append(const JournalRecord& rec);
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Read every intact record. A torn or corrupt tail frame ends the read
+/// cleanly (crash-consistent); a missing/short header, wrong magic or
+/// version skew throws std::runtime_error.
+std::vector<JournalRecord> read_journal(const std::string& path);
+
+/// What a restarted farm needs to rebuild its queue from a journal.
+struct JournalRecovery {
+  std::vector<JournalRecord> records;
+  struct PendingJob {
+    int seq = 0;
+    std::string name;
+    std::string tenant;
+    /// Last journaled preempt checkpoint frame: the job's vault holds a
+    /// sealed snapshot there, so a resubmission can resume_from it
+    /// instead of recomputing from frame 0. Empty = restart from scratch.
+    std::optional<std::uint32_t> resume_frame;
+  };
+  /// Jobs submitted but never journaled terminal, in submission order.
+  std::vector<PendingJob> pending;
+};
+
+JournalRecovery recover_journal(const std::string& path);
+
+}  // namespace psanim::farm

@@ -578,5 +578,72 @@ TEST(Replayer, VerifiesASnapshotTakenAfterARecovery) {
   EXPECT_TRUE(rep.ok()) << rep.detail;
 }
 
+// --- coordinated suspend (stop_after) ----------------------------------
+
+TEST(Suspend, StopAfterThenResumeIsBitIdenticalAcrossBothCores) {
+  // The farm's preemption primitive, exercised directly: run to a
+  // checkpoint frame and stop; resume from that frame in a second run
+  // over the same vault. The stitched execution must reproduce the
+  // uninterrupted run's pixels bit for bit — under the fiber core and
+  // the thread core alike.
+  const Scene scene = chaos_scene(/*snow=*/false);
+  for (const auto mode : {mp::ExecMode::kFibers, mp::ExecMode::kThreads}) {
+    SimSettings settings = chaos_settings();
+    const auto whole = run(scene, settings, mode);
+
+    ckpt::Vault vault;
+    SimSettings first = chaos_settings();
+    first.ckpt.interval = 2;  // snapshots after frames 1, 3, 5
+    first.ckpt_vault = &vault;
+    first.stop_after = 3;
+    const auto seg1 = run(scene, first, mode);
+    // The segment executed frames 0..3 only, and frame 3's checkpoint is
+    // sealed and ready to restore.
+    EXPECT_EQ(seg1.telemetry.image_frames().size(), 4u);
+    ASSERT_TRUE(vault.manifest(3));
+
+    SimSettings second = chaos_settings();
+    second.ckpt.interval = 2;
+    second.ckpt_vault = &vault;
+    second.resume_from = 3;
+    const auto seg2 = run(scene, second, mode);
+    EXPECT_EQ(seg2.telemetry.image_frames().size(), settings.frames);
+    EXPECT_TRUE(same_image(seg2.final_frame, whole.final_frame))
+        << "suspended+resumed pixels diverged under "
+        << (mode == mp::ExecMode::kFibers ? "fibers" : "threads");
+  }
+}
+
+TEST(Suspend, ValidateRejectsUnusableStopFrames) {
+  SimSettings s = chaos_settings();
+  s.ckpt.interval = 2;
+  // No checkpointing => nothing to resume from later.
+  SimSettings no_ckpt = chaos_settings();
+  no_ckpt.stop_after = 3;
+  EXPECT_THROW(no_ckpt.validate(), std::invalid_argument);
+  // Not a snapshot frame: stopping there would seal nothing.
+  s.stop_after = 4;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  // Last frame: stop must leave frames to resume.
+  s.stop_after = 7;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  // Resume and stop must make forward progress.
+  s.stop_after = 3;
+  s.resume_from = 3;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.resume_from = 1;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Suspend, RunParallelDemandsAnOutlivingVault) {
+  // stop_after with no supplied vault would seal snapshots into a
+  // run-local vault that dies with the run — reject it loudly.
+  const Scene scene = chaos_scene(/*snow=*/false);
+  SimSettings s = chaos_settings();
+  s.ckpt.interval = 2;
+  s.stop_after = 3;
+  EXPECT_THROW(run(scene, s), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace psanim

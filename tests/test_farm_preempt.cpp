@@ -1,0 +1,440 @@
+// Preemptive farm scheduling suite. The headline property: a job the farm
+// checkpoints out of its slots and later restores — possibly on different
+// nodes — finishes with framebuffers bit-identical to the uninterrupted
+// standalone run, under both execution cores. Around it: fair-share
+// ordering, preemption interleaved with the job's own crash recovery
+// (chaos), the persistent job journal, and regression coverage for the
+// farm accounting fixes (peak-rank inflation on failed launches, obs-file
+// name collisions, queue-depth series termination).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "core/simulation.hpp"
+#include "farm/farm.hpp"
+#include "farm/job.hpp"
+#include "farm/journal.hpp"
+#include "render/compare.hpp"
+#include "sim/scenario.hpp"
+
+namespace psanim {
+namespace {
+
+using farm::Farm;
+using farm::FarmOptions;
+using farm::JobSpec;
+using farm::JobState;
+using farm::JournalRecord;
+using farm::JournalType;
+using farm::Policy;
+
+core::Scene tiny_scene(std::uint32_t frames) {
+  sim::ScenarioParams p;
+  p.systems = 2;
+  p.particles_per_system = 600;
+  p.frames = frames;
+  return sim::make_fountain_scene(p);
+}
+
+JobSpec tiny_job(const std::string& name, int ncalc, std::uint32_t frames) {
+  JobSpec j;
+  j.name = name;
+  j.scene = tiny_scene(frames);
+  j.settings.ncalc = ncalc;
+  j.settings.frames = frames;
+  j.settings.seed = 42;
+  j.settings.image_width = 64;
+  j.settings.image_height = 48;
+  return j;
+}
+
+/// n generic nodes, `cpus` slots each, all rate 1.0 — interchangeable
+/// hosts, so a restored job can land anywhere (migration is possible).
+cluster::ClusterSpec flat_cluster(std::size_t n, int cpus) {
+  cluster::ClusterSpec spec;
+  spec.add(cluster::NodeType::generic(1.0, cpus), n);
+  return spec;
+}
+
+FarmOptions preempt_opts(Policy policy, mp::ExecMode mode) {
+  FarmOptions o;
+  o.policy = policy;
+  o.recv_timeout_s = 30.0;
+  o.exec_mode = mode;
+  o.preempt_interval = 4;
+  return o;
+}
+
+bool same_image(const render::Framebuffer& a, const render::Framebuffer& b) {
+  return a.colors().size() == b.colors().size() &&
+         std::memcmp(a.colors().data(), b.colors().data(),
+                     a.colors().size() * sizeof(render::Color)) == 0;
+}
+
+/// The canonical eviction-and-migration scenario on 2 nodes x 4 slots:
+///  * A (priority 0, world 4) arrives first and takes node 0;
+///  * C (priority 1, world 8) needs the whole cluster — A is checkpointed
+///    out at its first candidate frame and C takes both nodes;
+///  * D (priority 1, world 4) arrives behind C; when C finishes, D (higher
+///    priority) grabs node 0, so A's restore must land on node 1 — a
+///    migration, proving the vault's cross-node bit-exactness.
+struct PreemptScenario {
+  farm::JobHandle a, c, d;
+  farm::Report report;
+};
+
+JobSpec scenario_a_spec() { return tiny_job("A", 2, 12); }
+
+PreemptScenario run_preempt_scenario(mp::ExecMode mode,
+                                     const std::string& journal_path = "") {
+  FarmOptions o = preempt_opts(Policy::kPriority, mode);
+  o.journal_path = journal_path;
+  Farm f(flat_cluster(2, 4), o);
+  PreemptScenario s;
+  auto c_spec = tiny_job("C", 6, 12);
+  auto d_spec = tiny_job("D", 2, 12);
+  c_spec.priority = 1;
+  d_spec.priority = 1;
+  c_spec.submit_time_s = 1e-6;  // A must already be running
+  d_spec.submit_time_s = 1e-6;
+  s.a = f.submit(scenario_a_spec());
+  s.c = f.submit(std::move(c_spec));
+  s.d = f.submit(std::move(d_spec));
+  s.report = f.run();
+  return s;
+}
+
+// --- the headline property ---------------------------------------------
+
+TEST(FarmPreempt, PreemptedAndMigratedJobStaysBitIdenticalUnderBothCores) {
+  for (const auto mode : {mp::ExecMode::kFibers, mp::ExecMode::kThreads}) {
+    SCOPED_TRACE(mode == mp::ExecMode::kFibers ? "fibers" : "threads");
+    const auto s = run_preempt_scenario(mode);
+    const auto& a = s.a.await();
+    ASSERT_EQ(a.state, JobState::kDone) << a.error;
+    EXPECT_EQ(s.c.await().state, JobState::kDone);
+    EXPECT_EQ(s.d.await().state, JobState::kDone);
+
+    // A was evicted exactly once, at its first imposed checkpoint frame,
+    // and restored onto a different node than it started on.
+    EXPECT_EQ(a.preemptions, 1);
+    ASSERT_EQ(a.preempt_frames.size(), 1u);
+    EXPECT_EQ(a.preempt_frames[0], 3u);  // interval 4 => frames 3, 7
+    EXPECT_TRUE(a.migrated);
+    EXPECT_EQ(s.report.jobs_preempted, 1u);
+    EXPECT_EQ(s.report.jobs_done, 3u);
+
+    // The high-priority arrival C overtook A despite arriving later.
+    const auto& order = s.report.completion_order;
+    const auto pos = [&](const std::string& n) {
+      return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    EXPECT_LT(pos("C"), pos("A"));
+
+    // Bit-exactness across the suspend/restore/migrate cycle: the farm's
+    // framebuffer (and its hash, taken at first launch) match an
+    // uninterrupted standalone run of the same job on the recorded
+    // assignment.
+    const auto oracle = farm::standalone_run(scenario_a_spec(), a.assignment);
+    EXPECT_EQ(a.fb_hash, render::hash_framebuffer(oracle.final_frame));
+    EXPECT_TRUE(same_image(a.result.final_frame, oracle.final_frame));
+
+    // A's farm residency includes a suspended epoch: stretch > 1 even
+    // though it never shared a node's bus.
+    EXPECT_GT(a.stretch, 1.0);
+  }
+}
+
+TEST(FarmPreempt, FairShareServesTheUnderServedTenantFirst) {
+  // hogA (tenant "hog") holds the whole cluster when meekB (tenant
+  // "meek", zero service so far) arrives: fair-share evicts the
+  // over-served tenant's job, runs meekB, then restores hogA — and only
+  // then hogB, the hog tenant's second job, despite its earlier seq.
+  FarmOptions o = preempt_opts(Policy::kFairShare, mp::ExecMode::kDefault);
+  Farm f(flat_cluster(1, 4), o);
+  const auto make_hog_a = [] {
+    auto j = tiny_job("hogA", 2, 12);
+    j.tenant = "hog";
+    return j;
+  };
+  auto hog_b = tiny_job("hogB", 2, 12);
+  auto meek_b = tiny_job("meekB", 2, 12);
+  hog_b.tenant = "hog";
+  meek_b.tenant = "meek";
+  hog_b.submit_time_s = 1e-6;
+  meek_b.submit_time_s = 1e-6;
+  auto ha = f.submit(make_hog_a());
+  auto hb = f.submit(std::move(hog_b));
+  auto mb = f.submit(std::move(meek_b));
+  const auto report = f.run();
+
+  ASSERT_EQ(ha.await().state, JobState::kDone) << ha.await().error;
+  ASSERT_EQ(hb.await().state, JobState::kDone);
+  ASSERT_EQ(mb.await().state, JobState::kDone);
+  EXPECT_EQ(ha.await().preemptions, 1);
+  // One node: the restore lands exactly where the job started.
+  EXPECT_FALSE(ha.await().migrated);
+  ASSERT_EQ(report.completion_order.size(), 3u);
+  EXPECT_EQ(report.completion_order[0], "meekB");
+  EXPECT_EQ(report.completion_order[1], "hogA");
+  EXPECT_EQ(report.completion_order[2], "hogB");
+  // Both tenants got service, and the report accounts for it.
+  EXPECT_GT(report.tenant_rank_s.at("hog"), 0.0);
+  EXPECT_GT(report.tenant_rank_s.at("meek"), 0.0);
+
+  const auto oracle = farm::standalone_run(make_hog_a(), ha.await().assignment);
+  EXPECT_EQ(ha.await().fb_hash, render::hash_framebuffer(oracle.final_frame));
+}
+
+TEST(FarmPreempt, PreemptionInterleavedWithOwnCrashRecoveryStaysBitExact) {
+  // Chaos composition: the victim job brings its own checkpoint policy
+  // AND a calculator crash it must recover from. The farm preempts it at
+  // an early checkpoint; the restored segment then replays the crash and
+  // its rollback-recovery — and still lands on the standalone pixels.
+  FarmOptions o = preempt_opts(Policy::kPriority, mp::ExecMode::kDefault);
+  Farm f(flat_cluster(2, 4), o);
+  const auto make_victim = [] {
+    auto j = tiny_job("victim", 2, 12);
+    j.settings.ckpt.interval = 2;  // its own policy: frames 1,3,5,7,9
+    j.settings.fault_plan.crashes = {{.calc = 1, .at_frame = 5}};
+    return j;
+  };
+  auto big = tiny_job("big", 6, 12);
+  big.priority = 1;
+  big.submit_time_s = 1e-6;
+  auto hv = f.submit(make_victim());
+  auto hbig = f.submit(std::move(big));
+  const auto report = f.run();
+
+  ASSERT_EQ(hv.await().state, JobState::kDone) << hv.await().error;
+  ASSERT_EQ(hbig.await().state, JobState::kDone) << hbig.await().error;
+  EXPECT_EQ(hv.await().preemptions, 1);
+  ASSERT_EQ(hv.await().preempt_frames.size(), 1u);
+  EXPECT_EQ(hv.await().preempt_frames[0], 1u);  // its own interval-2 grid
+  EXPECT_EQ(report.jobs_preempted, 1u);
+  // The restored segment replayed the crash and recovered from it.
+  EXPECT_EQ(hv.await().result.fault_stats.restart_recoveries, 1u);
+
+  const auto oracle = farm::standalone_run(make_victim(), hv.await().assignment);
+  EXPECT_EQ(hv.await().fb_hash,
+            render::hash_framebuffer(oracle.final_frame));
+  EXPECT_TRUE(same_image(hv.await().result.final_frame, oracle.final_frame));
+}
+
+TEST(FarmPreempt, ReportsAndMetricsCountPreemptionTraffic) {
+  const auto s = run_preempt_scenario(mp::ExecMode::kDefault);
+  const auto dump = s.report.metrics.prometheus();
+  EXPECT_NE(dump.find("psanim_farm_preemptions_total 1"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("psanim_farm_restores_total 1"), std::string::npos);
+  EXPECT_NE(dump.find("psanim_farm_migrations_total 1"), std::string::npos);
+}
+
+TEST(FarmPreempt, DeterministicAcrossIdenticalRuns) {
+  const auto r1 = run_preempt_scenario(mp::ExecMode::kDefault);
+  const auto r2 = run_preempt_scenario(mp::ExecMode::kDefault);
+  EXPECT_EQ(r1.report.completion_order, r2.report.completion_order);
+  EXPECT_EQ(r1.report.makespan_s, r2.report.makespan_s);
+  EXPECT_EQ(r1.report.queue_depth, r2.report.queue_depth);
+  EXPECT_EQ(r1.a.await().fb_hash, r2.a.await().fb_hash);
+  EXPECT_EQ(r1.a.await().finish_s, r2.a.await().finish_s);
+}
+
+// --- closed-loop arrivals ----------------------------------------------
+
+TEST(FarmPreempt, AfterSeqChainsArrivalsBehindThePredecessor) {
+  Farm f(flat_cluster(1, 4), preempt_opts(Policy::kFifo,
+                                          mp::ExecMode::kDefault));
+  auto first = f.submit(tiny_job("first", 2, 6));
+  auto chained = tiny_job("chained", 2, 6);
+  chained.after_seq = 0;      // after "first" terminates...
+  chained.submit_time_s = 0.5;  // ...plus half a virtual second of think
+  auto second = f.submit(std::move(chained));
+  f.run();
+  ASSERT_EQ(first.await().state, JobState::kDone);
+  ASSERT_EQ(second.await().state, JobState::kDone);
+  EXPECT_GE(second.await().start_s, first.await().finish_s + 0.5);
+  // The wait SLO measures from the *release* instant, not absolute zero:
+  // an immediately-started chained job waited ~nothing.
+  EXPECT_LT(second.await().start_s - (first.await().finish_s + 0.5), 1e-9);
+}
+
+TEST(FarmPreempt, AfterSeqMustReferenceAnEarlierSubmission) {
+  Farm f(flat_cluster(1, 4), preempt_opts(Policy::kFifo,
+                                          mp::ExecMode::kDefault));
+  auto bad = tiny_job("bad", 2, 6);
+  bad.after_seq = 0;  // no submission 0 exists yet
+  EXPECT_THROW(f.submit(std::move(bad)), std::invalid_argument);
+}
+
+// --- the job journal ---------------------------------------------------
+
+TEST(FarmJournal, RecordsTheFullPreemptionLifecycle) {
+  const std::string path =
+      std::filesystem::path(::testing::TempDir()) / "farm_lifecycle.journal";
+  const auto s = run_preempt_scenario(mp::ExecMode::kDefault, path);
+  ASSERT_EQ(s.a.await().state, JobState::kDone);
+
+  const auto recs = farm::read_journal(path);
+  ASSERT_GE(recs.size(), 3u + 3u + 1u + 1u + 3u);
+  const auto count = [&](JournalType t) {
+    return std::count_if(recs.begin(), recs.end(),
+                         [&](const JournalRecord& r) { return r.type == t; });
+  };
+  EXPECT_EQ(count(JournalType::kSubmit), 3);
+  EXPECT_EQ(count(JournalType::kLaunch), 3);
+  EXPECT_EQ(count(JournalType::kPreempt), 1);
+  EXPECT_EQ(count(JournalType::kRestore), 1);
+  EXPECT_EQ(count(JournalType::kFinish), 3);
+  for (const auto& r : recs) {
+    if (r.type == JournalType::kPreempt || r.type == JournalType::kRestore) {
+      EXPECT_EQ(r.name, "A");
+      EXPECT_EQ(r.frame, 3u);
+    }
+  }
+  // Every job reached a terminal record: a recovery finds nothing pending.
+  EXPECT_TRUE(farm::recover_journal(path).pending.empty());
+}
+
+TEST(FarmJournal, RecoveryRebuildsPendingJobsWithResumeFrames) {
+  const std::string path =
+      std::filesystem::path(::testing::TempDir()) / "farm_recover.journal";
+  {
+    farm::JournalWriter w(path);
+    JournalRecord r;
+    r.type = JournalType::kSubmit;
+    r.seq = 0;
+    r.name = "interrupted";
+    r.tenant = "batch";
+    w.append(r);
+    r.type = JournalType::kLaunch;
+    w.append(r);
+    r.type = JournalType::kPreempt;
+    r.frame = 7;
+    w.append(r);
+    r = {};
+    r.type = JournalType::kSubmit;
+    r.seq = 1;
+    r.name = "done";
+    w.append(r);
+    r.type = JournalType::kFinish;
+    r.state = JobState::kDone;
+    w.append(r);
+  }  // the farm process "crashes" here
+  const auto rec = farm::recover_journal(path);
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0].seq, 0);
+  EXPECT_EQ(rec.pending[0].name, "interrupted");
+  EXPECT_EQ(rec.pending[0].tenant, "batch");
+  ASSERT_TRUE(rec.pending[0].resume_frame.has_value());
+  EXPECT_EQ(*rec.pending[0].resume_frame, 7u);
+}
+
+TEST(FarmJournal, TornTailEndsCleanlyButSkewFailsLoudly) {
+  const std::string path =
+      std::filesystem::path(::testing::TempDir()) / "farm_torn.journal";
+  {
+    farm::JournalWriter w(path);
+    JournalRecord r;
+    r.type = JournalType::kSubmit;
+    r.name = "a";
+    w.append(r);
+    r.seq = 1;
+    r.name = "b";
+    w.append(r);
+  }
+  {
+    // A crash mid-append leaves a torn frame at the tail.
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    const char garbage[] = "\x40\x00\x00\x00partial";
+    app.write(garbage, sizeof(garbage) - 1);
+  }
+  const auto recs = farm::read_journal(path);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[1].name, "b");
+
+  // Version skew is a different build's journal, not a torn tail: loud.
+  {
+    std::fstream fix(path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+    fix.seekp(4);  // u16 version right after the u32 magic
+    const char bad = '\x7F';
+    fix.write(&bad, 1);
+  }
+  EXPECT_THROW(farm::read_journal(path), std::runtime_error);
+  EXPECT_THROW(farm::read_journal(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+// --- accounting regressions --------------------------------------------
+
+TEST(FarmAccounting, FailedLaunchLeavesNoPeakRankFootprint) {
+  // A job that dies during launch never resided on its nodes: peak_ranks
+  // must stay zero (it used to be charged at claim time and never
+  // uncharged).
+  Farm f(flat_cluster(2, 4), preempt_opts(Policy::kFifo,
+                                          mp::ExecMode::kDefault));
+  auto doomed = tiny_job("doomed", 1, 6);
+  // Crash a calculator the job does not have: run_parallel rejects the
+  // fault plan at launch, failing the job before any frame runs.
+  doomed.settings.fault_plan.crashes = {{.calc = 7, .at_frame = 1}};
+  auto h = f.submit(std::move(doomed));
+  const auto report = f.run();
+  ASSERT_EQ(h.await().state, JobState::kFailed);
+  for (const auto& n : report.nodes) {
+    EXPECT_EQ(n.peak_ranks, 0);
+    EXPECT_EQ(n.busy_rank_s, 0.0);
+  }
+}
+
+TEST(FarmAccounting, CollidingObsFileNamesGetDistinctFiles) {
+  // "a b" and "a_b" sanitize to the same file stem; the second claimant
+  // must be suffixed with its seq instead of overwriting the first.
+  const std::string dir =
+      std::filesystem::path(::testing::TempDir()) / "farm_obs_collide";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  FarmOptions o = preempt_opts(Policy::kFifo, mp::ExecMode::kDefault);
+  o.obs_dir = dir;
+  Farm f(flat_cluster(2, 4), o);
+  auto h1 = f.submit(tiny_job("a b", 1, 4));
+  auto h2 = f.submit(tiny_job("a_b", 1, 4));
+  f.run();
+  ASSERT_EQ(h1.await().state, JobState::kDone);
+  ASSERT_EQ(h2.await().state, JobState::kDone);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/a_b.trace.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/a_b-1.trace.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/a_b.analysis.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/a_b-1.analysis.json"));
+}
+
+TEST(FarmAccounting, QueueDepthSeriesAlwaysTerminatesAtZero) {
+  // Terminal drops (cancellations) must be swept before the last sample:
+  // the step series ends at depth 0 even when jobs never ran.
+  Farm f(flat_cluster(1, 4), preempt_opts(Policy::kFifo,
+                                          mp::ExecMode::kDefault));
+  auto h1 = f.submit(tiny_job("runs", 2, 4));
+  auto far = tiny_job("cancelled", 2, 4);
+  far.submit_time_s = 1e9;  // arrives long after "runs" finishes
+  auto h2 = f.submit(std::move(far));
+  EXPECT_TRUE(h2.cancel());
+  const auto report = f.run();
+  ASSERT_EQ(h1.await().state, JobState::kDone);
+  ASSERT_EQ(h2.await().state, JobState::kCancelled);
+  ASSERT_FALSE(report.queue_depth.empty());
+  EXPECT_EQ(report.queue_depth.back().second, 0);
+  for (std::size_t i = 1; i < report.queue_depth.size(); ++i) {
+    EXPECT_LT(report.queue_depth[i - 1].first, report.queue_depth[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace psanim

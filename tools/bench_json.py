@@ -38,6 +38,18 @@ psanim-bench-pr8-farm-v1 (bench/farm_throughput --out):
     sjf_le_fifo_makespan true (the scheduling win the bench itself
     asserts, re-checked from the artifact).
 
+psanim-bench-pr9-farm-v1 (bench/farm_arrivals --out):
+  - every leg (fifo, priority, priority_rerun, fair_share) drained the
+    whole job stream with zero failures, sane SLO percentiles overall and
+    per tenant;
+  - both preemptive legs report preemption_events > 0 (the eviction path
+    ran) while FIFO reports exactly 0;
+  - the headline gate: the interactive tenant's p99 wait under preemptive
+    priority sits strictly below its FIFO p99 wait;
+  - the priority and priority_rerun legs match field-for-field as literal
+    JSON strings (the preemptive DES is deterministic);
+  - fair_share delivered nonzero rank-seconds to both tenants.
+
 PR4 rules:
 
 Hard failures (exit 1):
@@ -70,6 +82,7 @@ SCHEMA = "psanim-bench-pr4-v1"
 SCHEMA_PR7 = "psanim-bench-pr7-v1"
 SCHEMA_PR8 = "psanim-bench-pr8-v1"
 SCHEMA_PR8_FARM = "psanim-bench-pr8-farm-v1"
+SCHEMA_PR9_FARM = "psanim-bench-pr9-farm-v1"
 
 _failures = []
 _warnings = []
@@ -362,6 +375,88 @@ def check_pr8_farm(doc):
                  f"scheduling win regressed")
 
 
+def check_pr9_farm(doc):
+    legs = doc.get("legs")
+    required = ("fifo", "priority", "priority_rerun", "fair_share")
+    if not isinstance(legs, dict) or any(k not in legs for k in required):
+        fail(f"legs section must contain {required}")
+        return
+    total = int(doc.get("jobs", -1))
+    if total <= 0:
+        fail("missing or nonpositive jobs count")
+        return
+    for name in required:
+        block = legs[name]
+        if int(block.get("jobs_done", -1)) != total:
+            fail(f"leg {name}: drained {block.get('jobs_done')} of {total} "
+                 f"jobs — the scheduler lost work")
+        if int(block.get("jobs_failed", -1)) != 0:
+            fail(f"leg {name}: {block.get('jobs_failed')} jobs failed")
+        if int(block.get("queue_depth_peak", -1)) < 0:
+            fail(f"leg {name}: bad queue_depth_peak")
+        _percentiles_sane(f"leg {name}", block)
+        for tenant, slo in block.get("tenants", {}).items():
+            try:
+                t50 = float(slo["wait_p50_s"])
+                t99 = float(slo["wait_p99_s"])
+                ts99 = float(slo["slowdown_p99"])
+            except (KeyError, ValueError) as e:
+                fail(f"leg {name} tenant {tenant}: bad SLO block ({e})")
+                continue
+            if not (0.0 <= t50 <= t99):
+                fail(f"leg {name} tenant {tenant}: wait percentiles not "
+                     f"monotone (p50={t50} p99={t99})")
+            elif int(slo.get("jobs", 0)) > 0 and ts99 < 1.0 - 1e-9:
+                fail(f"leg {name} tenant {tenant}: slowdown p99 {ts99} "
+                     f"below 1")
+
+    # The point of preemption: eviction actually happened on both
+    # preemptive legs, and never on FIFO.
+    for name in ("priority", "fair_share"):
+        if int(legs[name].get("preemption_events", 0)) <= 0:
+            fail(f"leg {name}: a preemptive policy never preempted under a "
+                 f"heavy-tailed overload — the eviction path is dead")
+        else:
+            ok(f"leg {name}: {legs[name]['preemption_events']} preemption "
+               f"event(s), {legs[name].get('migrations', 0)} migration(s)")
+    if int(legs["fifo"].get("preemption_events", -1)) != 0:
+        fail("leg fifo: a non-preemptive policy reported preemptions")
+
+    # Headline gate: preemptive priority must cut the interactive tenant's
+    # p99 wait below FIFO's. Compared as floats (the values come from
+    # different legs, so string equality is meaningless here).
+    try:
+        fifo_i = float(legs["fifo"]["tenants"]["interactive"]["wait_p99_s"])
+        prio_i = float(legs["priority"]["tenants"]["interactive"]["wait_p99_s"])
+    except KeyError:
+        fail("fifo/priority legs missing the interactive tenant block")
+        return
+    if not prio_i < fifo_i:
+        fail(f"interactive p99 wait under priority ({prio_i}) not below "
+             f"FIFO ({fifo_i}) — preemption bought nothing")
+    else:
+        ok(f"interactive p99 wait: priority {prio_i} < fifo {fifo_i}")
+
+    # Determinism: the rerun leg is the same policy over the same stream,
+    # so every scalar must match as a literal JSON string (parse_float=str).
+    for field in ("makespan_s", "wait_p50_s", "wait_p95_s", "wait_p99_s",
+                  "turnaround_p99_s", "slowdown_p99", "preemption_events",
+                  "migrations", "jobs_preempted"):
+        a = legs["priority"].get(field)
+        b = legs["priority_rerun"].get(field)
+        if a != b:
+            fail(f"priority vs rerun: {field} differs ({a!r} vs {b!r}) — "
+                 f"the preemptive DES leaked nondeterminism")
+    ok("priority leg reproduces bit-identically across reruns")
+
+    # Fair-share delivered service to both tenants.
+    ranks = legs["fair_share"].get("tenant_rank_s", {})
+    for tenant in ("interactive", "batch"):
+        if float(ranks.get(tenant, "0")) <= 0.0:
+            fail(f"fair_share: tenant {tenant} received no service "
+                 f"(tenant_rank_s missing or zero)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -381,6 +476,11 @@ def main():
         return 1 if _failures else 0
     if doc.get("schema") == SCHEMA_PR8_FARM:
         check_pr8_farm(doc)
+        print(f"\n{args.file}: {len(_failures)} failure(s), "
+              f"{len(_warnings)} warning(s)")
+        return 1 if _failures else 0
+    if doc.get("schema") == SCHEMA_PR9_FARM:
+        check_pr9_farm(doc)
         print(f"\n{args.file}: {len(_failures)} failure(s), "
               f"{len(_warnings)} warning(s)")
         return 1 if _failures else 0
