@@ -14,6 +14,19 @@ std::vector<std::uint32_t> CkptPolicy::snapshot_frames(
   return out;
 }
 
+std::optional<std::uint32_t> CkptPolicy::next_snapshot_at_or_after(
+    std::uint32_t frame, std::uint32_t frames,
+    std::optional<std::uint32_t> after) const {
+  if (!enabled()) return std::nullopt;
+  const auto iv = static_cast<std::uint32_t>(interval);
+  std::uint32_t lo = frame;
+  if (after && *after + 1 > lo) lo = *after + 1;
+  // Smallest f >= lo with (f + 1) % iv == 0.
+  const std::uint32_t f = lo / iv * iv + iv - 1;
+  if (f + 1 >= frames) return std::nullopt;
+  return f;
+}
+
 bool calc_dead_at(const fault::FaultPlan& plan, const CkptPolicy& policy,
                   int calc, std::uint32_t frame) {
   const auto cf = plan.crash_frame(calc);

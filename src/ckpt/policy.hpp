@@ -78,6 +78,14 @@ struct CkptPolicy {
   std::vector<std::uint32_t> snapshot_frames(
       std::uint32_t frames,
       std::optional<std::uint32_t> after = std::nullopt) const;
+
+  /// The earliest usable suspend frame >= `frame` (same restrictions as
+  /// snapshot_frames), or nullopt when none remains — the farm's victim
+  /// costing query: how far a running job at `frame` must drain before it
+  /// can vacate. O(1), no list materialized.
+  std::optional<std::uint32_t> next_snapshot_at_or_after(
+      std::uint32_t frame, std::uint32_t frames,
+      std::optional<std::uint32_t> after = std::nullopt) const;
 };
 
 /// Recovery-aware membership: is `calc` permanently dead at the start of

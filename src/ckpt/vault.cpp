@@ -59,6 +59,19 @@ std::vector<std::uint32_t> Vault::sealed_frames() const {
   return out;
 }
 
+bool Vault::has_sealed(std::uint32_t frame) const {
+  std::lock_guard lock(mu_);
+  return manifests_.find(frame) != manifests_.end();
+}
+
+std::optional<std::uint32_t> Vault::latest_sealed_at_or_before(
+    std::uint32_t frame) const {
+  std::lock_guard lock(mu_);
+  auto it = manifests_.upper_bound(frame);
+  if (it == manifests_.begin()) return std::nullopt;
+  return std::prev(it)->first;
+}
+
 std::size_t Vault::image_count() const {
   std::lock_guard lock(mu_);
   return images_.size();

@@ -49,6 +49,12 @@ class Vault {
   std::optional<Manifest> manifest(std::uint32_t frame) const;
   /// Ascending frames with a sealed manifest.
   std::vector<std::uint32_t> sealed_frames() const;
+  /// Is `frame` restorable (a sealed manifest exists for it)?
+  bool has_sealed(std::uint32_t frame) const;
+  /// Latest sealed frame <= `frame`, if any — what a recovery can fall
+  /// back to when the exact frame it wanted is missing.
+  std::optional<std::uint32_t> latest_sealed_at_or_before(
+      std::uint32_t frame) const;
 
   std::size_t image_count() const;
   std::size_t total_bytes() const;

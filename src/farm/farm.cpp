@@ -1,6 +1,7 @@
 #include "farm/farm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -236,6 +237,80 @@ const Report& Farm::report() const {
   return report_;
 }
 
+std::vector<JobHandle> Farm::handles() const {
+  const std::scoped_lock lock(ss_->mu);
+  std::vector<JobHandle> out;
+  out.reserve(jobs_.size());
+  for (const auto& rec : jobs_) out.push_back(JobHandle(rec));
+  return out;
+}
+
+std::unique_ptr<Farm> Farm::recover(
+    const std::string& journal_path, cluster::ClusterSpec shared,
+    FarmOptions options, std::vector<JobSpec> specs,
+    const std::map<int, std::shared_ptr<ckpt::Vault>>& vaults) {
+  if (!options.journal_path.empty() &&
+      options.journal_path == journal_path) {
+    throw std::invalid_argument(
+        "Farm::recover: options.journal_path must not be the journal being "
+        "recovered — JournalWriter truncates on open");
+  }
+  const JournalRecovery rc = recover_journal(journal_path);
+  auto farm =
+      std::unique_ptr<Farm>(new Farm(std::move(shared), std::move(options)));
+  std::map<int, int> seq_map;  // original seq -> recovered seq
+  for (const auto& p : rc.pending) {
+    if (p.seq < 0 || p.seq >= static_cast<int>(specs.size())) {
+      throw std::invalid_argument(
+          "Farm::recover: journal names pending job seq " +
+          std::to_string(p.seq) + " ('" + p.name + "') but only " +
+          std::to_string(specs.size()) +
+          " specs were supplied — pass the crashed farm's full submission "
+          "list, indexed by original seq");
+    }
+    JobSpec spec = std::move(specs[static_cast<std::size_t>(p.seq)]);
+    if (p.resume_frame) {
+      const auto vit = vaults.find(p.seq);
+      if (vit == vaults.end() || vit->second == nullptr) {
+        throw std::invalid_argument(
+            "Farm::recover: job '" + p.name + "' (seq " +
+            std::to_string(p.seq) + ") was suspended at checkpoint frame " +
+            std::to_string(*p.resume_frame) +
+            " but no vault was supplied for it");
+      }
+      if (!spec.settings.ckpt.enabled() &&
+          farm->options_.preempt_interval > 0) {
+        // The crashed farm imposed its preempt cadence on this job — the
+        // journaled resume frame lives on that snapshot grid.
+        spec.settings.ckpt.interval = farm->options_.preempt_interval;
+      }
+      if (!vit->second->has_sealed(*p.resume_frame)) {
+        const auto fallback =
+            vit->second->latest_sealed_at_or_before(*p.resume_frame);
+        throw std::invalid_argument(
+            "Farm::recover: the vault for job '" + p.name +
+            "' holds no sealed checkpoint at resume frame " +
+            std::to_string(*p.resume_frame) +
+            (fallback ? " (latest sealed frame before it: " +
+                            std::to_string(*fallback) + ")"
+                      : " (no sealed frame precedes it either)"));
+      }
+      spec.settings.resume_from = p.resume_frame;
+      spec.settings.ckpt_vault = vit->second.get();
+      farm->recovered_vaults_.push_back(vit->second);
+    }
+    if (spec.after_seq >= 0) {
+      const auto mit = seq_map.find(spec.after_seq);
+      // Predecessor already terminal in the journal: the dependency is
+      // satisfied — the think delay counts from the recovered farm's t=0.
+      spec.after_seq = mit == seq_map.end() ? -1 : mit->second;
+    }
+    seq_map[p.seq] = static_cast<int>(farm->jobs_.size());
+    farm->submit(std::move(spec));
+  }
+  return farm;
+}
+
 // --- Farm: the discrete-event driver --------------------------------------
 
 struct Farm::Running {
@@ -253,9 +328,9 @@ struct Farm::Running {
   double vacate_progress = 0.0;   ///< segment virtual time of that frame
   double vacate_est = 0.0;
   /// (frame, completion virtual time) of every frame this segment
-  /// executed, ascending — where candidate vacate points sit in time.
+  /// executed, ascending — where candidate vacate points sit in time
+  /// (candidate frames come from ckpt.next_snapshot_at_or_after).
   std::vector<std::pair<std::uint32_t, double>> timeline;
-  std::vector<std::uint32_t> ckpt_frames;  ///< candidate vacate frames
   std::shared_ptr<ckpt::Vault> vault;      ///< holds the sealed snapshots
   ckpt::CkptPolicy ckpt;                   ///< effective policy at launch
   std::optional<std::uint32_t> resume_base;
@@ -498,8 +573,6 @@ bool Farm::launch_batch(std::vector<LaunchReq> batch, double now,
       r.vault = req.vault;
       r.ckpt = req.ckpt;
       r.resume_base = req.resume;
-      r.ckpt_frames = req.ckpt.snapshot_frames(
-          req.rec->spec.settings.frames, req.resume);
       // Per-frame completion timeline — where in segment-virtual time each
       // candidate vacate frame's snapshot becomes available. Rollback
       // replays re-emit frames; the last emission is the surviving one.
@@ -508,13 +581,28 @@ bool Farm::launch_batch(std::vector<LaunchReq> batch, double now,
         fd[is.frame] = is.frame_complete_time;
       }
       r.timeline.assign(fd.begin(), fd.end());
-      if (req.restore) {
-        // Restored frames are replayed from the snapshot, not recomputed:
+      if (req.resume) {
+        // Resumed frames are replayed from the snapshot, not recomputed:
         // the job re-enters farm time at the checkpoint's virtual instant
-        // and owes only duration - progress from here.
+        // and owes only the frames past it. animation_s measures just that
+        // remainder, while the telemetry timeline (and so progress and
+        // every vacate candidate) is absolute — rebase the duration to the
+        // absolute scale or the segment gets double-charged and its finish
+        // estimate lands in the *past*, dragging the DES clock backwards.
+        // This applies to farm restores and to resume_from submissions
+        // (recover()ed suspended jobs) alike.
         const auto it = fd.find(*req.resume);
         if (it != fd.end()) r.progress = it->second;
+        r.duration = r.progress + out.res.animation_s;
       }
+    }
+    if (!req.restore && !req.resume && req.rec->est > 0.0) {
+      // Calibrate the tenant-estimate -> runtime upper-bound ratio EASY
+      // cond-1 backfill scales by (durations are only learned here).
+      // Resume-from launches run only a remainder, which would deflate
+      // the ratio below a true upper bound.
+      est_ratio_max_ =
+          std::max(est_ratio_max_, out.res.animation_s / req.rec->est);
     }
     {
       const std::scoped_lock lock(ss_->mu);
@@ -582,25 +670,33 @@ void Farm::mark_victims(const std::shared_ptr<JobRecord>& blocked,
   if (avail >= needed) return;  // enough vacates already in flight
 
   const auto tu = [&](const std::string& tenant) {
-    const auto it = tenant_used_.find(tenant);
-    return it == tenant_used_.end() ? 0.0 : it->second;
+    const auto it = tenant_score_.find(tenant);
+    return it == tenant_score_.end() ? 0.0 : it->second;
   };
-  // The earliest checkpoint frame this segment has not yet passed: the
-  // job drains there (sealing that snapshot) and vacates. Jobs beyond
-  // their last snapshot frame finish naturally instead.
+  // The earliest checkpoint frame this segment has not yet passed
+  // (CkptPolicy::next_snapshot_at_or_after walks the candidates): the job
+  // drains there (sealing that snapshot) and vacates. Jobs beyond their
+  // last snapshot frame finish naturally instead.
   const auto pick_vacate =
       [](const Running& r) -> std::optional<std::pair<std::uint32_t, double>> {
-    for (const std::uint32_t f : r.ckpt_frames) {
+    const std::uint32_t frames = r.rec->spec.settings.frames;
+    for (auto f = r.ckpt.next_snapshot_at_or_after(0, frames, r.resume_base);
+         f; f = r.ckpt.next_snapshot_at_or_after(*f + 1, frames,
+                                                 r.resume_base)) {
       const auto it = std::lower_bound(
-          r.timeline.begin(), r.timeline.end(), f,
+          r.timeline.begin(), r.timeline.end(), *f,
           [](const auto& p, std::uint32_t v) { return p.first < v; });
-      if (it == r.timeline.end() || it->first != f) continue;
-      if (it->second >= r.progress) return std::make_pair(f, it->second);
+      if (it == r.timeline.end() || it->first != *f) continue;
+      if (it->second >= r.progress) return std::make_pair(*f, it->second);
     }
     return std::nullopt;
   };
 
-  std::vector<Running*> cands;
+  struct Cand {
+    Running* r;
+    double cost;  ///< farm-seconds of slot time lost draining to the ckpt
+  };
+  std::vector<Cand> cands;
   for (auto& r : running) {
     if (r.preempting) continue;
     if (r.rec->result.preemptions >= options_.max_preemptions_per_job) {
@@ -614,13 +710,22 @@ void Farm::mark_victims(const std::shared_ptr<JobRecord>& blocked,
                  tu(r.rec->spec.tenant) > tu(blocked->spec.tenant);
     }
     if (!eligible) continue;
-    if (!pick_vacate(r)) continue;
-    cands.push_back(&r);
+    const auto v = pick_vacate(r);
+    if (!v) continue;
+    cands.push_back({&r, (v->second - r.progress) * r.stretch});
   }
-  // Evict the least deserving first: lowest priority / most over-served
-  // tenant, then the youngest segment (least sunk work re-queued).
-  std::sort(cands.begin(), cands.end(), [&](const Running* a,
-                                            const Running* b) {
+  // kLeastDeserving (PR-9): lowest priority / most over-served tenant,
+  // then the youngest segment (least sunk work re-queued). kCostAware
+  // leads with the drain cost — distance to the nearest checkpoint frame
+  // in farm time — so the eviction wastes the least slot time, with the
+  // deserve ranking and seq as deterministic tie-breaks.
+  std::sort(cands.begin(), cands.end(), [&](const Cand& ca, const Cand& cb) {
+    const Running* a = ca.r;
+    const Running* b = cb.r;
+    if (options_.victim_selection == VictimSelection::kCostAware &&
+        ca.cost != cb.cost) {
+      return ca.cost < cb.cost;
+    }
     if (options_.policy == Policy::kPriority) {
       if (a->rec->spec.priority != b->rec->spec.priority) {
         return a->rec->spec.priority < b->rec->spec.priority;
@@ -633,7 +738,8 @@ void Farm::mark_victims(const std::shared_ptr<JobRecord>& blocked,
     if (a->start != b->start) return a->start > b->start;
     return a->rec->seq > b->rec->seq;
   });
-  for (Running* c : cands) {
+  for (const Cand& cand : cands) {
+    Running* c = cand.r;
     const auto v = pick_vacate(*c);
     c->preempting = true;
     c->preempt_frame = v->first;
@@ -694,6 +800,24 @@ void Farm::drive() {
     for (const auto& rec : dropped) release_dependents(rec->seq, at);
   };
 
+  // Worst-case contention stretch for an assignment: what the job would
+  // pay if every exclusive single-rank node it holds on a multi-slot node
+  // became shared. Finish estimates taken at this stretch are upper
+  // bounds on the true release instants — the property that makes EASY
+  // reservations safe to backfill against.
+  const auto worst_stretch = [&](const Assignment& a) {
+    const double smp = options_.cost.smp_contention;
+    if (!(smp > 0.0 && smp < 1.0)) return 1.0;
+    for (std::size_t k = 0; k < a.shared_nodes.size(); ++k) {
+      if (a.ranks_per_node[k] == 1 &&
+          shared_.nodes[static_cast<std::size_t>(a.shared_nodes[k])].cpus >
+              1) {
+        return 1.0 / smp;
+      }
+    }
+    return 1.0;
+  };
+
   for (;;) {
     // Arrivals up to now.
     while (!arrivals_.empty() && arrivals_.front().first <= t) {
@@ -705,13 +829,15 @@ void Farm::drive() {
     sweep(t);
 
     // Admit in policy order. kFifo/kSjf backfill: every job that fits
-    // starts (work conservation). Preemptive policies reserve strictly:
-    // the pass stops at the first job that does not fit, after marking
-    // eviction victims for it — nothing may jump the blocked head.
+    // starts (work conservation). Preemptive policies reserve for the
+    // first job that does not fit, after marking eviction victims for it;
+    // with easy_backfill off nothing may jump the blocked head (PR-9
+    // strict reservation), with it on later jobs start only when they
+    // provably cannot delay the reserved start.
     std::vector<std::shared_ptr<JobRecord>> order = queued;
     const auto tu = [&](const std::string& tenant) {
-      const auto it = tenant_used_.find(tenant);
-      return it == tenant_used_.end() ? 0.0 : it->second;
+      const auto it = tenant_score_.find(tenant);
+      return it == tenant_score_.end() ? 0.0 : it->second;
     };
     std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
       switch (options_.policy) {
@@ -744,62 +870,174 @@ void Farm::drive() {
         occupancy_[n] += a.ranks_per_node[k];
       }
     };
+    // EASY reservation machinery. A Release is a known upper bound on
+    // when a set of held slots comes back: running segments release their
+    // slots by (remaining work at worst-case stretch); marked victims by
+    // their vacate point. Jobs budgeted earlier in this same pass hold
+    // slots with *unknown* durations (learned only at launch), so they
+    // contribute no release — the reservation estimate errs late, never
+    // early.
+    struct Release {
+      double at = 0.0;
+      int seq = 0;
+      std::vector<int> nodes;
+      std::vector<int> ranks;
+    };
+    const auto release_of = [](double at, int seq, const Assignment& a) {
+      Release rel;
+      rel.at = at;
+      rel.seq = seq;
+      rel.nodes = a.shared_nodes;
+      rel.ranks = a.ranks_per_node;
+      return rel;
+    };
+    const auto release_order = [](const Release& a, const Release& b) {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
+    };
+    const auto collect_releases = [&] {
+      std::vector<Release> out;
+      out.reserve(running.size());
+      for (const auto& r : running) {
+        const double work =
+            (r.preempting ? r.vacate_progress : r.duration) - r.progress;
+        out.push_back(release_of(
+            t + std::max(0.0, work) * worst_stretch(r.assignment),
+            r.rec->seq, r.assignment));
+      }
+      std::sort(out.begin(), out.end(), release_order);
+      return out;
+    };
+    // Earliest instant `rec` fits as `sim_free` grows by each release in
+    // turn; kInf when even every release is not enough (slots are held by
+    // jobs with unknown durations).
+    const auto earliest_fit = [&](const std::shared_ptr<JobRecord>& rec,
+                                  std::vector<int> sim_free,
+                                  const std::vector<Release>& rels) {
+      const auto fits = [&] {
+        const auto sit = suspended_.find(rec->seq);
+        if (sit != suspended_.end()) {
+          return match_assignment(shared_, sim_free, sit->second.original)
+              .has_value();
+        }
+        int free_total = 0;
+        for (const int f : sim_free) free_total += f;
+        return rec->spec.world_size() <= free_total;
+      };
+      if (fits()) return t;
+      for (const auto& rel : rels) {
+        for (std::size_t k = 0; k < rel.nodes.size(); ++k) {
+          sim_free[static_cast<std::size_t>(rel.nodes[k])] += rel.ranks[k];
+        }
+        if (fits()) return rel.at;
+      }
+      return kInf;
+    };
+
     std::vector<LaunchReq> batch;
+    std::shared_ptr<JobRecord> reserved;  // the blocked head, if any
+    double reserve_at = kInf;
+    std::vector<Release> releases;  // valid while reserved != nullptr
     for (const auto& rec : order) {
       const auto sit = suspended_.find(rec->seq);
-      if (sit != suspended_.end()) {
-        // A suspended job re-enters only onto nodes matching its original
-        // grant (bit-exactness needs identical rates); anywhere such
-        // nodes are free, not necessarily where it ran before.
-        auto m = match_assignment(shared_, free_slots, sit->second.original);
-        if (!m) {
-          if (preemptive_) break;  // head-of-line: wait, don't evict for it
-          continue;
+      const bool is_suspended = sit != suspended_.end();
+      const int world = rec->spec.world_size();
+      // Slots now? A suspended job re-enters only onto nodes matching its
+      // original grant (bit-exactness needs identical rates); anywhere
+      // such nodes are free, not necessarily where it ran before.
+      std::optional<Assignment> got;
+      if (is_suspended) {
+        got = match_assignment(shared_, free_slots, sit->second.original);
+      } else if (world <= total_free) {
+        got = assign_slots(shared_, free_slots, world);
+      }
+      if (!got) {
+        if (!preemptive_) continue;  // kFifo/kSjf: backfill unconditionally
+        if (reserved != nullptr) continue;  // one reservation at a time
+        // The blocked head. Mark eviction victims for a fresh job (a
+        // suspended one waits for matching nodes instead — evicting to
+        // re-host it would thrash), then pin its reservation from the
+        // DES's own release bounds.
+        if (!is_suspended) mark_victims(rec, running, total_free, t);
+        reserved = rec;
+        releases = collect_releases();
+        reserve_at = earliest_fit(rec, free_slots, releases);
+        if (reserve_at < kInf) {
+          const std::scoped_lock lock(ss_->mu);
+          if (rec->result.reserved_at_s < 0.0) {
+            rec->result.reserved_at_s = reserve_at;
+            ++reservations_;
+          }
         }
-        LaunchReq req;
-        req.rec = rec;
+        if (!options_.easy_backfill) break;  // strict head-of-line (PR 9)
+        continue;
+      }
+      bool backfill = false;
+      if (reserved != nullptr) {
+        // EASY admission: start `rec` past the blocked head only when the
+        // reservation provably survives. Cond-2: it survives even if
+        // `rec` never releases its slots. Cond-1: `rec`'s runtime upper
+        // bound — exact remaining work for a suspended job, calibrated
+        // est_ratio_max_ x est for a fresh one — releases them in time.
+        if (reserve_at == kInf) continue;  // no credible reservation yet
+        double ub_work = -1.0;
+        if (is_suspended) {
+          ub_work = sit->second.remaining_s;
+        } else if (est_ratio_max_ > 0.0) {
+          ub_work = rec->est * est_ratio_max_;
+        }
+        std::vector<int> sim_free = free_slots;
+        for (std::size_t k = 0; k < got->shared_nodes.size(); ++k) {
+          sim_free[static_cast<std::size_t>(got->shared_nodes[k])] -=
+              got->ranks_per_node[k];
+        }
+        std::vector<Release> with = releases;
+        if (ub_work >= 0.0) {
+          with.push_back(release_of(t + ub_work * worst_stretch(*got),
+                                    rec->seq, *got));
+          std::sort(with.begin(), with.end(), release_order);
+        }
+        if (earliest_fit(reserved, std::move(sim_free), with) > reserve_at) {
+          continue;  // would (or might) delay the reserved start
+        }
+        releases = std::move(with);  // later candidates see this one too
+        backfill = true;
+      }
+      LaunchReq req;
+      req.rec = rec;
+      if (is_suspended) {
         req.restore = true;
         req.migrated =
-            m->shared_nodes != sit->second.original.shared_nodes;
+            got->shared_nodes != sit->second.original.shared_nodes;
         req.resume = sit->second.resume_frame;
         req.preempt_capable = true;
         req.ckpt = sit->second.ckpt;
         req.vault = sit->second.vault;
-        budget(*m);
-        total_free -= rec->spec.world_size();
-        req.assignment = std::move(*m);
-        batch.push_back(std::move(req));
         suspended_.erase(sit);
-        continue;
-      }
-      const int world = rec->spec.world_size();
-      if (world <= total_free) {
-        LaunchReq req;
-        req.rec = rec;
-        req.assignment = assign_slots(shared_, free_slots, world);
-        budget(req.assignment);
-        total_free -= world;
-        if (preemptive_) {
-          req.preempt_capable = true;
-          req.resume = rec->spec.settings.resume_from;
-          req.ckpt = rec->spec.settings.ckpt;
-          if (!req.ckpt.enabled()) {
-            req.ckpt.interval = options_.preempt_interval;
-          }
-          if (rec->spec.settings.ckpt_vault != nullptr) {
-            // Non-owning alias: the tenant's vault outlives the farm run.
-            req.vault = std::shared_ptr<ckpt::Vault>(
-                std::shared_ptr<void>(), rec->spec.settings.ckpt_vault);
-          } else {
-            req.vault = std::make_shared<ckpt::Vault>();
-          }
-        }
-        batch.push_back(std::move(req));
       } else if (preemptive_) {
-        mark_victims(rec, running, total_free, t);
-        break;
+        req.preempt_capable = true;
+        req.resume = rec->spec.settings.resume_from;
+        req.ckpt = rec->spec.settings.ckpt;
+        if (!req.ckpt.enabled()) {
+          req.ckpt.interval = options_.preempt_interval;
+        }
+        if (rec->spec.settings.ckpt_vault != nullptr) {
+          // Non-owning alias: the tenant's vault outlives the farm run.
+          req.vault = std::shared_ptr<ckpt::Vault>(
+              std::shared_ptr<void>(), rec->spec.settings.ckpt_vault);
+        } else {
+          req.vault = std::make_shared<ckpt::Vault>();
+        }
       }
-      // kFifo/kSjf: backfill past the blocked job.
+      budget(*got);
+      total_free -= world;
+      req.assignment = std::move(*got);
+      if (backfill) {
+        ++backfills_;
+        const std::scoped_lock lock(ss_->mu);
+        rec->result.backfilled = true;
+      }
+      batch.push_back(std::move(req));
     }
     for (const auto& req : batch) {
       queued.erase(std::find(queued.begin(), queued.end(), req.rec));
@@ -851,10 +1089,21 @@ void Farm::drive() {
     // its resident ranks, every tenant its rank-seconds of service.
     const double dt = t_next - t;
     if (dt > 0.0) {
+      // Decayed fair-share: the scheduling score halves every
+      // half_life_s of farm time before this interval's service lands.
+      // With no half-life the score stays bit-identical to the raw
+      // integral (same additions in the same order).
+      const double hl = options_.fair_share.half_life_s;
+      if (hl > 0.0) {
+        const double decay = std::exp2(-dt / hl);
+        for (auto& [tenant, score] : tenant_score_) score *= decay;
+      }
       for (auto& r : running) {
         r.progress += dt / r.stretch;
-        tenant_used_[r.rec->spec.tenant] +=
+        const double add =
             static_cast<double>(r.assignment.world_size()) * dt;
+        tenant_used_[r.rec->spec.tenant] += add;
+        tenant_score_[r.rec->spec.tenant] += add;
       }
       for (std::size_t n = 0; n < usage_.size(); ++n) {
         usage_[n].busy_rank_s += static_cast<double>(occupancy_[n]) * dt;
@@ -926,6 +1175,7 @@ void Farm::drive() {
         info.vault = it->vault;
         info.ckpt = it->ckpt;
         info.resume_frame = it->preempt_frame;
+        info.remaining_s = it->duration - it->vacate_progress;
         info.original = it->assignment;
         suspended_[it->rec->seq] = std::move(info);
         {
@@ -954,6 +1204,7 @@ void Farm::drive() {
   {
     const std::scoped_lock lock(ss_->mu);
     for (const auto& rec : jobs_) {
+      if (rec->result.backfilled) ++report_.jobs_backfilled;
       if (rec->result.state == JobState::kCancelled) {
         ++report_.jobs_cancelled;
       } else if (rec->result.state == JobState::kQueued ||
@@ -1016,6 +1267,10 @@ void Farm::drive() {
       .add(static_cast<double>(restores_));
   m.counter("psanim_farm_migrations_total")
       .add(static_cast<double>(migrations_));
+  m.counter("psanim_farm_backfills_total")
+      .add(static_cast<double>(backfills_));
+  m.counter("psanim_farm_reservations_total")
+      .add(static_cast<double>(reservations_));
   m.gauge("psanim_farm_makespan_seconds").set(report_.makespan_s);
   m.counter("psanim_farm_flow_seconds_total").add(report_.total_flow_s);
   int peak = 0;

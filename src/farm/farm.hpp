@@ -107,6 +107,27 @@ struct FarmOptions {
   /// A job checkpointed out this many times is never evicted again
   /// (starvation guard for low-priority tenants under hostile load).
   int max_preemptions_per_job = 4;
+  /// EASY backfill (preemptive policies only). When the head of the
+  /// policy order is blocked, the driver computes its reservation — the
+  /// earliest instant it fits, from the DES's own per-job finish
+  /// estimates taken at worst-case contention stretch (upper bounds) —
+  /// and starts later queued jobs that provably cannot delay it: either
+  /// the reservation stays feasible even if the backfilled job never
+  /// releases its slots, or the job's calibrated runtime upper bound ends
+  /// before the reserved start needs the slots. Off = PR-9 strict
+  /// head-of-line (no job jumps a blocked head).
+  bool easy_backfill = false;
+  /// How mark_victims ranks eligible victims (see VictimSelection).
+  VictimSelection victim_selection = VictimSelection::kLeastDeserving;
+  struct FairShareOptions {
+    /// Exponential half-life (farm virtual seconds) applied to the
+    /// per-tenant service integral that kFairShare orders and selects
+    /// victims by — yesterday's hogging decays instead of starving a
+    /// tenant forever. <= 0 keeps the full-history integral (PR-9
+    /// behavior). Report::tenant_rank_s always stays the raw integral.
+    double half_life_s = 0.0;
+  };
+  FairShareOptions fair_share;
   /// When set, every scheduling decision (submit/launch/preempt/restore/
   /// finish) is appended — versioned, CRC-framed, flushed per record — to
   /// this file, so a crashed farm process can rebuild its queue with
@@ -136,6 +157,8 @@ struct Report {
   /// Jobs evicted at least once (preemption *events* are the
   /// psanim_farm_preemptions_total counter in `metrics`).
   std::size_t jobs_preempted = 0;
+  /// Jobs started past a blocked head under EASY backfill.
+  std::size_t jobs_backfilled = 0;
   /// Job names in completion order — deterministic for a fixed submission
   /// set (ordered by finish time, submission sequence as tiebreak).
   std::vector<std::string> completion_order;
@@ -226,8 +249,35 @@ class Farm {
   /// start() + wait() + report().
   Report run();
 
+  /// Live queue recovery: boot a new Farm from a crashed farm's journal.
+  /// `recover_journal(journal_path)` names the pending jobs (by original
+  /// submission sequence) and, for jobs that were checkpointed out, their
+  /// resume frames; the journal records scheduling, not scenes, so the
+  /// caller re-supplies the original submission list in `specs` (indexed
+  /// by original seq, consumed — scenes are move-only) and, for each
+  /// suspended job, the vault holding its
+  /// sealed snapshots in `vaults` (keyed by original seq — the per-job
+  /// vault the crashed farm was given via SimSettings::ckpt_vault).
+  /// Pending jobs are resubmitted in original order — suspended ones with
+  /// resume_from pinned to their journaled checkpoint frame, so they
+  /// recompute only the remainder and stay bit-identical to the
+  /// uninterrupted run. Closed-loop after_seq edges are remapped; an edge
+  /// to an already-terminal predecessor becomes an immediate arrival
+  /// (think delay from time 0). Throws std::invalid_argument when a
+  /// pending seq has no spec, or a suspended job's vault is missing or
+  /// holds no sealed snapshot at its resume frame. The returned farm is
+  /// not yet started; submit more jobs or run() it.
+  static std::unique_ptr<Farm> recover(
+      const std::string& journal_path, cluster::ClusterSpec shared,
+      FarmOptions options, std::vector<JobSpec> specs,
+      const std::map<int, std::shared_ptr<ckpt::Vault>>& vaults);
+
   /// Aggregate report; valid after wait() returned.
   const Report& report() const;
+
+  /// One handle per admitted job, in submission order — how a caller who
+  /// did not submit the jobs itself (a recover()ed farm) reaches results.
+  std::vector<JobHandle> handles() const;
 
   const cluster::ClusterSpec& spec() const { return shared_; }
   const FarmOptions& options() const { return options_; }
@@ -273,11 +323,23 @@ class Farm {
   std::vector<int> occupancy_;
   std::vector<NodeUsage> usage_;
   std::map<std::string, double> tenant_used_;
+  /// kFairShare's scheduling view of tenant_used_: identical when
+  /// fair_share.half_life_s <= 0, exponentially decayed otherwise.
+  std::map<std::string, double> tenant_score_;
+  /// Max observed (segment duration / est) over fresh launches — the
+  /// calibration that turns a tenant estimate into a runtime upper bound
+  /// for EASY cond-1 backfill. 0 until the first launch lands.
+  double est_ratio_max_ = 0.0;
+  int backfills_ = 0;     ///< backfilled launch events
+  int reservations_ = 0;  ///< jobs that ever pinned a reservation
   struct SuspendInfo {
     /// Farm-owned, or a non-owning alias of the tenant's own vault.
     std::shared_ptr<ckpt::Vault> vault;
     ckpt::CkptPolicy ckpt;  ///< effective policy at launch
     std::uint32_t resume_frame = 0;
+    /// Virtual work left past the vacate point — exact, so a suspended
+    /// backfill candidate needs no estimate calibration.
+    double remaining_s = 0.0;
     Assignment original;
   };
   std::map<int, SuspendInfo> suspended_;
@@ -288,6 +350,10 @@ class Farm {
   std::vector<std::pair<double, std::shared_ptr<detail::JobRecord>>>
       arrivals_;  ///< min-heap by (time, seq)
   std::set<std::string> used_obs_names_;
+  /// Vault aliases handed to recover()ed jobs — kept alive for the farm's
+  /// lifetime so spec.settings.ckpt_vault raw pointers stay valid even if
+  /// the caller drops its map.
+  std::vector<std::shared_ptr<ckpt::Vault>> recovered_vaults_;
 };
 
 /// Re-run a finished job exactly as the farm ran it, outside the farm:

@@ -20,6 +20,16 @@ std::string to_string(Policy p) {
   return "?";
 }
 
+std::string to_string(VictimSelection v) {
+  switch (v) {
+    case VictimSelection::kLeastDeserving:
+      return "least-deserving";
+    case VictimSelection::kCostAware:
+      return "cost-aware";
+  }
+  return "?";
+}
+
 std::string to_string(JobState s) {
   switch (s) {
     case JobState::kQueued:

@@ -39,6 +39,19 @@ enum class Policy {
 
 std::string to_string(Policy p);
 
+/// How the preemptive driver ranks eligible running jobs for eviction.
+enum class VictimSelection {
+  /// PR-9 behavior: lowest priority / most over-served tenant first, then
+  /// the youngest segment (least sunk work re-queued).
+  kLeastDeserving,
+  /// Cheapest eviction first: the victim with the least work left to
+  /// drain to its nearest upcoming checkpoint frame (farm-seconds lost to
+  /// the drain), with deterministic (cost, deserve, seq) tie-breaks.
+  kCostAware,
+};
+
+std::string to_string(VictimSelection v);
+
 enum class JobState {
   kQueued,      ///< admitted, waiting for slots
   kRunning,     ///< occupying slots on the shared cluster
@@ -142,6 +155,13 @@ struct JobResult {
   bool migrated = false;
   /// The checkpoint frame of each preemption, in order.
   std::vector<std::uint32_t> preempt_frames;
+  /// True when the job started past a blocked higher-ranked job under EASY
+  /// backfill (it provably could not delay that job's reservation).
+  bool backfilled = false;
+  /// The reservation pinned the first time this job blocked at the head of
+  /// the policy order (farm virtual time it was promised to start by);
+  /// -1 when the job never blocked. Backfill never moves a start past it.
+  double reserved_at_s = -1.0;
 };
 
 }  // namespace psanim::farm

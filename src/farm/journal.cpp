@@ -185,12 +185,21 @@ std::vector<JournalRecord> read_journal(const std::string& path) {
 
   std::vector<JournalRecord> out;
   for (;;) {
-    const std::size_t frame_start = c.pos;
     const std::uint32_t len = c.u32();
     const std::uint32_t crc = c.u32();
     if (!c.ok || c.pos + len > buf.size()) break;  // torn tail: clean end
     const std::string payload(buf, c.pos, len);
-    if (payload_crc(payload) != crc) break;  // corrupt tail frame
+    if (payload_crc(payload) != crc) {
+      // The frame is *complete* — every byte the length field claims is
+      // present — yet the checksum disagrees. That is corruption (a torn
+      // tail is always short), and silently dropping the rest of the
+      // journal would turn data loss into a clean-looking recovery.
+      throw std::runtime_error(
+          "read_journal: '" + path + "' record " +
+          std::to_string(out.size()) +
+          " has a CRC mismatch on a complete frame — the journal is "
+          "corrupt past this point, not torn");
+    }
     c.pos += len;
     Cursor pc{payload};
     JournalRecord rec;
@@ -203,10 +212,13 @@ std::vector<JournalRecord> read_journal(const std::string& path) {
     rec.name = pc.str();
     rec.tenant = pc.str();
     if (!pc.ok) {
-      // CRC passed but the payload doesn't decode: stop where we are —
-      // everything before frame_start is intact.
-      c.pos = frame_start;
-      break;
+      // CRC passed but the payload doesn't decode: a framing/layout bug,
+      // not a torn tail — fail as loudly as a version skew would.
+      throw std::runtime_error(
+          "read_journal: '" + path + "' record " +
+          std::to_string(out.size()) +
+          " passed its CRC but does not decode as a version " +
+          std::to_string(kJournalVersion) + " record");
     }
     out.push_back(std::move(rec));
   }

@@ -10,9 +10,11 @@
 // (magic "PSFJ", format version), then framed records
 // [u32 payload_len][u32 crc32(payload)][payload]. Each append is flushed,
 // so a crash leaves at most one torn record at the tail; the reader stops
-// cleanly at the first short or corrupt frame (torn tail == clean end)
-// but fails loudly on a bad magic or a version skew, exactly like a
-// snapshot image from another build.
+// cleanly at the first *short* frame (torn tail == clean end) but fails
+// loudly — like a snapshot image from another build — on a bad magic, a
+// version skew, or a CRC mismatch over a complete frame: a torn tail is
+// always short, so a full-length frame that fails its checksum is
+// corruption, and pretending it is a clean end would hide data loss.
 
 #include <cstdint>
 #include <fstream>
@@ -67,9 +69,10 @@ class JournalWriter {
   std::string path_;
 };
 
-/// Read every intact record. A torn or corrupt tail frame ends the read
-/// cleanly (crash-consistent); a missing/short header, wrong magic or
-/// version skew throws std::runtime_error.
+/// Read every intact record. A torn (short) tail frame ends the read
+/// cleanly (crash-consistent); a missing/short header, wrong magic,
+/// version skew, or CRC mismatch on a complete frame throws
+/// std::runtime_error.
 std::vector<JournalRecord> read_journal(const std::string& path);
 
 /// What a restarted farm needs to rebuild its queue from a journal.

@@ -10,13 +10,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "ckpt/vault.hpp"
 #include "cluster/cluster_spec.hpp"
 #include "core/simulation.hpp"
 #include "farm/farm.hpp"
@@ -372,6 +376,130 @@ TEST(FarmJournal, TornTailEndsCleanlyButSkewFailsLoudly) {
   EXPECT_THROW(farm::read_journal(path), std::runtime_error);
   EXPECT_THROW(farm::read_journal(path + ".does-not-exist"),
                std::runtime_error);
+}
+
+// --- live queue recovery -----------------------------------------------
+
+/// The canonical scenario, but job A carries its own vault so the sealed
+/// snapshots survive the farm object — the "disk" a crashed farm process
+/// leaves behind, alongside its journal.
+std::vector<JobSpec> recover_specs(ckpt::Vault* vault_a) {
+  std::vector<JobSpec> specs;
+  auto a = scenario_a_spec();
+  a.settings.ckpt.interval = 4;  // same grid preempt_opts would impose
+  a.settings.ckpt_vault = vault_a;
+  auto c = tiny_job("C", 6, 12);
+  auto d = tiny_job("D", 2, 12);
+  c.priority = 1;
+  d.priority = 1;
+  c.submit_time_s = 1e-6;
+  d.submit_time_s = 1e-6;
+  specs.push_back(std::move(a));
+  specs.push_back(std::move(c));
+  specs.push_back(std::move(d));
+  return specs;
+}
+
+TEST(FarmRecover, BootsFromMidRunJournalAndDrainsToTheSameResults) {
+  for (const auto mode : {mp::ExecMode::kFibers, mp::ExecMode::kThreads}) {
+    SCOPED_TRACE(mode == mp::ExecMode::kFibers ? "fibers" : "threads");
+    const auto dir = std::filesystem::path(::testing::TempDir());
+    const std::string suffix =
+        mode == mp::ExecMode::kFibers ? "fibers" : "threads";
+    const std::string ref_path = dir / ("recover_ref_" + suffix + ".journal");
+    const std::string cut_path = dir / ("recover_cut_" + suffix + ".journal");
+    const std::string new_path = dir / ("recover_new_" + suffix + ".journal");
+
+    // Reference: the uninterrupted run, journaled, A's snapshots vaulted.
+    auto vault = std::make_shared<ckpt::Vault>();
+    FarmOptions o = preempt_opts(Policy::kPriority, mode);
+    o.journal_path = ref_path;
+    std::map<std::string, std::uint64_t> want_hash;
+    {
+      Farm ref(flat_cluster(2, 4), o);
+      std::vector<farm::JobHandle> hs;
+      for (auto& spec : recover_specs(vault.get())) {
+        hs.push_back(ref.submit(std::move(spec)));
+      }
+      ref.run();
+      for (const auto& h : hs) {
+        ASSERT_EQ(h.await().state, JobState::kDone) << h.await().error;
+        want_hash[h.name()] = h.await().fb_hash;
+      }
+      ASSERT_EQ(hs[0].await().preemptions, 1);
+    }
+
+    // "Crash" the farm right after it journaled A's eviction: replay the
+    // journal prefix through the kPreempt record into a new file.
+    {
+      farm::JournalWriter w(cut_path);
+      for (const auto& r : farm::read_journal(ref_path)) {
+        w.append(r);
+        if (r.type == JournalType::kPreempt) break;
+      }
+    }
+
+    // Boot a new farm from the cut journal + a copy of the on-disk vault
+    // (the crashed process's memory is gone; its artifacts are not).
+    auto vault2 = std::make_shared<ckpt::Vault>(*vault);
+    FarmOptions o2 = preempt_opts(Policy::kPriority, mode);
+    o2.journal_path = new_path;
+    auto farm2 = Farm::recover(cut_path, flat_cluster(2, 4), o2,
+                               recover_specs(vault2.get()), {{0, vault2}});
+    const auto report = farm2->run();
+
+    // Same completion set, bit-identical framebuffers: the resumed A
+    // recomputed only frames past its journaled checkpoint, C and D
+    // reran from scratch, and nothing about the crash is visible in the
+    // pixels.
+    EXPECT_EQ(report.jobs_done, 3u);
+    const auto hs = farm2->handles();
+    ASSERT_EQ(hs.size(), 3u);
+    std::map<std::string, std::uint64_t> got_hash;
+    for (const auto& h : hs) {
+      ASSERT_EQ(h.await().state, JobState::kDone) << h.await().error;
+      got_hash[h.name()] = h.await().fb_hash;
+    }
+    EXPECT_EQ(got_hash, want_hash);
+    // The recovered farm's own journal closes the loop: nothing pending.
+    EXPECT_TRUE(farm::recover_journal(new_path).pending.empty());
+  }
+}
+
+TEST(FarmRecover, MissingVaultOrSnapshotFailsLoudly) {
+  const auto dir = std::filesystem::path(::testing::TempDir());
+  const std::string path = dir / "recover_errors.journal";
+  {
+    farm::JournalWriter w(path);
+    JournalRecord r;
+    r.type = JournalType::kSubmit;
+    r.seq = 0;
+    r.name = "A";
+    w.append(r);
+    r.type = JournalType::kLaunch;
+    w.append(r);
+    r.type = JournalType::kPreempt;
+    r.frame = 3;
+    w.append(r);
+  }
+  const auto specs = [] {
+    std::vector<JobSpec> v;
+    v.push_back(scenario_a_spec());
+    return v;
+  };
+  FarmOptions o = preempt_opts(Policy::kPriority, mp::ExecMode::kDefault);
+  // A is suspended at frame 3 but no vault was supplied for seq 0.
+  EXPECT_THROW(Farm::recover(path, flat_cluster(2, 4), o, specs(), {}),
+               std::invalid_argument);
+  // A vault exists but holds no sealed snapshot at the resume frame.
+  auto empty_vault = std::make_shared<ckpt::Vault>();
+  EXPECT_THROW(Farm::recover(path, flat_cluster(2, 4), o, specs(),
+                             {{0, empty_vault}}),
+               std::invalid_argument);
+  // The pending seq has no spec to rebuild from.
+  EXPECT_THROW(
+      Farm::recover(path, flat_cluster(2, 4), o, {}, {{0, empty_vault}}),
+      std::invalid_argument);
 }
 
 // --- accounting regressions --------------------------------------------

@@ -1,0 +1,480 @@
+// Scheduler property blitz: randomized arrival traces (seeded, fully
+// deterministic) swept across every queue discipline, asserting the
+// invariants that must hold no matter what the trace looks like — no
+// stranded job, capacity never oversubscribed, completion set == submission
+// set minus cancels, queue-depth series terminates, exact-double
+// determinism across reruns and across both execution cores. Around the
+// sweep: directed tests pinning the EASY-backfill reservation guarantee,
+// cost-aware victim selection, and decayed fair-share.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "core/simulation.hpp"
+#include "farm/farm.hpp"
+#include "farm/job.hpp"
+#include "sim/scenario.hpp"
+
+namespace psanim {
+namespace {
+
+using farm::Farm;
+using farm::FarmOptions;
+using farm::JobSpec;
+using farm::JobState;
+using farm::Policy;
+using farm::VictimSelection;
+
+// --- deterministic trace generation ------------------------------------
+
+/// splitmix64 — tiny, seedable, and good enough to shuffle job shapes.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+core::Scene prop_scene(std::uint32_t frames) {
+  sim::ScenarioParams p;
+  p.systems = 1;
+  p.particles_per_system = 240;
+  p.frames = frames;
+  return sim::make_fountain_scene(p);
+}
+
+JobSpec prop_job(const std::string& name, int ncalc, std::uint32_t frames) {
+  JobSpec j;
+  j.name = name;
+  j.scene = prop_scene(frames);
+  j.settings.ncalc = ncalc;
+  j.settings.frames = frames;
+  j.settings.seed = 42;
+  j.settings.image_width = 48;
+  j.settings.image_height = 32;
+  return j;
+}
+
+cluster::ClusterSpec prop_cluster() {
+  cluster::ClusterSpec spec;
+  spec.add(cluster::NodeType::generic(1.0, 4), 2);
+  return spec;
+}
+
+struct TraceJob {
+  JobSpec spec;
+  bool cancel = false;
+};
+
+/// 5-8 jobs with mixed worlds (3-5 ranks: world 5 fragments a 4-slot node
+/// into [4,1], the shape that makes backfill interesting), mixed lengths
+/// (8/12 frames so the interval-4 preemption grid has candidates), bunched
+/// arrivals, 3 tenants, priorities 0-2, and occasional pre-start cancels.
+std::vector<TraceJob> make_trace(std::uint64_t seed) {
+  Rng rng{seed * 0x9E3779B97F4A7C15ull + 1};
+  const int njobs = 5 + static_cast<int>(rng.below(4));
+  std::vector<TraceJob> out;
+  double at = 0.0;
+  for (int i = 0; i < njobs; ++i) {
+    const std::uint32_t frames = rng.below(2) == 0 ? 8 : 12;
+    const int ncalc = 1 + static_cast<int>(rng.below(3));
+    TraceJob tj;
+    tj.spec = prop_job("s" + std::to_string(seed) + "j" + std::to_string(i),
+                       ncalc, frames);
+    tj.spec.submit_time_s = at;
+    at += rng.unit() * 0.002;
+    tj.spec.priority = static_cast<int>(rng.below(3));
+    tj.spec.tenant = "t" + std::to_string(rng.below(3));
+    // A deliberately loose quadratic upper-bound proxy: per-frame cost
+    // grows as the fountain fills, so frames^2 dominates the true cost
+    // and the backfill calibration (est_ratio) stays an upper bound.
+    tj.spec.sjf_cost_hint = static_cast<double>(frames) * frames;
+    tj.cancel = i > 0 && rng.below(5) == 0;
+    out.push_back(std::move(tj));
+  }
+  return out;
+}
+
+struct SchedConfig {
+  Policy policy = Policy::kFifo;
+  bool easy_backfill = false;
+  VictimSelection victim = VictimSelection::kLeastDeserving;
+  double half_life_s = 0.0;
+  mp::ExecMode mode = mp::ExecMode::kDefault;
+};
+
+FarmOptions prop_opts(const SchedConfig& cfg) {
+  FarmOptions o;
+  o.policy = cfg.policy;
+  o.recv_timeout_s = 30.0;
+  o.exec_mode = cfg.mode;
+  o.preempt_interval = 4;
+  o.easy_backfill = cfg.easy_backfill;
+  o.victim_selection = cfg.victim;
+  o.fair_share.half_life_s = cfg.half_life_s;
+  o.keep_results = false;  // scalars survive; 100-seed sweep stays light
+  return o;
+}
+
+struct JobProbe {
+  std::string name;
+  int priority = 0;
+  bool cancelled = false;
+  JobState state = JobState::kQueued;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  std::uint64_t fb_hash = 0;
+  bool backfilled = false;
+  double reserved_at_s = -1.0;
+};
+
+struct Outcome {
+  farm::Report report;
+  std::vector<JobProbe> jobs;
+};
+
+Outcome run_trace(std::uint64_t seed, const SchedConfig& cfg) {
+  auto trace = make_trace(seed);
+  Farm f(prop_cluster(), prop_opts(cfg));
+  std::vector<farm::JobHandle> handles;
+  std::vector<JobProbe> probes;
+  for (auto& tj : trace) {
+    JobProbe p;
+    p.name = tj.spec.name;
+    p.priority = tj.spec.priority;
+    p.cancelled = tj.cancel;
+    probes.push_back(p);
+    handles.push_back(f.submit(std::move(tj.spec)));
+    if (tj.cancel) EXPECT_TRUE(handles.back().cancel());
+  }
+  Outcome out;
+  out.report = f.run();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto& r = handles[i].await();
+    probes[i].state = r.state;
+    probes[i].start_s = r.start_s;
+    probes[i].finish_s = r.finish_s;
+    probes[i].fb_hash = r.fb_hash;
+    probes[i].backfilled = r.backfilled;
+    probes[i].reserved_at_s = r.reserved_at_s;
+  }
+  out.jobs = std::move(probes);
+  return out;
+}
+
+/// The invariants every discipline must satisfy on every trace.
+void check_invariants(const Outcome& o) {
+  std::set<std::string> expected, completed;
+  for (const auto& j : o.jobs) {
+    // No stranded job: every submission reaches a terminal state, and the
+    // only non-done terminal is the cancel we asked for.
+    if (j.cancelled) {
+      EXPECT_EQ(j.state, JobState::kCancelled) << j.name;
+    } else {
+      EXPECT_EQ(j.state, JobState::kDone) << j.name;
+      expected.insert(j.name);
+      EXPECT_GE(j.finish_s, j.start_s) << j.name;
+    }
+  }
+  for (const auto& n : o.report.completion_order) completed.insert(n);
+  EXPECT_EQ(completed, expected);
+  EXPECT_EQ(o.report.completion_order.size(), o.report.jobs_done);
+  EXPECT_EQ(o.report.jobs_failed, 0u);
+
+  // Capacity is never oversubscribed at any farm-virtual instant.
+  const auto spec = prop_cluster();
+  ASSERT_EQ(o.report.nodes.size(), spec.node_count());
+  for (std::size_t n = 0; n < o.report.nodes.size(); ++n) {
+    EXPECT_LE(o.report.nodes[n].peak_ranks, spec.nodes[n].cpus);
+  }
+
+  // The queue-depth step series is strictly ordered and drains to zero.
+  ASSERT_FALSE(o.report.queue_depth.empty());
+  EXPECT_EQ(o.report.queue_depth.back().second, 0);
+  for (std::size_t i = 1; i < o.report.queue_depth.size(); ++i) {
+    EXPECT_LT(o.report.queue_depth[i - 1].first,
+              o.report.queue_depth[i].first);
+  }
+}
+
+void expect_identical(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.report.makespan_s, b.report.makespan_s);  // exact doubles
+  EXPECT_EQ(a.report.completion_order, b.report.completion_order);
+  EXPECT_EQ(a.report.queue_depth, b.report.queue_depth);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].start_s, b.jobs[i].start_s) << a.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].finish_s, b.jobs[i].finish_s) << a.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].fb_hash, b.jobs[i].fb_hash) << a.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].backfilled, b.jobs[i].backfilled) << a.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].reserved_at_s, b.jobs[i].reserved_at_s)
+        << a.jobs[i].name;
+  }
+}
+
+constexpr std::uint64_t kSeeds = 100;
+
+void sweep(const SchedConfig& cfg, std::size_t* backfilled_total = nullptr) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto o = run_trace(seed, cfg);
+    check_invariants(o);
+    if (backfilled_total != nullptr) {
+      *backfilled_total += o.report.jobs_backfilled;
+      // Backfill must never push a reserved top-priority job past its
+      // pinned reservation: nothing outranks it, so once it blocks the
+      // promise must hold exactly.
+      int top = 0;
+      for (const auto& j : o.jobs) top = std::max(top, j.priority);
+      std::size_t flagged = 0;
+      for (const auto& j : o.jobs) {
+        if (j.backfilled) ++flagged;
+        if (j.priority == top && j.reserved_at_s >= 0.0 &&
+            j.state == JobState::kDone) {
+          EXPECT_LE(j.start_s, j.reserved_at_s + 1e-9) << j.name;
+        }
+      }
+      EXPECT_EQ(flagged, o.report.jobs_backfilled);
+    }
+    if (seed % 10 == 0) {  // exact-double determinism on identical reruns
+      expect_identical(o, run_trace(seed, cfg));
+    }
+  }
+}
+
+// --- the sweep, per discipline ------------------------------------------
+
+TEST(FarmSchedProps, FifoHoldsInvariantsOverRandomTraces) {
+  sweep({.policy = Policy::kFifo});
+}
+
+TEST(FarmSchedProps, SjfHoldsInvariantsOverRandomTraces) {
+  sweep({.policy = Policy::kSjf});
+}
+
+TEST(FarmSchedProps, PriorityHoldsInvariantsOverRandomTraces) {
+  sweep({.policy = Policy::kPriority});
+}
+
+TEST(FarmSchedProps, FairShareWithDecayHoldsInvariantsOverRandomTraces) {
+  sweep({.policy = Policy::kFairShare, .half_life_s = 3.0});
+}
+
+TEST(FarmSchedProps, BackfillHoldsInvariantsAndNeverBreaksReservations) {
+  std::size_t backfilled = 0;
+  sweep({.policy = Policy::kPriority,
+         .easy_backfill = true,
+         .victim = VictimSelection::kCostAware},
+        &backfilled);
+  // The sweep actually exercised the backfill path, not just tolerated it.
+  EXPECT_GT(backfilled, 0u);
+}
+
+TEST(FarmSchedProps, DecayedFairShareMatchesRawIntegralWhenDisabled) {
+  // half_life <= 0 must be bit-identical to the PR-9 full-history
+  // integral — same additions in the same order, no decay applied.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_identical(run_trace(seed, {.policy = Policy::kFairShare}),
+                     run_trace(seed, {.policy = Policy::kFairShare,
+                                      .half_life_s = -1.0}));
+  }
+}
+
+TEST(FarmSchedProps, IdenticalAcrossBothExecutionCores) {
+  // The DES depends only on virtual quantities: fibers and threads legs
+  // must agree to the last bit, including the backfill bookkeeping.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    for (const auto cfg : {SchedConfig{.policy = Policy::kPriority},
+                           SchedConfig{.policy = Policy::kPriority,
+                                       .easy_backfill = true,
+                                       .victim = VictimSelection::kCostAware}}) {
+      auto fibers = cfg;
+      fibers.mode = mp::ExecMode::kFibers;
+      auto threads = cfg;
+      threads.mode = mp::ExecMode::kThreads;
+      expect_identical(run_trace(seed, fibers), run_trace(seed, threads));
+    }
+  }
+}
+
+// --- directed: EASY backfill --------------------------------------------
+
+/// A (world 5) fragments the 2x4 cluster into [free: 0, 3]; C (world 4)
+/// blocks at the head; D (world 3) fits the fragment. Everyone has equal
+/// priority, so strict head-of-line would idle those 3 slots until A
+/// finishes — EASY starts D because C's reservation (node 0, once A
+/// releases it) survives even if D never gives its slots back.
+struct BackfillScenario {
+  JobProbe a, c, d;
+  farm::Report report;
+};
+
+BackfillScenario run_backfill_scenario(bool easy) {
+  SchedConfig cfg{.policy = Policy::kPriority, .easy_backfill = easy};
+  auto opts = prop_opts(cfg);
+  // Contention-free cost model: with no SMP penalty the backfilled job
+  // cannot even *stretch* its neighbors, so the head's start must be
+  // bit-equal across the strict and EASY legs (the randomized sweep covers
+  // the contended case, where only the reservation bound holds).
+  opts.cost.smp_contention = 1.0;
+  Farm f(prop_cluster(), opts);
+  auto a = prop_job("A", 3, 12);
+  auto c = prop_job("C", 2, 8);
+  auto d = prop_job("D", 1, 8);
+  c.submit_time_s = 1e-6;
+  d.submit_time_s = 2e-6;
+  auto ha = f.submit(std::move(a));
+  auto hc = f.submit(std::move(c));
+  auto hd = f.submit(std::move(d));
+  BackfillScenario s;
+  s.report = f.run();
+  const auto probe = [](const farm::JobHandle& h) {
+    const auto& r = h.await();
+    JobProbe p;
+    p.name = h.name();
+    p.state = r.state;
+    p.start_s = r.start_s;
+    p.finish_s = r.finish_s;
+    p.fb_hash = r.fb_hash;
+    p.backfilled = r.backfilled;
+    p.reserved_at_s = r.reserved_at_s;
+    return p;
+  };
+  s.a = probe(ha);
+  s.c = probe(hc);
+  s.d = probe(hd);
+  return s;
+}
+
+TEST(FarmBackfill, FillsTheFragmentWithoutDelayingTheReservedHead) {
+  const auto strict = run_backfill_scenario(false);
+  const auto easy = run_backfill_scenario(true);
+  for (const auto* s : {&strict, &easy}) {
+    ASSERT_EQ(s->a.state, JobState::kDone);
+    ASSERT_EQ(s->c.state, JobState::kDone);
+    ASSERT_EQ(s->d.state, JobState::kDone);
+  }
+
+  // Strict head-of-line: D waits behind blocked C despite fitting now.
+  EXPECT_FALSE(strict.d.backfilled);
+  EXPECT_GE(strict.d.start_s, strict.c.start_s);
+  EXPECT_EQ(strict.report.jobs_backfilled, 0u);
+
+  // EASY: D jumps the blocked head...
+  EXPECT_TRUE(easy.d.backfilled);
+  EXPECT_LT(easy.d.start_s, easy.c.start_s);
+  EXPECT_EQ(easy.report.jobs_backfilled, 1u);
+  // ...and C still starts exactly when strict would have started it: the
+  // backfill was free. Its pinned reservation (an upper bound on A's
+  // release) is honored.
+  EXPECT_EQ(easy.c.start_s, strict.c.start_s);
+  ASSERT_GE(easy.c.reserved_at_s, 0.0);
+  EXPECT_LE(easy.c.start_s, easy.c.reserved_at_s + 1e-9);
+  // Results are input-identical either way.
+  EXPECT_EQ(easy.a.fb_hash, strict.a.fb_hash);
+  EXPECT_EQ(easy.c.fb_hash, strict.c.fb_hash);
+  EXPECT_EQ(easy.d.fb_hash, strict.d.fb_hash);
+
+  // Backfill traffic shows up in the metrics dump.
+  const auto dump = easy.report.metrics.prometheus();
+  EXPECT_NE(dump.find("psanim_farm_backfills_total 1"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("psanim_farm_reservations_total"), std::string::npos);
+}
+
+// --- directed: cost-aware victim selection ------------------------------
+
+/// Two equal-priority victims fill the cluster when a high-priority job
+/// arrives. "cheap" carries its own interval-2 checkpoint grid (next
+/// candidate: frame 1); "pricey" gets the imposed interval-4 grid (frame
+/// 3). Least-deserving tie-breaks pick the youngest seq (pricey); the
+/// cost-aware ranker must pick cheap — the least drain work thrown away.
+TEST(FarmVictims, CostAwarePicksTheVictimNearestItsCheckpoint) {
+  for (const auto victim : {VictimSelection::kLeastDeserving,
+                            VictimSelection::kCostAware}) {
+    SCOPED_TRACE(to_string(victim));
+    SchedConfig cfg{.policy = Policy::kPriority, .victim = victim};
+    Farm f(prop_cluster(), prop_opts(cfg));
+    auto cheap = prop_job("cheap", 2, 12);
+    cheap.settings.ckpt.interval = 2;  // own grid: frames 1, 3, 5, ...
+    auto pricey = prop_job("pricey", 2, 12);
+    auto urgent = prop_job("urgent", 2, 8);
+    urgent.priority = 1;
+    urgent.submit_time_s = 1e-6;
+    auto hc = f.submit(std::move(cheap));
+    auto hp = f.submit(std::move(pricey));
+    auto hu = f.submit(std::move(urgent));
+    const auto report = f.run();
+    ASSERT_EQ(hc.await().state, JobState::kDone) << hc.await().error;
+    ASSERT_EQ(hp.await().state, JobState::kDone) << hp.await().error;
+    ASSERT_EQ(hu.await().state, JobState::kDone) << hu.await().error;
+    EXPECT_EQ(report.jobs_preempted, 1u);
+
+    const bool cost_aware = victim == VictimSelection::kCostAware;
+    const auto& evicted = cost_aware ? hc.await() : hp.await();
+    const auto& spared = cost_aware ? hp.await() : hc.await();
+    EXPECT_EQ(evicted.preemptions, 1);
+    EXPECT_EQ(spared.preemptions, 0);
+    ASSERT_EQ(evicted.preempt_frames.size(), 1u);
+    EXPECT_EQ(evicted.preempt_frames[0], cost_aware ? 1u : 3u);
+  }
+}
+
+// --- directed: decayed fair-share ---------------------------------------
+
+TEST(FarmFairShare, HalfLifeForgivesAncientHogging) {
+  // hogA monopolizes the cluster at time zero; a virtual eon later hogB
+  // (earlier seq) and meekB arrive together. With the full-history
+  // integral the hog tenant is forever over-served, so meekB runs first;
+  // with a half-life the eon decays the hog's score away and the
+  // arrival-order tie-break puts hogB first.
+  for (const double half_life : {0.0, 1.0}) {
+    SCOPED_TRACE("half_life " + std::to_string(half_life));
+    SchedConfig cfg{.policy = Policy::kFairShare, .half_life_s = half_life};
+    cluster::ClusterSpec one_node;
+    one_node.add(cluster::NodeType::generic(1.0, 4), 1);
+    Farm f(one_node, prop_opts(cfg));
+    auto hog_a = prop_job("hogA", 2, 12);
+    hog_a.tenant = "hog";
+    auto hog_b = prop_job("hogB", 2, 8);
+    hog_b.tenant = "hog";
+    auto meek_b = prop_job("meekB", 2, 8);
+    meek_b.tenant = "meek";
+    hog_b.submit_time_s = 1e6;  // an eon >> any half-life decays to zero
+    meek_b.submit_time_s = 1e6;
+    f.submit(std::move(hog_a));
+    f.submit(std::move(hog_b));
+    f.submit(std::move(meek_b));
+    const auto report = f.run();
+    ASSERT_EQ(report.completion_order.size(), 3u);
+    EXPECT_EQ(report.completion_order[0], "hogA");
+    EXPECT_EQ(report.completion_order[1],
+              half_life > 0.0 ? "hogB" : "meekB");
+    EXPECT_EQ(report.completion_order[2],
+              half_life > 0.0 ? "meekB" : "hogB");
+    // The report's service integral stays raw history either way.
+    EXPECT_GT(report.tenant_rank_s.at("hog"),
+              report.tenant_rank_s.at("meek"));
+  }
+}
+
+}  // namespace
+}  // namespace psanim

@@ -38,10 +38,12 @@ psanim-bench-pr8-farm-v1 (bench/farm_throughput --out):
     sjf_le_fifo_makespan true (the scheduling win the bench itself
     asserts, re-checked from the artifact).
 
-psanim-bench-pr9-farm-v1 (bench/farm_arrivals --out):
+psanim-bench-pr9-farm-v1 (bench/farm_arrivals --out, superseded by pr10):
   - every leg (fifo, priority, priority_rerun, fair_share) drained the
     whole job stream with zero failures, sane SLO percentiles overall and
-    per tenant;
+    per tenant; every leg actually sampled both tenants (a leg with zero
+    interactive jobs fails loudly — its latency gates would otherwise
+    pass vacuously);
   - both preemptive legs report preemption_events > 0 (the eviction path
     ran) while FIFO reports exactly 0;
   - the headline gate: the interactive tenant's p99 wait under preemptive
@@ -49,6 +51,23 @@ psanim-bench-pr9-farm-v1 (bench/farm_arrivals --out):
   - the priority and priority_rerun legs match field-for-field as literal
     JSON strings (the preemptive DES is deterministic);
   - fair_share delivered nonzero rank-seconds to both tenants.
+
+psanim-bench-pr10-farm-v1 (bench/farm_arrivals --out) — all pr9 rules
+over the extended leg set (+ backfill, backfill_costaware,
+backfill_costaware_rerun), plus the backfill gates:
+  - the backfill leg's makespan stretch over FIFO sits at or below 1.3x
+    (EASY backfill repairs the ~2.6x cost of strict head-of-line
+    reservation), with the FIFO makespan guarded nonzero so the ratio is
+    never a divide-by-zero or a vacuous pass;
+  - the backfill leg's interactive p99 wait stays within 2x of the
+    strict-priority leg's (the latency win is not given back), with the
+    strict-priority value guarded nonzero;
+  - both backfill legs actually backfilled (jobs_backfilled > 0) and
+    evicted (preemption_events > 0); non-backfilling legs report exactly
+    0 backfills;
+  - backfill_costaware and its rerun match field-for-field as literal
+    JSON strings (the backfill pass + cost-aware victim selection stay
+    deterministic).
 
 PR4 rules:
 
@@ -83,6 +102,7 @@ SCHEMA_PR7 = "psanim-bench-pr7-v1"
 SCHEMA_PR8 = "psanim-bench-pr8-v1"
 SCHEMA_PR8_FARM = "psanim-bench-pr8-farm-v1"
 SCHEMA_PR9_FARM = "psanim-bench-pr9-farm-v1"
+SCHEMA_PR10_FARM = "psanim-bench-pr10-farm-v1"
 
 _failures = []
 _warnings = []
@@ -375,16 +395,29 @@ def check_pr8_farm(doc):
                  f"scheduling win regressed")
 
 
-def check_pr9_farm(doc):
+_RERUN_FIELDS = ("makespan_s", "wait_p50_s", "wait_p95_s", "wait_p99_s",
+                 "turnaround_p99_s", "slowdown_p99", "preemption_events",
+                 "migrations", "jobs_preempted")
+
+
+def _check_arrival_legs(doc, required):
+    """Per-leg checks shared by the pr9 and pr10 arrival-stream schemas.
+
+    Returns the legs dict, or None when the document is too malformed to
+    gate. Every leg must have drained the full stream, carry sane SLO
+    percentiles, and have actually *sampled* both tenants: a leg whose
+    interactive (or batch) tenant block is missing or empty fails loudly
+    here, because every downstream latency gate over that tenant would
+    otherwise pass vacuously.
+    """
     legs = doc.get("legs")
-    required = ("fifo", "priority", "priority_rerun", "fair_share")
     if not isinstance(legs, dict) or any(k not in legs for k in required):
         fail(f"legs section must contain {required}")
-        return
+        return None
     total = int(doc.get("jobs", -1))
     if total <= 0:
         fail("missing or nonpositive jobs count")
-        return
+        return None
     for name in required:
         block = legs[name]
         if int(block.get("jobs_done", -1)) != total:
@@ -395,7 +428,12 @@ def check_pr9_farm(doc):
         if int(block.get("queue_depth_peak", -1)) < 0:
             fail(f"leg {name}: bad queue_depth_peak")
         _percentiles_sane(f"leg {name}", block)
-        for tenant, slo in block.get("tenants", {}).items():
+        tenants = block.get("tenants", {})
+        for tenant in ("interactive", "batch"):
+            if int(tenants.get(tenant, {}).get("jobs", 0)) <= 0:
+                fail(f"leg {name}: sampled zero {tenant} jobs — every "
+                     f"{tenant}-tenant gate would pass vacuously")
+        for tenant, slo in tenants.items():
             try:
                 t50 = float(slo["wait_p50_s"])
                 t99 = float(slo["wait_p99_s"])
@@ -409,10 +447,25 @@ def check_pr9_farm(doc):
             elif int(slo.get("jobs", 0)) > 0 and ts99 < 1.0 - 1e-9:
                 fail(f"leg {name} tenant {tenant}: slowdown p99 {ts99} "
                      f"below 1")
+    return legs
 
-    # The point of preemption: eviction actually happened on both
-    # preemptive legs, and never on FIFO.
-    for name in ("priority", "fair_share"):
+
+def _tenant_p99(legs, leg, tenant):
+    """The tenant's p99 wait as a float, or None (already failed) when the
+    block is missing — never a KeyError crash on degenerate input."""
+    try:
+        return float(legs[leg]["tenants"][tenant]["wait_p99_s"])
+    except (KeyError, ValueError):
+        fail(f"leg {leg}: missing or malformed {tenant} tenant block")
+        return None
+
+
+def _check_preemption_and_rerun(legs, preemptive, rerun_pairs):
+    """The preemption-exercised and rerun-identity gates shared by pr9 and
+    pr10: every preemptive leg evicted, FIFO never did, and each
+    (leg, leg_rerun) pair matches field-for-field as literal JSON strings
+    (parse_float=str makes that bit-exact determinism)."""
+    for name in preemptive:
         if int(legs[name].get("preemption_events", 0)) <= 0:
             fail(f"leg {name}: a preemptive policy never preempted under a "
                  f"heavy-tailed overload — the eviction path is dead")
@@ -421,15 +474,22 @@ def check_pr9_farm(doc):
                f"event(s), {legs[name].get('migrations', 0)} migration(s)")
     if int(legs["fifo"].get("preemption_events", -1)) != 0:
         fail("leg fifo: a non-preemptive policy reported preemptions")
+    for a, b, extra in rerun_pairs:
+        for field in _RERUN_FIELDS + extra:
+            va, vb = legs[a].get(field), legs[b].get(field)
+            if va != vb:
+                fail(f"{a} vs {b}: {field} differs ({va!r} vs {vb!r}) — "
+                     f"the preemptive DES leaked nondeterminism")
+        ok(f"{a} leg reproduces bit-identically across reruns")
 
-    # Headline gate: preemptive priority must cut the interactive tenant's
-    # p99 wait below FIFO's. Compared as floats (the values come from
-    # different legs, so string equality is meaningless here).
-    try:
-        fifo_i = float(legs["fifo"]["tenants"]["interactive"]["wait_p99_s"])
-        prio_i = float(legs["priority"]["tenants"]["interactive"]["wait_p99_s"])
-    except KeyError:
-        fail("fifo/priority legs missing the interactive tenant block")
+
+def _check_headline_interactive(legs):
+    """PR-9 headline: preemptive priority must cut the interactive
+    tenant's p99 wait below FIFO's. Compared as floats (the values come
+    from different legs, so string equality is meaningless here)."""
+    fifo_i = _tenant_p99(legs, "fifo", "interactive")
+    prio_i = _tenant_p99(legs, "priority", "interactive")
+    if fifo_i is None or prio_i is None:
         return
     if not prio_i < fifo_i:
         fail(f"interactive p99 wait under priority ({prio_i}) not below "
@@ -437,24 +497,90 @@ def check_pr9_farm(doc):
     else:
         ok(f"interactive p99 wait: priority {prio_i} < fifo {fifo_i}")
 
-    # Determinism: the rerun leg is the same policy over the same stream,
-    # so every scalar must match as a literal JSON string (parse_float=str).
-    for field in ("makespan_s", "wait_p50_s", "wait_p95_s", "wait_p99_s",
-                  "turnaround_p99_s", "slowdown_p99", "preemption_events",
-                  "migrations", "jobs_preempted"):
-        a = legs["priority"].get(field)
-        b = legs["priority_rerun"].get(field)
-        if a != b:
-            fail(f"priority vs rerun: {field} differs ({a!r} vs {b!r}) — "
-                 f"the preemptive DES leaked nondeterminism")
-    ok("priority leg reproduces bit-identically across reruns")
 
-    # Fair-share delivered service to both tenants.
+def _check_fair_share_service(legs):
     ranks = legs["fair_share"].get("tenant_rank_s", {})
     for tenant in ("interactive", "batch"):
         if float(ranks.get(tenant, "0")) <= 0.0:
             fail(f"fair_share: tenant {tenant} received no service "
                  f"(tenant_rank_s missing or zero)")
+
+
+def check_pr9_farm(doc):
+    legs = _check_arrival_legs(
+        doc, ("fifo", "priority", "priority_rerun", "fair_share"))
+    if legs is None:
+        return
+    _check_preemption_and_rerun(
+        legs, preemptive=("priority", "fair_share"),
+        rerun_pairs=[("priority", "priority_rerun", ())])
+    _check_headline_interactive(legs)
+    _check_fair_share_service(legs)
+
+
+def check_pr10_farm(doc):
+    required = ("fifo", "priority", "priority_rerun", "fair_share",
+                "backfill", "backfill_costaware", "backfill_costaware_rerun")
+    legs = _check_arrival_legs(doc, required)
+    if legs is None:
+        return
+    _check_preemption_and_rerun(
+        legs,
+        preemptive=("priority", "fair_share", "backfill",
+                    "backfill_costaware"),
+        rerun_pairs=[("priority", "priority_rerun", ()),
+                     ("backfill_costaware", "backfill_costaware_rerun",
+                      ("jobs_backfilled",))])
+    _check_headline_interactive(legs)
+    _check_fair_share_service(legs)
+
+    # Backfill actually ran where it should, and only there.
+    for name in ("backfill", "backfill_costaware"):
+        if int(legs[name].get("jobs_backfilled", 0)) <= 0:
+            fail(f"leg {name}: never backfilled a job — the EASY pass "
+                 f"is dead")
+        else:
+            ok(f"leg {name}: {legs[name]['jobs_backfilled']} job(s) "
+               f"backfilled")
+    for name in ("fifo", "priority", "fair_share"):
+        if int(legs[name].get("jobs_backfilled", -1)) != 0:
+            fail(f"leg {name}: a non-backfilling leg reported backfills")
+
+    # The PR-10 headline: EASY backfill caps the batch makespan stretch
+    # over FIFO at 1.3x (strict reservation pays ~2.6x), without giving
+    # back the interactive-latency win (within 2x of strict priority's
+    # p99). Both denominators are guarded: a zero FIFO makespan or a zero
+    # strict-priority p99 is a degenerate run that must fail loudly, not
+    # divide by zero or bound nothing.
+    try:
+        fifo_mk = float(legs["fifo"]["makespan_s"])
+        bf_mk = float(legs["backfill"]["makespan_s"])
+    except (KeyError, ValueError) as e:
+        fail(f"fifo/backfill legs missing makespan_s ({e})")
+        return
+    if not fifo_mk > 0.0:
+        fail(f"fifo makespan {fifo_mk} not positive — the stretch gate "
+             f"is undefined")
+        return
+    stretch = bf_mk / fifo_mk
+    if stretch > 1.3:
+        fail(f"backfill makespan stretch {stretch:.3f}x over FIFO exceeds "
+             f"the 1.3x bound ({bf_mk} vs {fifo_mk})")
+    else:
+        ok(f"backfill makespan stretch {stretch:.3f}x <= 1.3x over FIFO")
+    prio_i = _tenant_p99(legs, "priority", "interactive")
+    bf_i = _tenant_p99(legs, "backfill", "interactive")
+    if prio_i is None or bf_i is None:
+        return
+    if not prio_i > 0.0:
+        fail(f"strict-priority interactive p99 wait {prio_i} not positive "
+             f"— the 2x latency bound is vacuous")
+    elif bf_i > 2.0 * prio_i:
+        fail(f"backfill interactive p99 wait {bf_i} exceeds 2x the "
+             f"strict-priority value {prio_i}")
+    else:
+        ok(f"backfill interactive p99 {bf_i} within 2x of strict "
+           f"priority's {prio_i}")
 
 
 def main():
@@ -481,6 +607,11 @@ def main():
         return 1 if _failures else 0
     if doc.get("schema") == SCHEMA_PR9_FARM:
         check_pr9_farm(doc)
+        print(f"\n{args.file}: {len(_failures)} failure(s), "
+              f"{len(_warnings)} warning(s)")
+        return 1 if _failures else 0
+    if doc.get("schema") == SCHEMA_PR10_FARM:
+        check_pr10_farm(doc)
         print(f"\n{args.file}: {len(_failures)} failure(s), "
               f"{len(_warnings)} warning(s)")
         return 1 if _failures else 0
